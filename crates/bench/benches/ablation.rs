@@ -1,0 +1,51 @@
+//! X4 bench: the RHS-Discovery candidate-pruning ablation — how much
+//! extension probing the dictionary-based pruning of §6.2.2 saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbre_bench::scenario;
+use dbre_core::rhs_discovery::RhsOptions;
+use dbre_synth::TruthOracle;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rhs_pruning_ablation");
+    group.sample_size(10);
+
+    let s = scenario(8, 5000, 42);
+    let q = dbre_extract::extract_programs(
+        &s.db.schema,
+        &s.programs,
+        &dbre_extract::ExtractConfig::default(),
+    )
+    .q();
+    let mut db = s.db.clone();
+    let mut oracle = TruthOracle::new(s.truth.clone());
+    let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle);
+    let lhs = dbre_core::lhs_discovery(&db, &ind.inds, &ind.new_relations);
+
+    for (name, opts) in [
+        ("full_pruning", RhsOptions::default()),
+        (
+            "no_pruning",
+            RhsOptions {
+                prune_keys: false,
+                prune_not_null: false,
+            },
+        ),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(name, "e8_r5000"),
+            &(&db, &lhs),
+            |b, (db, lhs)| {
+                b.iter(|| {
+                    let mut oracle = TruthOracle::new(s.truth.clone());
+                    black_box(dbre_core::rhs_discovery(db, lhs, &mut oracle, &opts))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

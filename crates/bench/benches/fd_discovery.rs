@@ -1,0 +1,76 @@
+//! X2 bench: targeted RHS-Discovery (paper §6.2.2) against full TANE
+//! FD mining, plus the two single-FD check backends (hash vs stripped
+//! partitions) that RHS-Discovery can sit on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbre_bench::scenario;
+use dbre_core::rhs_discovery::RhsOptions;
+use dbre_mine::tane::tane;
+use dbre_mine::{check_hash, check_partition};
+use dbre_relational::AttrId;
+use dbre_synth::TruthOracle;
+use std::hint::black_box;
+
+fn bench_fd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_discovery");
+    group.sample_size(10);
+    for &rows in &[1000usize, 10_000] {
+        let s = scenario(8, rows, 42);
+        let q = dbre_extract::extract_programs(
+            &s.db.schema,
+            &s.programs,
+            &dbre_extract::ExtractConfig::default(),
+        )
+        .q();
+        // Pre-run IND/LHS so the bench isolates RHS-Discovery.
+        let mut db = s.db.clone();
+        let mut oracle = TruthOracle::new(s.truth.clone());
+        let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle);
+        let lhs = dbre_core::lhs_discovery(&db, &ind.inds, &ind.new_relations);
+
+        group.bench_with_input(
+            BenchmarkId::new("paper_rhs_discovery", format!("r{rows}")),
+            &(&db, &lhs, &s),
+            |b, (db, lhs, s)| {
+                b.iter(|| {
+                    let mut oracle = TruthOracle::new(s.truth.clone());
+                    black_box(dbre_core::rhs_discovery(
+                        db,
+                        lhs,
+                        &mut oracle,
+                        &RhsOptions::default(),
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tane_full_mining", format!("r{rows}")),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    for (rel, _) in s.db.schema.iter() {
+                        black_box(tane(rel, s.db.table(rel), Some(2)));
+                    }
+                })
+            },
+        );
+    }
+
+    // Single-check backends on one wide table.
+    let s = scenario(4, 20_000, 7);
+    let (rel, _) = s.db.schema.iter().next().expect("non-empty scenario");
+    let table = s.db.table(rel);
+    let arity = table.arity().min(2) as u16;
+    if arity == 2 {
+        group.bench_function("fd_check_hash_20k", |b| {
+            b.iter(|| black_box(check_hash(table, &[AttrId(0)], &[AttrId(1)])))
+        });
+        group.bench_function("fd_check_partition_20k", |b| {
+            b.iter(|| black_box(check_partition(table, &[AttrId(0)], &[AttrId(1)])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fd);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! X3 bench: the full pipeline — program extraction through EER
+//! translation — at growing scale, plus the paper's worked example as
+//! a fixed reference point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbre_bench::{run_truth, scenario};
+use dbre_core::example::run_paper_example;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("paper_worked_example", |b| {
+        b.iter(|| black_box(run_paper_example()))
+    });
+
+    for &(entities, rows) in &[(4usize, 1000usize), (8, 1000), (8, 10_000)] {
+        let s = scenario(entities, rows, 42);
+        group.bench_with_input(
+            BenchmarkId::new("synthetic_end_to_end", format!("e{entities}_r{rows}")),
+            &s,
+            |b, s| b.iter(|| black_box(run_truth(s))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

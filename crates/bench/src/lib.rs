@@ -1,0 +1,94 @@
+//! # dbre-bench
+//!
+//! Shared workload builders for the Criterion benches and the
+//! `report` binary that regenerates every experiment of
+//! `EXPERIMENTS.md` (E1–E6 reproduce the paper's walk-through, F1 its
+//! Figure 1, X1–X5 the quantitative evaluation the paper omitted).
+
+#![forbid(unsafe_code)]
+
+use dbre_core::pipeline::PipelineOptions;
+use dbre_core::DenyOracle;
+use dbre_relational::Database;
+use dbre_synth::{
+    build_workload, generate_programs, generate_spec, DenormConfig, GroundTruth,
+    ProgramConfig, SynthConfig, TruthOracle,
+};
+
+/// A ready-to-run synthetic scenario.
+pub struct Scenario {
+    /// The legacy database the pipeline gets.
+    pub db: Database,
+    /// The answer key.
+    pub truth: GroundTruth,
+    /// Generated application programs.
+    pub programs: Vec<dbre_extract::ProgramSource>,
+    /// Which navigations the programs cover.
+    pub covered: Vec<bool>,
+}
+
+/// Builds a scenario scaled by `(entities, rows per entity)`.
+pub fn scenario(entities: usize, rows: usize, seed: u64) -> Scenario {
+    scenario_with(entities, rows, seed, 1.0, &DenormConfig {
+        p_embed: 0.7,
+        p_drop: 0.4,
+        seed,
+    })
+}
+
+/// Builds a scenario with explicit coverage and denormalization plan.
+pub fn scenario_with(
+    entities: usize,
+    rows: usize,
+    seed: u64,
+    coverage: f64,
+    denorm: &DenormConfig,
+) -> Scenario {
+    let spec = generate_spec(&SynthConfig {
+        n_entities: entities,
+        n_relationships: (entities / 2).max(1),
+        n_entity_fks: entities,
+        n_isa: (entities / 6).min(2),
+        rows_per_entity: rows,
+        rows_per_relationship: rows * 2,
+        seed,
+        ..Default::default()
+    });
+    let (db, truth) = build_workload(&spec, denorm, seed);
+    let programs = generate_programs(
+        &truth,
+        &ProgramConfig {
+            coverage,
+            noise_programs: 2,
+            seed,
+        },
+    );
+    Scenario {
+        db,
+        truth,
+        programs: programs.programs,
+        covered: programs.covered,
+    }
+}
+
+/// Runs the pipeline on a scenario with the ground-truth expert.
+pub fn run_truth(s: &Scenario) -> dbre_core::pipeline::PipelineResult {
+    let mut oracle = TruthOracle::new(s.truth.clone());
+    dbre_core::pipeline::run_with_programs(
+        s.db.clone(),
+        &s.programs,
+        &mut oracle,
+        &PipelineOptions::default(),
+    )
+}
+
+/// Runs the pipeline with the conservative automatic expert.
+pub fn run_deny(s: &Scenario) -> dbre_core::pipeline::PipelineResult {
+    let mut oracle = DenyOracle;
+    dbre_core::pipeline::run_with_programs(
+        s.db.clone(),
+        &s.programs,
+        &mut oracle,
+        &PipelineOptions::default(),
+    )
+}

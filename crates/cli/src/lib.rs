@@ -1,0 +1,444 @@
+//! # dbre-cli
+//!
+//! Command-line front end for the DBRE pipeline. The logic lives here
+//! (testable); `src/main.rs` is a thin wrapper.
+//!
+//! ```text
+//! dbre reverse --schema schema.sql [--data data.sql]
+//!              [--csv Table=rows.csv]... [--programs file|dir]...
+//!              [--oracle auto|deny] [--infer-keys]
+//!              [--dot out.dot] [--quiet]
+//! dbre extract --schema schema.sql [--programs file|dir]...
+//! dbre example
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dbre_core::pipeline::{run_with_programs, PipelineOptions};
+use dbre_core::render::{render_fds, render_inds, render_log, render_schema};
+use dbre_core::{AutoOracle, DenyOracle, Oracle};
+use dbre_extract::{ProgramSource, SourceKind};
+use dbre_relational::csv::import_csv;
+use dbre_sql::Catalog;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Full pipeline run.
+    Reverse(ReverseArgs),
+    /// Equi-join extraction only.
+    Extract(ExtractArgs),
+    /// The paper's worked example.
+    Example,
+    /// Usage text requested (or parse failure with message).
+    Help(Option<String>),
+}
+
+/// Arguments of `dbre reverse`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReverseArgs {
+    /// DDL script path.
+    pub schema: PathBuf,
+    /// Optional INSERT script path.
+    pub data: Option<PathBuf>,
+    /// `Table=path.csv` extension loads.
+    pub csv: Vec<(String, PathBuf)>,
+    /// Program files/directories.
+    pub programs: Vec<PathBuf>,
+    /// `auto` (default) or `deny`.
+    pub oracle: String,
+    /// Infer missing keys from the extension.
+    pub infer_keys: bool,
+    /// Write the EER diagram as DOT here.
+    pub dot: Option<PathBuf>,
+    /// Suppress the decision log.
+    pub quiet: bool,
+}
+
+/// Arguments of `dbre extract`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtractArgs {
+    /// DDL script path.
+    pub schema: PathBuf,
+    /// Program files/directories.
+    pub programs: Vec<PathBuf>,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+dbre — reverse engineering of denormalized relational databases (ICDE'96)
+
+USAGE:
+  dbre reverse --schema DDL.sql [--data INSERTS.sql]
+               [--csv Table=rows.csv]... [--programs FILE|DIR]...
+               [--oracle auto|deny] [--infer-keys] [--dot OUT.dot] [--quiet]
+  dbre extract --schema DDL.sql [--programs FILE|DIR]...
+  dbre example
+  dbre help
+";
+
+/// Parses argv (without the binary name).
+pub fn parse_args(args: &[String]) -> Command {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("example") => Command::Example,
+        Some("help") | None => Command::Help(None),
+        Some(cmd @ ("reverse" | "extract")) => {
+            let mut reverse = ReverseArgs {
+                oracle: "auto".into(),
+                ..Default::default()
+            };
+            let mut schema_seen = false;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} expects a value"))
+                };
+                let r: Result<(), String> = (|| {
+                    match flag.as_str() {
+                        "--schema" => {
+                            reverse.schema = PathBuf::from(value("--schema")?);
+                            schema_seen = true;
+                        }
+                        "--data" => reverse.data = Some(PathBuf::from(value("--data")?)),
+                        "--csv" => {
+                            let v = value("--csv")?;
+                            let (table, path) = v.split_once('=').ok_or_else(|| {
+                                format!("--csv expects Table=path.csv, got `{v}`")
+                            })?;
+                            reverse
+                                .csv
+                                .push((table.to_string(), PathBuf::from(path)));
+                        }
+                        "--programs" => {
+                            reverse.programs.push(PathBuf::from(value("--programs")?))
+                        }
+                        "--oracle" => {
+                            let v = value("--oracle")?;
+                            if v != "auto" && v != "deny" {
+                                return Err(format!(
+                                    "--oracle must be auto or deny, got `{v}`"
+                                ));
+                            }
+                            reverse.oracle = v;
+                        }
+                        "--infer-keys" => reverse.infer_keys = true,
+                        "--dot" => reverse.dot = Some(PathBuf::from(value("--dot")?)),
+                        "--quiet" => reverse.quiet = true,
+                        other => return Err(format!("unknown flag `{other}`")),
+                    }
+                    Ok(())
+                })();
+                if let Err(m) = r {
+                    return Command::Help(Some(m));
+                }
+            }
+            if !schema_seen {
+                return Command::Help(Some("--schema is required".into()));
+            }
+            if cmd == "extract" {
+                Command::Extract(ExtractArgs {
+                    schema: reverse.schema,
+                    programs: reverse.programs,
+                })
+            } else {
+                Command::Reverse(reverse)
+            }
+        }
+        Some(other) => Command::Help(Some(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Collects program sources from files and directories (a directory
+/// contributes every regular file it directly contains).
+pub fn load_programs(paths: &[PathBuf]) -> Result<Vec<ProgramSource>, String> {
+    let mut out = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_file())
+                .collect();
+            entries.sort();
+            for file in entries {
+                out.push(read_program(&file)?);
+            }
+        } else {
+            out.push(read_program(path)?);
+        }
+    }
+    Ok(out)
+}
+
+fn read_program(path: &Path) -> Result<ProgramSource, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    Ok(ProgramSource {
+        name,
+        text,
+        kind: SourceKind::Auto,
+    })
+}
+
+/// Builds the database from the reverse-command inputs.
+pub fn load_database(args: &ReverseArgs) -> Result<dbre_relational::Database, String> {
+    let ddl = std::fs::read_to_string(&args.schema)
+        .map_err(|e| format!("cannot read {}: {e}", args.schema.display()))?;
+    let mut catalog = Catalog::new();
+    catalog
+        .load_script(&ddl)
+        .map_err(|e| format!("{}: {e}", args.schema.display()))?;
+    if let Some(data) = &args.data {
+        let inserts = std::fs::read_to_string(data)
+            .map_err(|e| format!("cannot read {}: {e}", data.display()))?;
+        catalog
+            .load_script(&inserts)
+            .map_err(|e| format!("{}: {e}", data.display()))?;
+    }
+    let mut db = catalog.into_database();
+    for (table, path) in &args.csv {
+        let rel = db
+            .rel(table)
+            .map_err(|_| format!("--csv names unknown table `{table}`"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        import_csv(&mut db, rel, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    db.validate_dictionary()
+        .map_err(|e| format!("extension violates the dictionary: {e}"))?;
+    Ok(db)
+}
+
+/// Runs a parsed command, returning the text to print (and optionally
+/// writing the DOT file for `reverse --dot`).
+pub fn run(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Help(None) => Ok(USAGE.to_string()),
+        Command::Help(Some(msg)) => Err(format!("{msg}\n\n{USAGE}")),
+        Command::Example => {
+            let result = dbre_core::example::run_paper_example();
+            Ok(render_result(&result, false))
+        }
+        Command::Extract(args) => {
+            let reverse = ReverseArgs {
+                schema: args.schema.clone(),
+                oracle: "auto".into(),
+                ..Default::default()
+            };
+            let db = load_database(&reverse)?;
+            let programs = load_programs(&args.programs)?;
+            let extraction = dbre_extract::extract_programs(
+                &db.schema,
+                &programs,
+                &dbre_extract::ExtractConfig::default(),
+            );
+            let mut out = String::new();
+            let _ = writeln!(out, "# Q — extracted equi-joins\n");
+            for j in &extraction.joins {
+                let provenance: Vec<&str> =
+                    j.provenance.iter().map(|p| p.program.as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "{:<55} [{}]",
+                    j.join.render(&db.schema),
+                    provenance.join(", ")
+                );
+            }
+            for w in &extraction.warnings {
+                let _ = writeln!(out, "warning: {w}");
+            }
+            Ok(out)
+        }
+        Command::Reverse(args) => {
+            let db = load_database(args)?;
+            let programs = load_programs(&args.programs)?;
+            let options = PipelineOptions {
+                infer_missing_keys: args.infer_keys,
+                ..Default::default()
+            };
+            let mut auto;
+            let mut deny;
+            let oracle: &mut dyn Oracle = if args.oracle == "deny" {
+                deny = DenyOracle;
+                &mut deny
+            } else {
+                auto = AutoOracle::default();
+                &mut auto
+            };
+            let result = run_with_programs(db, &programs, oracle, &options);
+            if let Some(dot_path) = &args.dot {
+                std::fs::write(dot_path, result.eer.render_dot())
+                    .map_err(|e| format!("cannot write {}: {e}", dot_path.display()))?;
+            }
+            Ok(render_result(&result, args.quiet))
+        }
+    }
+}
+
+fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> String {
+    let mut out = String::new();
+    if !result.provenance.is_empty() {
+        let _ = writeln!(out, "# Q — navigations found in the programs\n");
+        for (join, provenance) in &result.provenance {
+            let programs: Vec<&str> =
+                provenance.iter().map(|p| p.program.as_str()).collect();
+            let _ = writeln!(
+                out,
+                "{:<55} [{}]",
+                join.render(&result.db_before.schema),
+                programs.join(", ")
+            );
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "# Elicited inclusion dependencies\n");
+    let _ = writeln!(out, "{}", render_inds(&result.db_before, &result.ind.inds));
+    let _ = writeln!(out, "\n# Elicited functional dependencies\n");
+    let _ = writeln!(out, "{}", render_fds(&result.db_before, &result.rhs.fds));
+    let _ = writeln!(out, "\n# Restructured schema (3NF)\n");
+    let _ = writeln!(out, "{}", render_schema(&result.db));
+    let _ = writeln!(out, "\n# Referential integrity constraints\n");
+    let _ = writeln!(
+        out,
+        "{}",
+        render_inds(&result.db, &result.restructured.ric)
+    );
+    let _ = writeln!(out, "\n# EER schema\n");
+    let _ = writeln!(out, "{}", result.eer.render_text());
+    for w in &result.warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    if !quiet {
+        let _ = writeln!(out, "\n# Decision log\n");
+        let _ = writeln!(out, "{}", render_log(&result.log));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_reverse_full() {
+        let cmd = parse_args(&s(&[
+            "reverse",
+            "--schema",
+            "ddl.sql",
+            "--data",
+            "rows.sql",
+            "--csv",
+            "Person=p.csv",
+            "--programs",
+            "progs/",
+            "--oracle",
+            "deny",
+            "--infer-keys",
+            "--dot",
+            "out.dot",
+            "--quiet",
+        ]));
+        let Command::Reverse(a) = cmd else { panic!("{cmd:?}") };
+        assert_eq!(a.schema, PathBuf::from("ddl.sql"));
+        assert_eq!(a.data, Some(PathBuf::from("rows.sql")));
+        assert_eq!(a.csv, vec![("Person".into(), PathBuf::from("p.csv"))]);
+        assert_eq!(a.oracle, "deny");
+        assert!(a.infer_keys);
+        assert!(a.quiet);
+    }
+
+    #[test]
+    fn parse_errors_are_help() {
+        assert!(matches!(parse_args(&s(&["reverse"])), Command::Help(Some(_))));
+        assert!(matches!(
+            parse_args(&s(&["reverse", "--schema"])),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["reverse", "--schema", "x", "--oracle", "wat"])),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["reverse", "--schema", "x", "--csv", "nopath"])),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(parse_args(&s(&["frobnicate"])), Command::Help(Some(_))));
+        assert!(matches!(parse_args(&s(&[])), Command::Help(None)));
+        assert!(matches!(parse_args(&s(&["example"])), Command::Example));
+    }
+
+    #[test]
+    fn example_command_runs() {
+        let out = run(&Command::Example).unwrap();
+        assert!(out.contains("Manager[proj] << Project[proj]"));
+        assert!(out.contains("Assignment [relationship]"));
+    }
+
+    #[test]
+    fn end_to_end_on_temp_files() {
+        let dir = std::env::temp_dir().join(format!("dbre_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("programs")).unwrap();
+        std::fs::write(
+            dir.join("schema.sql"),
+            "CREATE TABLE Customer (cid INT UNIQUE, cname VARCHAR(30));
+             CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30));",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("customer.csv"),
+            "cid,cname\n1,ann\n2,bob\n3,cid\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("orders.csv"),
+            "oid,cust,cname\n10,1,ann\n11,1,ann\n12,2,bob\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("programs").join("report.sql"),
+            "SELECT cname FROM Orders o, Customer c WHERE o.cust = c.cid;",
+        )
+        .unwrap();
+        let dot = dir.join("out.dot");
+        let cmd = parse_args(&s(&[
+            "reverse",
+            "--schema",
+            dir.join("schema.sql").to_str().unwrap(),
+            "--csv",
+            &format!("Customer={}", dir.join("customer.csv").display()),
+            "--csv",
+            &format!("Orders={}", dir.join("orders.csv").display()),
+            "--programs",
+            dir.join("programs").to_str().unwrap(),
+            "--dot",
+            dot.to_str().unwrap(),
+        ]));
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("Orders[cust] << Customer[cid]"), "{out}");
+        assert!(out.contains("Orders: cust -> cname"));
+        let dot_text = std::fs::read_to_string(&dot).unwrap();
+        assert!(dot_text.starts_with("digraph eer {"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_produce_errors_not_panics() {
+        let cmd = parse_args(&s(&["reverse", "--schema", "/nonexistent/x.sql"]));
+        assert!(run(&cmd).is_err());
+        let cmd = parse_args(&s(&["extract", "--schema", "/nonexistent/x.sql"]));
+        assert!(run(&cmd).is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! `dbre` binary entry point — all logic lives in the library for
+//! testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = dbre_cli::parse_args(&args);
+    match dbre_cli::run(&cmd) {
+        Ok(text) => print!("{text}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

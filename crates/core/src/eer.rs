@@ -1,0 +1,287 @@
+//! The Extended Entity-Relationship (EER) target model.
+//!
+//! The paper's Translate step maps the restructured relational schema
+//! into "the ER model extended to the Specialization/Generalization of
+//! object-types": entity-types (rectangles), relationship-types
+//! (diamonds), weak entity-types (double boxes) and is-a links (double
+//! pointed arrows) — exactly the constructs of Figure 1.
+
+use std::fmt::Write as _;
+
+/// An entity-type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityType {
+    /// Name (from the relation).
+    pub name: String,
+    /// All attributes.
+    pub attrs: Vec<String>,
+    /// Key attributes.
+    pub key: Vec<String>,
+    /// Weak entity-type (identified by its owner)?
+    pub weak: bool,
+    /// Owners of a weak entity (the object-types its identification
+    /// depends on).
+    pub owners: Vec<String>,
+}
+
+/// How a relationship-type arose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelationshipKind {
+    /// A relation whose key partitions into foreign keys — an n-ary
+    /// many-to-many relationship-type (Translate rule b).
+    ManyToMany,
+    /// A foreign-key attribute outside the key — a binary
+    /// relationship-type (Translate rule c).
+    Binary,
+}
+
+/// One participation of an object-type in a relationship.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Participant {
+    /// The participating object-type.
+    pub object: String,
+    /// The attributes of the relationship's source relation that
+    /// realize the link.
+    pub via: Vec<String>,
+}
+
+/// A relationship-type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationshipType {
+    /// Name (relation name for many-to-many; derived for binary).
+    pub name: String,
+    /// Participating object-types.
+    pub participants: Vec<Participant>,
+    /// Own attributes (e.g. `date` on Assignment).
+    pub attrs: Vec<String>,
+    /// Kind.
+    pub kind: RelationshipKind,
+}
+
+/// An is-a (specialization) link `sub is-a sup`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsaLink {
+    /// The specialized object-type.
+    pub sub: String,
+    /// The generalized object-type.
+    pub sup: String,
+}
+
+/// A complete EER schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EerSchema {
+    /// Entity-types (strong and weak).
+    pub entities: Vec<EntityType>,
+    /// Relationship-types.
+    pub relationships: Vec<RelationshipType>,
+    /// Specialization links.
+    pub isa: Vec<IsaLink>,
+    /// Groups of object-types whose key-based inclusion dependencies
+    /// form a *cycle*: over finite extensions their instance sets are
+    /// equal, so they denote the **same** application object split over
+    /// several relations. The paper's Translate sketch explicitly
+    /// leaves cyclic INDs untreated; we collapse each cycle into an
+    /// equivalence group instead of emitting circular is-a links.
+    pub equivalences: Vec<Vec<String>>,
+}
+
+impl EerSchema {
+    /// Finds an entity by name.
+    pub fn entity(&self, name: &str) -> Option<&EntityType> {
+        self.entities.iter().find(|e| e.name == name)
+    }
+
+    /// Finds a relationship by name.
+    pub fn relationship(&self, name: &str) -> Option<&RelationshipType> {
+        self.relationships.iter().find(|r| r.name == name)
+    }
+
+    /// Is there an is-a link `sub → sup`?
+    pub fn has_isa(&self, sub: &str, sup: &str) -> bool {
+        self.isa.iter().any(|l| l.sub == sub && l.sup == sup)
+    }
+
+    /// Renders a deterministic text outline (used by golden tests and
+    /// the report binary).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let mut entities = self.entities.clone();
+        entities.sort_by(|a, b| a.name.cmp(&b.name));
+        for e in &entities {
+            let kind = if e.weak { "weak entity" } else { "entity" };
+            let _ = write!(s, "{} [{kind}] ({})", e.name, e.attrs.join(", "));
+            let _ = write!(s, " key({})", e.key.join(", "));
+            if !e.owners.is_empty() {
+                let _ = write!(s, " owned-by({})", e.owners.join(", "));
+            }
+            s.push('\n');
+        }
+        let mut rels = self.relationships.clone();
+        rels.sort_by(|a, b| a.name.cmp(&b.name));
+        for r in &rels {
+            let kind = match r.kind {
+                RelationshipKind::ManyToMany => "relationship",
+                RelationshipKind::Binary => "binary relationship",
+            };
+            let parts: Vec<String> = r
+                .participants
+                .iter()
+                .map(|p| format!("{}[{}]", p.object, p.via.join(", ")))
+                .collect();
+            let _ = write!(s, "{} [{kind}] <{}>", r.name, parts.join(" -- "));
+            if !r.attrs.is_empty() {
+                let _ = write!(s, " attrs({})", r.attrs.join(", "));
+            }
+            s.push('\n');
+        }
+        let mut isa = self.isa.clone();
+        isa.sort_by(|a, b| (&a.sub, &a.sup).cmp(&(&b.sub, &b.sup)));
+        for l in &isa {
+            let _ = writeln!(s, "{} is-a {}", l.sub, l.sup);
+        }
+        let mut eqs = self.equivalences.clone();
+        for group in &mut eqs {
+            group.sort();
+        }
+        eqs.sort();
+        for group in &eqs {
+            let _ = writeln!(s, "equivalent: {}", group.join(" = "));
+        }
+        s
+    }
+
+    /// Renders Graphviz DOT (rectangles for entities, double boxes for
+    /// weak entities, diamonds for relationships, `onormal`-tipped
+    /// edges for is-a).
+    pub fn render_dot(&self) -> String {
+        let mut s = String::from("digraph eer {\n  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n");
+        for e in &self.entities {
+            let shape = if e.weak {
+                "shape=box, peripheries=2"
+            } else {
+                "shape=box"
+            };
+            let _ = writeln!(
+                s,
+                "  \"{}\" [{shape}, label=\"{}\\n({})\"];",
+                e.name,
+                e.name,
+                e.attrs.join(", ")
+            );
+        }
+        for r in &self.relationships {
+            let label = if r.attrs.is_empty() {
+                r.name.clone()
+            } else {
+                format!("{}\\n({})", r.name, r.attrs.join(", "))
+            };
+            let _ = writeln!(s, "  \"{}\" [shape=diamond, label=\"{label}\"];", r.name);
+            for p in &r.participants {
+                let _ = writeln!(
+                    s,
+                    "  \"{}\" -> \"{}\" [dir=none, label=\"{}\"];",
+                    r.name,
+                    p.object,
+                    p.via.join(", ")
+                );
+            }
+        }
+        for l in &self.isa {
+            let _ = writeln!(
+                s,
+                "  \"{}\" -> \"{}\" [arrowhead=onormalonormal, label=\"is-a\"];",
+                l.sub, l.sup
+            );
+        }
+        for group in &self.equivalences {
+            for pair in group.windows(2) {
+                let _ = writeln!(
+                    s,
+                    "  \"{}\" -> \"{}\" [dir=both, style=dashed, label=\"=\"];",
+                    pair[0], pair[1]
+                );
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EerSchema {
+        EerSchema {
+            entities: vec![
+                EntityType {
+                    name: "Person".into(),
+                    attrs: vec!["id".into(), "name".into()],
+                    key: vec!["id".into()],
+                    weak: false,
+                    owners: vec![],
+                },
+                EntityType {
+                    name: "HEmployee".into(),
+                    attrs: vec!["no".into(), "date".into()],
+                    key: vec!["no".into(), "date".into()],
+                    weak: true,
+                    owners: vec!["Employee".into()],
+                },
+            ],
+            relationships: vec![RelationshipType {
+                name: "Assignment".into(),
+                participants: vec![
+                    Participant {
+                        object: "Employee".into(),
+                        via: vec!["emp".into()],
+                    },
+                    Participant {
+                        object: "Project".into(),
+                        via: vec!["proj".into()],
+                    },
+                ],
+                attrs: vec!["date".into()],
+                kind: RelationshipKind::ManyToMany,
+            }],
+            isa: vec![IsaLink {
+                sub: "Employee".into(),
+                sup: "Person".into(),
+            }],
+            equivalences: vec![],
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let s = sample();
+        assert!(s.entity("Person").is_some());
+        assert!(s.entity("Ghost").is_none());
+        assert!(s.relationship("Assignment").is_some());
+        assert!(s.has_isa("Employee", "Person"));
+        assert!(!s.has_isa("Person", "Employee"));
+    }
+
+    #[test]
+    fn text_rendering_is_deterministic_and_complete() {
+        let s = sample();
+        let text = s.render_text();
+        assert!(text.contains("HEmployee [weak entity]"));
+        assert!(text.contains("owned-by(Employee)"));
+        assert!(text.contains("Assignment [relationship]"));
+        assert!(text.contains("attrs(date)"));
+        assert!(text.contains("Employee is-a Person"));
+        // Deterministic: rendering twice is identical.
+        assert_eq!(text, s.render_text());
+    }
+
+    #[test]
+    fn dot_rendering_mentions_all_constructs() {
+        let dot = sample().render_dot();
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("arrowhead=onormalonormal"));
+        assert!(dot.starts_with("digraph eer {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

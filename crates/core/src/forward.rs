@@ -1,0 +1,404 @@
+//! Forward mapping: EER schema → relational schema.
+//!
+//! §3 of the paper recalls that real-life relational schemas are
+//! produced *from* conceptual models ("the dependencies that are
+//! directly derivable from the EER schemas are key constraints and
+//! referential integrity constraints", Markowitz–Shoshani), and its
+//! whole method assumes the legacy schema was designed that way. This
+//! module implements that design direction:
+//!
+//! * entity-type → relation keyed on its key attributes;
+//! * weak entity-type → relation keyed on (owner key + own key), with
+//!   a RIC to each owner;
+//! * relationship-type → relation keyed on the participant references,
+//!   with a RIC per participation;
+//! * is-a link → RIC from the specialized type's key to the general
+//!   type's key.
+//!
+//! Together with [`mod@crate::translate`] this closes the loop: the paper's
+//! Figure 1 mapped forward reproduces the restructured schema of §7
+//! (a golden test pins that round trip).
+
+use crate::eer::EerSchema;
+use dbre_relational::attr::AttrSet;
+use dbre_relational::database::Database;
+use dbre_relational::deps::{Ind, IndSide};
+use dbre_relational::schema::Relation;
+use dbre_relational::value::Domain;
+use dbre_relational::Attribute;
+
+/// Result of the forward mapping.
+#[derive(Debug)]
+pub struct ForwardMapped {
+    /// Schema + key constraints (extension empty — this is design, not
+    /// data).
+    pub db: Database,
+    /// The referential integrity constraints the design implies.
+    pub ric: Vec<Ind>,
+    /// Diagnostics (unknown participants, missing keys, …).
+    pub warnings: Vec<String>,
+}
+
+/// Maps an EER schema to a relational schema with keys and RICs.
+///
+/// Attribute domains are not part of the EER model here; every column
+/// is mapped as [`Domain::Text`] unless a caller refines it afterwards
+/// (domains are irrelevant to the structural round trip).
+pub fn forward_map(eer: &EerSchema) -> ForwardMapped {
+    let mut db = Database::new();
+    let mut ric = Vec::new();
+    let mut warnings = Vec::new();
+
+    // Entities first (relationships reference them).
+    for e in &eer.entities {
+        let attrs: Vec<Attribute> = e
+            .attrs
+            .iter()
+            .map(|a| Attribute::new(a.clone(), Domain::Text))
+            .collect();
+        match Relation::new(e.name.clone(), attrs) {
+            Ok(rel) => {
+                let id = match db.add_relation(rel) {
+                    Ok(id) => id,
+                    Err(err) => {
+                        warnings.push(format!("skipping entity {}: {err}", e.name));
+                        continue;
+                    }
+                };
+                let key_names: Vec<&str> = e.key.iter().map(String::as_str).collect();
+                match db.schema.relation(id).attr_set(&key_names) {
+                    Ok(key) if !key.is_empty() => db.constraints.add_key(id, key),
+                    _ => warnings.push(format!(
+                        "entity {} has no resolvable key; keyed on all attributes",
+                        e.name
+                    )),
+                }
+                if db.constraints.primary_key(id).is_none() {
+                    let all = db.schema.relation(id).all_attrs();
+                    db.constraints.add_key(id, all);
+                }
+            }
+            Err(err) => warnings.push(format!("skipping entity {}: {err}", e.name)),
+        }
+    }
+
+    // Weak-entity ownership and is-a links become RICs between already
+    // mapped relations.
+    for e in &eer.entities {
+        let Some(sub) = db.schema.rel_id(&e.name) else { continue };
+        for owner in &e.owners {
+            match link_by_key_prefix(&db, &e.name, owner) {
+                Ok(ind) => ric.push(ind),
+                Err(w) => warnings.push(w),
+            }
+        }
+        let _ = sub;
+    }
+    for l in &eer.isa {
+        match link_keys(&db, &l.sub, &l.sup) {
+            Ok(ind) => ric.push(ind),
+            Err(w) => warnings.push(w),
+        }
+    }
+    // Equivalence groups: mutual key-based inclusions.
+    for group in &eer.equivalences {
+        for pair in group.windows(2) {
+            if let Ok(ind) = link_keys(&db, &pair[0], &pair[1]) {
+                ric.push(ind);
+            }
+            if let Ok(ind) = link_keys(&db, &pair[1], &pair[0]) {
+                ric.push(ind);
+            }
+        }
+    }
+
+    // Relationship-types. A *binary* relationship derived from a plain
+    // foreign key maps back onto that FK: its first participant already
+    // holds the `via` columns, so only the RIC is emitted. Many-to-many
+    // relationship-types materialize as relations of their own.
+    for r in &eer.relationships {
+        if r.kind == crate::eer::RelationshipKind::Binary && r.participants.len() == 2 {
+            match binary_fk_ric(&db, r) {
+                Ok(ind) => ric.push(ind),
+                Err(w) => warnings.push(w),
+            }
+            continue;
+        }
+        let mut attrs: Vec<Attribute> = Vec::new();
+        let mut key_len = 0usize;
+        let mut participant_cols: Vec<(String, Vec<String>)> = Vec::new();
+        for p in &r.participants {
+            let cols: Vec<String> = p
+                .via
+                .iter()
+                .map(|v| {
+                    let mut name = v.clone();
+                    let mut k = 2;
+                    while attrs.iter().any(|a| a.name == name) {
+                        name = format!("{v}_{k}");
+                        k += 1;
+                    }
+                    name
+                })
+                .collect();
+            for c in &cols {
+                attrs.push(Attribute::new(c.clone(), Domain::Text));
+                key_len += 1;
+            }
+            participant_cols.push((p.object.clone(), cols));
+        }
+        for a in &r.attrs {
+            attrs.push(Attribute::new(a.clone(), Domain::Text));
+        }
+        let rel = match Relation::new(r.name.clone(), attrs) {
+            Ok(rel) => match db.add_relation(rel) {
+                Ok(id) => id,
+                Err(err) => {
+                    warnings.push(format!("skipping relationship {}: {err}", r.name));
+                    continue;
+                }
+            },
+            Err(err) => {
+                warnings.push(format!("skipping relationship {}: {err}", r.name));
+                continue;
+            }
+        };
+        db.constraints
+            .add_key(rel, AttrSet::from_indices(0..key_len as u16));
+
+        // One RIC per participation.
+        for (object, cols) in participant_cols {
+            let Some(target) = db.schema.rel_id(&object) else {
+                warnings.push(format!(
+                    "relationship {} references unknown object-type {object}",
+                    r.name
+                ));
+                continue;
+            };
+            let Some(target_key) = db.constraints.primary_key(target) else {
+                warnings.push(format!("participant {object} has no key"));
+                continue;
+            };
+            let target_attrs: Vec<_> = target_key.attrs.iter().collect();
+            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            let Ok(source_ids) = db.schema.relation(rel).attr_ids(&col_refs) else {
+                continue;
+            };
+            if source_ids.len() != target_attrs.len() {
+                warnings.push(format!(
+                    "participation {} -> {object}: arity mismatch ({} vs {})",
+                    r.name,
+                    source_ids.len(),
+                    target_attrs.len()
+                ));
+                continue;
+            }
+            ric.push(
+                Ind::new(
+                    IndSide::new(rel, source_ids),
+                    IndSide::new(target, target_attrs),
+                )
+                .expect("arity checked above"),
+            );
+        }
+    }
+
+    db.constraints.normalize();
+    ForwardMapped { db, ric, warnings }
+}
+
+/// A binary FK relationship: `participants[0].via ⊆ participants[1]`'s
+/// referenced columns (its `via`, which for a Translate-produced
+/// schema is the target's key).
+fn binary_fk_ric(db: &Database, r: &crate::eer::RelationshipType) -> Result<Ind, String> {
+    let source = &r.participants[0];
+    let target = &r.participants[1];
+    let s = db
+        .schema
+        .rel_id(&source.object)
+        .ok_or_else(|| format!("unknown object-type {}", source.object))?;
+    let t = db
+        .schema
+        .rel_id(&target.object)
+        .ok_or_else(|| format!("unknown object-type {}", target.object))?;
+    let s_cols: Vec<&str> = source.via.iter().map(String::as_str).collect();
+    let t_cols: Vec<&str> = target.via.iter().map(String::as_str).collect();
+    let s_ids = db
+        .schema
+        .relation(s)
+        .attr_ids(&s_cols)
+        .map_err(|e| format!("binary relationship {}: {e}", r.name))?;
+    let t_ids = db
+        .schema
+        .relation(t)
+        .attr_ids(&t_cols)
+        .map_err(|e| format!("binary relationship {}: {e}", r.name))?;
+    if s_ids.len() != t_ids.len() {
+        return Err(format!("binary relationship {}: arity mismatch", r.name));
+    }
+    Ok(Ind::new(IndSide::new(s, s_ids), IndSide::new(t, t_ids)).expect("arity checked"))
+}
+
+/// `sub`'s key ⊆ `sup`'s key (is-a / equivalence realization).
+fn link_keys(db: &Database, sub: &str, sup: &str) -> Result<Ind, String> {
+    let s = db
+        .schema
+        .rel_id(sub)
+        .ok_or_else(|| format!("unknown object-type {sub}"))?;
+    let p = db
+        .schema
+        .rel_id(sup)
+        .ok_or_else(|| format!("unknown object-type {sup}"))?;
+    let sk = db
+        .constraints
+        .primary_key(s)
+        .ok_or_else(|| format!("{sub} has no key"))?
+        .attrs
+        .iter()
+        .collect::<Vec<_>>();
+    let pk = db
+        .constraints
+        .primary_key(p)
+        .ok_or_else(|| format!("{sup} has no key"))?
+        .attrs
+        .iter()
+        .collect::<Vec<_>>();
+    if sk.len() != pk.len() {
+        return Err(format!(
+            "is-a {sub} -> {sup}: key arities differ ({} vs {})",
+            sk.len(),
+            pk.len()
+        ));
+    }
+    Ok(Ind::new(IndSide::new(s, sk), IndSide::new(p, pk)).expect("arity checked"))
+}
+
+/// Weak entity `sub` references its owner through the prefix of its
+/// key that matches the owner's key arity.
+fn link_by_key_prefix(db: &Database, sub: &str, owner: &str) -> Result<Ind, String> {
+    let s = db
+        .schema
+        .rel_id(sub)
+        .ok_or_else(|| format!("unknown weak entity {sub}"))?;
+    let o = db
+        .schema
+        .rel_id(owner)
+        .ok_or_else(|| format!("unknown owner {owner}"))?;
+    let sk: Vec<_> = db
+        .constraints
+        .primary_key(s)
+        .ok_or_else(|| format!("{sub} has no key"))?
+        .attrs
+        .iter()
+        .collect();
+    let ok: Vec<_> = db
+        .constraints
+        .primary_key(o)
+        .ok_or_else(|| format!("{owner} has no key"))?
+        .attrs
+        .iter()
+        .collect();
+    if ok.len() > sk.len() {
+        return Err(format!(
+            "weak entity {sub}: owner key wider than its own key"
+        ));
+    }
+    Ok(Ind::new(
+        IndSide::new(s, sk[..ok.len()].to_vec()),
+        IndSide::new(o, ok),
+    )
+    .expect("arity matched by slicing"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::run_paper_example;
+    use crate::render::{render_inds, render_schema};
+    use crate::translate::translate;
+
+    #[test]
+    fn figure_1_forward_maps_back_to_the_restructured_schema() {
+        let result = run_paper_example();
+        let mapped = forward_map(&result.eer);
+        assert!(mapped.warnings.is_empty(), "{:?}", mapped.warnings);
+        // Same relations with the same attribute sets and keys, modulo
+        // domains and relation order. Compare rendered schemas as sets
+        // of lines (the renderer marks keys/not-null; the forward map
+        // has no not-null info, so strip `!`).
+        let original: std::collections::BTreeSet<String> = render_schema(&result.db)
+            .lines()
+            .map(|l| l.replace('!', ""))
+            .collect();
+        let roundtrip: std::collections::BTreeSet<String> = render_schema(&mapped.db)
+            .lines()
+            .map(|l| l.replace('!', ""))
+            .collect();
+        assert_eq!(original, roundtrip);
+        // Same RIC set.
+        assert_eq!(
+            render_inds(&result.db, &result.restructured.ric),
+            render_inds(&mapped.db, &mapped.ric)
+        );
+    }
+
+    #[test]
+    fn forward_then_translate_is_stable() {
+        // translate(forward(eer)) must reproduce eer (structure-wise).
+        let result = run_paper_example();
+        let mapped = forward_map(&result.eer);
+        let again = translate(&mapped.db, &mapped.ric);
+        assert_eq!(result.eer.render_text(), again.render_text());
+    }
+
+    #[test]
+    fn unknown_participant_warns() {
+        use crate::eer::{Participant, RelationshipKind, RelationshipType};
+        let eer = EerSchema {
+            relationships: vec![RelationshipType {
+                name: "R".into(),
+                participants: vec![Participant {
+                    object: "Ghost".into(),
+                    via: vec!["gid".into()],
+                }],
+                attrs: vec![],
+                kind: RelationshipKind::ManyToMany,
+            }],
+            ..Default::default()
+        };
+        let mapped = forward_map(&eer);
+        assert!(!mapped.warnings.is_empty());
+        assert!(mapped.ric.is_empty());
+    }
+
+    #[test]
+    fn weak_entity_gets_owner_ric() {
+        use crate::eer::EntityType;
+        let eer = EerSchema {
+            entities: vec![
+                EntityType {
+                    name: "Owner".into(),
+                    attrs: vec!["id".into(), "v".into()],
+                    key: vec!["id".into()],
+                    weak: false,
+                    owners: vec![],
+                },
+                EntityType {
+                    name: "Weak".into(),
+                    attrs: vec!["id".into(), "at".into(), "w".into()],
+                    key: vec!["id".into(), "at".into()],
+                    weak: true,
+                    owners: vec!["Owner".into()],
+                },
+            ],
+            ..Default::default()
+        };
+        let mapped = forward_map(&eer);
+        assert!(mapped.warnings.is_empty(), "{:?}", mapped.warnings);
+        assert_eq!(mapped.ric.len(), 1);
+        assert_eq!(
+            mapped.ric[0].render(&mapped.db.schema),
+            "Weak[id] << Owner[id]"
+        );
+    }
+}

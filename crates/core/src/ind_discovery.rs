@@ -1,0 +1,418 @@
+//! The IND-Discovery algorithm (paper §6.1).
+//!
+//! For each equi-join `q = R_k[A_k] ⋈ R_l[A_l]` of `Q`, the extension
+//! is queried for `N_k = ‖r_k[A_k]‖`, `N_l = ‖r_l[A_l]‖` and
+//! `N_kl = ‖r_k[A_k] ⋈ r_l[A_l]‖`, then:
+//!
+//! * `N_kl = 0` — (i) nothing elicited (possible data-integrity issue);
+//! * `N_kl = N_k` or `N_kl = N_l` — (ii)/(iii) the included side(s)
+//!   yield inclusion dependencies;
+//! * otherwise a *non-empty intersection* (NEI): the expert user either
+//!   (iv) conceptualizes it as a new relation `R_p(A_p)` with
+//!   `R_p ≪ R_k` and `R_p ≪ R_l`, (v)/(vi) forces one direction, or
+//!   (vii) ignores it.
+//!
+//! Conceptualized relations are materialized with the intersection as
+//! extension, keyed on all their attributes (they are identifier sets),
+//! and recorded in `S`.
+
+use crate::oracle::{
+    DecisionRecord, NeiContext, NeiDecision, NewRelationReason, NamingContext, Oracle,
+};
+use dbre_relational::attr::{AttrId, AttrSet};
+use dbre_relational::counting::{join_stats, EquiJoin, JoinStats};
+use dbre_relational::database::Database;
+use dbre_relational::deps::{Ind, IndSide};
+use dbre_relational::schema::{RelId, Relation};
+use dbre_relational::table::Table;
+use dbre_relational::value::Value;
+use dbre_relational::Attribute;
+
+/// Result of IND-Discovery.
+#[derive(Debug, Clone, Default)]
+pub struct IndDiscovery {
+    /// The elicited inclusion dependencies `IND`.
+    pub inds: Vec<Ind>,
+    /// New relations `S` conceptualized from NEIs.
+    pub new_relations: Vec<RelId>,
+    /// Per-join cardinalities, for reporting.
+    pub join_stats: Vec<(EquiJoin, JoinStats)>,
+    /// Audit trail of expert decisions.
+    pub log: Vec<DecisionRecord>,
+    /// Joins where the intersection was empty (case (i)) — flagged as
+    /// potential data-integrity problems.
+    pub empty_intersections: Vec<EquiJoin>,
+}
+
+impl IndDiscovery {
+    fn add_ind(&mut self, ind: Ind) {
+        if !self.inds.contains(&ind) {
+            self.inds.push(ind);
+        }
+    }
+}
+
+/// Runs IND-Discovery over the set `Q`. Conceptualized NEI relations
+/// are added to `db` (schema, extension, key constraint).
+pub fn ind_discovery(
+    db: &mut Database,
+    q: &[EquiJoin],
+    oracle: &mut dyn Oracle,
+) -> IndDiscovery {
+    let mut out = IndDiscovery::default();
+    for join in q {
+        let stats = join_stats(db, join);
+        out.join_stats.push((join.clone(), stats));
+        let rendered = join.render(&db.schema);
+
+        if stats.empty_intersection() {
+            // (i) — IND left unchanged.
+            out.empty_intersections.push(join.clone());
+            out.log.push(DecisionRecord::new(
+                "IND-Discovery",
+                rendered,
+                "empty intersection: nothing elicited (data integrity?)",
+            ));
+            continue;
+        }
+
+        if stats.n_join == stats.n_left || stats.n_join == stats.n_right {
+            // (ii)/(iii) — exactly the paper's two independent tests.
+            if stats.n_left <= stats.n_right {
+                out.add_ind(Ind::new(join.left.clone(), join.right.clone()).expect(
+                    "equi-join sides have equal arity by construction",
+                ));
+                out.log.push(DecisionRecord::new(
+                    "IND-Discovery",
+                    rendered.clone(),
+                    "inclusion elicited: left << right",
+                ));
+            }
+            if stats.n_right <= stats.n_left {
+                out.add_ind(Ind::new(join.right.clone(), join.left.clone()).expect(
+                    "equi-join sides have equal arity by construction",
+                ));
+                out.log.push(DecisionRecord::new(
+                    "IND-Discovery",
+                    rendered,
+                    "inclusion elicited: right << left",
+                ));
+            }
+            continue;
+        }
+
+        // NEI — expert user decides.
+        let decision = oracle.resolve_nei(&NeiContext {
+            db,
+            join,
+            stats,
+        });
+        out.log.push(DecisionRecord::new(
+            "IND-Discovery/NEI",
+            rendered.clone(),
+            format!("{decision:?} (N_k={}, N_l={}, N_kl={})", stats.n_left, stats.n_right, stats.n_join),
+        ));
+        match decision {
+            NeiDecision::Conceptualize => {
+                let rel_p = conceptualize_intersection(db, join, oracle);
+                out.new_relations.push(rel_p);
+                let arity = join.left.attrs.len() as u16;
+                let p_attrs: Vec<AttrId> = (0..arity).map(AttrId).collect();
+                out.add_ind(
+                    Ind::new(
+                        IndSide::new(rel_p, p_attrs.clone()),
+                        join.left.clone(),
+                    )
+                    .expect("intersection relation mirrors the join arity"),
+                );
+                out.add_ind(
+                    Ind::new(IndSide::new(rel_p, p_attrs), join.right.clone())
+                        .expect("intersection relation mirrors the join arity"),
+                );
+            }
+            NeiDecision::ForceLeftInRight => {
+                out.add_ind(
+                    Ind::new(join.left.clone(), join.right.clone())
+                        .expect("equi-join sides have equal arity"),
+                );
+            }
+            NeiDecision::ForceRightInLeft => {
+                out.add_ind(
+                    Ind::new(join.right.clone(), join.left.clone())
+                        .expect("equi-join sides have equal arity"),
+                );
+            }
+            NeiDecision::Ignore => {}
+        }
+    }
+    out
+}
+
+/// Materializes `R_p(A_p)` for a conceptualized NEI: attributes named
+/// after the left side, extension = the value intersection, key = the
+/// whole attribute set.
+fn conceptualize_intersection(
+    db: &mut Database,
+    join: &EquiJoin,
+    oracle: &mut dyn Oracle,
+) -> RelId {
+    let left_rel = db.schema.relation(join.left.rel);
+    let right_rel = db.schema.relation(join.right.rel);
+    let attr_names: Vec<String> = join
+        .left
+        .attrs
+        .iter()
+        .map(|a| left_rel.attr_name(*a).to_string())
+        .collect();
+    let domains: Vec<_> = join
+        .left
+        .attrs
+        .iter()
+        .map(|a| left_rel.attribute(*a).domain)
+        .collect();
+    let default_name = unique_name(
+        db,
+        &format!(
+            "{}_{}_{}",
+            left_rel.name,
+            right_rel.name,
+            attr_names.join("_")
+        ),
+    );
+    let source = format!("nei:{}", join.render(&db.schema));
+    let name = oracle.name_new_relation(&NamingContext {
+        db,
+        reason: NewRelationReason::Intersection,
+        default_name,
+        source,
+    });
+    let name = unique_name(db, &name);
+
+    // Extension: the intersection of both distinct projections, in
+    // deterministic (sorted) order.
+    let left_vals = db.table(join.left.rel).distinct_projection(&join.left.attrs);
+    let right_vals = db
+        .table(join.right.rel)
+        .distinct_projection(&join.right.attrs);
+    let mut rows: Vec<Vec<Value>> = left_vals
+        .into_iter()
+        .filter(|v| right_vals.contains(v))
+        .collect();
+    rows.sort();
+    let mut table = Table::new(attr_names.len());
+    for row in rows {
+        table.push_row(row).expect("arity fixed by construction");
+    }
+
+    let attrs: Vec<Attribute> = attr_names
+        .iter()
+        .zip(domains)
+        .map(|(n, d)| Attribute::new(n.clone(), d))
+        .collect();
+    let rel_p = db
+        .add_relation_with_table(
+            Relation::new(name, attrs).expect("attribute names deduplicated by source relation"),
+            table,
+        )
+        .expect("name uniqueness enforced by unique_name");
+    // Identifier sets are keys of their conceptualized relation.
+    db.constraints.add_key(
+        rel_p,
+        AttrSet::from_indices(0..attr_names.len() as u16),
+    );
+    db.constraints.normalize();
+    rel_p
+}
+
+/// Returns `base` or `base_2`, `base_3`, … whichever is free.
+pub(crate) fn unique_name(db: &Database, base: &str) -> String {
+    if db.schema.rel_id(base).is_none() {
+        return base.to_string();
+    }
+    let mut i = 2;
+    loop {
+        let cand = format!("{base}_{i}");
+        if db.schema.rel_id(&cand).is_none() {
+            return cand;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{AutoOracle, DenyOracle, ScriptedOracle};
+    use dbre_relational::value::Domain;
+
+    /// Two relations: L.x ⊆ {1..4}, R.y = {3..8}; intersection {3,4}.
+    fn nei_db() -> (Database, EquiJoin) {
+        let mut db = Database::new();
+        let l = db
+            .add_relation(Relation::of("L", &[("x", Domain::Int)]))
+            .unwrap();
+        let r = db
+            .add_relation(Relation::of("R", &[("y", Domain::Int)]))
+            .unwrap();
+        for v in 1..=4 {
+            db.insert(l, vec![Value::Int(v)]).unwrap();
+        }
+        for v in 3..=8 {
+            db.insert(r, vec![Value::Int(v)]).unwrap();
+        }
+        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        (db, join)
+    }
+
+    #[test]
+    fn inclusion_case_elicits_ind() {
+        let mut db = Database::new();
+        let l = db
+            .add_relation(Relation::of("L", &[("x", Domain::Int)]))
+            .unwrap();
+        let r = db
+            .add_relation(Relation::of("R", &[("y", Domain::Int)]))
+            .unwrap();
+        for v in 1..=3 {
+            db.insert(l, vec![Value::Int(v)]).unwrap();
+        }
+        for v in 1..=5 {
+            db.insert(r, vec![Value::Int(v)]).unwrap();
+        }
+        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let out = ind_discovery(&mut db, &[join], &mut DenyOracle);
+        assert_eq!(out.inds.len(), 1);
+        assert_eq!(out.inds[0].render(&db.schema), "L[x] << R[y]");
+        assert!(out.new_relations.is_empty());
+    }
+
+    #[test]
+    fn equal_value_sets_elicit_both_directions() {
+        let mut db = Database::new();
+        let l = db
+            .add_relation(Relation::of("L", &[("x", Domain::Int)]))
+            .unwrap();
+        let r = db
+            .add_relation(Relation::of("R", &[("y", Domain::Int)]))
+            .unwrap();
+        for v in [1, 2] {
+            db.insert(l, vec![Value::Int(v)]).unwrap();
+            db.insert(r, vec![Value::Int(v)]).unwrap();
+        }
+        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let out = ind_discovery(&mut db, &[join], &mut DenyOracle);
+        assert_eq!(out.inds.len(), 2);
+    }
+
+    #[test]
+    fn empty_intersection_flagged() {
+        let mut db = Database::new();
+        let l = db
+            .add_relation(Relation::of("L", &[("x", Domain::Int)]))
+            .unwrap();
+        let r = db
+            .add_relation(Relation::of("R", &[("y", Domain::Int)]))
+            .unwrap();
+        db.insert(l, vec![Value::Int(1)]).unwrap();
+        db.insert(r, vec![Value::Int(2)]).unwrap();
+        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let out = ind_discovery(&mut db, &[join], &mut DenyOracle);
+        assert!(out.inds.is_empty());
+        assert_eq!(out.empty_intersections.len(), 1);
+    }
+
+    #[test]
+    fn nei_ignored_by_deny_oracle() {
+        let (mut db, join) = nei_db();
+        let out = ind_discovery(&mut db, &[join], &mut DenyOracle);
+        assert!(out.inds.is_empty());
+        assert!(out.new_relations.is_empty());
+        assert_eq!(out.log.len(), 1);
+    }
+
+    #[test]
+    fn nei_conceptualization_creates_relation_with_intersection() {
+        let (mut db, join) = nei_db();
+        let mut oracle = ScriptedOracle::new()
+            .nei("L[x] |><| R[y]", NeiDecision::Conceptualize)
+            .name("nei:L[x] |><| R[y]", "Shared");
+        let out = ind_discovery(&mut db, &[join], &mut oracle);
+        assert_eq!(out.new_relations.len(), 1);
+        let shared = db.rel("Shared").unwrap();
+        let t = db.table(shared);
+        assert_eq!(t.len(), 2); // {3, 4}
+        assert_eq!(t.cell(0, AttrId(0)), &Value::Int(3));
+        // Both INDs added and hold.
+        assert_eq!(out.inds.len(), 2);
+        for ind in &out.inds {
+            assert!(db.ind_holds(ind), "conceptualized IND must hold: {ind}");
+        }
+        // Keyed on its whole attribute set.
+        assert!(db
+            .constraints
+            .is_key(shared, &AttrSet::from_indices([0u16])));
+    }
+
+    #[test]
+    fn nei_forced_directions() {
+        let (mut db, join) = nei_db();
+        let mut oracle =
+            ScriptedOracle::new().nei("L[x] |><| R[y]", NeiDecision::ForceLeftInRight);
+        let out = ind_discovery(&mut db, std::slice::from_ref(&join), &mut oracle);
+        assert_eq!(out.inds[0].render(&db.schema), "L[x] << R[y]");
+        // Forced INDs need not hold in the (dirty) extension.
+        assert!(!db.ind_holds(&out.inds[0]));
+
+        let (mut db, join) = nei_db();
+        let mut oracle =
+            ScriptedOracle::new().nei("L[x] |><| R[y]", NeiDecision::ForceRightInLeft);
+        let out = ind_discovery(&mut db, &[join], &mut oracle);
+        assert_eq!(out.inds[0].render(&db.schema), "R[y] << L[x]");
+    }
+
+    #[test]
+    fn auto_oracle_conceptualizes_mid_overlap() {
+        // |L∩R| = 2 of min 4 → ratio 0.5 → conceptualize at default τ.
+        let (mut db, join) = nei_db();
+        let out = ind_discovery(&mut db, &[join], &mut AutoOracle::default());
+        assert_eq!(out.new_relations.len(), 1);
+    }
+
+    #[test]
+    fn elicited_inds_hold_in_extension() {
+        let (mut db, join) = nei_db();
+        let mut oracle = ScriptedOracle::new().nei("L[x] |><| R[y]", NeiDecision::Conceptualize);
+        let out = ind_discovery(&mut db, &[join], &mut oracle);
+        for ind in &out.inds {
+            assert!(db.ind_holds(ind));
+        }
+    }
+
+    #[test]
+    fn name_collisions_resolved() {
+        let (mut db, join) = nei_db();
+        // Script the new relation to clash with an existing name.
+        let mut oracle = ScriptedOracle::new()
+            .nei("L[x] |><| R[y]", NeiDecision::Conceptualize)
+            .name("nei:L[x] |><| R[y]", "L");
+        let out = ind_discovery(&mut db, &[join], &mut oracle);
+        let created = out.new_relations[0];
+        assert_eq!(db.schema.relation(created).name, "L_2");
+    }
+
+    #[test]
+    fn duplicate_joins_do_not_duplicate_inds() {
+        let mut db = Database::new();
+        let l = db
+            .add_relation(Relation::of("L", &[("x", Domain::Int)]))
+            .unwrap();
+        let r = db
+            .add_relation(Relation::of("R", &[("y", Domain::Int)]))
+            .unwrap();
+        db.insert(l, vec![Value::Int(1)]).unwrap();
+        db.insert(r, vec![Value::Int(1)]).unwrap();
+        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let out = ind_discovery(&mut db, &[join.clone(), join], &mut DenyOracle);
+        assert_eq!(out.inds.len(), 2); // both directions, once each
+    }
+}

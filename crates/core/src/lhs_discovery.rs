@@ -1,0 +1,188 @@
+//! The LHS-Discovery algorithm (paper §6.2.1).
+//!
+//! Scans the elicited inclusion dependencies for *non-key* attributes:
+//! those are candidate identifiers of objects that the denormalized
+//! schema never conceptualized as relations.
+//!
+//! * When a relation of `S` (a conceptualized intersection) is on the
+//!   left-hand side and the right-hand side is not a key, the RHS
+//!   attributes join the hidden-object set `H` — the expert user
+//!   already committed to conceptualizing a subset of their values.
+//! * Otherwise, every non-key side of the IND joins `LHS`, the set of
+//!   candidate left-hand sides for FD elicitation.
+
+use dbre_relational::database::Database;
+use dbre_relational::deps::Ind;
+use dbre_relational::schema::{QualAttrs, RelId};
+
+/// Result of LHS-Discovery.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LhsDiscovery {
+    /// Candidate left-hand sides `LHS` (deterministic order, no
+    /// duplicates).
+    pub lhs: Vec<QualAttrs>,
+    /// Hidden objects `H`.
+    pub hidden: Vec<QualAttrs>,
+}
+
+impl LhsDiscovery {
+    fn add_lhs(&mut self, q: QualAttrs) {
+        if !self.lhs.contains(&q) {
+            self.lhs.push(q);
+        }
+    }
+
+    fn add_hidden(&mut self, q: QualAttrs) {
+        if !self.hidden.contains(&q) {
+            self.hidden.push(q);
+        }
+    }
+}
+
+/// Runs LHS-Discovery over the IND set. `s_relations` identifies the
+/// relations created by IND-Discovery (the set `S`).
+pub fn lhs_discovery(db: &Database, inds: &[Ind], s_relations: &[RelId]) -> LhsDiscovery {
+    let mut out = LhsDiscovery::default();
+    for ind in inds {
+        let lhs_q = ind.lhs.qualified();
+        let rhs_q = ind.rhs.qualified();
+        if s_relations.contains(&ind.lhs.rel) {
+            // (i) — by construction the S relation is on the left; if
+            // the right-hand side is not a key, it must be
+            // conceptualized.
+            if !db.constraints.is_key(ind.rhs.rel, &rhs_q.attrs) {
+                out.add_hidden(rhs_q);
+            }
+        } else {
+            // (ii)/(iii) — non-key sides become candidate identifiers.
+            if !db.constraints.is_key(ind.lhs.rel, &lhs_q.attrs) {
+                out.add_lhs(lhs_q);
+            }
+            if !db.constraints.is_key(ind.rhs.rel, &rhs_q.attrs) {
+                out.add_lhs(rhs_q);
+            }
+        }
+    }
+    // An attribute set already destined to H need not be analysed as a
+    // plain LHS candidate twice; keep both sets disjoint with H taking
+    // precedence (matches the paper's RHS loop over `LHS ∪ H`).
+    out.lhs.retain(|q| !out.hidden.contains(q));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbre_relational::attr::{AttrId, AttrSet};
+    use dbre_relational::deps::IndSide;
+    use dbre_relational::schema::Relation;
+    use dbre_relational::value::Domain;
+
+    /// Person(id key), Emp(no), S0(v) conceptualized.
+    fn db() -> (Database, RelId, RelId, RelId) {
+        let mut db = Database::new();
+        let person = db
+            .add_relation(Relation::of("Person", &[("id", Domain::Int)]))
+            .unwrap();
+        let emp = db
+            .add_relation(Relation::of("Emp", &[("no", Domain::Int), ("dep", Domain::Text)]))
+            .unwrap();
+        let s0 = db
+            .add_relation(Relation::of("S0", &[("v", Domain::Int)]))
+            .unwrap();
+        db.constraints.add_key(person, AttrSet::from_indices([0u16]));
+        db.constraints.add_key(s0, AttrSet::from_indices([0u16]));
+        db.constraints.normalize();
+        (db, person, emp, s0)
+    }
+
+    #[test]
+    fn non_key_sides_become_lhs() {
+        let (db, person, emp, _) = db();
+        let ind = Ind::unary(emp, AttrId(0), person, AttrId(0));
+        let out = lhs_discovery(&db, &[ind], &[]);
+        assert_eq!(out.lhs.len(), 1);
+        assert_eq!(out.lhs[0].render(&db.schema), "Emp.{no}");
+        assert!(out.hidden.is_empty());
+    }
+
+    #[test]
+    fn key_rhs_not_added() {
+        let (db, person, emp, _) = db();
+        // Person.id is a key: only the left side is a candidate.
+        let ind = Ind::unary(emp, AttrId(0), person, AttrId(0));
+        let out = lhs_discovery(&db, &[ind], &[]);
+        assert!(out.lhs.iter().all(|q| q.rel != person));
+    }
+
+    #[test]
+    fn both_non_key_sides_added() {
+        let (db, _, emp, _) = db();
+        let mut db2 = db;
+        let other = db2
+            .add_relation(Relation::of("Other", &[("e", Domain::Int)]))
+            .unwrap();
+        let ind = Ind::unary(other, AttrId(0), emp, AttrId(0));
+        let out = lhs_discovery(&db2, &[ind], &[]);
+        assert_eq!(out.lhs.len(), 2);
+    }
+
+    #[test]
+    fn s_relation_lhs_routes_rhs_to_hidden() {
+        let (db, _, emp, s0) = db();
+        let ind = Ind::unary(s0, AttrId(0), emp, AttrId(0));
+        let out = lhs_discovery(&db, &[ind], &[s0]);
+        assert!(out.lhs.is_empty());
+        assert_eq!(out.hidden.len(), 1);
+        assert_eq!(out.hidden[0].render(&db.schema), "Emp.{no}");
+    }
+
+    #[test]
+    fn s_relation_with_key_rhs_adds_nothing() {
+        let (db, person, _, s0) = db();
+        let ind = Ind::unary(s0, AttrId(0), person, AttrId(0));
+        let out = lhs_discovery(&db, &[ind], &[s0]);
+        assert!(out.lhs.is_empty());
+        assert!(out.hidden.is_empty());
+    }
+
+    #[test]
+    fn hidden_takes_precedence_over_lhs() {
+        let (db, person, emp, s0) = db();
+        // Emp.no appears both via an S-IND (→ H) and a plain IND (→ LHS).
+        let via_s = Ind::unary(s0, AttrId(0), emp, AttrId(0));
+        let plain = Ind::unary(emp, AttrId(0), person, AttrId(0));
+        let out = lhs_discovery(&db, &[plain, via_s], &[s0]);
+        assert_eq!(out.hidden.len(), 1);
+        assert!(out.lhs.is_empty(), "Emp.no must not appear in both sets");
+    }
+
+    #[test]
+    fn composite_sides_compared_as_sets_against_keys() {
+        let mut db = Database::new();
+        let a = db
+            .add_relation(Relation::of(
+                "A",
+                &[("x", Domain::Int), ("y", Domain::Int)],
+            ))
+            .unwrap();
+        let b = db
+            .add_relation(Relation::of(
+                "B",
+                &[("u", Domain::Int), ("v", Domain::Int)],
+            ))
+            .unwrap();
+        db.constraints.add_key(b, AttrSet::from_indices([0u16, 1u16]));
+        db.constraints.normalize();
+        // A[y, x] << B[v, u]: rhs set {u, v} IS the key even though the
+        // positional order differs.
+        let ind = Ind::new(
+            IndSide::new(a, vec![AttrId(1), AttrId(0)]),
+            IndSide::new(b, vec![AttrId(1), AttrId(0)]),
+        )
+        .unwrap();
+        let out = lhs_discovery(&db, &[ind], &[]);
+        assert_eq!(out.lhs.len(), 1);
+        assert_eq!(out.lhs[0].rel, a);
+    }
+}

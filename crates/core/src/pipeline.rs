@@ -1,0 +1,304 @@
+//! End-to-end reverse-engineering pipeline.
+//!
+//! Chains the paper's method over a legacy database:
+//!
+//! 1. derive `K` and `N` from the data dictionary (already inside the
+//!    [`Database`] when loaded through `dbre_sql::Catalog`);
+//! 2. extract `Q` from application programs (`dbre_extract`) — or take
+//!    a prepared `Q`;
+//! 3. IND-Discovery (§6.1);
+//! 4. LHS-Discovery (§6.2.1);
+//! 5. RHS-Discovery (§6.2.2);
+//! 6. Restruct (§7);
+//! 7. Translate (§7) into an EER schema.
+//!
+//! Every expert interaction is recorded in one merged audit log.
+
+use crate::eer::EerSchema;
+use crate::ind_discovery::{ind_discovery, IndDiscovery};
+use crate::lhs_discovery::{lhs_discovery, LhsDiscovery};
+use crate::oracle::{DecisionRecord, Oracle};
+use crate::restruct::{restruct, Restructured};
+use crate::rhs_discovery::{rhs_discovery, RhsDiscovery, RhsOptions};
+use crate::translate::translate;
+use dbre_extract::{extract_programs, ExtractConfig, ProgramSource};
+use dbre_relational::counting::EquiJoin;
+use dbre_relational::database::Database;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOptions {
+    /// Equi-join extraction options.
+    pub extract: ExtractConfig,
+    /// RHS-Discovery pruning options.
+    pub rhs: RhsOptions,
+    /// Infer candidate keys from the extension for relations whose
+    /// dictionary declares none (pre-`UNIQUE` DBMSs — an extension
+    /// beyond the paper's §4 assumption that `K` is always available).
+    /// The inferred key's width is bounded to 3 columns.
+    pub infer_missing_keys: bool,
+}
+
+/// Everything the pipeline produced, stage by stage.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// The set `Q` that drove IND-Discovery.
+    pub q: Vec<EquiJoin>,
+    /// Stage 3 output.
+    pub ind: IndDiscovery,
+    /// Stage 4 output.
+    pub lhs: LhsDiscovery,
+    /// Stage 5 output.
+    pub rhs: RhsDiscovery,
+    /// Stage 6 output.
+    pub restructured: Restructured,
+    /// Stage 7 output.
+    pub eer: EerSchema,
+    /// The database after restructuring (3NF schema + extension).
+    pub db: Database,
+    /// Snapshot taken *before* Restruct (after IND-Discovery added the
+    /// `S` relations): the schema the stage-3/4/5 outputs reference.
+    /// Render `ind`, `lhs` and `rhs` against this one — Restruct
+    /// rewrites attribute ids.
+    pub db_before: Database,
+    /// Merged audit log across stages.
+    pub log: Vec<DecisionRecord>,
+    /// Extraction warnings (stage 2), empty when `Q` was supplied.
+    pub warnings: Vec<String>,
+    /// Provenance of each element of `Q` (program name, statement
+    /// index), parallel-keyed by canonical join; empty when `Q` was
+    /// supplied directly. This is the paper's promise that the expert
+    /// can trace every presumption back to the code exhibiting it.
+    pub provenance: Vec<(EquiJoin, Vec<dbre_extract::Provenance>)>,
+}
+
+impl PipelineResult {
+    /// The programs that exhibited `join` (empty when unknown).
+    pub fn evidence_for(&self, join: &EquiJoin) -> Vec<&str> {
+        let canonical = join.canonical();
+        self.provenance
+            .iter()
+            .find(|(j, _)| *j == canonical)
+            .map(|(_, ps)| ps.iter().map(|p| p.program.as_str()).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Runs the pipeline from application programs: extracts `Q`, then
+/// calls [`run_with_q`].
+///
+/// `db` is consumed: the returned [`PipelineResult::db`] is the
+/// restructured database.
+pub fn run_with_programs(
+    db: Database,
+    programs: &[ProgramSource],
+    oracle: &mut dyn Oracle,
+    options: &PipelineOptions,
+) -> PipelineResult {
+    let extraction = extract_programs(&db.schema, programs, &options.extract);
+    let mut result = run_with_q(db, &extraction.q(), oracle, options);
+    result.warnings = extraction.warnings;
+    result.provenance = extraction
+        .joins
+        .into_iter()
+        .map(|j| (j.join, j.provenance))
+        .collect();
+    result
+}
+
+/// Runs the pipeline from a prepared set `Q`.
+pub fn run_with_q(
+    mut db: Database,
+    q: &[EquiJoin],
+    oracle: &mut dyn Oracle,
+    options: &PipelineOptions,
+) -> PipelineResult {
+    let mut log = Vec::new();
+    if options.infer_missing_keys {
+        for (rel, key) in dbre_mine::infer_missing_keys(&mut db, Some(3)) {
+            let relation = db.schema.relation(rel);
+            log.push(DecisionRecord::new(
+                "Key inference",
+                relation.name.clone(),
+                format!("inferred key {{{}}}", relation.render_set(&key)),
+            ));
+        }
+    }
+    let ind = ind_discovery(&mut db, q, oracle);
+    let lhs = lhs_discovery(&db, &ind.inds, &ind.new_relations);
+    let rhs = rhs_discovery(&db, &lhs, oracle, &options.rhs);
+    let db_before = db.clone();
+    let restructured = restruct(&mut db, &rhs.fds, &rhs.hidden, &ind.inds, oracle);
+    let eer = translate(&db, &restructured.ric);
+
+    log.extend(ind.log.iter().cloned());
+    log.extend(rhs.log.iter().cloned());
+    log.extend(restructured.log.iter().cloned());
+
+    PipelineResult {
+        q: q.to_vec(),
+        ind,
+        lhs,
+        rhs,
+        restructured,
+        eer,
+        db,
+        db_before,
+        log,
+        warnings: Vec::new(),
+        provenance: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::AutoOracle;
+    use dbre_relational::normal_forms::{analyze, NormalForm};
+    use dbre_sql::Catalog;
+
+    /// A miniature legacy system: customers embedded in orders.
+    fn legacy() -> (Database, Vec<ProgramSource>) {
+        let mut cat = Catalog::new();
+        cat.load_script(
+            "CREATE TABLE Customer (cid INT UNIQUE, cname VARCHAR(30));
+             CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30), amount INT);
+             INSERT INTO Customer VALUES (1, 'ann'), (2, 'bob'), (3, 'cid');
+             INSERT INTO Orders VALUES (10, 1, 'ann', 5), (11, 1, 'ann', 7), (12, 2, 'bob', 3);",
+        )
+        .unwrap();
+        let programs = vec![ProgramSource::sql(
+            "report",
+            "SELECT cname FROM Orders o, Customer c WHERE o.cust = c.cid;",
+        )];
+        (cat.into_database(), programs)
+    }
+
+    #[test]
+    fn end_to_end_produces_3nf_and_eer() {
+        let (db, programs) = legacy();
+        let mut oracle = AutoOracle::default();
+        let result = run_with_programs(
+            db,
+            &programs,
+            &mut oracle,
+            &PipelineOptions::default(),
+        );
+        // Q extracted.
+        assert_eq!(result.q.len(), 1);
+        // Orders[cust] << Customer[cid] elicited.
+        assert_eq!(result.ind.inds.len(), 1);
+        // Orders.cust is a candidate LHS; cust -> cname discovered.
+        // (Stage outputs render against the pre-restruct snapshot.)
+        assert_eq!(result.rhs.fds.len(), 1);
+        assert_eq!(
+            result.rhs.fds[0].render(&result.db_before.schema),
+            "Orders: cust -> cname"
+        );
+        // Restructured: Orders lost cname.
+        let orders = result.db.rel("Orders").unwrap();
+        assert_eq!(result.db.schema.relation(orders).arity(), 3);
+        // Every relation of the result is in 3NF w.r.t. the re-homed FDs.
+        for (rel, relation) in result.db.schema.iter() {
+            let fds: Vec<_> = result
+                .restructured
+                .fds
+                .iter()
+                .filter(|f| f.rel == rel)
+                .cloned()
+                .collect();
+            let report = analyze(rel, &relation.all_attrs(), &fds);
+            assert!(report.form >= NormalForm::Third, "{} not 3NF", relation.name);
+        }
+        // EER produced with a binary relationship Orders–<new rel>.
+        assert!(!result.eer.entities.is_empty());
+        assert!(!result.restructured.ric.is_empty());
+        // All RIC inclusions hold in the restructured extension.
+        for ind in &result.restructured.ric {
+            assert!(result.db.ind_holds(ind));
+        }
+    }
+
+    #[test]
+    fn pipeline_with_explicit_q_matches_programs_path() {
+        let (db, programs) = legacy();
+        let extraction = dbre_extract::extract_programs(
+            &db.schema,
+            &programs,
+            &ExtractConfig::default(),
+        );
+        let mut o1 = AutoOracle::default();
+        let r1 = run_with_q(db, &extraction.q(), &mut o1, &PipelineOptions::default());
+
+        let (db2, programs2) = legacy();
+        let mut o2 = AutoOracle::default();
+        let r2 = run_with_programs(db2, &programs2, &mut o2, &PipelineOptions::default());
+        assert_eq!(r1.ind.inds, r2.ind.inds);
+        assert_eq!(r1.rhs.fds, r2.rhs.fds);
+        assert_eq!(r1.eer, r2.eer);
+    }
+
+    #[test]
+    fn provenance_traces_joins_to_programs() {
+        let (db, programs) = legacy();
+        let mut oracle = AutoOracle::default();
+        let result =
+            run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
+        assert_eq!(result.provenance.len(), 1);
+        let evidence = result.evidence_for(&result.q[0]);
+        assert_eq!(evidence, vec!["report"]);
+        // Unknown joins yield no evidence (and no panic).
+        let flipped = EquiJoin::new(result.q[0].right.clone(), result.q[0].left.clone());
+        assert_eq!(result.evidence_for(&flipped), vec!["report"]);
+    }
+
+    #[test]
+    fn key_inference_enables_undeclared_dictionaries() {
+        // Same legacy system, but the ancient DBMS never supported
+        // UNIQUE: without K the RHS pruning degrades and RIC detection
+        // (key-based right-hand sides) finds nothing. Inference
+        // restores both.
+        let mut cat = Catalog::new();
+        cat.load_script(
+            "CREATE TABLE Customer (cid INT, cname VARCHAR(30));
+             CREATE TABLE Orders (oid INT, cust INT, cname VARCHAR(30));
+             INSERT INTO Customer VALUES (1, 'ann'), (2, 'bob'), (3, 'cid');
+             INSERT INTO Orders VALUES (10, 1, 'ann'), (11, 1, 'ann'), (12, 2, 'bob');",
+        )
+        .unwrap();
+        let db = cat.into_database();
+        assert!(db.constraints.keys.is_empty());
+        let programs = vec![ProgramSource::sql(
+            "report",
+            "SELECT cname FROM Orders o, Customer c WHERE o.cust = c.cid;",
+        )];
+
+        let mut oracle = AutoOracle::default();
+        let opts = PipelineOptions {
+            infer_missing_keys: true,
+            ..Default::default()
+        };
+        let result = run_with_programs(db, &programs, &mut oracle, &opts);
+        // Keys inferred for both relations (cid, oid are unique).
+        assert!(result
+            .log
+            .iter()
+            .filter(|r| r.step == "Key inference")
+            .count()
+            >= 2);
+        // The FK became a referential integrity constraint again.
+        assert!(!result.restructured.ric.is_empty());
+        assert_eq!(result.rhs.fds.len(), 1);
+    }
+
+    #[test]
+    fn log_merges_all_stages() {
+        let (db, programs) = legacy();
+        let mut oracle = AutoOracle::default();
+        let result =
+            run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
+        // At least the IND elicitation and the FD split naming appear.
+        assert!(result.log.iter().any(|r| r.step.starts_with("IND-Discovery")));
+        assert!(result.log.iter().any(|r| r.step.starts_with("Restruct")));
+    }
+}

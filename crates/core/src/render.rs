@@ -1,0 +1,138 @@
+//! Textual rendering of relational schemas, dependency sets and
+//! decision logs — the format the paper uses in §5–§7 (keys
+//! underlined, not-null emphasized), adapted to plain text:
+//! key attributes are wrapped `_like this_`, not-null non-key
+//! attributes prefixed `!`.
+
+use crate::oracle::DecisionRecord;
+use dbre_relational::attr::AttrSet;
+use dbre_relational::database::Database;
+use dbre_relational::deps::{Fd, Ind};
+use dbre_relational::schema::{QualAttrs, RelId};
+
+/// Renders one relation as `Name(_key_, !notnull, plain, …)`.
+pub fn render_relation(db: &Database, rel: RelId) -> String {
+    let relation = db.schema.relation(rel);
+    let key: AttrSet = db
+        .constraints
+        .primary_key(rel)
+        .map(|k| k.attrs.clone())
+        .unwrap_or_default();
+    let cols: Vec<String> = relation
+        .attributes()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let id = dbre_relational::AttrId(i as u16);
+            if key.contains(id) {
+                format!("_{}_", a.name)
+            } else if db.constraints.is_not_null(rel, id) {
+                format!("!{}", a.name)
+            } else {
+                a.name.clone()
+            }
+        })
+        .collect();
+    format!("{}({})", relation.name, cols.join(", "))
+}
+
+/// Renders the whole schema, one relation per line, in id order.
+pub fn render_schema(db: &Database) -> String {
+    db.schema
+        .iter()
+        .map(|(rel, _)| render_relation(db, rel))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Renders an IND list, one per line, sorted.
+pub fn render_inds(db: &Database, inds: &[Ind]) -> String {
+    let mut lines: Vec<String> = inds.iter().map(|i| i.render(&db.schema)).collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+/// Renders an FD list, one per line, sorted.
+pub fn render_fds(db: &Database, fds: &[Fd]) -> String {
+    let mut lines: Vec<String> = fds.iter().map(|f| f.render(&db.schema)).collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+/// Renders a set of qualified attribute sets (`LHS`, `H`), sorted.
+pub fn render_quals(db: &Database, quals: &[QualAttrs]) -> String {
+    let mut lines: Vec<String> = quals.iter().map(|q| q.render(&db.schema)).collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+/// Renders the decision log as an indented transcript.
+pub fn render_log(log: &[DecisionRecord]) -> String {
+    log.iter()
+        .map(|r| format!("[{}] {} => {}", r.step, r.question, r.decision))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbre_relational::attr::AttrId;
+    use dbre_relational::schema::Relation;
+    use dbre_relational::value::Domain;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let dept = db
+            .add_relation(Relation::of(
+                "Department",
+                &[
+                    ("dep", Domain::Text),
+                    ("emp", Domain::Int),
+                    ("location", Domain::Text),
+                ],
+            ))
+            .unwrap();
+        db.constraints
+            .add_key(dept, dbre_relational::AttrSet::from_indices([0u16]));
+        db.constraints.add_not_null(dept, AttrId(2));
+        db.constraints.normalize();
+        db
+    }
+
+    #[test]
+    fn relation_rendering_marks_keys_and_not_null() {
+        let db = db();
+        let rel = db.rel("Department").unwrap();
+        assert_eq!(
+            render_relation(&db, rel),
+            "Department(_dep_, emp, !location)"
+        );
+    }
+
+    #[test]
+    fn schema_rendering_is_per_line() {
+        let db = db();
+        assert_eq!(render_schema(&db).lines().count(), 1);
+    }
+
+    #[test]
+    fn lists_are_sorted() {
+        let db = db();
+        let rel = db.rel("Department").unwrap();
+        let inds = vec![
+            Ind::unary(rel, AttrId(1), rel, AttrId(0)),
+            Ind::unary(rel, AttrId(0), rel, AttrId(1)),
+        ];
+        let text = render_inds(&db, &inds);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0] < lines[1]);
+    }
+
+    #[test]
+    fn log_rendering() {
+        let log = vec![DecisionRecord::new("Step", "Q", "A")];
+        assert_eq!(render_log(&log), "[Step] Q => A");
+    }
+}

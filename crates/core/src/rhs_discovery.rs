@@ -1,0 +1,389 @@
+//! The RHS-Discovery algorithm (paper §6.2.2).
+//!
+//! For each candidate identifier `R_i.A ∈ LHS ∪ H`, find the right-hand
+//! side of its functional dependency:
+//!
+//! 1. *Prune the candidates*: `T = X_i − A − K_i`, and when `A ∉ N`
+//!    also remove the not-null attributes (`T −= N ∩ X_i`) — an
+//!    attribute that may be null cannot determine one that must not be
+//!    in the object the paper is after.
+//! 2. *Test each candidate*: `A → b` against the extension; on failure
+//!    the expert user may still enforce it (dirty data, step (ii)).
+//! 3. If `B ≠ ∅` the FD `R_i : A → B` joins `F` (after expert
+//!    validation) and `R_i.A` leaves `H` if it was there; if `B = ∅`
+//!    and `R_i.A ∉ H`, the expert decides whether `R_i.A` is a hidden
+//!    object (steps (iv)/(v)).
+//!
+//! The pruning of step 1 is what keeps the number of extension queries
+//! small — ablation X4 measures exactly that.
+
+use crate::lhs_discovery::LhsDiscovery;
+use crate::oracle::{DecisionRecord, FdContext, HiddenContext, Oracle};
+use dbre_relational::attr::AttrSet;
+use dbre_relational::database::Database;
+use dbre_relational::deps::Fd;
+use dbre_relational::schema::QualAttrs;
+
+/// Options controlling RHS-Discovery (the ablation knobs).
+#[derive(Debug, Clone)]
+pub struct RhsOptions {
+    /// Apply the key-removal prune (`T −= K_i`). Default `true`.
+    pub prune_keys: bool,
+    /// Apply the not-null prune when `A ∉ N`. Default `true`.
+    pub prune_not_null: bool,
+}
+
+impl Default for RhsOptions {
+    fn default() -> Self {
+        RhsOptions {
+            prune_keys: true,
+            prune_not_null: true,
+        }
+    }
+}
+
+/// Result of RHS-Discovery.
+#[derive(Debug, Clone, Default)]
+pub struct RhsDiscovery {
+    /// The elicited functional dependencies `F`.
+    pub fds: Vec<Fd>,
+    /// The final hidden-object set `H`.
+    pub hidden: Vec<QualAttrs>,
+    /// Candidates the expert user gave up (step (v)).
+    pub given_up: Vec<QualAttrs>,
+    /// Number of `A → b` extension tests performed (ablation metric).
+    pub fd_checks: usize,
+    /// Audit trail.
+    pub log: Vec<DecisionRecord>,
+}
+
+/// Runs RHS-Discovery over `LHS ∪ H`.
+pub fn rhs_discovery(
+    db: &Database,
+    input: &LhsDiscovery,
+    oracle: &mut dyn Oracle,
+    options: &RhsOptions,
+) -> RhsDiscovery {
+    let mut out = RhsDiscovery {
+        hidden: input.hidden.clone(),
+        ..Default::default()
+    };
+
+    let candidates: Vec<(QualAttrs, bool)> = input
+        .lhs
+        .iter()
+        .map(|q| (q.clone(), false))
+        .chain(input.hidden.iter().map(|q| (q.clone(), true)))
+        .collect();
+
+    for (cand, from_hidden) in candidates {
+        let rel = cand.rel;
+        let relation = db.schema.relation(rel);
+        let a = &cand.attrs;
+
+        // Step 1 — decrease the number of candidate RHS attributes.
+        let mut t = relation.all_attrs().difference(a);
+        if options.prune_keys {
+            if let Some(key) = db.constraints.primary_key(rel) {
+                t = t.difference(&key.attrs.clone());
+            }
+        }
+        let a_not_null = db.constraints.all_not_null(rel, a);
+        if options.prune_not_null && !a_not_null {
+            t = t.difference(&db.constraints.not_null_set(rel));
+        }
+
+        // Step 2 — test each candidate attribute.
+        let mut b = AttrSet::empty();
+        for cand_attr in t.iter() {
+            let fd = Fd::new(rel, a.clone(), AttrSet::single(cand_attr));
+            out.fd_checks += 1;
+            let holds = db.fd_holds(&fd);
+            if holds {
+                b.insert(cand_attr);
+            } else {
+                let error = dbre_mine::fd_error_db(db, &fd);
+                let enforced = oracle.enforce_fd(&FdContext {
+                    db,
+                    fd: &fd,
+                    error,
+                });
+                out.log.push(DecisionRecord::new(
+                    "RHS-Discovery/enforce",
+                    fd.render(&db.schema),
+                    format!(
+                        "{} (g3 error {:.4})",
+                        if enforced { "enforced" } else { "rejected" },
+                        error
+                    ),
+                ));
+                if enforced {
+                    b.insert(cand_attr);
+                }
+            }
+        }
+
+        // Step 3 — classify.
+        if !b.is_empty() {
+            let fd = Fd::new(rel, a.clone(), b);
+            let validated = oracle.validate_fd(&FdContext {
+                db,
+                fd: &fd,
+                error: 0.0,
+            });
+            out.log.push(DecisionRecord::new(
+                "RHS-Discovery/validate",
+                fd.render(&db.schema),
+                if validated { "accepted into F" } else { "rejected" }.to_string(),
+            ));
+            if validated {
+                if from_hidden {
+                    out.hidden.retain(|q| q != &cand);
+                }
+                if !out.fds.contains(&fd) {
+                    out.fds.push(fd);
+                }
+            } else if !from_hidden {
+                out.given_up.push(cand);
+            }
+        } else if !from_hidden {
+            let conceptualize = oracle.conceptualize_hidden(&HiddenContext {
+                db,
+                candidate: &cand,
+            });
+            out.log.push(DecisionRecord::new(
+                "RHS-Discovery/hidden",
+                cand.render(&db.schema),
+                if conceptualize {
+                    "conceptualized as hidden object"
+                } else {
+                    "given up"
+                }
+                .to_string(),
+            ));
+            if conceptualize {
+                if !out.hidden.contains(&cand) {
+                    out.hidden.push(cand);
+                }
+            } else {
+                out.given_up.push(cand);
+            }
+        }
+        // `B = ∅` with `from_hidden = true`: the element simply stays
+        // in `H` (it was already conceptualized).
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{DenyOracle, ScriptedOracle};
+    use dbre_relational::attr::{AttrId, AttrSet};
+    use dbre_relational::schema::{RelId, Relation};
+    use dbre_relational::value::{Domain, Value};
+
+    /// Department(dep key, emp, skill, location not-null, proj) with
+    /// emp -> skill, proj holding in the extension.
+    fn dept_db() -> (Database, RelId) {
+        let mut db = Database::new();
+        let dept = db
+            .add_relation(Relation::of(
+                "Department",
+                &[
+                    ("dep", Domain::Text),
+                    ("emp", Domain::Int),
+                    ("skill", Domain::Text),
+                    ("location", Domain::Text),
+                    ("proj", Domain::Text),
+                ],
+            ))
+            .unwrap();
+        db.constraints.add_key(dept, AttrSet::from_indices([0u16]));
+        db.constraints.add_not_null(dept, AttrId(3));
+        db.constraints.normalize();
+        let rows: &[(&str, Option<i64>, &str, &str, &str)] = &[
+            ("d1", Some(1), "db", "lyon", "p1"),
+            ("d2", Some(1), "db", "paris", "p1"),
+            ("d3", Some(2), "ai", "lyon", "p2"),
+            ("d4", None, "??", "nice", "p9"),
+        ];
+        for (dep, emp, skill, loc, proj) in rows {
+            db.insert(
+                dept,
+                vec![
+                    Value::str(*dep),
+                    emp.map_or(Value::Null, Value::Int),
+                    Value::str(*skill),
+                    Value::str(*loc),
+                    Value::str(*proj),
+                ],
+            )
+            .unwrap();
+        }
+        (db, dept)
+    }
+
+    fn input(_db: &Database, rel: RelId, attrs: &[u16], hidden: bool) -> LhsDiscovery {
+        let q = QualAttrs::new(rel, AttrSet::from_indices(attrs.iter().copied()));
+        if hidden {
+            LhsDiscovery {
+                lhs: vec![],
+                hidden: vec![q],
+            }
+        } else {
+            LhsDiscovery {
+                lhs: vec![q],
+                hidden: vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn elicits_fd_with_pruned_candidates() {
+        let (db, dept) = dept_db();
+        let out = rhs_discovery(
+            &db,
+            &input(&db, dept, &[1], false),
+            &mut DenyOracle,
+            &RhsOptions::default(),
+        );
+        // T = {skill, location, proj} minus key {dep} minus (A=emp ∉ N)
+        // the not-null set {location, dep} → {skill, proj}: 2 checks.
+        assert_eq!(out.fd_checks, 2);
+        assert_eq!(out.fds.len(), 1);
+        assert_eq!(out.fds[0].render(&db.schema), "Department: emp -> skill, proj");
+        assert!(out.hidden.is_empty());
+    }
+
+    #[test]
+    fn pruning_ablation_increases_checks() {
+        let (db, dept) = dept_db();
+        let no_prune = RhsOptions {
+            prune_keys: false,
+            prune_not_null: false,
+        };
+        let out = rhs_discovery(
+            &db,
+            &input(&db, dept, &[1], false),
+            &mut DenyOracle,
+            &no_prune,
+        );
+        // T = {dep, skill, location, proj}: 4 checks.
+        assert_eq!(out.fd_checks, 4);
+        // emp -> location fails (emp=1 has lyon & paris) and dep is the
+        // key (emp -> dep fails: emp=1 in d1, d2), so same FD found.
+        assert_eq!(out.fds.len(), 1);
+        assert_eq!(out.fds[0].render(&db.schema), "Department: emp -> skill, proj");
+    }
+
+    #[test]
+    fn empty_rhs_asks_hidden_object() {
+        let (db, dept) = dept_db();
+        // location determines nothing (lyon → d1 & d3 differ everywhere).
+        let mut oracle = ScriptedOracle::new().hidden("Department.{location}", true);
+        let out = rhs_discovery(
+            &db,
+            &input(&db, dept, &[3], false),
+            &mut oracle,
+            &RhsOptions::default(),
+        );
+        assert!(out.fds.is_empty());
+        assert_eq!(out.hidden.len(), 1);
+        assert_eq!(out.hidden[0].render(&db.schema), "Department.{location}");
+    }
+
+    #[test]
+    fn empty_rhs_given_up_when_declined() {
+        let (db, dept) = dept_db();
+        let out = rhs_discovery(
+            &db,
+            &input(&db, dept, &[3], false),
+            &mut DenyOracle,
+            &RhsOptions::default(),
+        );
+        assert!(out.hidden.is_empty());
+        assert_eq!(out.given_up.len(), 1);
+    }
+
+    #[test]
+    fn hidden_candidate_with_fd_moves_to_f() {
+        let (db, dept) = dept_db();
+        let out = rhs_discovery(
+            &db,
+            &input(&db, dept, &[1], true),
+            &mut DenyOracle,
+            &RhsOptions::default(),
+        );
+        assert_eq!(out.fds.len(), 1);
+        assert!(out.hidden.is_empty(), "conceptualized in F, removed from H");
+    }
+
+    #[test]
+    fn hidden_candidate_without_fd_stays_hidden() {
+        let (db, dept) = dept_db();
+        let out = rhs_discovery(
+            &db,
+            &input(&db, dept, &[3], true),
+            &mut DenyOracle,
+            &RhsOptions::default(),
+        );
+        assert!(out.fds.is_empty());
+        assert_eq!(out.hidden.len(), 1);
+    }
+
+    #[test]
+    fn oracle_can_enforce_failing_fd() {
+        let (db, dept) = dept_db();
+        // emp -> location fails on the extension; enforce it.
+        let mut oracle = ScriptedOracle::new().fd("Department: emp -> location", true);
+        let no_null_prune = RhsOptions {
+            prune_keys: true,
+            prune_not_null: false,
+        };
+        let out = rhs_discovery(
+            &db,
+            &input(&db, dept, &[1], false),
+            &mut oracle,
+            &no_null_prune,
+        );
+        assert_eq!(
+            out.fds[0].render(&db.schema),
+            "Department: emp -> skill, location, proj"
+        );
+    }
+
+    #[test]
+    fn validation_can_reject_elicited_fd() {
+        let (db, dept) = dept_db();
+        let mut oracle =
+            ScriptedOracle::new().fd("Department: emp -> skill, proj", false);
+        let out = rhs_discovery(
+            &db,
+            &input(&db, dept, &[1], false),
+            &mut oracle,
+            &RhsOptions::default(),
+        );
+        assert!(out.fds.is_empty());
+        assert_eq!(out.given_up.len(), 1);
+    }
+
+    #[test]
+    fn not_null_lhs_keeps_not_null_candidates() {
+        let (db, dept) = dept_db();
+        // A = {dep} is the key (not-null): N-prune must NOT fire, and
+        // with key-prune T = {emp, skill, location, proj}.
+        let out = rhs_discovery(
+            &db,
+            &input(&db, dept, &[0], false),
+            &mut DenyOracle,
+            &RhsOptions::default(),
+        );
+        assert_eq!(out.fd_checks, 4);
+        // dep is a key, so it determines everything.
+        assert_eq!(
+            out.fds[0].render(&db.schema),
+            "Department: dep -> emp, skill, location, proj"
+        );
+    }
+}

@@ -1,0 +1,592 @@
+//! The Translate algorithm (paper §7, sketch): restructured relational
+//! schema + `K` + `RIC` → EER schema.
+//!
+//! For each referential integrity constraint `R_l[A_l] ≪ R_k[A_k]`:
+//!
+//! * **(a)** `A_l ∈ K` (the whole key of `R_l`) — an *is-a* link from
+//!   `R_l` to `R_k`;
+//! * **(b)** `A_l ⊂ key` — if the key of `R_l` partitions into RIC
+//!   left-hand sides, `R_l` is a *many-to-many relationship-type*
+//!   connecting the referenced object-types; otherwise `R_l` is a
+//!   *weak entity-type* owned by `R_k`;
+//! * **(c)** `A_l ⊄ key` — a *binary relationship-type* between `R_l`
+//!   and `R_k` (a plain foreign key).
+//!
+//! Cyclic inclusion dependencies are not treated specially (the paper
+//! explicitly leaves them out of the sketch).
+
+use crate::eer::{EerSchema, EntityType, IsaLink, Participant, RelationshipKind, RelationshipType};
+use dbre_relational::attr::AttrSet;
+use dbre_relational::database::Database;
+use dbre_relational::deps::Ind;
+use dbre_relational::schema::RelId;
+
+/// Runs Translate on a (restructured) database and its RIC set.
+pub fn translate(db: &Database, ric: &[Ind]) -> EerSchema {
+    let mut out = EerSchema::default();
+
+    // Group RICs by source relation.
+    let rics_from = |rel: RelId| ric.iter().filter(move |i| i.lhs.rel == rel);
+
+    // Classify each relation.
+    #[derive(PartialEq)]
+    enum Class {
+        Entity,
+        WeakEntity(Vec<RelId>),
+        Relationship(Vec<Ind>),
+    }
+
+    let mut classes: Vec<(RelId, Class)> = Vec::new();
+    for (rel, relation) in db.schema.iter() {
+        let key = db
+            .constraints
+            .primary_key(rel)
+            .map(|k| k.attrs.clone())
+            .unwrap_or_else(|| relation.all_attrs());
+
+        // Strict sub-key RICs.
+        let sub_key_rics: Vec<&Ind> = rics_from(rel)
+            .filter(|i| {
+                let set = i.lhs.attr_set();
+                set.is_strict_subset(&key)
+            })
+            .collect();
+
+        if !sub_key_rics.is_empty() {
+            // Rule (b): does the key partition into RIC LHSs?
+            // Greedy cover with pairwise-disjoint LHS sets.
+            let mut covered = AttrSet::empty();
+            let mut parts: Vec<Ind> = Vec::new();
+            for i in &sub_key_rics {
+                let set = i.lhs.attr_set();
+                if set.is_disjoint(&covered) {
+                    covered = covered.union(&set);
+                    parts.push((*i).clone());
+                }
+            }
+            if covered == key && parts.len() >= 2 {
+                classes.push((rel, Class::Relationship(parts)));
+                continue;
+            }
+            let owners: Vec<RelId> = sub_key_rics.iter().map(|i| i.rhs.rel).collect();
+            classes.push((rel, Class::WeakEntity(owners)));
+            continue;
+        }
+        classes.push((rel, Class::Entity));
+    }
+
+    // Materialize entities and many-to-many relationships.
+    for (rel, class) in &classes {
+        let relation = db.schema.relation(*rel);
+        let key = db
+            .constraints
+            .primary_key(*rel)
+            .map(|k| k.attrs.clone())
+            .unwrap_or_else(|| relation.all_attrs());
+        let attr_names: Vec<String> =
+            relation.attributes().iter().map(|a| a.name.clone()).collect();
+        let key_names: Vec<String> = key
+            .iter()
+            .map(|a| relation.attr_name(a).to_string())
+            .collect();
+        match class {
+            Class::Entity => out.entities.push(EntityType {
+                name: relation.name.clone(),
+                attrs: attr_names,
+                key: key_names,
+                weak: false,
+                owners: vec![],
+            }),
+            Class::WeakEntity(owners) => {
+                let mut owner_names: Vec<String> = owners
+                    .iter()
+                    .map(|o| db.schema.relation(*o).name.clone())
+                    .collect();
+                owner_names.sort();
+                owner_names.dedup();
+                out.entities.push(EntityType {
+                    name: relation.name.clone(),
+                    attrs: attr_names,
+                    key: key_names,
+                    weak: true,
+                    owners: owner_names,
+                });
+            }
+            Class::Relationship(parts) => {
+                let participants: Vec<Participant> = parts
+                    .iter()
+                    .map(|i| Participant {
+                        object: db.schema.relation(i.rhs.rel).name.clone(),
+                        via: i
+                            .lhs
+                            .attrs
+                            .iter()
+                            .map(|a| relation.attr_name(*a).to_string())
+                            .collect(),
+                    })
+                    .collect();
+                // Own attributes: everything outside the key.
+                let own: Vec<String> = relation
+                    .all_attrs()
+                    .difference(&key)
+                    .iter()
+                    .map(|a| relation.attr_name(a).to_string())
+                    .collect();
+                out.relationships.push(RelationshipType {
+                    name: relation.name.clone(),
+                    participants,
+                    attrs: own,
+                    kind: RelationshipKind::ManyToMany,
+                });
+            }
+        }
+    }
+
+    // Rules (a) and (c) per RIC.
+    for ind in ric {
+        let l_rel = db.schema.relation(ind.lhs.rel);
+        let r_rel = db.schema.relation(ind.rhs.rel);
+        let l_key = db
+            .constraints
+            .primary_key(ind.lhs.rel)
+            .map(|k| k.attrs.clone())
+            .unwrap_or_else(|| l_rel.all_attrs());
+        let lhs_set = ind.lhs.attr_set();
+        if db.constraints.is_key(ind.lhs.rel, &lhs_set) || lhs_set == l_key {
+            // (a) is-a link.
+            let link = IsaLink {
+                sub: l_rel.name.clone(),
+                sup: r_rel.name.clone(),
+            };
+            if !out.isa.contains(&link) {
+                out.isa.push(link);
+            }
+        } else if !lhs_set.is_subset(&l_key) {
+            // (c) binary relationship-type via a plain foreign key —
+            // only when the source is an object-type of its own (a
+            // many-to-many relation's links are its participations).
+            let is_relationship_source = classes
+                .iter()
+                .any(|(r, c)| *r == ind.lhs.rel && matches!(c, Class::Relationship(_)));
+            if is_relationship_source {
+                continue;
+            }
+            let name = format!("{}-{}", l_rel.name, r_rel.name);
+            let rt = RelationshipType {
+                name,
+                participants: vec![
+                    Participant {
+                        object: l_rel.name.clone(),
+                        via: ind
+                            .lhs
+                            .attrs
+                            .iter()
+                            .map(|a| l_rel.attr_name(*a).to_string())
+                            .collect(),
+                    },
+                    Participant {
+                        object: r_rel.name.clone(),
+                        via: ind
+                            .rhs
+                            .attrs
+                            .iter()
+                            .map(|a| r_rel.attr_name(*a).to_string())
+                            .collect(),
+                    },
+                ],
+                attrs: vec![],
+                kind: RelationshipKind::Binary,
+            };
+            if out.relationship(&rt.name).is_none() {
+                out.relationships.push(rt);
+            }
+        }
+        // Sub-key RICs were consumed by the classification above
+        // (weak-entity ownership / relationship participation).
+    }
+
+    collapse_isa_cycles(&mut out);
+    out
+}
+
+/// Cyclic-IND treatment (left open by the paper's sketch): is-a links
+/// that form cycles mean the key-based inclusions run both ways — over
+/// finite extensions the instance sets are equal, so the object-types
+/// are the *same* object. Each strongly connected component of the
+/// is-a graph with ≥ 2 members becomes an equivalence group; its
+/// internal links are removed, and links from/to the group members to
+/// outside types are kept as they are.
+fn collapse_isa_cycles(eer: &mut EerSchema) {
+    use std::collections::{BTreeMap, BTreeSet, VecDeque};
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for l in &eer.isa {
+        adj.entry(l.sub.as_str()).or_default().push(l.sup.as_str());
+    }
+    let nodes: BTreeSet<&str> = eer
+        .isa
+        .iter()
+        .flat_map(|l| [l.sub.as_str(), l.sup.as_str()])
+        .collect();
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(at) = queue.pop_front() {
+            if at == to {
+                return true;
+            }
+            if !seen.insert(at) {
+                continue;
+            }
+            for next in adj.get(at).into_iter().flatten() {
+                queue.push_back(next);
+            }
+        }
+        false
+    };
+
+    // Mutual-reachability grouping.
+    let node_list: Vec<&str> = nodes.into_iter().collect();
+    let mut assigned: BTreeSet<&str> = BTreeSet::new();
+    let mut groups: Vec<Vec<String>> = Vec::new();
+    for (i, &a) in node_list.iter().enumerate() {
+        if assigned.contains(a) {
+            continue;
+        }
+        let mut group = vec![a];
+        for &b in &node_list[i + 1..] {
+            if !assigned.contains(b) && reaches(a, b) && reaches(b, a) {
+                group.push(b);
+            }
+        }
+        if group.len() >= 2 {
+            for m in &group {
+                assigned.insert(m);
+            }
+            groups.push(group.into_iter().map(String::from).collect());
+        }
+    }
+    if groups.is_empty() {
+        return;
+    }
+    // Drop links internal to a group.
+    eer.isa.retain(|l| {
+        !groups
+            .iter()
+            .any(|g| g.contains(&l.sub) && g.contains(&l.sup))
+    });
+    eer.equivalences = groups;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbre_relational::attr::AttrId;
+    use dbre_relational::schema::Relation;
+    use dbre_relational::value::Domain;
+
+    /// Builds the paper's *restructured* schema directly (§7) and
+    /// checks Translate reproduces Figure 1's structure.
+    fn restructured_db() -> (Database, Vec<Ind>) {
+        let mut db = Database::new();
+        let person = db
+            .add_relation(Relation::of(
+                "Person",
+                &[
+                    ("id", Domain::Int),
+                    ("name", Domain::Text),
+                    ("street", Domain::Text),
+                    ("number", Domain::Int),
+                    ("zip-code", Domain::Text),
+                    ("city", Domain::Text),
+                ],
+            ))
+            .unwrap();
+        let hemployee = db
+            .add_relation(Relation::of(
+                "HEmployee",
+                &[
+                    ("no", Domain::Int),
+                    ("date", Domain::Date),
+                    ("salary", Domain::Float),
+                ],
+            ))
+            .unwrap();
+        let department = db
+            .add_relation(Relation::of(
+                "Department",
+                &[
+                    ("dep", Domain::Text),
+                    ("emp", Domain::Int),
+                    ("location", Domain::Text),
+                ],
+            ))
+            .unwrap();
+        let assignment = db
+            .add_relation(Relation::of(
+                "Assignment",
+                &[
+                    ("emp", Domain::Int),
+                    ("dep", Domain::Text),
+                    ("proj", Domain::Text),
+                    ("date", Domain::Date),
+                ],
+            ))
+            .unwrap();
+        let employee = db
+            .add_relation(Relation::of("Employee", &[("no", Domain::Int)]))
+            .unwrap();
+        let ass_dept = db
+            .add_relation(Relation::of("Ass-Dept", &[("dep", Domain::Text)]))
+            .unwrap();
+        let other_dept = db
+            .add_relation(Relation::of("Other-Dept", &[("dep", Domain::Text)]))
+            .unwrap();
+        let manager = db
+            .add_relation(Relation::of(
+                "Manager",
+                &[
+                    ("emp", Domain::Int),
+                    ("skill", Domain::Text),
+                    ("proj", Domain::Text),
+                ],
+            ))
+            .unwrap();
+        let project = db
+            .add_relation(Relation::of(
+                "Project",
+                &[("proj", Domain::Text), ("project-name", Domain::Text)],
+            ))
+            .unwrap();
+
+        for (rel, key) in [
+            (person, vec![0u16]),
+            (hemployee, vec![0, 1]),
+            (department, vec![0]),
+            (assignment, vec![0, 1, 2]),
+            (employee, vec![0]),
+            (ass_dept, vec![0]),
+            (other_dept, vec![0]),
+            (manager, vec![0]),
+            (project, vec![0]),
+        ] {
+            db.constraints
+                .add_key(rel, AttrSet::from_indices(key.iter().copied()));
+        }
+        db.constraints.normalize();
+
+        let ric = vec![
+            Ind::unary(employee, AttrId(0), person, AttrId(0)),
+            Ind::unary(manager, AttrId(0), employee, AttrId(0)),
+            Ind::unary(assignment, AttrId(0), employee, AttrId(0)),
+            Ind::unary(ass_dept, AttrId(0), other_dept, AttrId(0)),
+            Ind::unary(assignment, AttrId(1), other_dept, AttrId(0)),
+            Ind::unary(ass_dept, AttrId(0), department, AttrId(0)),
+            Ind::unary(manager, AttrId(2), project, AttrId(0)),
+            Ind::unary(hemployee, AttrId(0), employee, AttrId(0)),
+            Ind::unary(department, AttrId(1), manager, AttrId(0)),
+            Ind::unary(assignment, AttrId(2), project, AttrId(0)),
+        ];
+        (db, ric)
+    }
+
+    #[test]
+    fn paper_figure_1_structure() {
+        let (db, ric) = restructured_db();
+        let eer = translate(&db, &ric);
+
+        // Assignment: ternary many-to-many relationship with attr date.
+        let assign = eer.relationship("Assignment").expect("Assignment diamond");
+        assert_eq!(assign.kind, RelationshipKind::ManyToMany);
+        let mut objs: Vec<&str> =
+            assign.participants.iter().map(|p| p.object.as_str()).collect();
+        objs.sort();
+        assert_eq!(objs, vec!["Employee", "Other-Dept", "Project"]);
+        assert_eq!(assign.attrs, vec!["date"]);
+
+        // HEmployee: weak entity owned by Employee.
+        let hemp = eer.entity("HEmployee").expect("HEmployee box");
+        assert!(hemp.weak);
+        assert_eq!(hemp.owners, vec!["Employee"]);
+
+        // is-a links.
+        assert!(eer.has_isa("Employee", "Person"));
+        assert!(eer.has_isa("Manager", "Employee"));
+        assert!(eer.has_isa("Ass-Dept", "Other-Dept"));
+        assert!(eer.has_isa("Ass-Dept", "Department"));
+        assert_eq!(eer.isa.len(), 4);
+
+        // Binary relationships: Manager–Project, Department–Manager.
+        assert!(eer.relationship("Manager-Project").is_some());
+        assert!(eer.relationship("Department-Manager").is_some());
+
+        // Plain entities present.
+        for e in ["Person", "Employee", "Department", "Manager", "Project", "Other-Dept"] {
+            assert!(eer.entity(e).is_some(), "missing entity {e}");
+            assert!(!eer.entity(e).unwrap().weak);
+        }
+        // Assignment is not also an entity.
+        assert!(eer.entity("Assignment").is_none());
+    }
+
+    #[test]
+    fn relation_without_rics_is_plain_entity() {
+        let mut db = Database::new();
+        let rel = db
+            .add_relation(Relation::of("Lone", &[("k", Domain::Int), ("v", Domain::Text)]))
+            .unwrap();
+        db.constraints.add_key(rel, AttrSet::from_indices([0u16]));
+        db.constraints.normalize();
+        let eer = translate(&db, &[]);
+        let e = eer.entity("Lone").unwrap();
+        assert!(!e.weak);
+        assert_eq!(e.key, vec!["k"]);
+        assert!(eer.relationships.is_empty());
+        assert!(eer.isa.is_empty());
+    }
+
+    #[test]
+    fn sub_key_without_partition_is_weak_entity() {
+        let mut db = Database::new();
+        let hist = db
+            .add_relation(Relation::of(
+                "History",
+                &[("id", Domain::Int), ("at", Domain::Date), ("v", Domain::Int)],
+            ))
+            .unwrap();
+        let base = db
+            .add_relation(Relation::of("Base", &[("id", Domain::Int)]))
+            .unwrap();
+        db.constraints.add_key(hist, AttrSet::from_indices([0u16, 1]));
+        db.constraints.add_key(base, AttrSet::from_indices([0u16]));
+        db.constraints.normalize();
+        let ric = vec![Ind::unary(hist, AttrId(0), base, AttrId(0))];
+        let eer = translate(&db, &ric);
+        let h = eer.entity("History").unwrap();
+        assert!(h.weak);
+        assert_eq!(h.owners, vec!["Base"]);
+    }
+
+    #[test]
+    fn binary_relationship_from_non_key_fk() {
+        let mut db = Database::new();
+        let dept = db
+            .add_relation(Relation::of(
+                "Department",
+                &[("dep", Domain::Text), ("mgr", Domain::Int)],
+            ))
+            .unwrap();
+        let mgr = db
+            .add_relation(Relation::of("Manager", &[("emp", Domain::Int)]))
+            .unwrap();
+        db.constraints.add_key(dept, AttrSet::from_indices([0u16]));
+        db.constraints.add_key(mgr, AttrSet::from_indices([0u16]));
+        db.constraints.normalize();
+        let ric = vec![Ind::unary(dept, AttrId(1), mgr, AttrId(0))];
+        let eer = translate(&db, &ric);
+        let r = eer.relationship("Department-Manager").unwrap();
+        assert_eq!(r.kind, RelationshipKind::Binary);
+        assert_eq!(r.participants[0].via, vec!["mgr"]);
+        assert!(eer.isa.is_empty());
+    }
+
+    #[test]
+    fn full_key_ric_gives_isa_not_relationship() {
+        let mut db = Database::new();
+        let sub = db
+            .add_relation(Relation::of("Sub", &[("id", Domain::Int), ("x", Domain::Int)]))
+            .unwrap();
+        let sup = db
+            .add_relation(Relation::of("Sup", &[("id", Domain::Int)]))
+            .unwrap();
+        db.constraints.add_key(sub, AttrSet::from_indices([0u16]));
+        db.constraints.add_key(sup, AttrSet::from_indices([0u16]));
+        db.constraints.normalize();
+        let ric = vec![Ind::unary(sub, AttrId(0), sup, AttrId(0))];
+        let eer = translate(&db, &ric);
+        assert!(eer.has_isa("Sub", "Sup"));
+        assert!(eer.relationships.is_empty());
+        assert!(!eer.entity("Sub").unwrap().weak);
+    }
+
+    #[test]
+    fn cyclic_key_inds_collapse_to_equivalence() {
+        // Client[id] ≪ Cust[id] and Cust[id] ≪ Client[id]: two names
+        // for the same object — the cyclic case the paper's sketch
+        // leaves out.
+        let mut db = Database::new();
+        let client = db
+            .add_relation(Relation::of("Client", &[("id", Domain::Int), ("a", Domain::Text)]))
+            .unwrap();
+        let cust = db
+            .add_relation(Relation::of("Cust", &[("id", Domain::Int), ("b", Domain::Text)]))
+            .unwrap();
+        db.constraints.add_key(client, AttrSet::from_indices([0u16]));
+        db.constraints.add_key(cust, AttrSet::from_indices([0u16]));
+        db.constraints.normalize();
+        let ric = vec![
+            Ind::unary(client, AttrId(0), cust, AttrId(0)),
+            Ind::unary(cust, AttrId(0), client, AttrId(0)),
+        ];
+        let eer = translate(&db, &ric);
+        assert!(eer.isa.is_empty(), "no circular is-a links");
+        assert_eq!(eer.equivalences.len(), 1);
+        let mut g = eer.equivalences[0].clone();
+        g.sort();
+        assert_eq!(g, vec!["Client", "Cust"]);
+        let text = eer.render_text();
+        assert!(text.contains("equivalent: Client = Cust"));
+    }
+
+    #[test]
+    fn three_cycle_collapses_and_external_isa_survives() {
+        let mut db = Database::new();
+        let names = ["A", "B", "C", "D"];
+        let rels: Vec<_> = names
+            .iter()
+            .map(|n| {
+                let r = db
+                    .add_relation(Relation::of(n, &[("id", Domain::Int)]))
+                    .unwrap();
+                db.constraints.add_key(r, AttrSet::from_indices([0u16]));
+                r
+            })
+            .collect();
+        db.constraints.normalize();
+        let ric = vec![
+            Ind::unary(rels[0], AttrId(0), rels[1], AttrId(0)),
+            Ind::unary(rels[1], AttrId(0), rels[2], AttrId(0)),
+            Ind::unary(rels[2], AttrId(0), rels[0], AttrId(0)),
+            // External specialization into the cycle.
+            Ind::unary(rels[3], AttrId(0), rels[0], AttrId(0)),
+        ];
+        let eer = translate(&db, &ric);
+        assert_eq!(eer.equivalences.len(), 1);
+        assert_eq!(eer.equivalences[0].len(), 3);
+        assert_eq!(eer.isa.len(), 1);
+        assert!(eer.has_isa("D", "A"));
+    }
+
+    #[test]
+    fn binary_relationship_ternary_dedup() {
+        // Two RICs with the same relation pair dedup by name.
+        let mut db = Database::new();
+        let a = db
+            .add_relation(Relation::of(
+                "A",
+                &[("k", Domain::Int), ("f1", Domain::Int), ("f2", Domain::Int)],
+            ))
+            .unwrap();
+        let b = db
+            .add_relation(Relation::of("B", &[("id", Domain::Int)]))
+            .unwrap();
+        db.constraints.add_key(a, AttrSet::from_indices([0u16]));
+        db.constraints.add_key(b, AttrSet::from_indices([0u16]));
+        db.constraints.normalize();
+        let ric = vec![
+            Ind::unary(a, AttrId(1), b, AttrId(0)),
+            Ind::unary(a, AttrId(2), b, AttrId(0)),
+        ];
+        let eer = translate(&db, &ric);
+        assert_eq!(eer.relationships.len(), 1);
+    }
+}

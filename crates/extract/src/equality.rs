@@ -1,0 +1,133 @@
+//! Equality graph over column instances.
+//!
+//! Within one statement, every column occurrence is a node
+//! `(binding instance, attribute)`. Column-to-column equalities —
+//! whether they come from `WHERE` conjunctions, `ON` clauses, `IN`
+//! subqueries or `INTERSECT` projections — are edges. The *transitive
+//! closure* of those edges (union-find) yields the equivalence classes
+//! from which equi-joins are read: if a program writes
+//! `a.x = b.y AND b.y = c.z`, then `a.x ⋈ c.z` is part of the logical
+//! navigation even though no textual predicate relates them.
+
+use dbre_relational::attr::AttrId;
+
+/// A column-instance node: `(binding instance id, attribute)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Node {
+    /// Statement-wide binding instance (two uses of the same table get
+    /// distinct instances).
+    pub instance: u32,
+    /// Attribute within the instance's relation.
+    pub attr: AttrId,
+}
+
+/// Union-find with path compression over dynamically registered nodes.
+#[derive(Debug, Default)]
+pub struct EqualityGraph {
+    nodes: Vec<Node>,
+    parent: Vec<usize>,
+    index: std::collections::HashMap<Node, usize>,
+}
+
+impl EqualityGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        EqualityGraph::default()
+    }
+
+    fn intern(&mut self, n: Node) -> usize {
+        if let Some(&i) = self.index.get(&n) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(n);
+        self.parent.push(i);
+        self.index.insert(n, i);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Adds an equality edge between two column instances.
+    pub fn equate(&mut self, a: Node, b: Node) {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        let (ra, rb) = (self.find(ia), self.find(ib));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Returns the equivalence classes with ≥ 2 members, each sorted,
+    /// in deterministic order.
+    pub fn classes(&mut self) -> Vec<Vec<Node>> {
+        let mut groups: std::collections::HashMap<usize, Vec<Node>> =
+            std::collections::HashMap::new();
+        for i in 0..self.nodes.len() {
+            let r = self.find(i);
+            groups.entry(r).or_default().push(self.nodes[i]);
+        }
+        let mut out: Vec<Vec<Node>> = groups
+            .into_values()
+            .filter(|g| g.len() >= 2)
+            .collect();
+        for g in &mut out {
+            g.sort();
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(instance: u32, attr: u16) -> Node {
+        Node {
+            instance,
+            attr: AttrId(attr),
+        }
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut g = EqualityGraph::new();
+        g.equate(n(0, 0), n(1, 0));
+        g.equate(n(1, 0), n(2, 3));
+        let classes = g.classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0], vec![n(0, 0), n(1, 0), n(2, 3)]);
+    }
+
+    #[test]
+    fn separate_classes_stay_separate() {
+        let mut g = EqualityGraph::new();
+        g.equate(n(0, 0), n(1, 0));
+        g.equate(n(2, 0), n(3, 0));
+        assert_eq!(g.classes().len(), 2);
+    }
+
+    #[test]
+    fn self_edges_do_not_form_classes() {
+        let mut g = EqualityGraph::new();
+        g.equate(n(0, 0), n(0, 0));
+        assert!(g.classes().is_empty());
+    }
+
+    #[test]
+    fn classes_are_deterministic() {
+        let mut g1 = EqualityGraph::new();
+        g1.equate(n(5, 1), n(2, 0));
+        g1.equate(n(0, 0), n(1, 1));
+        let mut g2 = EqualityGraph::new();
+        g2.equate(n(0, 0), n(1, 1));
+        g2.equate(n(2, 0), n(5, 1));
+        assert_eq!(g1.classes(), g2.classes());
+    }
+}

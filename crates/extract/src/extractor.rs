@@ -1,0 +1,635 @@
+//! Equi-join extraction: from application programs to the set `Q`.
+//!
+//! §4 of the paper lists the forms an equi-join can take in legacy
+//! code — "with nested or unnested queries, with a where clause or with
+//! an intersect operator" — and then *assumes* the set `Q` has been
+//! computed. This module is that computation:
+//!
+//! * `WHERE`/`ON` equality conjunctions (including multi-attribute
+//!   conjunctions, which become one *composite* equi-join with
+//!   positional attribute correspondence);
+//! * transitive closure of equalities (`a.x = b.y AND b.y = c.z`
+//!   implies the navigation `a.x ⋈ c.z`);
+//! * `IN (SELECT …)` nesting — `R_k.a IN (SELECT b FROM R_l)` is the
+//!   nested form of `R_k[a] ⋈ R_l[b]`;
+//! * correlated `EXISTS` predicates;
+//! * `INTERSECT` between projections.
+//!
+//! Every extracted join carries provenance (program, statement index)
+//! so the expert user can trace a presumption back to code.
+
+use crate::equality::{EqualityGraph, Node};
+use crate::source::ProgramSource;
+use dbre_relational::attr::AttrId;
+use dbre_relational::counting::EquiJoin;
+use dbre_relational::deps::IndSide;
+use dbre_relational::schema::{RelId, Schema};
+use dbre_sql::ast::{ColumnRef, Expr, Query, SelectItem, SetOp, Statement};
+use dbre_sql::parser::parse_script;
+use std::collections::BTreeMap;
+
+/// Extraction options.
+#[derive(Debug, Clone)]
+pub struct ExtractConfig {
+    /// Also harvest column equalities occurring under `OR` / `NOT`
+    /// (more recall, weaker navigation evidence). The paper considers
+    /// conjunctive conditions; default `false`.
+    pub include_disjunctive: bool,
+    /// Treat `INTERSECT` projections as equi-joins. Default `true`.
+    pub include_intersect: bool,
+    /// Treat `IN (SELECT …)` as equi-joins. Default `true`.
+    pub include_in_subqueries: bool,
+    /// Besides each composite equi-join, also emit its unary
+    /// per-attribute projections. Default `false` (the composite *is*
+    /// the navigation).
+    pub emit_unary_projections: bool,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig {
+            include_disjunctive: false,
+            include_intersect: true,
+            include_in_subqueries: true,
+            emit_unary_projections: false,
+        }
+    }
+}
+
+/// Where an equi-join was observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Program name.
+    pub program: String,
+    /// 0-based statement index within the program.
+    pub statement: usize,
+}
+
+/// An equi-join with the program locations that exhibit it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedJoin {
+    /// The (canonicalized) equi-join.
+    pub join: EquiJoin,
+    /// All observation sites.
+    pub provenance: Vec<Provenance>,
+}
+
+/// The result of extraction: the set `Q` plus diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct Extraction {
+    /// Deduplicated equi-joins in deterministic order.
+    pub joins: Vec<ExtractedJoin>,
+    /// Non-fatal diagnostics (unknown tables, unresolvable columns,
+    /// unparseable statements).
+    pub warnings: Vec<String>,
+}
+
+impl Extraction {
+    /// Just the joins, without provenance.
+    pub fn q(&self) -> Vec<EquiJoin> {
+        self.joins.iter().map(|j| j.join.clone()).collect()
+    }
+}
+
+/// Extracts the set `Q` from a collection of application programs.
+pub fn extract_programs(
+    schema: &Schema,
+    programs: &[ProgramSource],
+    cfg: &ExtractConfig,
+) -> Extraction {
+    let mut acc = Accumulator::default();
+    for program in programs {
+        for (idx, stmt_text) in program.statements().iter().enumerate() {
+            let provenance = Provenance {
+                program: program.name.clone(),
+                statement: idx,
+            };
+            let stmts = match parse_script(stmt_text) {
+                Ok(s) => s,
+                Err(e) => {
+                    acc.warnings.push(format!(
+                        "{} (statement {}): {e}",
+                        program.name, idx
+                    ));
+                    continue;
+                }
+            };
+            for stmt in &stmts {
+                if let Statement::Select(q) = stmt {
+                    extract_query(schema, q, cfg, &provenance, &mut acc);
+                }
+            }
+        }
+    }
+    acc.finish()
+}
+
+/// Extracts equi-joins from a single already-parsed query.
+pub fn extract_query_joins(schema: &Schema, q: &Query, cfg: &ExtractConfig) -> Extraction {
+    let mut acc = Accumulator::default();
+    let provenance = Provenance {
+        program: "<query>".to_string(),
+        statement: 0,
+    };
+    extract_query(schema, q, cfg, &provenance, &mut acc);
+    acc.finish()
+}
+
+#[derive(Default)]
+struct Accumulator {
+    joins: BTreeMap<EquiJoin, Vec<Provenance>>,
+    warnings: Vec<String>,
+}
+
+impl Accumulator {
+    fn add(&mut self, join: EquiJoin, provenance: &Provenance) {
+        let entry = self.joins.entry(join.canonical()).or_default();
+        if !entry.contains(provenance) {
+            entry.push(provenance.clone());
+        }
+    }
+
+    fn finish(self) -> Extraction {
+        Extraction {
+            joins: self
+                .joins
+                .into_iter()
+                .map(|(join, provenance)| ExtractedJoin { join, provenance })
+                .collect(),
+            warnings: self.warnings,
+        }
+    }
+}
+
+/// Statement-wide extraction state.
+struct StatementCtx<'a> {
+    schema: &'a Schema,
+    cfg: &'a ExtractConfig,
+    /// Every binding instance in the statement (across all scopes).
+    instances: Vec<RelId>,
+    graph: EqualityGraph,
+    warnings: Vec<String>,
+}
+
+/// One lexical scope: binding name → instance id.
+type Scope = Vec<(String, u32)>;
+
+fn extract_query(
+    schema: &Schema,
+    q: &Query,
+    cfg: &ExtractConfig,
+    provenance: &Provenance,
+    acc: &mut Accumulator,
+) {
+    let mut ctx = StatementCtx {
+        schema,
+        cfg,
+        instances: Vec::new(),
+        graph: EqualityGraph::new(),
+        warnings: Vec::new(),
+    };
+    walk_query(&mut ctx, q, &[]);
+    acc.warnings.extend(ctx.warnings.drain(..).map(|w| {
+        format!("{} (statement {}): {w}", provenance.program, provenance.statement)
+    }));
+
+    // Read equi-joins off the equality classes.
+    let classes = ctx.graph.classes();
+    // (instance_l, instance_r) -> sorted attr pairs
+    let mut pairs: BTreeMap<(u32, u32), Vec<(AttrId, AttrId)>> = BTreeMap::new();
+    for class in &classes {
+        for (a_idx, a) in class.iter().enumerate() {
+            for b in &class[a_idx + 1..] {
+                let (l, r) = if a.instance <= b.instance { (a, b) } else { (b, a) };
+                if l.instance == r.instance {
+                    continue; // same binding instance: not a join
+                }
+                let entry = pairs.entry((l.instance, r.instance)).or_default();
+                if !entry.contains(&(l.attr, r.attr)) {
+                    entry.push((l.attr, r.attr));
+                }
+            }
+        }
+    }
+    for ((li, ri), mut attr_pairs) in pairs {
+        attr_pairs.sort();
+        let l_rel = ctx.instances[li as usize];
+        let r_rel = ctx.instances[ri as usize];
+        let l_attrs: Vec<AttrId> = attr_pairs.iter().map(|p| p.0).collect();
+        let r_attrs: Vec<AttrId> = attr_pairs.iter().map(|p| p.1).collect();
+        if l_rel == r_rel && l_attrs == r_attrs {
+            continue; // R[X] ⋈ R[X]: trivially satisfied, no navigation
+        }
+        let join = EquiJoin::new(
+            IndSide::new(l_rel, l_attrs.clone()),
+            IndSide::new(r_rel, r_attrs.clone()),
+        );
+        acc.add(join, provenance);
+        if cfg.emit_unary_projections && attr_pairs.len() > 1 {
+            for (la, ra) in &attr_pairs {
+                if l_rel == r_rel && la == ra {
+                    continue;
+                }
+                acc.add(
+                    EquiJoin::new(IndSide::single(l_rel, *la), IndSide::single(r_rel, *ra)),
+                    provenance,
+                );
+            }
+        }
+    }
+}
+
+/// Walks a query; `outer` is the stack of enclosing scopes (innermost
+/// last) for correlated column resolution. Returns the scope of the
+/// query's first body so callers (`IN` subqueries, `INTERSECT`
+/// pairing) can resolve its projection columns.
+fn walk_query(ctx: &mut StatementCtx<'_>, q: &Query, outer: &[Scope]) -> Scope {
+    let scope = walk_select(ctx, &q.body, outer);
+
+    if let Some((op, rest)) = &q.compound {
+        let rest_scope = walk_query(ctx, rest, outer);
+        if *op == SetOp::Intersect && ctx.cfg.include_intersect {
+            // Pair up the two projections positionally: a tuple can be
+            // in the intersection only if the paired columns are equal.
+            let left_cols = projection_columns(&q.body.items);
+            let right_cols = projection_columns(&rest.body.items);
+            for (l, r) in left_cols.iter().zip(right_cols.iter()) {
+                if let (Some(lc), Some(rc)) = (l, r) {
+                    let ln = resolve(ctx, lc, &with_scope(outer, &scope));
+                    let rn = resolve(ctx, rc, &with_scope(outer, &rest_scope));
+                    if let (Some(ln), Some(rn)) = (ln, rn) {
+                        ctx.graph.equate(ln, rn);
+                    }
+                }
+            }
+        }
+    }
+    scope
+}
+
+/// Walks one select block, registering its FROM bindings and harvesting
+/// equalities; returns the created scope.
+fn walk_select(ctx: &mut StatementCtx<'_>, s: &dbre_sql::ast::Select, outer: &[Scope]) -> Scope {
+    let mut scope: Scope = Vec::new();
+    for tr in &s.from {
+        match ctx.schema.rel_id(&tr.table) {
+            Some(rel) => {
+                let inst = ctx.instances.len() as u32;
+                ctx.instances.push(rel);
+                scope.push((tr.binding().to_string(), inst));
+            }
+            None => ctx
+                .warnings
+                .push(format!("unknown table `{}` in FROM", tr.table)),
+        }
+    }
+    let scopes = with_scope(outer, &scope);
+    for cond in s.join_conds.iter().chain(s.where_clause.iter()) {
+        harvest(ctx, cond, &scopes, false);
+    }
+    scope
+}
+
+fn with_scope(outer: &[Scope], inner: &Scope) -> Vec<Scope> {
+    let mut v: Vec<Scope> = outer.to_vec();
+    v.push(inner.clone());
+    v
+}
+
+fn projection_columns(items: &[SelectItem]) -> Vec<Option<ColumnRef>> {
+    items
+        .iter()
+        .map(|it| match it {
+            SelectItem::Expr {
+                expr: Expr::Column(c),
+                ..
+            } => Some(c.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Harvests equalities from a predicate tree. `inside_disjunction`
+/// tracks whether we are under an `OR`/`NOT` (weaker evidence — kept
+/// as an explicit marker even though no current policy downgrades it).
+#[allow(clippy::only_used_in_recursion)]
+fn harvest(ctx: &mut StatementCtx<'_>, e: &Expr, scopes: &[Scope], inside_disjunction: bool) {
+    match e {
+        Expr::And(l, r) => {
+            harvest(ctx, l, scopes, inside_disjunction);
+            harvest(ctx, r, scopes, inside_disjunction);
+        }
+        Expr::Or(l, r) => {
+            if ctx.cfg.include_disjunctive {
+                harvest(ctx, l, scopes, true);
+                harvest(ctx, r, scopes, true);
+            }
+        }
+        Expr::Not(x) => {
+            if ctx.cfg.include_disjunctive {
+                harvest(ctx, x, scopes, true);
+            }
+        }
+        Expr::Cmp { .. } => {
+            if let Some((a, b)) = e.as_column_equality() {
+                let na = resolve(ctx, a, scopes);
+                let nb = resolve(ctx, b, scopes);
+                if let (Some(na), Some(nb)) = (na, nb) {
+                    ctx.graph.equate(na, nb);
+                }
+            }
+        }
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
+            // Walk the subquery with current scopes visible (correlated
+            // predicates inside are harvested there).
+            let sub_scope = walk_query(ctx, query, scopes);
+            if ctx.cfg.include_in_subqueries && !*negated {
+                if let Expr::Column(outer_col) = expr.as_ref() {
+                    let cols = projection_columns(&query.body.items);
+                    if cols.len() == 1 {
+                        if let Some(inner_col) = &cols[0] {
+                            let on = resolve(ctx, outer_col, scopes);
+                            let inn = resolve(
+                                ctx,
+                                inner_col,
+                                &with_scope(scopes, &sub_scope),
+                            );
+                            if let (Some(on), Some(inn)) = (on, inn) {
+                                ctx.graph.equate(on, inn);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Expr::Exists { query, .. } => {
+            walk_query(ctx, query, scopes);
+        }
+        Expr::IsNull { .. }
+        | Expr::InList { .. }
+        | Expr::Column(_)
+        | Expr::Literal(_)
+        | Expr::CountStar
+        | Expr::CountDistinct(_)
+        | Expr::Agg { .. } => {}
+    }
+}
+
+/// Resolves a column reference against a scope stack (innermost last).
+fn resolve(ctx: &mut StatementCtx<'_>, c: &ColumnRef, scopes: &[Scope]) -> Option<Node> {
+    for scope in scopes.iter().rev() {
+        let mut found: Option<Node> = None;
+        let mut ambiguous = false;
+        for (binding, inst) in scope {
+            if let Some(q) = &c.qualifier {
+                if q != binding {
+                    continue;
+                }
+            }
+            let rel = ctx.schema.relation(ctx.instances[*inst as usize]);
+            if let Some(attr) = rel.attr_id(&c.name) {
+                if found.is_some() {
+                    ambiguous = true;
+                    break;
+                }
+                found = Some(Node {
+                    instance: *inst,
+                    attr,
+                });
+            }
+        }
+        if ambiguous {
+            ctx.warnings
+                .push(format!("ambiguous column `{c}` — equality skipped"));
+            return None;
+        }
+        if found.is_some() {
+            return found;
+        }
+    }
+    ctx.warnings
+        .push(format!("unresolved column `{c}` — equality skipped"));
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbre_relational::schema::Relation;
+    use dbre_relational::value::Domain;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation(Relation::of(
+            "Person",
+            &[("id", Domain::Int), ("name", Domain::Text)],
+        ))
+        .unwrap();
+        s.add_relation(Relation::of(
+            "HEmployee",
+            &[("no", Domain::Int), ("date", Domain::Date), ("salary", Domain::Float)],
+        ))
+        .unwrap();
+        s.add_relation(Relation::of(
+            "Assignment",
+            &[("emp", Domain::Int), ("dep", Domain::Text), ("proj", Domain::Text)],
+        ))
+        .unwrap();
+        s.add_relation(Relation::of(
+            "Department",
+            &[("dep", Domain::Text), ("emp", Domain::Int), ("proj", Domain::Text)],
+        ))
+        .unwrap();
+        s
+    }
+
+    fn extract_sql(sql: &str) -> Extraction {
+        extract_sql_cfg(sql, &ExtractConfig::default())
+    }
+
+    fn extract_sql_cfg(sql: &str, cfg: &ExtractConfig) -> Extraction {
+        let schema = schema();
+        let programs = [ProgramSource::sql("test", sql)];
+        extract_programs(&schema, &programs, cfg)
+    }
+
+    fn rendered(e: &Extraction) -> Vec<String> {
+        let s = schema();
+        e.joins.iter().map(|j| j.join.render(&s)).collect()
+    }
+
+    #[test]
+    fn where_clause_equijoin() {
+        let e = extract_sql(
+            "SELECT name FROM Person p, HEmployee e WHERE e.no = p.id AND e.salary > 0",
+        );
+        assert_eq!(rendered(&e), vec!["Person[id] |><| HEmployee[no]"]);
+        assert!(e.warnings.is_empty());
+    }
+
+    #[test]
+    fn composite_equijoin_groups_attribute_pairs() {
+        let e = extract_sql(
+            "SELECT * FROM Assignment a, Department d WHERE a.dep = d.dep AND a.emp = d.emp",
+        );
+        assert_eq!(
+            rendered(&e),
+            vec!["Assignment[emp, dep] |><| Department[emp, dep]"]
+        );
+    }
+
+    #[test]
+    fn unary_projection_option() {
+        let cfg = ExtractConfig {
+            emit_unary_projections: true,
+            ..Default::default()
+        };
+        let e = extract_sql_cfg(
+            "SELECT * FROM Assignment a, Department d WHERE a.dep = d.dep AND a.emp = d.emp",
+            &cfg,
+        );
+        let r = rendered(&e);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&"Assignment[dep] |><| Department[dep]".to_string()));
+        assert!(r.contains(&"Assignment[emp] |><| Department[emp]".to_string()));
+    }
+
+    #[test]
+    fn transitive_equality_closure() {
+        let e = extract_sql(
+            "SELECT * FROM Person p, HEmployee e, Assignment a \
+             WHERE p.id = e.no AND e.no = a.emp",
+        );
+        let r = rendered(&e);
+        // Closure adds Person ⋈ Assignment.
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&"Person[id] |><| HEmployee[no]".to_string()));
+        assert!(r.contains(&"HEmployee[no] |><| Assignment[emp]".to_string()));
+        assert!(r.contains(&"Person[id] |><| Assignment[emp]".to_string()));
+    }
+
+    #[test]
+    fn in_subquery_is_a_join() {
+        let e = extract_sql(
+            "SELECT name FROM Person WHERE id IN (SELECT no FROM HEmployee WHERE salary > 0)",
+        );
+        assert_eq!(rendered(&e), vec!["Person[id] |><| HEmployee[no]"]);
+    }
+
+    #[test]
+    fn not_in_subquery_is_not_a_join() {
+        let e = extract_sql(
+            "SELECT name FROM Person WHERE id NOT IN (SELECT no FROM HEmployee)",
+        );
+        assert!(e.joins.is_empty());
+    }
+
+    #[test]
+    fn correlated_exists_join() {
+        let e = extract_sql(
+            "SELECT name FROM Person p WHERE EXISTS \
+             (SELECT * FROM HEmployee e WHERE e.no = p.id)",
+        );
+        assert_eq!(rendered(&e), vec!["Person[id] |><| HEmployee[no]"]);
+    }
+
+    #[test]
+    fn intersect_projections_join() {
+        let e = extract_sql(
+            "SELECT dep FROM Department INTERSECT SELECT dep FROM Assignment",
+        );
+        assert_eq!(rendered(&e), vec!["Assignment[dep] |><| Department[dep]"]);
+    }
+
+    #[test]
+    fn join_on_clause() {
+        let e = extract_sql(
+            "SELECT * FROM Department d JOIN Assignment a ON d.proj = a.proj",
+        );
+        assert_eq!(rendered(&e), vec!["Assignment[proj] |><| Department[proj]"]);
+    }
+
+    #[test]
+    fn disjunctive_equalities_skipped_by_default() {
+        let sql = "SELECT * FROM Person p, HEmployee e WHERE e.no = p.id OR e.salary = 0";
+        let e = extract_sql(sql);
+        assert!(e.joins.is_empty());
+        let cfg = ExtractConfig {
+            include_disjunctive: true,
+            ..Default::default()
+        };
+        let e = extract_sql_cfg(sql, &cfg);
+        assert_eq!(rendered(&e), vec!["Person[id] |><| HEmployee[no]"]);
+    }
+
+    #[test]
+    fn self_join_same_attrs_dropped_distinct_attrs_kept() {
+        let e = extract_sql("SELECT * FROM Department a, Department b WHERE a.dep = b.dep");
+        assert!(e.joins.is_empty(), "R[x] ⋈ R[x] carries no navigation");
+        let e = extract_sql("SELECT * FROM Department a, Department b WHERE a.emp = b.dep");
+        assert_eq!(e.joins.len(), 1);
+    }
+
+    #[test]
+    fn literal_comparisons_ignored() {
+        let e = extract_sql("SELECT * FROM Person WHERE id = 3 AND name = 'x'");
+        assert!(e.joins.is_empty());
+        assert!(e.warnings.is_empty());
+    }
+
+    #[test]
+    fn unknown_table_warns_and_continues() {
+        let e = extract_sql("SELECT * FROM Ghost g, Person p WHERE g.x = p.id");
+        assert!(e.joins.is_empty());
+        assert!(!e.warnings.is_empty());
+    }
+
+    #[test]
+    fn unparseable_statement_warns() {
+        let e = extract_sql("SELECT FROM WHERE");
+        assert!(e.joins.is_empty());
+        assert!(!e.warnings.is_empty());
+    }
+
+    #[test]
+    fn duplicate_joins_merge_provenance() {
+        let schema = schema();
+        let programs = [
+            ProgramSource::sql("p1", "SELECT * FROM Person p, HEmployee e WHERE e.no = p.id"),
+            ProgramSource::sql("p2", "SELECT * FROM HEmployee e, Person p WHERE p.id = e.no"),
+        ];
+        let e = extract_programs(&schema, &programs, &ExtractConfig::default());
+        assert_eq!(e.joins.len(), 1);
+        assert_eq!(e.joins[0].provenance.len(), 2);
+    }
+
+    #[test]
+    fn embedded_program_extraction() {
+        let schema = schema();
+        let programs = [ProgramSource::embedded(
+            "report.c",
+            "EXEC SQL SELECT name FROM Person p, HEmployee e \
+             WHERE e.no = p.id AND e.salary > :minsal;",
+        )];
+        let e = extract_programs(&schema, &programs, &ExtractConfig::default());
+        assert_eq!(e.joins.len(), 1);
+    }
+
+    #[test]
+    fn unqualified_columns_resolve_when_unique() {
+        let e = extract_sql("SELECT * FROM Person, HEmployee WHERE no = id");
+        assert_eq!(rendered(&e), vec!["Person[id] |><| HEmployee[no]"]);
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_warns() {
+        // `dep` exists in both Assignment and Department.
+        let e = extract_sql("SELECT * FROM Assignment, Department WHERE dep = proj");
+        assert!(e.joins.is_empty());
+        assert!(!e.warnings.is_empty());
+    }
+}

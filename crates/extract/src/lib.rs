@@ -1,0 +1,25 @@
+//! # dbre-extract
+//!
+//! Equi-join extraction from application programs — the computation of
+//! the paper's set `Q` (§4), which the paper assumes available: "we
+//! assume that such a set is available, i.e., it has been computed".
+//!
+//! [`source`] scans SQL out of program files (plain scripts or
+//! `EXEC SQL` embedded sections, host variables neutralized);
+//! [`extractor`] mines the parsed statements for equi-joins in all the
+//! forms the paper enumerates — `WHERE` conjunctions, `ON` clauses,
+//! nested `IN` subqueries, correlated `EXISTS`, `INTERSECT` — closing
+//! equalities transitively and grouping multi-attribute conjunctions
+//! into composite joins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod equality;
+pub mod extractor;
+pub mod source;
+
+pub use extractor::{
+    extract_programs, extract_query_joins, ExtractConfig, ExtractedJoin, Extraction, Provenance,
+};
+pub use source::{ProgramSource, SourceKind};

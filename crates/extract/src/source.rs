@@ -1,0 +1,286 @@
+//! Application-program sources and embedded-SQL scanning.
+//!
+//! The paper's `P` is "the application part of the relational database
+//! in operation" — forms, reports, batch programs. Legacy systems embed
+//! their SQL either as plain script files or inside a host language:
+//!
+//! * C-style: `EXEC SQL <statement> ;`
+//! * COBOL-style: `EXEC SQL <statement> END-EXEC.`
+//!
+//! Host variables (`:empno`) occur inside predicates. They never take
+//! part in a *column-to-column* equality, so the scanner replaces each
+//! `:ident` with `NULL` before parsing — the statement stays
+//! syntactically valid and the equi-join structure is untouched.
+
+/// How a program file carries its SQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceKind {
+    /// Plain `.sql` script: the whole text is SQL.
+    Sql,
+    /// Host-language file with `EXEC SQL … ;` / `EXEC SQL … END-EXEC`
+    /// sections.
+    Embedded,
+    /// Detect per file: treated as [`SourceKind::Embedded`] when the
+    /// text contains `EXEC SQL`, otherwise as [`SourceKind::Sql`].
+    #[default]
+    Auto,
+}
+
+/// One application program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSource {
+    /// Program name (file name, form id, …) — used in provenance.
+    pub name: String,
+    /// Raw text.
+    pub text: String,
+    /// SQL carrier kind.
+    pub kind: SourceKind,
+}
+
+impl ProgramSource {
+    /// A plain SQL program.
+    pub fn sql(name: impl Into<String>, text: impl Into<String>) -> Self {
+        ProgramSource {
+            name: name.into(),
+            text: text.into(),
+            kind: SourceKind::Sql,
+        }
+    }
+
+    /// An embedded-SQL program.
+    pub fn embedded(name: impl Into<String>, text: impl Into<String>) -> Self {
+        ProgramSource {
+            name: name.into(),
+            text: text.into(),
+            kind: SourceKind::Embedded,
+        }
+    }
+
+    /// Extracts the SQL statement texts carried by this program, with
+    /// host variables already neutralized.
+    pub fn statements(&self) -> Vec<String> {
+        let kind = match self.kind {
+            SourceKind::Auto => {
+                if find_ci(&self.text, "EXEC SQL", 0).is_some() {
+                    SourceKind::Embedded
+                } else {
+                    SourceKind::Sql
+                }
+            }
+            k => k,
+        };
+        match kind {
+            SourceKind::Sql => vec![strip_host_variables(&self.text)],
+            SourceKind::Embedded => scan_embedded(&self.text)
+                .into_iter()
+                .map(|s| strip_host_variables(&s))
+                .collect(),
+            SourceKind::Auto => unreachable!("resolved above"),
+        }
+    }
+}
+
+/// Case-insensitive substring search starting at `from`.
+fn find_ci(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if n.is_empty() || h.len() < n.len() {
+        return None;
+    }
+    (from..=h.len() - n.len()).find(|&i| {
+        h[i..i + n.len()]
+            .iter()
+            .zip(n)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    })
+}
+
+/// Scans `EXEC SQL … (END-EXEC | ;)` sections out of host text.
+///
+/// The terminator search is quote-aware: a `;` inside a string literal
+/// does not end the section.
+fn scan_embedded(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(start) = find_ci(text, "EXEC SQL", i) {
+        let body_start = start + "EXEC SQL".len();
+        let bytes = text.as_bytes();
+        let mut j = body_start;
+        let mut in_string = false;
+        let mut end = None;
+        while j < bytes.len() {
+            let c = bytes[j];
+            if in_string {
+                if c == b'\'' {
+                    // `''` escape
+                    if bytes.get(j + 1) == Some(&b'\'') {
+                        j += 1;
+                    } else {
+                        in_string = false;
+                    }
+                }
+            } else if c == b'\'' {
+                in_string = true;
+            } else if c == b';' {
+                end = Some((j, j + 1));
+                break;
+            } else if c.eq_ignore_ascii_case(&b'e')
+                && find_ci(text, "END-EXEC", j) == Some(j)
+            {
+                end = Some((j, j + "END-EXEC".len()));
+                break;
+            }
+            j += 1;
+        }
+        match end {
+            Some((stmt_end, next)) => {
+                out.push(text[body_start..stmt_end].trim().to_string());
+                i = next;
+            }
+            None => {
+                // Unterminated section: take to end of text.
+                out.push(text[body_start..].trim().to_string());
+                break;
+            }
+        }
+    }
+    out.retain(|s| !s.is_empty());
+    out
+}
+
+/// Replaces `:ident` host variables with `NULL`.
+fn strip_host_variables(sql: &str) -> String {
+    let bytes = sql.as_bytes();
+    let mut out = String::with_capacity(sql.len());
+    let mut i = 0;
+    let mut in_string = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_string {
+            out.push(char::from(c));
+            if c == b'\'' {
+                in_string = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            b'\'' => {
+                in_string = true;
+                out.push('\'');
+                i += 1;
+            }
+            b':' if i + 1 < bytes.len()
+                && (bytes[i + 1].is_ascii_alphabetic() || bytes[i + 1] == b'_') =>
+            {
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'-')
+                {
+                    i += 1;
+                }
+                out.push_str("NULL");
+            }
+            _ => {
+                out.push(char::from(c));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sql_passes_through() {
+        let p = ProgramSource::sql("report1", "SELECT * FROM Person;");
+        assert_eq!(p.statements(), vec!["SELECT * FROM Person;".to_string()]);
+    }
+
+    #[test]
+    fn embedded_c_style() {
+        let p = ProgramSource::embedded(
+            "payroll.c",
+            r#"
+            int main() {
+                EXEC SQL SELECT salary FROM HEmployee WHERE no = :empno;
+                printf("done");
+                EXEC SQL SELECT name FROM Person p, HEmployee e
+                         WHERE e.no = p.id;
+            }
+            "#,
+        );
+        let stmts = p.statements();
+        assert_eq!(stmts.len(), 2);
+        assert!(stmts[0].contains("no = NULL"));
+        assert!(stmts[1].contains("e.no = p.id"));
+    }
+
+    #[test]
+    fn embedded_cobol_style() {
+        let p = ProgramSource::embedded(
+            "payroll.cob",
+            "PROCEDURE DIVISION.\n EXEC SQL SELECT dep FROM Department END-EXEC.\n STOP RUN.",
+        );
+        assert_eq!(p.statements(), vec!["SELECT dep FROM Department".to_string()]);
+    }
+
+    #[test]
+    fn auto_detects_embedded() {
+        let p = ProgramSource {
+            name: "x".into(),
+            text: "junk exec sql SELECT a FROM b; more junk".into(),
+            kind: SourceKind::Auto,
+        };
+        assert_eq!(p.statements(), vec!["SELECT a FROM b".to_string()]);
+        let p = ProgramSource {
+            name: "y".into(),
+            text: "SELECT a FROM b".into(),
+            kind: SourceKind::Auto,
+        };
+        assert_eq!(p.statements(), vec!["SELECT a FROM b".to_string()]);
+    }
+
+    #[test]
+    fn semicolon_inside_string_does_not_terminate() {
+        let p = ProgramSource::embedded(
+            "x.c",
+            "EXEC SQL SELECT a FROM b WHERE c = 'x;y';",
+        );
+        assert_eq!(
+            p.statements(),
+            vec!["SELECT a FROM b WHERE c = 'x;y'".to_string()]
+        );
+    }
+
+    #[test]
+    fn host_variables_replaced_with_null() {
+        assert_eq!(
+            strip_host_variables("WHERE a = :v1 AND b = :other-var"),
+            "WHERE a = NULL AND b = NULL"
+        );
+        // `:` inside strings untouched.
+        assert_eq!(
+            strip_host_variables("WHERE a = ':notvar'"),
+            "WHERE a = ':notvar'"
+        );
+    }
+
+    #[test]
+    fn unterminated_embedded_section_taken_to_eof() {
+        let p = ProgramSource::embedded("x.c", "EXEC SQL SELECT a FROM b");
+        assert_eq!(p.statements(), vec!["SELECT a FROM b".to_string()]);
+    }
+
+    #[test]
+    fn find_ci_cases() {
+        assert_eq!(find_ci("abcEXEC sql", "exec SQL", 0), Some(3));
+        assert_eq!(find_ci("short", "longer needle", 0), None);
+        assert_eq!(find_ci("xx", "", 0), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the equi-join extractor: programs generated in
+//! every syntactic form must yield the navigation they encode, and the
+//! extractor must be total on arbitrary text.
+
+use dbre_extract::{extract_programs, ExtractConfig, ProgramSource};
+use dbre_relational::schema::{Relation, Schema};
+use dbre_relational::value::Domain;
+use proptest::prelude::*;
+
+/// A small fixed schema the generated programs navigate.
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    for (name, cols) in [
+        ("T0", vec!["a0", "b0", "c0"]),
+        ("T1", vec!["a1", "b1", "c1"]),
+        ("T2", vec!["a2", "b2", "c2"]),
+    ] {
+        let attrs: Vec<(&str, Domain)> = cols.iter().map(|c| (*c, Domain::Int)).collect();
+        s.add_relation(Relation::of(name, &attrs)).unwrap();
+    }
+    s
+}
+
+/// Renders one navigation `(lt.lc = rt.rc)` in form `form`.
+fn render_form(form: u8, lt: &str, lc: &str, rt: &str, rc: &str) -> String {
+    match form % 5 {
+        0 => format!("SELECT x.{lc} FROM {lt} x, {rt} y WHERE x.{lc} = y.{rc};"),
+        1 => format!("SELECT * FROM {lt} x JOIN {rt} y ON x.{lc} = y.{rc};"),
+        2 => format!("SELECT x.{lc} FROM {lt} x WHERE x.{lc} IN (SELECT y.{rc} FROM {rt} y);"),
+        3 => format!(
+            "SELECT x.{lc} FROM {lt} x WHERE EXISTS (SELECT * FROM {rt} y WHERE y.{rc} = x.{lc});"
+        ),
+        _ => format!("SELECT {lc} FROM {lt} INTERSECT SELECT {rc} FROM {rt};"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_syntactic_form_yields_its_navigation(
+        form in 0u8..5,
+        lt in 0usize..3,
+        rt in 0usize..3,
+        lc in 0usize..3,
+        rc in 0usize..3,
+    ) {
+        prop_assume!(lt != rt || lc != rc);
+        let s = schema();
+        let tables = ["T0", "T1", "T2"];
+        let (ltn, rtn) = (tables[lt], tables[rt]);
+        let lcn = format!("{}{}", ["a", "b", "c"][lc], lt);
+        let rcn = format!("{}{}", ["a", "b", "c"][rc], rt);
+        let sql = render_form(form, ltn, &lcn, rtn, &rcn);
+        let programs = [ProgramSource::sql("p", sql.clone())];
+        let extraction = extract_programs(&s, &programs, &ExtractConfig::default());
+        prop_assert!(extraction.warnings.is_empty(), "{sql}: {:?}", extraction.warnings);
+        prop_assert_eq!(extraction.joins.len(), 1, "{}", sql);
+        let rendered = extraction.joins[0].join.render(&s);
+        let a = format!("{ltn}[{lcn}] |><| {rtn}[{rcn}]");
+        let b = format!("{rtn}[{rcn}] |><| {ltn}[{lcn}]");
+        prop_assert!(rendered == a || rendered == b, "{sql} gave {rendered}");
+    }
+
+    #[test]
+    fn extractor_is_total_on_arbitrary_programs(text in "\\PC{0,300}") {
+        let s = schema();
+        let programs = [
+            ProgramSource::sql("p1", text.clone()),
+            ProgramSource::embedded("p2", text),
+        ];
+        // Must never panic; warnings are fine.
+        let _ = extract_programs(&s, &programs, &ExtractConfig::default());
+    }
+
+    #[test]
+    fn composite_conjunctions_group_into_one_join(
+        n_conds in 1usize..3,
+    ) {
+        let s = schema();
+        let conds: Vec<String> = (0..n_conds)
+            .map(|i| {
+                let c = ["a", "b", "c"][i];
+                format!("x.{c}0 = y.{c}1")
+            })
+            .collect();
+        let sql = format!(
+            "SELECT * FROM T0 x, T1 y WHERE {};",
+            conds.join(" AND ")
+        );
+        let programs = [ProgramSource::sql("p", sql)];
+        let extraction = extract_programs(&s, &programs, &ExtractConfig::default());
+        prop_assert_eq!(extraction.joins.len(), 1);
+        prop_assert_eq!(extraction.joins[0].join.left.attrs.len(), n_conds);
+    }
+}

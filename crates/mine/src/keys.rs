@@ -1,0 +1,254 @@
+//! Key (unique column combination) discovery from the extension.
+//!
+//! The paper assumes `K` can be read from the data dictionary ("the
+//! expert user is not required to provide this information"). Truly
+//! ancient DBMSs predate even `UNIQUE` declarations; this module
+//! recovers candidate keys from the data so the pipeline can run on
+//! such systems: levelwise search over column combinations, where `X`
+//! is unique iff its stripped partition has no class, with supersets
+//! of found keys pruned (minimality) and NULL-free-ness required
+//! (SQL keys are not null).
+//!
+//! A discovered key is only a *candidate* — uniqueness in a snapshot
+//! is necessary, not sufficient — which is exactly the kind of
+//! presumption the paper routes through the expert user.
+
+use crate::partitions::StrippedPartition;
+use dbre_relational::attr::{AttrId, AttrSet};
+use dbre_relational::database::Database;
+use dbre_relational::schema::RelId;
+use dbre_relational::table::Table;
+
+/// Work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyStats {
+    /// Uniqueness tests performed.
+    pub tests: usize,
+}
+
+/// Result of key discovery on one relation.
+#[derive(Debug, Clone)]
+pub struct KeyResult {
+    /// Minimal unique column sets, sorted.
+    pub keys: Vec<AttrSet>,
+    /// Work counters.
+    pub stats: KeyStats,
+}
+
+/// Discovers all minimal unique column combinations of a table, up to
+/// `max_width` columns (`None` = full lattice). Columns containing
+/// NULL are excluded from key membership.
+pub fn discover_keys(table: &Table, max_width: Option<usize>) -> KeyResult {
+    let n = table.arity();
+    assert!(n <= 32, "key discovery supports at most 32 attributes");
+    let mut stats = KeyStats::default();
+
+    // Columns containing NULL cannot participate in a key.
+    let eligible: Vec<u16> = (0..n as u16)
+        .filter(|&i| {
+            !table
+                .column(AttrId(i))
+                .iter()
+                .any(dbre_relational::Value::is_null)
+        })
+        .collect();
+
+    let mut keys: Vec<AttrSet> = Vec::new();
+    // Level 1 seeds: partitions for eligible single columns.
+    let mut level: Vec<(u32, StrippedPartition)> = Vec::new();
+    for &i in &eligible {
+        let p = StrippedPartition::for_attribute(table, AttrId(i));
+        stats.tests += 1;
+        if p.is_key() {
+            keys.push(AttrSet::from_indices([i]));
+        } else {
+            level.push((1 << i, p));
+        }
+    }
+
+    let max_width = max_width.unwrap_or(eligible.len().max(1));
+    let mut width = 1;
+    while width < max_width && !level.is_empty() {
+        let mut next: Vec<(u32, StrippedPartition)> = Vec::new();
+        for i in 0..level.len() {
+            for j in i + 1..level.len() {
+                let (mx, px) = &level[i];
+                let (my, py) = &level[j];
+                let merged = mx | my;
+                if merged.count_ones() != width as u32 + 1 {
+                    continue;
+                }
+                if next.iter().any(|(m, _)| *m == merged) {
+                    continue;
+                }
+                // Prune supersets of found keys.
+                if keys.iter().any(|k| mask_of(k) & merged == mask_of(k)) {
+                    continue;
+                }
+                let p = px.product(py);
+                stats.tests += 1;
+                if p.is_key() {
+                    keys.push(set_of(merged));
+                } else {
+                    next.push((merged, p));
+                }
+            }
+        }
+        level = next;
+        width += 1;
+    }
+
+    // Empty table / single row: the empty set is technically unique,
+    // but a key of nothing helps nobody — report the narrowest
+    // eligible column if any, else nothing.
+    keys.sort();
+    KeyResult { keys, stats }
+}
+
+fn mask_of(set: &AttrSet) -> u32 {
+    set.iter().fold(0u32, |m, a| m | (1 << a.0))
+}
+
+fn set_of(mask: u32) -> AttrSet {
+    AttrSet::from_indices((0..32u16).filter(|i| mask & (1 << i) != 0))
+}
+
+/// Infers keys for every relation of a database that has none declared
+/// and registers the narrowest discovered key as its primary key.
+/// Returns the relations that received an inferred key.
+pub fn infer_missing_keys(db: &mut Database, max_width: Option<usize>) -> Vec<(RelId, AttrSet)> {
+    let mut inferred = Vec::new();
+    let rels: Vec<RelId> = db.schema.iter().map(|(r, _)| r).collect();
+    for rel in rels {
+        if db.constraints.primary_key(rel).is_some() {
+            continue;
+        }
+        let result = discover_keys(db.table(rel), max_width);
+        if let Some(best) = result
+            .keys
+            .iter()
+            .min_by_key(|k| (k.len(), mask_of(k)))
+        {
+            db.constraints.add_key(rel, best.clone());
+            inferred.push((rel, best.clone()));
+        }
+    }
+    db.constraints.normalize();
+    inferred
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbre_relational::schema::Relation;
+    use dbre_relational::value::{Domain, Value};
+
+    fn table(rows: &[&[i64]]) -> Table {
+        let arity = rows.first().map_or(0, |r| r.len());
+        Table::from_rows(
+            arity,
+            rows.iter()
+                .map(|r| r.iter().map(|v| Value::Int(*v)).collect::<Vec<_>>()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_column_key() {
+        let t = table(&[&[1, 5], &[2, 5], &[3, 6]]);
+        let r = discover_keys(&t, None);
+        assert_eq!(r.keys, vec![AttrSet::from_indices([0u16])]);
+    }
+
+    #[test]
+    fn composite_key_when_no_single_works() {
+        // (a, b) unique; neither column alone.
+        let t = table(&[&[1, 1], &[1, 2], &[2, 1]]);
+        let r = discover_keys(&t, None);
+        assert_eq!(r.keys, vec![AttrSet::from_indices([0u16, 1])]);
+    }
+
+    #[test]
+    fn multiple_minimal_keys() {
+        // a unique AND b unique.
+        let t = table(&[&[1, 10], &[2, 20], &[3, 30]]);
+        let r = discover_keys(&t, None);
+        assert_eq!(
+            r.keys,
+            vec![AttrSet::from_indices([0u16]), AttrSet::from_indices([1u16])]
+        );
+    }
+
+    #[test]
+    fn supersets_of_keys_pruned() {
+        let t = table(&[&[1, 1, 1], &[2, 1, 1], &[3, 2, 2]]);
+        let r = discover_keys(&t, None);
+        // {0} is a key; {0,1}, {0,2}, {0,1,2} must not be reported.
+        assert!(r.keys.contains(&AttrSet::from_indices([0u16])));
+        for k in &r.keys {
+            assert!(!AttrSet::from_indices([0u16]).is_strict_subset(k));
+        }
+        // Pruning really cut the test count: full lattice for 3 cols
+        // is 7 sets; we must have tested fewer.
+        assert!(r.stats.tests < 7);
+    }
+
+    #[test]
+    fn null_columns_excluded() {
+        let t = Table::from_rows(
+            2,
+            vec![
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Int(2), Value::Int(5)],
+            ],
+        )
+        .unwrap();
+        let r = discover_keys(&t, None);
+        assert_eq!(r.keys, vec![AttrSet::from_indices([0u16])]);
+    }
+
+    #[test]
+    fn duplicate_rows_mean_no_key() {
+        let t = table(&[&[1, 1], &[1, 1]]);
+        let r = discover_keys(&t, None);
+        assert!(r.keys.is_empty());
+    }
+
+    #[test]
+    fn width_bound_respected() {
+        let t = table(&[&[1, 1, 7], &[1, 2, 8], &[2, 1, 9], &[2, 2, 7]]);
+        let r = discover_keys(&t, Some(1));
+        assert!(r.keys.is_empty(), "the only key {{a,b}} is width 2");
+        let r = discover_keys(&t, Some(2));
+        assert!(r.keys.contains(&AttrSet::from_indices([0u16, 1])));
+    }
+
+    #[test]
+    fn infer_missing_keys_fills_undeclared_relations() {
+        let mut db = Database::new();
+        let declared = db
+            .add_relation(Relation::of("Declared", &[("id", Domain::Int)]))
+            .unwrap();
+        db.constraints.add_key(declared, AttrSet::from_indices([0u16]));
+        let bare = db
+            .add_relation(Relation::of(
+                "Bare",
+                &[("x", Domain::Int), ("y", Domain::Int)],
+            ))
+            .unwrap();
+        db.constraints.normalize();
+        for (x, y) in [(1, 1), (1, 2), (2, 1)] {
+            db.insert(bare, vec![Value::Int(x), Value::Int(y)]).unwrap();
+        }
+        let inferred = infer_missing_keys(&mut db, None);
+        assert_eq!(inferred.len(), 1);
+        assert_eq!(inferred[0].0, bare);
+        assert!(db
+            .constraints
+            .is_key(bare, &AttrSet::from_indices([0u16, 1])));
+        // Declared relation untouched.
+        assert_eq!(db.constraints.keys_of(declared).count(), 1);
+        // The inferred key is consistent with the dictionary check.
+        db.validate_dictionary().unwrap();
+    }
+}

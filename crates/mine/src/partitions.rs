@@ -1,0 +1,259 @@
+//! Stripped partitions — the core data structure of TANE-style FD
+//! discovery (Huhtala et al.).
+//!
+//! The partition `π_X` of a table groups row indices by their values on
+//! the attribute set `X`. *Stripping* removes singleton classes: they
+//! can never witness an FD violation, and dropping them makes partition
+//! products near-linear in practice.
+//!
+//! NULL semantics: this module treats `NULL` as an ordinary value equal
+//! to itself (the convention of the FD-discovery literature). This
+//! differs from `Database::fd_holds`, which follows SQL and skips
+//! tuples with NULL on the left-hand side; the two agree on NULL-free
+//! data, which the equivalence property test exercises.
+
+use dbre_relational::attr::AttrId;
+use dbre_relational::table::Table;
+use std::collections::HashMap;
+
+/// A stripped partition: equivalence classes of row indices with ≥ 2
+/// members, plus the number of rows of the underlying table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrippedPartition {
+    /// Classes (each sorted ascending), in deterministic order.
+    pub classes: Vec<Vec<usize>>,
+    /// Total rows in the table the partition was built from.
+    pub rows: usize,
+}
+
+impl StrippedPartition {
+    /// Builds `π_X` for a single attribute.
+    pub fn for_attribute(table: &Table, attr: AttrId) -> Self {
+        let mut groups: HashMap<&dbre_relational::value::Value, Vec<usize>> = HashMap::new();
+        for (i, v) in table.column(attr).iter().enumerate() {
+            groups.entry(v).or_default().push(i);
+        }
+        Self::from_groups(groups.into_values(), table.len())
+    }
+
+    /// Builds `π_X` for an attribute set by chained products.
+    pub fn for_attrs(table: &Table, attrs: &[AttrId]) -> Self {
+        match attrs {
+            [] => Self::single_class(table.len()),
+            [first, rest @ ..] => {
+                let mut p = Self::for_attribute(table, *first);
+                for a in rest {
+                    p = p.product(&Self::for_attribute(table, *a));
+                }
+                p
+            }
+        }
+    }
+
+    /// The partition with one class holding every row (`π_∅`).
+    pub fn single_class(rows: usize) -> Self {
+        let classes = if rows >= 2 {
+            vec![(0..rows).collect()]
+        } else {
+            Vec::new()
+        };
+        StrippedPartition { classes, rows }
+    }
+
+    fn from_groups(groups: impl IntoIterator<Item = Vec<usize>>, rows: usize) -> Self {
+        let mut classes: Vec<Vec<usize>> = groups.into_iter().filter(|g| g.len() >= 2).collect();
+        for c in &mut classes {
+            c.sort_unstable();
+        }
+        classes.sort();
+        StrippedPartition { classes, rows }
+    }
+
+    /// Number of non-singleton classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// TANE's error measure `e(X) = (Σ|c|) − |classes|`: the number of
+    /// rows that would have to be removed to make `X` a key.
+    pub fn error(&self) -> usize {
+        self.classes.iter().map(|c| c.len() - 1).sum()
+    }
+
+    /// Is `X` a superkey (all classes singleton)?
+    pub fn is_key(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Partition product `π_X · π_Y = π_{XY}` (TANE's linear-time
+    /// algorithm with a probe table).
+    pub fn product(&self, other: &Self) -> Self {
+        debug_assert_eq!(self.rows, other.rows);
+        // probe[row] = class index in self (+1), 0 = stripped singleton.
+        let mut probe = vec![0usize; self.rows];
+        for (ci, class) in self.classes.iter().enumerate() {
+            for &r in class {
+                probe[r] = ci + 1;
+            }
+        }
+        let mut groups: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for (cj, class) in other.classes.iter().enumerate() {
+            for &r in class {
+                let pi = probe[r];
+                if pi != 0 {
+                    groups.entry((pi, cj)).or_default().push(r);
+                }
+            }
+        }
+        Self::from_groups(groups.into_values(), self.rows)
+    }
+
+    /// Does the FD `X → Y` hold, given `π_X` (self) and `π_{XY}`?
+    ///
+    /// Holds iff refining by `Y` splits nothing: `e(π_X) = e(π_{XY})`.
+    pub fn refines_to(&self, product_with_rhs: &Self) -> bool {
+        self.error() == product_with_rhs.error()
+    }
+}
+
+/// Convenience: does `X → Y` hold in `table` (NULL = NULL convention)?
+pub fn fd_holds_partition(table: &Table, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
+    let px = StrippedPartition::for_attrs(table, lhs);
+    let pxy = px.product(&StrippedPartition::for_attrs(table, rhs));
+    px.refines_to(&pxy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbre_relational::value::Value;
+
+    fn a(i: u16) -> AttrId {
+        AttrId(i)
+    }
+
+    fn table(rows: &[(i64, i64, i64)]) -> Table {
+        Table::from_rows(
+            3,
+            rows.iter()
+                .map(|(x, y, z)| vec![Value::Int(*x), Value::Int(*y), Value::Int(*z)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_attribute_partition() {
+        let t = table(&[(1, 10, 0), (1, 10, 1), (2, 20, 2), (3, 20, 3)]);
+        let p = StrippedPartition::for_attribute(&t, a(0));
+        // value 1 -> {0,1}; values 2,3 singletons stripped.
+        assert_eq!(p.classes, vec![vec![0, 1]]);
+        assert_eq!(p.error(), 1);
+        assert!(!p.is_key());
+    }
+
+    #[test]
+    fn key_attribute_has_empty_partition() {
+        let t = table(&[(1, 0, 0), (2, 0, 1), (3, 0, 2)]);
+        let p = StrippedPartition::for_attribute(&t, a(0));
+        assert!(p.is_key());
+        assert_eq!(p.error(), 0);
+    }
+
+    #[test]
+    fn product_equals_direct_partition() {
+        let t = table(&[
+            (1, 10, 0),
+            (1, 10, 0),
+            (1, 20, 1),
+            (2, 10, 1),
+            (2, 10, 0),
+        ]);
+        let px = StrippedPartition::for_attribute(&t, a(0));
+        let py = StrippedPartition::for_attribute(&t, a(1));
+        let product = px.product(&py);
+        let direct = StrippedPartition::for_attrs(&t, &[a(0), a(1)]);
+        assert_eq!(product, direct);
+        assert_eq!(product.classes, vec![vec![0, 1], vec![3, 4]]);
+    }
+
+    #[test]
+    fn fd_detection() {
+        // x -> y holds; y -> x does not.
+        let t = table(&[(1, 10, 0), (1, 10, 1), (2, 20, 2), (3, 20, 3)]);
+        assert!(fd_holds_partition(&t, &[a(0)], &[a(1)]));
+        assert!(!fd_holds_partition(&t, &[a(1)], &[a(0)]));
+        // Composite LHS: (x, y) -> z fails (rows 0,1 agree on x,y, differ z).
+        assert!(!fd_holds_partition(&t, &[a(0), a(1)], &[a(2)]));
+    }
+
+    #[test]
+    fn empty_lhs_means_constant_column() {
+        let t = table(&[(1, 5, 0), (2, 5, 1), (3, 5, 2)]);
+        assert!(fd_holds_partition(&t, &[], &[a(1)]));
+        assert!(!fd_holds_partition(&t, &[], &[a(0)]));
+    }
+
+    #[test]
+    fn nulls_equal_under_mining_convention() {
+        let t = Table::from_rows(
+            2,
+            vec![
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Null, Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        // NULL = NULL here, so lhs groups both rows and the FD fails.
+        assert!(!fd_holds_partition(&t, &[AttrId(0)], &[AttrId(1)]));
+    }
+
+    #[test]
+    fn tiny_tables() {
+        let t = table(&[]);
+        assert!(StrippedPartition::for_attribute(&t, a(0)).is_key());
+        assert!(fd_holds_partition(&t, &[a(0)], &[a(1)]));
+        let t = table(&[(1, 2, 3)]);
+        assert!(fd_holds_partition(&t, &[a(0)], &[a(1)]));
+        assert!(StrippedPartition::single_class(1).is_key());
+        assert!(!StrippedPartition::single_class(2).is_key());
+    }
+
+    #[test]
+    fn agreement_with_database_fd_holds_on_null_free_data() {
+        use dbre_relational::attr::AttrSet;
+        use dbre_relational::database::Database;
+        use dbre_relational::deps::Fd;
+        use dbre_relational::schema::Relation;
+        use dbre_relational::value::Domain;
+
+        let rows = [(1, 10, 0), (1, 10, 1), (2, 20, 2), (3, 20, 3)];
+        let mut db = Database::new();
+        let rel = db
+            .add_relation(Relation::of(
+                "T",
+                &[("x", Domain::Int), ("y", Domain::Int), ("z", Domain::Int)],
+            ))
+            .unwrap();
+        for (x, y, z) in rows {
+            db.insert(rel, vec![Value::Int(x), Value::Int(y), Value::Int(z)])
+                .unwrap();
+        }
+        let t = table(&rows);
+        for lhs_mask in 1u8..8 {
+            for rhs_bit in 0..3u16 {
+                let lhs: Vec<AttrId> =
+                    (0..3u16).filter(|i| lhs_mask & (1 << i) != 0).map(AttrId).collect();
+                let fd = Fd::new(
+                    rel,
+                    AttrSet::from_iter_ids(lhs.iter().copied()),
+                    AttrSet::from_indices([rhs_bit]),
+                );
+                assert_eq!(
+                    db.fd_holds(&fd),
+                    fd_holds_partition(&t, &lhs, &[AttrId(rhs_bit)]),
+                    "divergence on lhs={lhs:?} rhs={rhs_bit}"
+                );
+            }
+        }
+    }
+}

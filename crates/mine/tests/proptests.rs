@@ -1,0 +1,117 @@
+//! Property tests: TANE is sound+complete against the naive checker;
+//! SPIDER is sound+complete against pairwise inclusion tests.
+
+use dbre_mine::partitions::fd_holds_partition;
+use dbre_mine::spider::{spider, SpiderConfig};
+use dbre_mine::tane::tane;
+use dbre_mine::{fd_error, violations};
+use dbre_relational::attr::{AttrId, AttrSet};
+use dbre_relational::database::Database;
+use dbre_relational::deps::Ind;
+use dbre_relational::schema::{RelId, Relation};
+use dbre_relational::table::Table;
+use dbre_relational::value::{Domain, Value};
+use proptest::prelude::*;
+
+fn small_table(cols: usize, max_rows: usize, card: i64) -> impl Strategy<Value = Table> {
+    prop::collection::vec(
+        prop::collection::vec(0..card, cols..=cols),
+        0..=max_rows,
+    )
+    .prop_map(move |rows| {
+        Table::from_rows(
+            cols,
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>()),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tane_matches_naive_enumeration(t in small_table(4, 12, 3)) {
+        let result = tane(RelId(0), &t, None);
+        // Soundness + minimality + completeness over the full lattice.
+        for lhs_mask in 0u16..16 {
+            for rhs in 0..4u16 {
+                if lhs_mask & (1 << rhs) != 0 {
+                    continue;
+                }
+                let lhs: Vec<AttrId> = (0..4u16)
+                    .filter(|i| lhs_mask & (1 << i) != 0)
+                    .map(AttrId)
+                    .collect();
+                let holds = fd_holds_partition(&t, &lhs, &[AttrId(rhs)]);
+                let minimal = holds
+                    && lhs.iter().all(|d| {
+                        let smaller: Vec<AttrId> =
+                            lhs.iter().copied().filter(|a| a != d).collect();
+                        !fd_holds_partition(&t, &smaller, &[AttrId(rhs)])
+                    });
+                let lhs_set = AttrSet::from_iter_ids(lhs.iter().copied());
+                let rhs_set = AttrSet::from_indices([rhs]);
+                let reported = result
+                    .fds
+                    .iter()
+                    .any(|f| f.lhs == lhs_set && f.rhs == rhs_set);
+                prop_assert_eq!(minimal, reported,
+                    "lhs={:?} rhs={} holds={}", lhs, rhs, holds);
+            }
+        }
+    }
+
+    #[test]
+    fn violations_is_zero_iff_fd_holds(t in small_table(3, 15, 3)) {
+        for lhs in 0..3u16 {
+            for rhs in 0..3u16 {
+                let v = violations(&t, &[AttrId(lhs)], &[AttrId(rhs)]);
+                let holds = dbre_mine::check_hash(&t, &[AttrId(lhs)], &[AttrId(rhs)]);
+                prop_assert_eq!(v == 0, holds);
+                let e = fd_error(&t, &[AttrId(lhs)], &[AttrId(rhs)]);
+                prop_assert!((0.0..=1.0).contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn spider_matches_pairwise_checks(
+        a_vals in prop::collection::vec(0i64..6, 0..15),
+        b_vals in prop::collection::vec(0i64..6, 0..15),
+        c_vals in prop::collection::vec(0i64..6, 0..15),
+    ) {
+        let mut db = Database::new();
+        let rels: Vec<RelId> = ["A", "B", "C"]
+            .iter()
+            .map(|n| {
+                db.add_relation(Relation::of(n, &[("x", Domain::Int)])).unwrap()
+            })
+            .collect();
+        for (rel, vals) in rels.iter().zip([&a_vals, &b_vals, &c_vals]) {
+            for &v in vals.iter() {
+                db.insert(*rel, vec![Value::Int(v)]).unwrap();
+            }
+        }
+        let result = spider(&db, &SpiderConfig::default());
+        for ind in &result.inds {
+            prop_assert!(db.ind_holds(ind), "false positive {ind}");
+        }
+        // Completeness for non-empty columns.
+        for &ri in &rels {
+            for &rj in &rels {
+                if ri == rj {
+                    continue;
+                }
+                if db.table(ri).count_distinct(&[AttrId(0)]) == 0 {
+                    continue;
+                }
+                let ind = Ind::unary(ri, AttrId(0), rj, AttrId(0));
+                if db.ind_holds(&ind) {
+                    prop_assert!(result.inds.contains(&ind), "missed {ind}");
+                }
+            }
+        }
+    }
+}

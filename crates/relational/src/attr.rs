@@ -1,0 +1,328 @@
+//! Attributes and attribute sets.
+//!
+//! The paper writes `X`, `Y`, `Z` for attribute sets and `a`, `b` for
+//! single attributes, with `XY` for union and `X - Y` for difference.
+//! [`AttrSet`] mirrors that algebra as a compact sorted vector of
+//! per-relation attribute indices.
+
+use crate::value::Domain;
+use std::fmt;
+
+/// Index of an attribute within its relation (position in the relation
+/// header). Stable across the lifetime of a schema: attribute removal
+/// during restructuring produces a *new* relation rather than mutating
+/// indices in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The raw index as usize, for column lookup.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for AttrId {
+    fn from(v: u16) -> Self {
+        AttrId(v)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An attribute declaration: a name and a domain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute name, unique within its relation.
+    pub name: String,
+    /// Declared domain.
+    pub domain: Domain,
+}
+
+impl Attribute {
+    /// Creates an attribute with the given name and domain.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        Attribute {
+            name: name.into(),
+            domain,
+        }
+    }
+
+    /// Creates a text attribute (the most common legacy column type).
+    pub fn text(name: impl Into<String>) -> Self {
+        Attribute::new(name, Domain::Text)
+    }
+
+    /// Creates an integer attribute.
+    pub fn int(name: impl Into<String>) -> Self {
+        Attribute::new(name, Domain::Int)
+    }
+}
+
+/// A set of attributes of one relation: sorted, duplicate-free vector of
+/// [`AttrId`]s.
+///
+/// Sets in dependency algorithms are small (a handful of attributes), so
+/// a sorted vector beats hash sets both in speed and determinism of
+/// iteration order (important for reproducible reports).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AttrSet(Vec<AttrId>);
+
+impl AttrSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        AttrSet(Vec::new())
+    }
+
+    /// Singleton set `{a}`.
+    pub fn single(a: AttrId) -> Self {
+        AttrSet(vec![a])
+    }
+
+    /// Builds a set from any iterator of ids (sorts and dedups).
+    pub fn from_iter_ids(ids: impl IntoIterator<Item = AttrId>) -> Self {
+        let mut v: Vec<AttrId> = ids.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        AttrSet(v)
+    }
+
+    /// Builds a set from raw u16 indices.
+    pub fn from_indices(ids: impl IntoIterator<Item = u16>) -> Self {
+        Self::from_iter_ids(ids.into_iter().map(AttrId))
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, a: AttrId) -> bool {
+        self.0.binary_search(&a).is_ok()
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The underlying sorted slice.
+    pub fn as_slice(&self) -> &[AttrId] {
+        &self.0
+    }
+
+    /// Inserts an attribute, keeping the sorted invariant.
+    pub fn insert(&mut self, a: AttrId) {
+        if let Err(pos) = self.0.binary_search(&a) {
+            self.0.insert(pos, a);
+        }
+    }
+
+    /// Removes an attribute if present; returns whether it was present.
+    pub fn remove(&mut self, a: AttrId) -> bool {
+        match self.0.binary_search(&a) {
+            Ok(pos) => {
+                self.0.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Set union `XY`.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        AttrSet(out)
+    }
+
+    /// Set difference `X - Y`.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        AttrSet(
+            self.0
+                .iter()
+                .copied()
+                .filter(|a| !other.contains(*a))
+                .collect(),
+        )
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        AttrSet(out)
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        let mut j = 0;
+        for a in &self.0 {
+            loop {
+                if j >= other.0.len() {
+                    return false;
+                }
+                match other.0[j].cmp(a) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Is `self ⊂ other` (strict)?
+    pub fn is_strict_subset(&self, other: &AttrSet) -> bool {
+        self.len() < other.len() && self.is_subset(other)
+    }
+
+    /// Do the two sets share no attribute?
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        self.intersection(other).is_empty()
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        AttrSet::from_iter_ids(iter)
+    }
+}
+
+impl FromIterator<u16> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = u16>>(iter: T) -> Self {
+        AttrSet::from_indices(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = AttrId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, AttrId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ids: &[u16]) -> AttrSet {
+        AttrSet::from_indices(ids.iter().copied())
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let x = s(&[3, 1, 3, 2, 1]);
+        assert_eq!(x.as_slice(), &[AttrId(1), AttrId(2), AttrId(3)]);
+        assert_eq!(x.len(), 3);
+    }
+
+    #[test]
+    fn union_difference_intersection() {
+        let x = s(&[1, 2, 3]);
+        let y = s(&[3, 4]);
+        assert_eq!(x.union(&y), s(&[1, 2, 3, 4]));
+        assert_eq!(x.difference(&y), s(&[1, 2]));
+        assert_eq!(x.intersection(&y), s(&[3]));
+        assert_eq!(y.difference(&x), s(&[4]));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let x = s(&[1, 3]);
+        let y = s(&[1, 2, 3]);
+        assert!(x.is_subset(&y));
+        assert!(x.is_strict_subset(&y));
+        assert!(!y.is_subset(&x));
+        assert!(y.is_subset(&y));
+        assert!(!y.is_strict_subset(&y));
+        assert!(AttrSet::empty().is_subset(&x));
+        assert!(s(&[4]).is_disjoint(&x));
+        assert!(!s(&[3]).is_disjoint(&x));
+    }
+
+    #[test]
+    fn insert_remove_keep_sorted() {
+        let mut x = s(&[2, 5]);
+        x.insert(AttrId(3));
+        x.insert(AttrId(3));
+        assert_eq!(x, s(&[2, 3, 5]));
+        assert!(x.remove(AttrId(2)));
+        assert!(!x.remove(AttrId(2)));
+        assert_eq!(x, s(&[3, 5]));
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let x = s(&[1, 4, 9, 16]);
+        assert!(x.contains(AttrId(9)));
+        assert!(!x.contains(AttrId(8)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(s(&[1, 2]).to_string(), "{1,2}");
+        assert_eq!(AttrSet::empty().to_string(), "{}");
+    }
+}

@@ -1,0 +1,193 @@
+//! The chase: testing a decomposition for the lossless-join property
+//! under a set of functional dependencies (Aho, Beeri & Ullman).
+//!
+//! Restruct splits relations along elicited FDs; a split `R(X)` into
+//! `R₁ … Rₙ` is *lossless* iff the natural join of the projections
+//! always reconstructs `R`. The chase decides this symbolically:
+//! build a tableau with one row per fragment (distinguished symbols on
+//! the fragment's attributes, unique symbols elsewhere), equate
+//! symbols by applying the FDs to fixpoint, and accept iff some row
+//! becomes all-distinguished.
+//!
+//! Used by tests to *prove* that every Restruct output and every
+//! Bernstein synthesis is lossless, rather than spot-checking joins.
+
+use crate::attr::{AttrId, AttrSet};
+use crate::deps::Fd;
+
+/// Symbolic tableau cell: `Distinguished` is the paper's `a_j`,
+/// `Subscripted(i)` the `b_{ij}` unique to row `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Sym {
+    Distinguished,
+    Subscripted(u32),
+}
+
+/// Decides whether decomposing `universe` into `fragments` is
+/// lossless-join under `fds`.
+///
+/// Every fragment must be a subset of `universe`; FDs are interpreted
+/// over `universe` attribute ids.
+pub fn is_lossless_join(universe: &AttrSet, fragments: &[AttrSet], fds: &[Fd]) -> bool {
+    let attrs: Vec<AttrId> = universe.iter().collect();
+    let col_of = |a: AttrId| -> usize {
+        attrs
+            .iter()
+            .position(|x| *x == a)
+            .expect("fragment/FD attributes must be within the universe")
+    };
+
+    // Initial tableau.
+    let mut tableau: Vec<Vec<Sym>> = Vec::with_capacity(fragments.len());
+    let mut fresh = 0u32;
+    for frag in fragments {
+        let mut row = Vec::with_capacity(attrs.len());
+        for &a in &attrs {
+            if frag.contains(a) {
+                row.push(Sym::Distinguished);
+            } else {
+                row.push(Sym::Subscripted(fresh));
+                fresh += 1;
+            }
+        }
+        tableau.push(row);
+    }
+
+    // Chase to fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in fds {
+            let lhs_cols: Vec<usize> = fd.lhs.iter().map(col_of).collect();
+            let rhs_cols: Vec<usize> = fd.rhs.iter().map(col_of).collect();
+            for i in 0..tableau.len() {
+                for j in i + 1..tableau.len() {
+                    if lhs_cols.iter().any(|&c| tableau[i][c] != tableau[j][c]) {
+                        continue;
+                    }
+                    // Rows agree on the LHS: equate the RHS symbols.
+                    for &c in &rhs_cols {
+                        let (a, b) = (tableau[i][c], tableau[j][c]);
+                        if a == b {
+                            continue;
+                        }
+                        // Prefer the distinguished symbol; otherwise
+                        // collapse onto the smaller subscript.
+                        let target = match (a, b) {
+                            (Sym::Distinguished, _) | (_, Sym::Distinguished) => {
+                                Sym::Distinguished
+                            }
+                            (Sym::Subscripted(x), Sym::Subscripted(y)) => {
+                                Sym::Subscripted(x.min(y))
+                            }
+                        };
+                        for row in tableau.iter_mut() {
+                            for cell in row.iter_mut() {
+                                if *cell == a || *cell == b {
+                                    *cell = target;
+                                }
+                            }
+                        }
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    tableau
+        .iter()
+        .any(|row| row.iter().all(|s| *s == Sym::Distinguished))
+}
+
+/// Convenience for the common binary split: is `R = R₁ ⋈ R₂` lossless?
+/// (Equivalent to the classical test: `R₁ ∩ R₂ → R₁` or
+/// `R₁ ∩ R₂ → R₂` in the closure.)
+pub fn is_lossless_binary(universe: &AttrSet, left: &AttrSet, right: &AttrSet, fds: &[Fd]) -> bool {
+    is_lossless_join(universe, &[left.clone(), right.clone()], fds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelId;
+
+    const R: RelId = RelId(0);
+
+    fn s(ids: &[u16]) -> AttrSet {
+        AttrSet::from_indices(ids.iter().copied())
+    }
+
+    fn fd(lhs: &[u16], rhs: &[u16]) -> Fd {
+        Fd::new(R, s(lhs), s(rhs))
+    }
+
+    #[test]
+    fn textbook_lossless_split() {
+        // R(a,b,c), a->b: {ab, ac} is lossless.
+        let fds = vec![fd(&[0], &[1])];
+        assert!(is_lossless_binary(&s(&[0, 1, 2]), &s(&[0, 1]), &s(&[0, 2]), &fds));
+    }
+
+    #[test]
+    fn textbook_lossy_split() {
+        // R(a,b,c), a->b: {ab, bc} is lossy (b is not a key of either
+        // side's intersection-determined part).
+        let fds = vec![fd(&[0], &[1])];
+        assert!(!is_lossless_binary(&s(&[0, 1, 2]), &s(&[0, 1]), &s(&[1, 2]), &fds));
+        // With b->c it becomes lossless.
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
+        assert!(is_lossless_binary(&s(&[0, 1, 2]), &s(&[0, 1]), &s(&[1, 2]), &fds));
+    }
+
+    #[test]
+    fn no_fds_means_lossy_unless_covering_fragment() {
+        assert!(!is_lossless_binary(&s(&[0, 1, 2]), &s(&[0, 1]), &s(&[1, 2]), &[]));
+        // A fragment equal to the universe is trivially lossless.
+        assert!(is_lossless_join(&s(&[0, 1]), &[s(&[0, 1]), s(&[0])], &[]));
+    }
+
+    #[test]
+    fn ternary_chase_needs_transitive_steps() {
+        // R(a,b,c,d), a->b, b->c, c->d: {ab, bc, cd} is lossless but
+        // requires chasing through intermediate rows.
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2]), fd(&[2], &[3])];
+        assert!(is_lossless_join(
+            &s(&[0, 1, 2, 3]),
+            &[s(&[0, 1]), s(&[1, 2]), s(&[2, 3])],
+            &fds
+        ));
+        // Remove the middle FD: lossy.
+        let fds = vec![fd(&[0], &[1]), fd(&[2], &[3])];
+        assert!(!is_lossless_join(
+            &s(&[0, 1, 2, 3]),
+            &[s(&[0, 1]), s(&[1, 2]), s(&[2, 3])],
+            &fds
+        ));
+    }
+
+    #[test]
+    fn restruct_style_split_is_lossless() {
+        // Department(dep, emp, skill, location, proj), emp -> skill proj
+        // split into Department'(dep, emp, location) + Manager(emp,
+        // skill, proj): lossless given dep -> all and emp -> skill proj.
+        let universe = s(&[0, 1, 2, 3, 4]);
+        let fds = vec![fd(&[0], &[1, 2, 3, 4]), fd(&[1], &[2, 4])];
+        assert!(is_lossless_binary(
+            &universe,
+            &s(&[0, 1, 3]),
+            &s(&[1, 2, 4]),
+            &fds
+        ));
+    }
+
+    #[test]
+    fn bernstein_synthesis_outputs_are_lossless() {
+        use crate::synthesis::synthesize_3nf;
+        let universe = s(&[0, 1, 2, 3]);
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2, 3])];
+        let schemes = synthesize_3nf(R, &universe, &fds);
+        let fragments: Vec<AttrSet> = schemes.into_iter().map(|x| x.attrs).collect();
+        assert!(is_lossless_join(&universe, &fragments, &fds));
+    }
+}

@@ -1,0 +1,358 @@
+//! CSV import/export for tables — how real reverse-engineering
+//! engagements receive legacy extensions (dumps, not live DBMS
+//! connections).
+//!
+//! The dialect is the common denominator: comma separator, `"`
+//! quoting with `""` escape, first line is the header, empty unquoted
+//! fields are `NULL`. Values are coerced into the declared domain of
+//! the target relation.
+
+use crate::attr::AttrId;
+use crate::database::Database;
+use crate::error::RelationalError;
+use crate::schema::RelId;
+use crate::table::Table;
+use crate::value::Value;
+use std::fmt;
+
+/// CSV errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// Structural problem in the text.
+    Malformed {
+        /// 1-based line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Header/relation mismatch or value coercion failure.
+    Schema(String),
+    /// Bubbled-up relational error.
+    Relational(RelationalError),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Malformed { line, message } => {
+                write!(f, "malformed CSV at line {line}: {message}")
+            }
+            CsvError::Schema(m) => write!(f, "CSV schema error: {m}"),
+            CsvError::Relational(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<RelationalError> for CsvError {
+    fn from(e: RelationalError) -> Self {
+        CsvError::Relational(e)
+    }
+}
+
+/// Splits CSV text into records of raw fields. `None` fields are
+/// unquoted-empty (→ NULL); quoted-empty stays `Some("")`.
+fn parse_records(text: &str) -> Result<Vec<Vec<Option<String>>>, CsvError> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<Option<String>> = Vec::new();
+    let mut quoted = false;
+    let mut was_quoted = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+
+    let push_field =
+        |record: &mut Vec<Option<String>>, field: &mut String, was_quoted: bool| {
+            if field.is_empty() && !was_quoted {
+                record.push(None);
+            } else {
+                record.push(Some(std::mem::take(field)));
+            }
+        };
+
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(CsvError::Malformed {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                quoted = true;
+                was_quoted = true;
+            }
+            ',' => {
+                push_field(&mut record, &mut field, was_quoted);
+                was_quoted = false;
+            }
+            '\r' => {}
+            '\n' => {
+                push_field(&mut record, &mut field, was_quoted);
+                was_quoted = false;
+                if !(record.len() == 1 && record[0].is_none()) {
+                    records.push(std::mem::take(&mut record));
+                } else {
+                    record.clear();
+                }
+                line += 1;
+            }
+            other => field.push(other),
+        }
+    }
+    if quoted {
+        return Err(CsvError::Malformed {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if !field.is_empty() || was_quoted || !record.is_empty() {
+        push_field(&mut record, &mut field, was_quoted);
+        if !(record.len() == 1 && record[0].is_none()) {
+            records.push(record);
+        }
+    }
+    Ok(records)
+}
+
+/// Loads CSV text into an existing relation. The header must name the
+/// relation's attributes (any order); values are coerced per the
+/// declared domains; unquoted-empty fields become NULL.
+pub fn import_csv(db: &mut Database, rel: RelId, text: &str) -> Result<usize, CsvError> {
+    let records = parse_records(text)?;
+    let Some(header) = records.first() else {
+        return Ok(0);
+    };
+    let relation = db.schema.relation(rel).clone();
+    let mut mapping: Vec<AttrId> = Vec::with_capacity(header.len());
+    for (i, h) in header.iter().enumerate() {
+        let name = h.as_deref().ok_or_else(|| {
+            CsvError::Schema(format!("empty header field at position {}", i + 1))
+        })?;
+        let id = relation.attr_id(name).ok_or_else(|| {
+            CsvError::Schema(format!(
+                "header column `{name}` not in relation `{}`",
+                relation.name
+            ))
+        })?;
+        mapping.push(id);
+    }
+    if mapping.len() != relation.arity() {
+        return Err(CsvError::Schema(format!(
+            "header has {} columns, relation `{}` has {}",
+            mapping.len(),
+            relation.name,
+            relation.arity()
+        )));
+    }
+
+    let mut inserted = 0usize;
+    for (line_no, record) in records.iter().enumerate().skip(1) {
+        if record.len() != mapping.len() {
+            return Err(CsvError::Malformed {
+                line: line_no + 1,
+                message: format!(
+                    "expected {} fields, found {}",
+                    mapping.len(),
+                    record.len()
+                ),
+            });
+        }
+        let mut row = vec![Value::Null; relation.arity()];
+        for (field, attr) in record.iter().zip(&mapping) {
+            let domain = relation.attribute(*attr).domain;
+            let v = match field {
+                None => Value::Null,
+                Some(text) => Value::parse_into(text, domain).ok_or_else(|| {
+                    CsvError::Schema(format!(
+                        "`{text}` does not fit {domain} (column `{}`, line {})",
+                        relation.attr_name(*attr),
+                        line_no + 1
+                    ))
+                })?,
+            };
+            row[attr.index()] = v;
+        }
+        db.insert(rel, row)?;
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+/// Serializes a table to CSV with a header. NULL becomes an unquoted
+/// empty field; text is quoted whenever it needs to be.
+pub fn export_csv(db: &Database, rel: RelId) -> String {
+    let relation = db.schema.relation(rel);
+    let table: &Table = db.table(rel);
+    let mut out = String::new();
+    let header: Vec<String> = relation
+        .attributes()
+        .iter()
+        .map(|a| quote(&a.name))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for i in 0..table.len() {
+        let fields: Vec<String> = (0..relation.arity())
+            .map(|j| {
+                let v = table.cell(i, AttrId(j as u16));
+                match v {
+                    Value::Null => String::new(),
+                    Value::Str(s) => quote(s),
+                    Value::Int(n) => n.to_string(),
+                    Value::Float(x) => format!("{}", x.get()),
+                    Value::Bool(b) => b.to_string(),
+                    Value::Date(d) => d.to_string(),
+                }
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote(s: &str) -> String {
+    if s.is_empty() || s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Relation;
+    use crate::value::{Date, Domain};
+
+    fn db() -> (Database, RelId) {
+        let mut db = Database::new();
+        let rel = db
+            .add_relation(Relation::of(
+                "T",
+                &[
+                    ("id", Domain::Int),
+                    ("name", Domain::Text),
+                    ("when", Domain::Date),
+                    ("score", Domain::Float),
+                ],
+            ))
+            .unwrap();
+        (db, rel)
+    }
+
+    #[test]
+    fn roundtrip_with_nulls_and_quotes() {
+        let (mut db, rel) = db();
+        db.insert(
+            rel,
+            vec![
+                Value::Int(1),
+                Value::str("plain"),
+                Value::Date(Date::parse("1996-02-29").unwrap()),
+                Value::float(1.5),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            rel,
+            vec![
+                Value::Int(2),
+                Value::str("comma, \"quote\"\nnewline"),
+                Value::Null,
+                Value::Null,
+            ],
+        )
+        .unwrap();
+        let csv = export_csv(&db, rel);
+        let (mut db2, rel2) = super::tests::db();
+        let n = import_csv(&mut db2, rel2, &csv).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.table(rel), db2.table(rel2));
+    }
+
+    #[test]
+    fn header_order_independent() {
+        let (mut db, rel) = db();
+        let n = import_csv(
+            &mut db,
+            rel,
+            "name,id,score,when\nalice,7,2.5,1990-01-02\n",
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.table(rel).cell(0, AttrId(0)), &Value::Int(7));
+        assert_eq!(db.table(rel).cell(0, AttrId(1)), &Value::str("alice"));
+    }
+
+    #[test]
+    fn unquoted_empty_is_null_quoted_empty_is_empty_string() {
+        let (mut db, rel) = db();
+        import_csv(&mut db, rel, "id,name,when,score\n1,,,\n2,\"\",,\n").unwrap();
+        assert_eq!(db.table(rel).cell(0, AttrId(1)), &Value::Null);
+        assert_eq!(db.table(rel).cell(1, AttrId(1)), &Value::str(""));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let (mut db, rel) = db();
+        assert!(matches!(
+            import_csv(&mut db, rel, "id,ghost,when,score\n"),
+            Err(CsvError::Schema(_))
+        ));
+        assert!(matches!(
+            import_csv(&mut db, rel, "id,name,when,score\n1,x\n"),
+            Err(CsvError::Malformed { .. })
+        ));
+        assert!(matches!(
+            import_csv(&mut db, rel, "id,name,when,score\nnot-an-int,x,,\n"),
+            Err(CsvError::Schema(_))
+        ));
+        assert!(matches!(
+            import_csv(&mut db, rel, "id,name\n"),
+            Err(CsvError::Schema(_))
+        ));
+        assert!(matches!(
+            parse_records("\"unterminated"),
+            Err(CsvError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn crlf_and_trailing_newline_tolerated() {
+        let (mut db, rel) = db();
+        let n = import_csv(
+            &mut db,
+            rel,
+            "id,name,when,score\r\n1,a,1990-01-01,0.5\r\n2,b,1990-01-02,1.5",
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn empty_text_imports_nothing() {
+        let (mut db, rel) = db();
+        assert_eq!(import_csv(&mut db, rel, "").unwrap(), 0);
+    }
+}

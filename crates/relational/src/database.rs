@@ -1,0 +1,357 @@
+//! The relational database `(R, E, Δ)` plus the dictionary constraints.
+
+use crate::attr::AttrSet;
+use crate::deps::{Constraints, Dependencies, Fd, Ind};
+use crate::error::RelationalError;
+use crate::schema::{RelId, Relation, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// A relational database: schema `R`, extension `E` (one [`Table`] per
+/// relation), dictionary constraints (`K`, `N`) and elicited
+/// dependencies `Δ`.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    /// The schema `R`.
+    pub schema: Schema,
+    tables: Vec<Table>,
+    /// Dictionary constraints `K` and `N`.
+    pub constraints: Constraints,
+    /// Dependency set `Δ` (starts empty — the point of the paper).
+    pub deps: Dependencies,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds a relation with an empty extension.
+    pub fn add_relation(&mut self, rel: Relation) -> Result<RelId, RelationalError> {
+        let arity = rel.arity();
+        let id = self.schema.add_relation(rel)?;
+        self.tables.push(Table::new(arity));
+        Ok(id)
+    }
+
+    /// Adds a relation together with a prepared extension.
+    pub fn add_relation_with_table(
+        &mut self,
+        rel: Relation,
+        table: Table,
+    ) -> Result<RelId, RelationalError> {
+        if table.arity() != rel.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: rel.name.clone(),
+                expected: rel.arity(),
+                got: table.arity(),
+            });
+        }
+        let id = self.schema.add_relation(rel)?;
+        self.tables.push(table);
+        Ok(id)
+    }
+
+    /// The extension of `rel`.
+    pub fn table(&self, rel: RelId) -> &Table {
+        &self.tables[rel.index()]
+    }
+
+    /// Mutable extension access.
+    pub fn table_mut(&mut self, rel: RelId) -> &mut Table {
+        &mut self.tables[rel.index()]
+    }
+
+    /// Replaces the extension of `rel` (Restruct uses this when dropping
+    /// attributes from a relation).
+    pub fn replace_table(&mut self, rel: RelId, table: Table) -> Result<(), RelationalError> {
+        if table.arity() != self.schema.relation(rel).arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: self.schema.relation(rel).name.clone(),
+                expected: self.schema.relation(rel).arity(),
+                got: table.arity(),
+            });
+        }
+        self.tables[rel.index()] = table;
+        Ok(())
+    }
+
+    /// Inserts a tuple with domain validation.
+    pub fn insert(&mut self, rel: RelId, row: Vec<Value>) -> Result<(), RelationalError> {
+        let relation = self.schema.relation(rel);
+        if row.len() != relation.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: relation.name.clone(),
+                expected: relation.arity(),
+                got: row.len(),
+            });
+        }
+        for (i, v) in row.iter().enumerate() {
+            let attr = &relation.attributes()[i];
+            if !v.fits(attr.domain) {
+                return Err(RelationalError::DomainViolation {
+                    relation: relation.name.clone(),
+                    attribute: attr.name.clone(),
+                    value: v.to_string(),
+                });
+            }
+        }
+        self.tables[rel.index()].push_row(row)
+    }
+
+    /// Looks up a relation id by name, erroring when missing.
+    pub fn rel(&self, name: &str) -> Result<RelId, RelationalError> {
+        self.schema
+            .rel_id(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Validates that every declared constraint (`K`, `N`) holds in the
+    /// extension. The paper assumes `E` "is correct with respect to the
+    /// constraints defined in the data dictionary" — this checks it.
+    pub fn validate_dictionary(&self) -> Result<(), RelationalError> {
+        for key in &self.constraints.keys {
+            let table = self.table(key.rel);
+            let relation = self.schema.relation(key.rel);
+            let attrs: Vec<_> = key.attrs.iter().collect();
+            let mut seen = HashSet::with_capacity(table.len());
+            for i in 0..table.len() {
+                // Key attributes are not-null by normalization; a null
+                // here is caught by the not-null check below, so skip.
+                if table.row_has_null(i, &attrs) {
+                    continue;
+                }
+                if !seen.insert(table.project_row(i, &attrs)) {
+                    return Err(RelationalError::KeyViolation {
+                        relation: relation.name.clone(),
+                        key: relation.render_set(&key.attrs),
+                    });
+                }
+            }
+        }
+        for &(rel, attr) in &self.constraints.not_null {
+            let table = self.table(rel);
+            if table.column(attr).iter().any(Value::is_null) {
+                return Err(RelationalError::NotNullViolation {
+                    relation: self.schema.relation(rel).name.clone(),
+                    attribute: self.schema.relation(rel).attr_name(attr).to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks whether an FD holds in the current extension
+    /// (`∀ t, t' : t[Y] = t'[Y] ⇒ t[Z] = t'[Z]`).
+    ///
+    /// SQL semantics: tuples with a NULL in the LHS never agree with any
+    /// tuple, so they cannot violate the dependency.
+    pub fn fd_holds(&self, fd: &Fd) -> bool {
+        let table = self.table(fd.rel);
+        let lhs: Vec<_> = fd.lhs.iter().collect();
+        let rhs: Vec<_> = fd.rhs.iter().collect();
+        let mut map: std::collections::HashMap<Vec<Value>, Vec<Value>> =
+            std::collections::HashMap::with_capacity(table.len());
+        for i in 0..table.len() {
+            if table.row_has_null(i, &lhs) {
+                continue;
+            }
+            let key = table.project_row(i, &lhs);
+            let val = table.project_row(i, &rhs);
+            match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if e.get() != &val {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(val);
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks whether an IND holds in the current extension
+    /// (`r_lhs[Y] ⊆ r_rhs[Z]`, NULL-containing projections dropped).
+    pub fn ind_holds(&self, ind: &Ind) -> bool {
+        let right = self
+            .table(ind.rhs.rel)
+            .distinct_projection(&ind.rhs.attrs);
+        let left_table = self.table(ind.lhs.rel);
+        for i in 0..left_table.len() {
+            if left_table.row_has_null(i, &ind.lhs.attrs) {
+                continue;
+            }
+            if !right.contains(&left_table.project_row(i, &ind.lhs.attrs)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Convenience: resolve `(relation, [attrs])` by names into an
+    /// ordered id list.
+    pub fn resolve(
+        &self,
+        relation: &str,
+        attrs: &[&str],
+    ) -> Result<(RelId, Vec<crate::attr::AttrId>), RelationalError> {
+        let rel = self.rel(relation)?;
+        let ids = self.schema.relation(rel).attr_ids(attrs)?;
+        Ok((rel, ids))
+    }
+
+    /// Convenience: resolve to an [`AttrSet`].
+    pub fn resolve_set(
+        &self,
+        relation: &str,
+        attrs: &[&str],
+    ) -> Result<(RelId, AttrSet), RelationalError> {
+        let (rel, ids) = self.resolve(relation, attrs)?;
+        Ok((rel, AttrSet::from_iter_ids(ids)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrId;
+    use crate::deps::IndSide;
+    use crate::value::Domain;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let person = db
+            .add_relation(Relation::of(
+                "Person",
+                &[("id", Domain::Int), ("name", Domain::Text)],
+            ))
+            .unwrap();
+        let emp = db
+            .add_relation(Relation::of(
+                "Emp",
+                &[("no", Domain::Int), ("salary", Domain::Int)],
+            ))
+            .unwrap();
+        db.insert(person, vec![Value::Int(1), Value::str("ann")]).unwrap();
+        db.insert(person, vec![Value::Int(2), Value::str("bob")]).unwrap();
+        db.insert(emp, vec![Value::Int(1), Value::Int(100)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_validates_domains() {
+        let mut d = db();
+        let person = d.rel("Person").unwrap();
+        let err = d
+            .insert(person, vec![Value::str("x"), Value::str("y")])
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::DomainViolation { .. }));
+        let err = d.insert(person, vec![Value::Int(3)]).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn null_fits_any_domain_on_insert() {
+        let mut d = db();
+        let person = d.rel("Person").unwrap();
+        d.insert(person, vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(d.table(person).len(), 3);
+    }
+
+    #[test]
+    fn dictionary_validation_detects_key_violation() {
+        let mut d = db();
+        let person = d.rel("Person").unwrap();
+        d.constraints.add_key(person, AttrSet::from_indices([0]));
+        d.constraints.normalize();
+        d.validate_dictionary().unwrap();
+        d.insert(person, vec![Value::Int(1), Value::str("dup")]).unwrap();
+        assert!(matches!(
+            d.validate_dictionary(),
+            Err(RelationalError::KeyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn dictionary_validation_detects_null_violation() {
+        let mut d = db();
+        let person = d.rel("Person").unwrap();
+        d.constraints.add_not_null(person, AttrId(1));
+        d.constraints.normalize();
+        d.validate_dictionary().unwrap();
+        d.insert(person, vec![Value::Int(9), Value::Null]).unwrap();
+        assert!(matches!(
+            d.validate_dictionary(),
+            Err(RelationalError::NotNullViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn fd_holds_on_extension() {
+        let mut d = db();
+        let person = d.rel("Person").unwrap();
+        let fd = Fd::new(
+            person,
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1]),
+        );
+        assert!(d.fd_holds(&fd));
+        d.insert(person, vec![Value::Int(1), Value::str("other")]).unwrap();
+        assert!(!d.fd_holds(&fd));
+    }
+
+    #[test]
+    fn fd_ignores_null_lhs() {
+        let mut d = db();
+        let person = d.rel("Person").unwrap();
+        d.insert(person, vec![Value::Null, Value::str("x")]).unwrap();
+        d.insert(person, vec![Value::Null, Value::str("y")]).unwrap();
+        let fd = Fd::new(
+            person,
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1]),
+        );
+        assert!(d.fd_holds(&fd));
+    }
+
+    #[test]
+    fn ind_holds_on_extension() {
+        let d = db();
+        let person = d.rel("Person").unwrap();
+        let emp = d.rel("Emp").unwrap();
+        // Emp[no] << Person[id] holds (1 ⊆ {1,2}).
+        let ind = Ind::unary(emp, AttrId(0), person, AttrId(0));
+        assert!(d.ind_holds(&ind));
+        // Person[id] << Emp[no] does not (2 ∉ {1}).
+        let rev = Ind::unary(person, AttrId(0), emp, AttrId(0));
+        assert!(!d.ind_holds(&rev));
+    }
+
+    #[test]
+    fn ind_skips_null_lhs_rows() {
+        let mut d = db();
+        let emp = d.rel("Emp").unwrap();
+        d.insert(emp, vec![Value::Null, Value::Int(5)]).unwrap();
+        let person = d.rel("Person").unwrap();
+        let ind = Ind::new(
+            IndSide::single(emp, AttrId(0)),
+            IndSide::single(person, AttrId(0)),
+        )
+        .unwrap();
+        assert!(d.ind_holds(&ind));
+    }
+
+    #[test]
+    fn resolve_by_names() {
+        let d = db();
+        let (rel, ids) = d.resolve("Emp", &["salary", "no"]).unwrap();
+        assert_eq!(rel, d.rel("Emp").unwrap());
+        assert_eq!(ids, vec![AttrId(1), AttrId(0)]);
+        assert!(d.resolve("Ghost", &[]).is_err());
+        assert!(d.resolve("Emp", &["ghost"]).is_err());
+    }
+}

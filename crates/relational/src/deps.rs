@@ -1,0 +1,408 @@
+//! Dependencies: `Δ = F ∪ IND`, keys `K` and not-null constraints `N`.
+//!
+//! Matches the paper's Section 2 definitions:
+//!
+//! * a functional dependency `R_i : Y → Z` holds in `r_i` iff any two
+//!   tuples agreeing on `Y` agree on `Z`;
+//! * an inclusion dependency `R_i[Y] ≪ R_j[Z]` holds iff
+//!   `r_i[Y] ⊆ r_j[Z]` — the sides are *ordered lists* because the
+//!   correspondence is positional;
+//! * a key constraint `R_i : K_i → X_i` is an FD to the full attribute
+//!   set with no strict subset of `K_i` being a key;
+//! * a key-based IND (right-hand side is a key) is a *referential
+//!   integrity constraint*.
+
+use crate::attr::{AttrId, AttrSet};
+use crate::error::RelationalError;
+use crate::schema::{QualAttrs, RelId, Schema};
+use std::fmt;
+
+/// A functional dependency `R : lhs → rhs` within one relation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fd {
+    /// The relation the dependency lives in.
+    pub rel: RelId,
+    /// Left-hand side `Y`.
+    pub lhs: AttrSet,
+    /// Right-hand side `Z`.
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Creates an FD.
+    pub fn new(rel: RelId, lhs: AttrSet, rhs: AttrSet) -> Self {
+        Fd { rel, lhs, rhs }
+    }
+
+    /// Is the dependency trivial (`Z ⊆ Y`)?
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(&self.lhs)
+    }
+
+    /// Renders `R: a, b -> c` with schema names.
+    pub fn render(&self, schema: &Schema) -> String {
+        let r = schema.relation(self.rel);
+        format!(
+            "{}: {} -> {}",
+            r.name,
+            r.render_set(&self.lhs),
+            r.render_set(&self.rhs)
+        )
+    }
+}
+
+/// One side of an inclusion dependency: a relation and an *ordered*
+/// attribute list.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndSide {
+    /// The relation.
+    pub rel: RelId,
+    /// Ordered attribute list (positional correspondence with the other
+    /// side).
+    pub attrs: Vec<AttrId>,
+}
+
+impl IndSide {
+    /// Creates a side.
+    pub fn new(rel: RelId, attrs: Vec<AttrId>) -> Self {
+        IndSide { rel, attrs }
+    }
+
+    /// Single-attribute side.
+    pub fn single(rel: RelId, attr: AttrId) -> Self {
+        IndSide {
+            rel,
+            attrs: vec![attr],
+        }
+    }
+
+    /// The attribute list as an unordered set (for key comparisons).
+    pub fn attr_set(&self) -> AttrSet {
+        AttrSet::from_iter_ids(self.attrs.iter().copied())
+    }
+
+    /// As a [`QualAttrs`] (losing order).
+    pub fn qualified(&self) -> QualAttrs {
+        QualAttrs::new(self.rel, self.attr_set())
+    }
+
+    /// Renders `Relation[a, b]`.
+    pub fn render(&self, schema: &Schema) -> String {
+        let r = schema.relation(self.rel);
+        let names: Vec<&str> = self.attrs.iter().map(|a| r.attr_name(*a)).collect();
+        format!("{}[{}]", r.name, names.join(", "))
+    }
+}
+
+/// An inclusion dependency `lhs ≪ rhs` (`r_lhs[Y] ⊆ r_rhs[Z]`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ind {
+    /// Included side.
+    pub lhs: IndSide,
+    /// Including side.
+    pub rhs: IndSide,
+}
+
+impl Ind {
+    /// Creates an IND; both sides must have equal arity.
+    pub fn new(lhs: IndSide, rhs: IndSide) -> Result<Self, RelationalError> {
+        if lhs.attrs.len() != rhs.attrs.len() {
+            return Err(RelationalError::IndArityMismatch {
+                lhs: lhs.attrs.len(),
+                rhs: rhs.attrs.len(),
+            });
+        }
+        Ok(Ind { lhs, rhs })
+    }
+
+    /// Unary IND between single attributes.
+    pub fn unary(lr: RelId, la: AttrId, rr: RelId, ra: AttrId) -> Self {
+        Ind {
+            lhs: IndSide::single(lr, la),
+            rhs: IndSide::single(rr, ra),
+        }
+    }
+
+    /// Renders `A[x] << B[y]` with schema names.
+    pub fn render(&self, schema: &Schema) -> String {
+        format!("{} << {}", self.lhs.render(schema), self.rhs.render(schema))
+    }
+}
+
+impl fmt::Display for Ind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "R{}{:?} << R{}{:?}",
+            self.lhs.rel.0,
+            self.lhs.attrs.iter().map(|a| a.0).collect::<Vec<_>>(),
+            self.rhs.rel.0,
+            self.rhs.attrs.iter().map(|a| a.0).collect::<Vec<_>>()
+        )
+    }
+}
+
+/// A key constraint on a relation (the set `K` of the paper holds one or
+/// more of these per relation — the `unique` declarations).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key {
+    /// The relation.
+    pub rel: RelId,
+    /// The unique attribute set.
+    pub attrs: AttrSet,
+}
+
+impl Key {
+    /// Creates a key constraint.
+    pub fn new(rel: RelId, attrs: AttrSet) -> Self {
+        Key { rel, attrs }
+    }
+
+    /// Renders `Relation.{a, b}`.
+    pub fn render(&self, schema: &Schema) -> String {
+        QualAttrs::new(self.rel, self.attrs.clone()).render(schema)
+    }
+}
+
+/// The constraint sets `K` (keys) and `N` (not-null attributes) of §4.
+///
+/// Following the paper, a `unique` declaration implies not-null on every
+/// involved attribute; [`Constraints::normalize`] enforces that closure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Constraints {
+    /// Declared unique/key attribute sets, `K`.
+    pub keys: Vec<Key>,
+    /// Null-not-allowed attributes, `N` (already closed under the
+    /// key-implies-not-null rule after [`Constraints::normalize`]).
+    pub not_null: Vec<(RelId, AttrId)>,
+}
+
+impl Constraints {
+    /// Empty constraint set.
+    pub fn new() -> Self {
+        Constraints::default()
+    }
+
+    /// Adds a key (unique) declaration.
+    pub fn add_key(&mut self, rel: RelId, attrs: AttrSet) {
+        let key = Key::new(rel, attrs);
+        if !self.keys.contains(&key) {
+            self.keys.push(key);
+        }
+    }
+
+    /// Adds a not-null declaration.
+    pub fn add_not_null(&mut self, rel: RelId, attr: AttrId) {
+        if !self.not_null.contains(&(rel, attr)) {
+            self.not_null.push((rel, attr));
+        }
+    }
+
+    /// Applies the paper's closure: every attribute of a key is
+    /// not-null. Call after all declarations are registered.
+    pub fn normalize(&mut self) {
+        let extra: Vec<(RelId, AttrId)> = self
+            .keys
+            .iter()
+            .flat_map(|k| k.attrs.iter().map(move |a| (k.rel, a)))
+            .collect();
+        for pair in extra {
+            self.add_not_null(pair.0, pair.1);
+        }
+        self.not_null.sort_unstable();
+        self.keys.sort();
+    }
+
+    /// Keys declared on `rel`.
+    pub fn keys_of(&self, rel: RelId) -> impl Iterator<Item = &Key> {
+        self.keys.iter().filter(move |k| k.rel == rel)
+    }
+
+    /// The *primary* key of `rel` if any — the first declared key. The
+    /// paper speaks of "the key of `R_i(X_i)`" in RHS-Discovery; legacy
+    /// dictionaries generally have one unique constraint per relation.
+    pub fn primary_key(&self, rel: RelId) -> Option<&Key> {
+        self.keys_of(rel).next()
+    }
+
+    /// Is `attrs` exactly a declared key of `rel`?
+    pub fn is_key(&self, rel: RelId, attrs: &AttrSet) -> bool {
+        self.keys_of(rel).any(|k| &k.attrs == attrs)
+    }
+
+    /// Does `attrs` contain a declared key of `rel` (i.e. is it a
+    /// superkey w.r.t. the dictionary)?
+    pub fn is_superkey(&self, rel: RelId, attrs: &AttrSet) -> bool {
+        self.keys_of(rel).any(|k| k.attrs.is_subset(attrs))
+    }
+
+    /// Does `attrs` intersect any declared key of `rel`?
+    pub fn intersects_key(&self, rel: RelId, attrs: &AttrSet) -> bool {
+        self.keys_of(rel).any(|k| !k.attrs.is_disjoint(attrs))
+    }
+
+    /// Is the single attribute declared (or implied) not-null?
+    pub fn is_not_null(&self, rel: RelId, attr: AttrId) -> bool {
+        self.not_null.contains(&(rel, attr))
+    }
+
+    /// Are all attributes of the set not-null?
+    pub fn all_not_null(&self, rel: RelId, attrs: &AttrSet) -> bool {
+        attrs.iter().all(|a| self.is_not_null(rel, a))
+    }
+
+    /// The not-null attribute set of one relation (`N ∩ X_i`).
+    pub fn not_null_set(&self, rel: RelId) -> AttrSet {
+        AttrSet::from_iter_ids(
+            self.not_null
+                .iter()
+                .filter(|(r, _)| *r == rel)
+                .map(|(_, a)| *a),
+        )
+    }
+}
+
+/// The full dependency set `Δ = F ∪ IND` carried alongside a database.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dependencies {
+    /// Functional dependencies `F`.
+    pub fds: Vec<Fd>,
+    /// Inclusion dependencies `IND`.
+    pub inds: Vec<Ind>,
+}
+
+impl Dependencies {
+    /// Empty `Δ`.
+    pub fn new() -> Self {
+        Dependencies::default()
+    }
+
+    /// Adds an FD if not already present.
+    pub fn add_fd(&mut self, fd: Fd) {
+        if !self.fds.contains(&fd) {
+            self.fds.push(fd);
+        }
+    }
+
+    /// Adds an IND if not already present.
+    pub fn add_ind(&mut self, ind: Ind) {
+        if !self.inds.contains(&ind) {
+            self.inds.push(ind);
+        }
+    }
+
+    /// The FDs of one relation.
+    pub fn fds_of(&self, rel: RelId) -> impl Iterator<Item = &Fd> {
+        self.fds.iter().filter(move |f| f.rel == rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Relation, Schema};
+    use crate::value::Domain;
+
+    fn schema() -> (Schema, RelId, RelId) {
+        let mut s = Schema::new();
+        let a = s
+            .add_relation(Relation::of(
+                "A",
+                &[("x", Domain::Int), ("y", Domain::Int), ("z", Domain::Int)],
+            ))
+            .unwrap();
+        let b = s
+            .add_relation(Relation::of("B", &[("u", Domain::Int)]))
+            .unwrap();
+        (s, a, b)
+    }
+
+    #[test]
+    fn fd_triviality() {
+        let (_, a, _) = schema();
+        let f = Fd::new(a, AttrSet::from_indices([0, 1]), AttrSet::from_indices([1]));
+        assert!(f.is_trivial());
+        let g = Fd::new(a, AttrSet::from_indices([0]), AttrSet::from_indices([1]));
+        assert!(!g.is_trivial());
+    }
+
+    #[test]
+    fn fd_render_uses_names() {
+        let (s, a, _) = schema();
+        let f = Fd::new(a, AttrSet::from_indices([0]), AttrSet::from_indices([1, 2]));
+        assert_eq!(f.render(&s), "A: x -> y, z");
+    }
+
+    #[test]
+    fn ind_requires_matching_arity() {
+        let (_, a, b) = schema();
+        let bad = Ind::new(
+            IndSide::new(a, vec![AttrId(0), AttrId(1)]),
+            IndSide::new(b, vec![AttrId(0)]),
+        );
+        assert!(bad.is_err());
+        let ok = Ind::unary(a, AttrId(0), b, AttrId(0));
+        assert_eq!(ok.lhs.attrs.len(), 1);
+    }
+
+    #[test]
+    fn ind_render() {
+        let (s, a, b) = schema();
+        let ind = Ind::unary(a, AttrId(2), b, AttrId(0));
+        assert_eq!(ind.render(&s), "A[z] << B[u]");
+    }
+
+    #[test]
+    fn constraints_normalize_closes_keys_to_not_null() {
+        let (_, a, b) = schema();
+        let mut c = Constraints::new();
+        c.add_key(a, AttrSet::from_indices([0, 1]));
+        c.add_not_null(b, AttrId(0));
+        c.normalize();
+        assert!(c.is_not_null(a, AttrId(0)));
+        assert!(c.is_not_null(a, AttrId(1)));
+        assert!(!c.is_not_null(a, AttrId(2)));
+        assert!(c.is_not_null(b, AttrId(0)));
+    }
+
+    #[test]
+    fn key_predicates() {
+        let (_, a, _) = schema();
+        let mut c = Constraints::new();
+        c.add_key(a, AttrSet::from_indices([0, 1]));
+        c.normalize();
+        assert!(c.is_key(a, &AttrSet::from_indices([0, 1])));
+        assert!(!c.is_key(a, &AttrSet::from_indices([0])));
+        assert!(c.is_superkey(a, &AttrSet::from_indices([0, 1, 2])));
+        assert!(!c.is_superkey(a, &AttrSet::from_indices([0, 2])));
+        assert!(c.intersects_key(a, &AttrSet::from_indices([1, 2])));
+        assert!(!c.intersects_key(a, &AttrSet::from_indices([2])));
+    }
+
+    #[test]
+    fn dependencies_dedup() {
+        let (_, a, b) = schema();
+        let mut d = Dependencies::new();
+        let ind = Ind::unary(a, AttrId(0), b, AttrId(0));
+        d.add_ind(ind.clone());
+        d.add_ind(ind);
+        assert_eq!(d.inds.len(), 1);
+        let fd = Fd::new(a, AttrSet::from_indices([0]), AttrSet::from_indices([1]));
+        d.add_fd(fd.clone());
+        d.add_fd(fd);
+        assert_eq!(d.fds.len(), 1);
+        assert_eq!(d.fds_of(a).count(), 1);
+        assert_eq!(d.fds_of(b).count(), 0);
+    }
+
+    #[test]
+    fn not_null_set_per_relation() {
+        let (_, a, b) = schema();
+        let mut c = Constraints::new();
+        c.add_not_null(a, AttrId(2));
+        c.add_not_null(b, AttrId(0));
+        c.normalize();
+        assert_eq!(c.not_null_set(a), AttrSet::from_indices([2]));
+        assert_eq!(c.not_null_set(b), AttrSet::from_indices([0]));
+    }
+}

@@ -1,0 +1,133 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by schema construction, table loading and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A relation declared two attributes with the same name.
+    DuplicateAttribute {
+        /// The offending relation.
+        relation: String,
+        /// The duplicated attribute name.
+        attribute: String,
+    },
+    /// Two relations share a name.
+    DuplicateRelation(String),
+    /// Reference to an attribute that does not exist.
+    UnknownAttribute {
+        /// The relation searched.
+        relation: String,
+        /// The missing attribute name.
+        attribute: String,
+    },
+    /// Reference to a relation that does not exist.
+    UnknownRelation(String),
+    /// A relation exceeded the `u16` attribute-index space.
+    TooManyAttributes(String),
+    /// A tuple's arity does not match its relation.
+    ArityMismatch {
+        /// The relation.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Tuple arity.
+        got: usize,
+    },
+    /// A value does not fit the declared domain of its column.
+    DomainViolation {
+        /// The relation.
+        relation: String,
+        /// The attribute.
+        attribute: String,
+        /// Display form of the offending value.
+        value: String,
+    },
+    /// A declared key constraint does not hold in the extension.
+    KeyViolation {
+        /// The relation.
+        relation: String,
+        /// Display form of the key attribute set.
+        key: String,
+    },
+    /// A declared not-null constraint does not hold in the extension.
+    NotNullViolation {
+        /// The relation.
+        relation: String,
+        /// The attribute.
+        attribute: String,
+    },
+    /// An inclusion dependency was declared between attribute lists of
+    /// different lengths.
+    IndArityMismatch {
+        /// Left side length.
+        lhs: usize,
+        /// Right side length.
+        rhs: usize,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "duplicate attribute `{attribute}` in relation `{relation}`")
+            }
+            RelationalError::DuplicateRelation(name) => {
+                write!(f, "duplicate relation `{name}`")
+            }
+            RelationalError::UnknownAttribute { relation, attribute } => {
+                write!(f, "unknown attribute `{attribute}` in relation `{relation}`")
+            }
+            RelationalError::UnknownRelation(name) => {
+                write!(f, "unknown relation `{name}`")
+            }
+            RelationalError::TooManyAttributes(name) => {
+                write!(f, "relation `{name}` has more than 65535 attributes")
+            }
+            RelationalError::ArityMismatch { relation, expected, got } => {
+                write!(
+                    f,
+                    "tuple arity {got} does not match relation `{relation}` arity {expected}"
+                )
+            }
+            RelationalError::DomainViolation { relation, attribute, value } => {
+                write!(
+                    f,
+                    "value {value} violates the domain of `{relation}.{attribute}`"
+                )
+            }
+            RelationalError::KeyViolation { relation, key } => {
+                write!(f, "key {{{key}}} violated in relation `{relation}`")
+            }
+            RelationalError::NotNullViolation { relation, attribute } => {
+                write!(f, "not-null violated on `{relation}.{attribute}`")
+            }
+            RelationalError::IndArityMismatch { lhs, rhs } => {
+                write!(
+                    f,
+                    "inclusion dependency sides have different arity ({lhs} vs {rhs})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationalError::UnknownAttribute {
+            relation: "R".into(),
+            attribute: "x".into(),
+        };
+        assert!(e.to_string().contains("unknown attribute"));
+        assert!(e.to_string().contains('R'));
+        let e = RelationalError::IndArityMismatch { lhs: 2, rhs: 1 };
+        assert!(e.to_string().contains("arity"));
+    }
+}

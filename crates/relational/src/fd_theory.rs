@@ -1,0 +1,355 @@
+//! Classical functional-dependency theory: attribute-set closure,
+//! implication, minimal covers and candidate keys.
+//!
+//! These operate on the FDs of a *single* relation; the `RelId` carried
+//! by [`Fd`] is checked for consistency on entry. They back the
+//! normal-form analysis ([`crate::normal_forms`]), the Bernstein
+//! synthesis baseline ([`crate::synthesis`]) and the quality metrics of
+//! the evaluation harness.
+
+use crate::attr::{AttrId, AttrSet};
+use crate::deps::Fd;
+use crate::schema::RelId;
+
+/// Computes the closure `X⁺` of an attribute set under a set of FDs.
+///
+/// Standard fixpoint algorithm with a "used" mask so every FD fires at
+/// most once — `O(|fds| · |attrs|)` per pass, few passes in practice.
+pub fn closure(attrs: &AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut result = attrs.clone();
+    let mut used = vec![false; fds.len()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, fd) in fds.iter().enumerate() {
+            if used[i] || !fd.lhs.is_subset(&result) {
+                continue;
+            }
+            used[i] = true;
+            let next = result.union(&fd.rhs);
+            if next != result {
+                result = next;
+                changed = true;
+            }
+        }
+    }
+    result
+}
+
+/// Does `fds ⊨ target` (Armstrong implication)? Equivalent to
+/// `target.rhs ⊆ closure(target.lhs, fds)`.
+pub fn implies(fds: &[Fd], target: &Fd) -> bool {
+    target.rhs.is_subset(&closure(&target.lhs, fds))
+}
+
+/// Are two FD sets equivalent (each implies every FD of the other)?
+pub fn equivalent(a: &[Fd], b: &[Fd]) -> bool {
+    a.iter().all(|f| implies(b, f)) && b.iter().all(|f| implies(a, f))
+}
+
+/// Computes a minimal (canonical) cover:
+///
+/// 1. split right-hand sides into singletons,
+/// 2. remove extraneous left-hand-side attributes,
+/// 3. remove redundant FDs.
+///
+/// The result is deterministic for a given input order.
+pub fn minimal_cover(fds: &[Fd]) -> Vec<Fd> {
+    // Step 1: singleton RHS, drop trivial.
+    let mut work: Vec<Fd> = Vec::new();
+    for fd in fds {
+        for b in fd.rhs.iter() {
+            if fd.lhs.contains(b) {
+                continue;
+            }
+            let single = Fd::new(fd.rel, fd.lhs.clone(), AttrSet::single(b));
+            if !work.contains(&single) {
+                work.push(single);
+            }
+        }
+    }
+
+    // Step 2: remove extraneous LHS attributes.
+    let snapshot = work.clone();
+    for fd in work.iter_mut() {
+        let mut lhs = fd.lhs.clone();
+        for a in fd.lhs.iter() {
+            if lhs.len() == 1 {
+                break;
+            }
+            let mut reduced = lhs.clone();
+            reduced.remove(a);
+            // `a` is extraneous iff reduced -> rhs still follows.
+            if fd
+                .rhs
+                .is_subset(&closure(&reduced, &snapshot))
+            {
+                lhs = reduced;
+            }
+        }
+        fd.lhs = lhs;
+    }
+    work.dedup();
+
+    // Step 3: remove redundant FDs (re-evaluating after each removal).
+    let mut i = 0;
+    while i < work.len() {
+        let candidate = work.remove(i);
+        if implies(&work, &candidate) {
+            // redundant — drop it, do not advance.
+        } else {
+            work.insert(i, candidate);
+            i += 1;
+        }
+    }
+    work
+}
+
+/// Computes all candidate keys of a relation with attribute universe
+/// `universe` under `fds`.
+///
+/// Uses the classical core/exterior pruning: attributes appearing in no
+/// RHS must be in every key; attributes appearing in no LHS and some RHS
+/// can never be in a key. The remaining "floating" attributes are
+/// enumerated smallest-subset-first with minimality filtering.
+///
+/// Exponential in the number of floating attributes — fine for the
+/// relation sizes of schema reverse engineering (≲ 20 attributes).
+pub fn candidate_keys(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Vec<AttrSet> {
+    let fds: Vec<Fd> = fds
+        .iter()
+        .filter(|f| {
+            debug_assert_eq!(f.rel, rel, "FDs must belong to the analysed relation");
+            f.rel == rel
+        })
+        .cloned()
+        .collect();
+
+    let mut in_rhs = AttrSet::empty();
+    let mut in_lhs = AttrSet::empty();
+    for fd in &fds {
+        in_rhs = in_rhs.union(&fd.rhs);
+        in_lhs = in_lhs.union(&fd.lhs);
+    }
+    // Core: attributes never derived — must be in every key.
+    let core = universe.difference(&in_rhs);
+    // Floating: appear on both sides; candidates for key extension.
+    let floating: Vec<AttrId> = universe
+        .difference(&core)
+        .intersection(&in_lhs)
+        .iter()
+        .collect();
+
+    if closure(&core, &fds).is_subset(universe) && universe.is_subset(&closure(&core, &fds)) {
+        return vec![core];
+    }
+
+    let mut keys: Vec<AttrSet> = Vec::new();
+    // Enumerate subsets of floating by increasing size (bitmasks grouped
+    // by popcount); subset-minimality is enforced against already-found
+    // keys, which is sound because smaller subsets are visited first.
+    let n = floating.len();
+    assert!(
+        n < 26,
+        "candidate-key enumeration supports < 26 floating attributes"
+    );
+    let mut masks: Vec<u32> = (1u32..(1 << n)).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    for mask in masks {
+        let ext = AttrSet::from_iter_ids(
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| floating[i]),
+        );
+        let cand = core.union(&ext);
+        if keys.iter().any(|k| k.is_subset(&cand)) {
+            continue; // a strictly smaller key already covers this set
+        }
+        if universe.is_subset(&closure(&cand, &fds)) {
+            keys.push(cand);
+        }
+    }
+    if keys.is_empty() {
+        // No FD-derived key: the whole attribute set is the only key.
+        keys.push(universe.clone());
+    }
+    keys.sort();
+    keys
+}
+
+/// Is `attrs` a superkey of the relation (`closure(attrs) = universe`)?
+pub fn is_superkey(attrs: &AttrSet, universe: &AttrSet, fds: &[Fd]) -> bool {
+    universe.is_subset(&closure(attrs, fds))
+}
+
+/// The set of *prime* attributes: members of at least one candidate key.
+pub fn prime_attributes(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut primes = AttrSet::empty();
+    for key in candidate_keys(rel, universe, fds) {
+        primes = primes.union(&key);
+    }
+    primes
+}
+
+/// Projects a set of FDs onto a subset of attributes: all nontrivial
+/// `Y → b` with `Yb ⊆ target` implied by `fds`. Exponential in
+/// `|target|`; used by the synthesis baseline on small relations.
+pub fn project_fds(rel: RelId, fds: &[Fd], target: &AttrSet) -> Vec<Fd> {
+    let attrs: Vec<AttrId> = target.iter().collect();
+    let n = attrs.len();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << n) {
+        let lhs = AttrSet::from_iter_ids(
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| attrs[i]),
+        );
+        let cl = closure(&lhs, fds);
+        for b in target.iter() {
+            if !lhs.contains(b) && cl.contains(b) {
+                out.push(Fd::new(rel, lhs.clone(), AttrSet::single(b)));
+            }
+        }
+    }
+    minimal_cover(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: RelId = RelId(0);
+
+    fn s(ids: &[u16]) -> AttrSet {
+        AttrSet::from_indices(ids.iter().copied())
+    }
+
+    fn fd(lhs: &[u16], rhs: &[u16]) -> Fd {
+        Fd::new(R, s(lhs), s(rhs))
+    }
+
+    #[test]
+    fn closure_basic_chain() {
+        // a -> b, b -> c : closure(a) = abc
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
+        assert_eq!(closure(&s(&[0]), &fds), s(&[0, 1, 2]));
+        assert_eq!(closure(&s(&[2]), &fds), s(&[2]));
+    }
+
+    #[test]
+    fn closure_composite_lhs() {
+        // ab -> c fires only with both a and b present.
+        let fds = vec![fd(&[0, 1], &[2])];
+        assert_eq!(closure(&s(&[0]), &fds), s(&[0]));
+        assert_eq!(closure(&s(&[0, 1]), &fds), s(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn implication() {
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
+        assert!(implies(&fds, &fd(&[0], &[2])));
+        assert!(!implies(&fds, &fd(&[2], &[0])));
+        // Reflexivity.
+        assert!(implies(&[], &fd(&[0, 1], &[1])));
+    }
+
+    #[test]
+    fn equivalence() {
+        let a = vec![fd(&[0], &[1, 2])];
+        let b = vec![fd(&[0], &[1]), fd(&[0], &[2])];
+        assert!(equivalent(&a, &b));
+        let c = vec![fd(&[0], &[1])];
+        assert!(!equivalent(&a, &c));
+    }
+
+    #[test]
+    fn minimal_cover_splits_and_prunes() {
+        // { a -> bc, b -> c, ab -> c }: minimal cover is {a->b, b->c}
+        // (a->c is transitively implied; ab->c has extraneous a and is
+        // then redundant).
+        let fds = vec![fd(&[0], &[1, 2]), fd(&[1], &[2]), fd(&[0, 1], &[2])];
+        let cover = minimal_cover(&fds);
+        assert!(equivalent(&cover, &fds));
+        assert_eq!(cover.len(), 2);
+        assert!(cover.contains(&fd(&[0], &[1])));
+        assert!(cover.contains(&fd(&[1], &[2])));
+    }
+
+    #[test]
+    fn minimal_cover_removes_extraneous_lhs() {
+        // { a -> b, ab -> c } : b extraneous in ab -> c.
+        let fds = vec![fd(&[0], &[1]), fd(&[0, 1], &[2])];
+        let cover = minimal_cover(&fds);
+        assert!(cover.contains(&fd(&[0], &[2])));
+        assert!(equivalent(&cover, &fds));
+    }
+
+    #[test]
+    fn minimal_cover_drops_trivial() {
+        let fds = vec![fd(&[0, 1], &[1])];
+        assert!(minimal_cover(&fds).is_empty());
+    }
+
+    #[test]
+    fn candidate_keys_simple() {
+        // R(a,b,c), a -> b, b -> c : key = {a}.
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
+        let keys = candidate_keys(R, &s(&[0, 1, 2]), &fds);
+        assert_eq!(keys, vec![s(&[0])]);
+    }
+
+    #[test]
+    fn candidate_keys_cyclic() {
+        // a -> b, b -> a, ab universe plus c determined by a:
+        // keys {a},{b} over universe abc with a->c.
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[0]), fd(&[0], &[2])];
+        let keys = candidate_keys(R, &s(&[0, 1, 2]), &fds);
+        assert_eq!(keys, vec![s(&[0]), s(&[1])]);
+    }
+
+    #[test]
+    fn candidate_keys_no_fds() {
+        let keys = candidate_keys(R, &s(&[0, 1]), &[]);
+        assert_eq!(keys, vec![s(&[0, 1])]);
+    }
+
+    #[test]
+    fn candidate_keys_composite() {
+        // R(a,b,c,d): ab -> c, c -> d. Key = {a,b}.
+        let fds = vec![fd(&[0, 1], &[2]), fd(&[2], &[3])];
+        let keys = candidate_keys(R, &s(&[0, 1, 2, 3]), &fds);
+        assert_eq!(keys, vec![s(&[0, 1])]);
+    }
+
+    #[test]
+    fn candidate_keys_multiple_composite() {
+        // Classic: R(a,b,c), ab -> c, c -> b. Keys: {a,b} and {a,c}.
+        let fds = vec![fd(&[0, 1], &[2]), fd(&[2], &[1])];
+        let mut keys = candidate_keys(R, &s(&[0, 1, 2]), &fds);
+        keys.sort();
+        assert_eq!(keys, vec![s(&[0, 1]), s(&[0, 2])]);
+    }
+
+    #[test]
+    fn prime_attributes_union_of_keys() {
+        let fds = vec![fd(&[0, 1], &[2]), fd(&[2], &[1])];
+        assert_eq!(prime_attributes(R, &s(&[0, 1, 2]), &fds), s(&[0, 1, 2]));
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
+        assert_eq!(prime_attributes(R, &s(&[0, 1, 2]), &fds), s(&[0]));
+    }
+
+    #[test]
+    fn superkey_check() {
+        let fds = vec![fd(&[0], &[1])];
+        assert!(is_superkey(&s(&[0, 2]), &s(&[0, 1, 2]), &fds));
+        assert!(!is_superkey(&s(&[0]), &s(&[0, 1, 2]), &fds));
+    }
+
+    #[test]
+    fn project_fds_onto_subset() {
+        // a -> b, b -> c ; project on {a, c}: a -> c survives.
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
+        let proj = project_fds(R, &fds, &s(&[0, 2]));
+        assert!(implies(&proj, &fd(&[0], &[2])));
+        assert!(proj.iter().all(|f| f.lhs.is_subset(&s(&[0, 2]))
+            && f.rhs.is_subset(&s(&[0, 2]))));
+    }
+}

@@ -1,0 +1,397 @@
+//! Inclusion-dependency inference — the axiom system of Casanova,
+//! Fagin & Papadimitriou (reflexivity, projection-and-permutation,
+//! transitivity) plus cycle analysis.
+//!
+//! The paper's Translate step "does not consider cyclic inclusion
+//! dependencies"; this module provides what a full treatment needs:
+//! the transitive closure of an IND set, implication testing, removal
+//! of redundant INDs, and detection of the cycles themselves (by the
+//! classical result, INDs in a cycle over *finite* relations force the
+//! included value sets to be equal, collapsing the cycle's members
+//! into mutually specialized object-types).
+
+use crate::attr::AttrId;
+use crate::deps::{Ind, IndSide};
+use crate::schema::RelId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Applies the **transitivity** axiom to saturation:
+/// `R[A] ≪ S[B]` and `S[B] ≪ T[C]` yield `R[A] ≪ T[C]`.
+///
+/// Composition respects the positional correspondence: the middle
+/// side's attribute list must match exactly (same relation, same
+/// ordered attribute list).
+pub fn transitive_closure(inds: &[Ind]) -> Vec<Ind> {
+    let mut set: BTreeSet<Ind> = inds.iter().cloned().collect();
+    // Drop reflexive inputs up front; they only generate noise.
+    set.retain(|i| i.lhs != i.rhs);
+    loop {
+        let mut added = Vec::new();
+        for a in &set {
+            for b in &set {
+                if a.rhs == b.lhs && a.lhs != b.rhs {
+                    let cand = Ind {
+                        lhs: a.lhs.clone(),
+                        rhs: b.rhs.clone(),
+                    };
+                    if !set.contains(&cand) {
+                        added.push(cand);
+                    }
+                }
+            }
+        }
+        if added.is_empty() {
+            return set.into_iter().collect();
+        }
+        set.extend(added);
+    }
+}
+
+/// Applies the **projection-and-permutation** axiom to one IND: every
+/// IND over a sub-sequence of positions (here: every non-empty subset,
+/// order preserved) follows. Returns the derived *proper* projections
+/// (not the input itself). Exponential in the arity — composite INDs
+/// in schema reverse engineering have tiny arity.
+pub fn projections(ind: &Ind) -> Vec<Ind> {
+    let n = ind.lhs.attrs.len();
+    let mut out = Vec::new();
+    if n <= 1 {
+        return out;
+    }
+    for mask in 1u32..((1 << n) - 1) {
+        let lhs: Vec<AttrId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| ind.lhs.attrs[i])
+            .collect();
+        let rhs: Vec<AttrId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| ind.rhs.attrs[i])
+            .collect();
+        out.push(Ind {
+            lhs: IndSide::new(ind.lhs.rel, lhs),
+            rhs: IndSide::new(ind.rhs.rel, rhs),
+        });
+    }
+    out
+}
+
+/// Does `inds ⊨ target` under reflexivity, projection/permutation and
+/// transitivity?
+///
+/// Implementation: saturate with transitivity, then check whether the
+/// target is reflexive, present, or a projection/permutation of a
+/// present IND.
+pub fn implies(inds: &[Ind], target: &Ind) -> bool {
+    if target.lhs == target.rhs {
+        return true; // reflexivity
+    }
+    let closure = transitive_closure(inds);
+    if closure.contains(target) {
+        return true;
+    }
+    // Projection/permutation: some closed IND has the target as a
+    // positional sub-correspondence (any order).
+    closure.iter().any(|have| {
+        if have.lhs.rel != target.lhs.rel || have.rhs.rel != target.rhs.rel {
+            return false;
+        }
+        // Each (lhs_i, rhs_i) pair of the target must appear as a
+        // correspondence pair of `have`.
+        target
+            .lhs
+            .attrs
+            .iter()
+            .zip(&target.rhs.attrs)
+            .all(|(la, ra)| {
+                have.lhs
+                    .attrs
+                    .iter()
+                    .zip(&have.rhs.attrs)
+                    .any(|(hl, hr)| hl == la && hr == ra)
+            })
+    })
+}
+
+/// Removes INDs implied by the remaining ones (a minimal cover under
+/// the axioms). Deterministic for a given input order.
+pub fn minimal_cover(inds: &[Ind]) -> Vec<Ind> {
+    let mut work: Vec<Ind> = Vec::new();
+    for ind in inds {
+        if ind.lhs != ind.rhs && !work.contains(ind) {
+            work.push(ind.clone());
+        }
+    }
+    let mut i = 0;
+    while i < work.len() {
+        let candidate = work.remove(i);
+        if implies(&work, &candidate) {
+            // redundant — dropped
+        } else {
+            work.insert(i, candidate);
+            i += 1;
+        }
+    }
+    work
+}
+
+/// A cycle of inclusion dependencies over relations
+/// (`R → S → … → R`). Over finite extensions, all value sets along a
+/// cycle are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndCycle {
+    /// The relations on the cycle, in traversal order (first repeated
+    /// implicitly at the end).
+    pub relations: Vec<RelId>,
+    /// The INDs realizing each hop.
+    pub inds: Vec<Ind>,
+}
+
+/// Finds the elementary cycles of the IND graph at relation
+/// granularity (nodes = relations, edges = INDs). Returns each cycle
+/// once, rooted at its smallest relation id. Self-loops
+/// (`R[A] ≪ R[B]`, A ≠ B) are reported as length-1 cycles only when
+/// both sides coincide as sets — a true value-set cycle — otherwise
+/// they are hierarchical (e.g. manager-of) and skipped.
+pub fn find_cycles(inds: &[Ind]) -> Vec<IndCycle> {
+    // Adjacency at relation granularity.
+    let mut adj: BTreeMap<RelId, Vec<&Ind>> = BTreeMap::new();
+    for ind in inds {
+        adj.entry(ind.lhs.rel).or_default().push(ind);
+    }
+    let nodes: BTreeSet<RelId> = inds
+        .iter()
+        .flat_map(|i| [i.lhs.rel, i.rhs.rel])
+        .collect();
+
+    let mut cycles: Vec<IndCycle> = Vec::new();
+    let mut seen_keys: BTreeSet<Vec<RelId>> = BTreeSet::new();
+
+    // Bounded DFS from each root; only paths through ids ≥ root are
+    // explored, so each cycle is found exactly once (Johnson-lite —
+    // adequate for schema-sized graphs).
+    for &root in &nodes {
+        let mut stack: Vec<(RelId, Vec<&Ind>)> = vec![(root, Vec::new())];
+        while let Some((at, path)) = stack.pop() {
+            for &ind in adj.get(&at).into_iter().flatten() {
+                if ind.lhs.rel == ind.rhs.rel {
+                    // Self-loop: cycle only if the sides carry the
+                    // same attribute set.
+                    if !path.is_empty() || ind.lhs.attr_set() != ind.rhs.attr_set() {
+                        continue;
+                    }
+                    let key = vec![at];
+                    if seen_keys.insert(key) {
+                        cycles.push(IndCycle {
+                            relations: vec![at],
+                            inds: vec![ind.clone()],
+                        });
+                    }
+                    continue;
+                }
+                let next = ind.rhs.rel;
+                if next == root {
+                    // Closing edge: a cycle root → … → at → root.
+                    let mut hop_path: Vec<&Ind> = path.clone();
+                    hop_path.push(ind);
+                    let rels: Vec<RelId> = hop_path.iter().map(|i| i.lhs.rel).collect();
+                    let key = {
+                        let mut k = rels.clone();
+                        k.sort();
+                        k
+                    };
+                    if rels.len() >= 2 && seen_keys.insert(key) {
+                        cycles.push(IndCycle {
+                            relations: rels,
+                            inds: hop_path.into_iter().cloned().collect(),
+                        });
+                    }
+                    continue;
+                }
+                if next < root {
+                    continue; // that cycle is found from its own root
+                }
+                if path.iter().any(|i| i.lhs.rel == next) {
+                    continue; // no revisits
+                }
+                if path.len() >= nodes.len() {
+                    continue;
+                }
+                let mut new_path = path.clone();
+                new_path.push(ind);
+                stack.push((next, new_path));
+            }
+        }
+    }
+    cycles
+}
+
+/// Are two relations on a common IND cycle (mutually included)?
+pub fn mutually_included(inds: &[Ind], a: RelId, b: RelId) -> bool {
+    if a == b {
+        return true;
+    }
+    let closure = transitive_closure(inds);
+    let reaches = |from: RelId, to: RelId| {
+        closure
+            .iter()
+            .any(|i| i.lhs.rel == from && i.rhs.rel == to)
+    };
+    reaches(a, b) && reaches(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RelId {
+        RelId(i)
+    }
+    fn a(i: u16) -> AttrId {
+        AttrId(i)
+    }
+
+    fn unary(lr: u32, la: u16, rr: u32, ra: u16) -> Ind {
+        Ind::unary(r(lr), a(la), r(rr), a(ra))
+    }
+
+    #[test]
+    fn transitivity_composes_matching_middles() {
+        let inds = vec![unary(0, 0, 1, 0), unary(1, 0, 2, 0)];
+        let closed = transitive_closure(&inds);
+        assert!(closed.contains(&unary(0, 0, 2, 0)));
+        assert_eq!(closed.len(), 3);
+    }
+
+    #[test]
+    fn transitivity_requires_exact_middle_match() {
+        // R0[0] << R1[0] and R1[1] << R2[0] do NOT compose.
+        let inds = vec![unary(0, 0, 1, 0), unary(1, 1, 2, 0)];
+        let closed = transitive_closure(&inds);
+        assert_eq!(closed.len(), 2);
+    }
+
+    #[test]
+    fn projection_axiom_derives_unary_from_composite() {
+        let ind = Ind::new(
+            IndSide::new(r(0), vec![a(0), a(1)]),
+            IndSide::new(r(1), vec![a(2), a(3)]),
+        )
+        .unwrap();
+        let projs = projections(&ind);
+        assert_eq!(projs.len(), 2);
+        assert!(projs.contains(&unary(0, 0, 1, 2)));
+        assert!(projs.contains(&unary(0, 1, 1, 3)));
+        assert!(projections(&unary(0, 0, 1, 0)).is_empty());
+    }
+
+    #[test]
+    fn implication_covers_all_three_axioms() {
+        let composite = Ind::new(
+            IndSide::new(r(0), vec![a(0), a(1)]),
+            IndSide::new(r(1), vec![a(0), a(1)]),
+        )
+        .unwrap();
+        let hop = Ind::new(
+            IndSide::new(r(1), vec![a(0), a(1)]),
+            IndSide::new(r(2), vec![a(5), a(6)]),
+        )
+        .unwrap();
+        let inds = vec![composite, hop];
+        // Reflexivity.
+        assert!(implies(&inds, &unary(9, 3, 9, 3)));
+        // Projection of the composite.
+        assert!(implies(&inds, &unary(0, 1, 1, 1)));
+        // Permutation: swapped order of the same correspondence.
+        let permuted = Ind::new(
+            IndSide::new(r(0), vec![a(1), a(0)]),
+            IndSide::new(r(1), vec![a(1), a(0)]),
+        )
+        .unwrap();
+        assert!(implies(&inds, &permuted));
+        // Transitivity then projection.
+        assert!(implies(&inds, &unary(0, 0, 2, 5)));
+        // Not implied: wrong correspondence.
+        assert!(!implies(&inds, &unary(0, 0, 1, 1)));
+    }
+
+    #[test]
+    fn minimal_cover_drops_transitive_edge() {
+        let inds = vec![
+            unary(0, 0, 1, 0),
+            unary(1, 0, 2, 0),
+            unary(0, 0, 2, 0), // implied
+        ];
+        let cover = minimal_cover(&inds);
+        assert_eq!(cover.len(), 2);
+        assert!(!cover.contains(&unary(0, 0, 2, 0)));
+        // Everything in the original set is still implied.
+        for ind in &inds {
+            assert!(implies(&cover, ind));
+        }
+    }
+
+    #[test]
+    fn minimal_cover_drops_projection_of_composite() {
+        let composite = Ind::new(
+            IndSide::new(r(0), vec![a(0), a(1)]),
+            IndSide::new(r(1), vec![a(0), a(1)]),
+        )
+        .unwrap();
+        let inds = vec![composite.clone(), unary(0, 0, 1, 0)];
+        let cover = minimal_cover(&inds);
+        assert_eq!(cover, vec![composite]);
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let inds = vec![unary(0, 0, 1, 0), unary(1, 0, 0, 0)];
+        let cycles = find_cycles(&inds);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].relations, vec![r(0), r(1)]);
+        assert!(mutually_included(&inds, r(0), r(1)));
+    }
+
+    #[test]
+    fn three_cycle_detected_once() {
+        let inds = vec![
+            unary(0, 0, 1, 0),
+            unary(1, 0, 2, 0),
+            unary(2, 0, 0, 0),
+        ];
+        let cycles = find_cycles(&inds);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].relations.len(), 3);
+        assert_eq!(cycles[0].inds.len(), 3);
+    }
+
+    #[test]
+    fn dag_has_no_cycles() {
+        let inds = vec![unary(0, 0, 1, 0), unary(1, 0, 2, 0), unary(0, 0, 2, 0)];
+        assert!(find_cycles(&inds).is_empty());
+        assert!(!mutually_included(&inds, r(0), r(1)));
+        assert!(mutually_included(&inds, r(1), r(1)));
+    }
+
+    #[test]
+    fn hierarchical_self_loop_is_not_a_cycle() {
+        // Employee[manager] << Employee[id]: hierarchy, not a cycle.
+        let inds = vec![unary(0, 1, 0, 0)];
+        assert!(find_cycles(&inds).is_empty());
+        // Employee[id] << Employee[id] would be one (degenerate) — but
+        // reflexive INDs are filtered before they reach analysis.
+        let refl = vec![unary(0, 0, 0, 0)];
+        assert_eq!(find_cycles(&refl).len(), 1);
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let inds = vec![
+            unary(0, 0, 1, 0),
+            unary(1, 0, 0, 0),
+            unary(2, 0, 3, 0),
+            unary(3, 0, 2, 0),
+        ];
+        let cycles = find_cycles(&inds);
+        assert_eq!(cycles.len(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Normal-form analysis: 1NF, 2NF, 3NF, BCNF.
+//!
+//! The paper annotates each relation of its worked example with its
+//! normal form (`Person … 2NF`, `HEmployee … 3NF`, `Department … 2NF`,
+//! `Assignment … 1NF`) and the whole method exists to lift a 1NF schema
+//! into 3NF. This module decides the normal form of a relation given its
+//! attribute universe and FD set, and of a whole schema given `Δ`.
+
+use crate::attr::AttrSet;
+use crate::deps::Fd;
+use crate::fd_theory::{candidate_keys, closure, is_superkey, minimal_cover, prime_attributes};
+use crate::schema::RelId;
+use std::fmt;
+
+/// The normal form of a relation (highest satisfied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NormalForm {
+    /// First normal form only (atomic values — always granted here,
+    /// the relational substrate cannot express non-atomic values).
+    First,
+    /// Second normal form: no partial dependency of a non-prime
+    /// attribute on a candidate key.
+    Second,
+    /// Third normal form: for every nontrivial `X → a`, `X` is a
+    /// superkey or `a` is prime.
+    Third,
+    /// Boyce–Codd: for every nontrivial `X → a`, `X` is a superkey.
+    BoyceCodd,
+}
+
+impl fmt::Display for NormalForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NormalForm::First => "1NF",
+            NormalForm::Second => "2NF",
+            NormalForm::Third => "3NF",
+            NormalForm::BoyceCodd => "BCNF",
+        })
+    }
+}
+
+/// A witness explaining why a relation fails a normal form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The form that fails.
+    pub form: NormalForm,
+    /// The offending dependency (canonicalized, singleton RHS).
+    pub fd: Fd,
+}
+
+/// Analysis result for one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalFormReport {
+    /// The highest normal form satisfied.
+    pub form: NormalForm,
+    /// Candidate keys used for the analysis.
+    pub keys: Vec<AttrSet>,
+    /// Violations of the next form up (empty for BCNF).
+    pub violations: Vec<Violation>,
+}
+
+/// Decides whether the relation is in 2NF under `fds`.
+///
+/// 2NF fails iff some non-prime attribute depends on a *strict subset*
+/// of some candidate key.
+pub fn is_2nf(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> bool {
+    first_2nf_violation(rel, universe, fds).is_none()
+}
+
+fn first_2nf_violation(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Option<Fd> {
+    let keys = candidate_keys(rel, universe, fds);
+    let primes = prime_attributes(rel, universe, fds);
+    for key in &keys {
+        if key.len() <= 1 {
+            continue;
+        }
+        // Enumerate strict non-empty subsets of the key.
+        let members: Vec<_> = key.iter().collect();
+        let n = members.len();
+        for mask in 1u32..((1 << n) - 1) {
+            let sub = AttrSet::from_iter_ids(
+                (0..n).filter(|i| mask & (1 << i) != 0).map(|i| members[i]),
+            );
+            let cl = closure(&sub, fds);
+            for a in cl.difference(&sub).iter() {
+                if !primes.contains(a) && universe.contains(a) {
+                    return Some(Fd::new(rel, sub.clone(), AttrSet::single(a)));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Decides whether the relation is in 3NF under `fds`.
+pub fn is_3nf(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> bool {
+    first_3nf_violation(rel, universe, fds).is_none()
+}
+
+fn first_3nf_violation(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Option<Fd> {
+    let primes = prime_attributes(rel, universe, fds);
+    for fd in minimal_cover(fds) {
+        if !fd.lhs.is_subset(universe) || !fd.rhs.is_subset(universe) {
+            continue;
+        }
+        let a = fd.rhs.iter().next().expect("minimal cover has singleton RHS");
+        if fd.lhs.contains(a) {
+            continue;
+        }
+        if !is_superkey(&fd.lhs, universe, fds) && !primes.contains(a) {
+            return Some(fd);
+        }
+    }
+    None
+}
+
+/// Decides whether the relation is in BCNF under `fds`.
+pub fn is_bcnf(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> bool {
+    first_bcnf_violation(rel, universe, fds).is_none()
+}
+
+fn first_bcnf_violation(_rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Option<Fd> {
+    for fd in minimal_cover(fds) {
+        if !fd.lhs.is_subset(universe) || !fd.rhs.is_subset(universe) {
+            continue;
+        }
+        let a = fd.rhs.iter().next().expect("minimal cover has singleton RHS");
+        if fd.lhs.contains(a) {
+            continue;
+        }
+        if !is_superkey(&fd.lhs, universe, fds) {
+            return Some(fd);
+        }
+    }
+    None
+}
+
+/// Full analysis: highest form + violations of the next form up.
+pub fn analyze(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> NormalFormReport {
+    let keys = candidate_keys(rel, universe, fds);
+    let mut violations = Vec::new();
+    let form = if let Some(fd) = first_2nf_violation(rel, universe, fds) {
+        violations.push(Violation {
+            form: NormalForm::Second,
+            fd,
+        });
+        NormalForm::First
+    } else if let Some(fd) = first_3nf_violation(rel, universe, fds) {
+        violations.push(Violation {
+            form: NormalForm::Third,
+            fd,
+        });
+        NormalForm::Second
+    } else if let Some(fd) = first_bcnf_violation(rel, universe, fds) {
+        violations.push(Violation {
+            form: NormalForm::BoyceCodd,
+            fd,
+        });
+        NormalForm::Third
+    } else {
+        NormalForm::BoyceCodd
+    };
+    NormalFormReport {
+        form,
+        keys,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: RelId = RelId(0);
+
+    fn s(ids: &[u16]) -> AttrSet {
+        AttrSet::from_indices(ids.iter().copied())
+    }
+
+    fn fd(lhs: &[u16], rhs: &[u16]) -> Fd {
+        Fd::new(R, s(lhs), s(rhs))
+    }
+
+    #[test]
+    fn assignment_like_relation_is_1nf() {
+        // Assignment(emp, dep, proj, date, project-name):
+        // key {emp,dep,proj}; proj -> project-name is a partial
+        // dependency of a non-prime attribute => 1NF.
+        let universe = s(&[0, 1, 2, 3, 4]);
+        let fds = vec![fd(&[0, 1, 2], &[3, 4]), fd(&[2], &[4])];
+        let rep = analyze(R, &universe, &fds);
+        assert_eq!(rep.form, NormalForm::First);
+        assert_eq!(rep.violations[0].form, NormalForm::Second);
+    }
+
+    #[test]
+    fn department_like_relation_is_2nf() {
+        // Department(dep, emp, skill, location, proj): key {dep};
+        // emp -> skill, proj is a transitive dependency => 2NF not 3NF.
+        let universe = s(&[0, 1, 2, 3, 4]);
+        let fds = vec![fd(&[0], &[1, 2, 3, 4]), fd(&[1], &[2, 4])];
+        let rep = analyze(R, &universe, &fds);
+        assert_eq!(rep.form, NormalForm::Second);
+        assert_eq!(rep.violations[0].form, NormalForm::Third);
+    }
+
+    #[test]
+    fn person_with_zip_state_is_2nf() {
+        // Person(id, name, street, number, zip, state): key {id};
+        // zip -> state transitive => 2NF.
+        let universe = s(&[0, 1, 2, 3, 4, 5]);
+        let fds = vec![fd(&[0], &[1, 2, 3, 4, 5]), fd(&[4], &[5])];
+        let rep = analyze(R, &universe, &fds);
+        assert_eq!(rep.form, NormalForm::Second);
+    }
+
+    #[test]
+    fn clean_relation_is_bcnf() {
+        let universe = s(&[0, 1, 2]);
+        let fds = vec![fd(&[0], &[1, 2])];
+        let rep = analyze(R, &universe, &fds);
+        assert_eq!(rep.form, NormalForm::BoyceCodd);
+        assert!(rep.violations.is_empty());
+        assert_eq!(rep.keys, vec![s(&[0])]);
+    }
+
+    #[test]
+    fn third_but_not_bcnf() {
+        // ab -> c, c -> b: 3NF (b is prime) but not BCNF (c not superkey).
+        let universe = s(&[0, 1, 2]);
+        let fds = vec![fd(&[0, 1], &[2]), fd(&[2], &[1])];
+        assert!(is_3nf(R, &universe, &fds));
+        assert!(!is_bcnf(R, &universe, &fds));
+        let rep = analyze(R, &universe, &fds);
+        assert_eq!(rep.form, NormalForm::Third);
+        assert_eq!(rep.violations[0].form, NormalForm::BoyceCodd);
+    }
+
+    #[test]
+    fn no_fds_is_bcnf() {
+        let rep = analyze(R, &s(&[0, 1]), &[]);
+        assert_eq!(rep.form, NormalForm::BoyceCodd);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NormalForm::First.to_string(), "1NF");
+        assert_eq!(NormalForm::BoyceCodd.to_string(), "BCNF");
+    }
+
+    #[test]
+    fn ordering_of_forms() {
+        assert!(NormalForm::First < NormalForm::Second);
+        assert!(NormalForm::Third < NormalForm::BoyceCodd);
+    }
+}

@@ -1,0 +1,311 @@
+//! Relation schemas and the database schema `R`.
+
+use crate::attr::{AttrId, AttrSet, Attribute};
+use crate::error::RelationalError;
+use crate::value::Domain;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a relation within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The raw index as usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A relation `R_i(X_i)`: a name plus an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// Relation name (unique in the schema, case-sensitive here; the SQL
+    /// layer normalizes case before reaching this type).
+    pub name: String,
+    attrs: Vec<Attribute>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Relation {
+    /// Creates a relation; fails on duplicate attribute names.
+    pub fn new(
+        name: impl Into<String>,
+        attrs: Vec<Attribute>,
+    ) -> Result<Self, RelationalError> {
+        let name = name.into();
+        if attrs.len() > u16::MAX as usize {
+            return Err(RelationalError::TooManyAttributes(name));
+        }
+        let mut by_name = HashMap::with_capacity(attrs.len());
+        for (i, a) in attrs.iter().enumerate() {
+            if by_name.insert(a.name.clone(), AttrId(i as u16)).is_some() {
+                return Err(RelationalError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        Ok(Relation {
+            name,
+            attrs,
+            by_name,
+        })
+    }
+
+    /// Builder from `(name, domain)` pairs; panics on duplicates —
+    /// intended for literals in tests and examples.
+    pub fn of(name: &str, cols: &[(&str, Domain)]) -> Self {
+        Relation::new(
+            name,
+            cols.iter()
+                .map(|(n, d)| Attribute::new(*n, *d))
+                .collect(),
+        )
+        .expect("duplicate attribute in Relation::of literal")
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Attribute by id.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id.index()]
+    }
+
+    /// Attribute name by id.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attrs[id.index()].name
+    }
+
+    /// Looks an attribute up by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves a list of names to an ordered id vector (order preserved,
+    /// not a set — inclusion dependencies need positional correspondence).
+    pub fn attr_ids(&self, names: &[&str]) -> Result<Vec<AttrId>, RelationalError> {
+        names
+            .iter()
+            .map(|n| {
+                self.attr_id(n).ok_or_else(|| RelationalError::UnknownAttribute {
+                    relation: self.name.clone(),
+                    attribute: (*n).to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Resolves names to an [`AttrSet`].
+    pub fn attr_set(&self, names: &[&str]) -> Result<AttrSet, RelationalError> {
+        Ok(AttrSet::from_iter_ids(self.attr_ids(names)?))
+    }
+
+    /// The set of *all* attribute ids (`X_i`).
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::from_indices(0..self.attrs.len() as u16)
+    }
+
+    /// Renders an attribute set as comma-separated names.
+    pub fn render_set(&self, set: &AttrSet) -> String {
+        let mut out = String::new();
+        for (i, a) in set.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(self.attr_name(a));
+        }
+        out
+    }
+}
+
+/// The set `R` of relations of a database schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: Vec<Relation>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Adds a relation; fails on duplicate relation names.
+    pub fn add_relation(&mut self, rel: Relation) -> Result<RelId, RelationalError> {
+        if self.by_name.contains_key(&rel.name) {
+            return Err(RelationalError::DuplicateRelation(rel.name));
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.by_name.insert(rel.name.clone(), id);
+        self.relations.push(rel);
+        Ok(id)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Relation by id.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.index()]
+    }
+
+    /// Replaces a relation in place, keeping its id. The new relation
+    /// keeps the old name unless renamed consistently.
+    pub fn replace_relation(&mut self, id: RelId, rel: Relation) -> Result<(), RelationalError> {
+        let old_name = self.relations[id.index()].name.clone();
+        if rel.name != old_name {
+            if self.by_name.contains_key(&rel.name) {
+                return Err(RelationalError::DuplicateRelation(rel.name));
+            }
+            self.by_name.remove(&old_name);
+            self.by_name.insert(rel.name.clone(), id);
+        }
+        self.relations[id.index()] = rel;
+        Ok(())
+    }
+
+    /// Looks a relation up by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<&Relation> {
+        self.rel_id(name).map(|id| self.relation(id))
+    }
+
+    /// Iterates `(RelId, &Relation)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+}
+
+/// A qualified attribute set `R.X` — the unit the paper's `LHS` and `H`
+/// sets are made of (e.g. `HEmployee.{no}`, `Assignment.{dep}`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QualAttrs {
+    /// The relation.
+    pub rel: RelId,
+    /// The attribute set within that relation.
+    pub attrs: AttrSet,
+}
+
+impl QualAttrs {
+    /// Creates a qualified attribute set.
+    pub fn new(rel: RelId, attrs: AttrSet) -> Self {
+        QualAttrs { rel, attrs }
+    }
+
+    /// Renders `Relation.{a, b}` using schema names.
+    pub fn render(&self, schema: &Schema) -> String {
+        let r = schema.relation(self.rel);
+        format!("{}.{{{}}}", r.name, r.render_set(&self.attrs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person() -> Relation {
+        Relation::of(
+            "Person",
+            &[
+                ("id", Domain::Int),
+                ("name", Domain::Text),
+                ("zip", Domain::Text),
+            ],
+        )
+    }
+
+    #[test]
+    fn relation_lookup() {
+        let r = person();
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.attr_id("zip"), Some(AttrId(2)));
+        assert_eq!(r.attr_id("nope"), None);
+        assert_eq!(r.attr_name(AttrId(0)), "id");
+        assert_eq!(r.all_attrs().len(), 3);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Relation::new(
+            "R",
+            vec![Attribute::int("a"), Attribute::int("a")],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn attr_ids_preserve_order() {
+        let r = person();
+        let ids = r.attr_ids(&["zip", "id"]).unwrap();
+        assert_eq!(ids, vec![AttrId(2), AttrId(0)]);
+        assert!(r.attr_ids(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn schema_add_and_lookup() {
+        let mut s = Schema::new();
+        let id = s.add_relation(person()).unwrap();
+        assert_eq!(s.rel_id("Person"), Some(id));
+        assert_eq!(s.relation(id).name, "Person");
+        assert!(s.add_relation(person()).is_err());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn replace_relation_renames() {
+        let mut s = Schema::new();
+        let id = s.add_relation(person()).unwrap();
+        let smaller = Relation::of("Person2", &[("id", Domain::Int)]);
+        s.replace_relation(id, smaller).unwrap();
+        assert_eq!(s.rel_id("Person"), None);
+        assert_eq!(s.rel_id("Person2"), Some(id));
+        assert_eq!(s.relation(id).arity(), 1);
+    }
+
+    #[test]
+    fn qual_attrs_render() {
+        let mut s = Schema::new();
+        let id = s.add_relation(person()).unwrap();
+        let q = QualAttrs::new(id, s.relation(id).attr_set(&["id", "zip"]).unwrap());
+        assert_eq!(q.render(&s), "Person.{id, zip}");
+    }
+
+    #[test]
+    fn render_set_names() {
+        let r = person();
+        let set = r.attr_set(&["name", "id"]).unwrap();
+        assert_eq!(r.render_set(&set), "id, name");
+    }
+}

@@ -1,0 +1,205 @@
+//! Bernstein's 3NF synthesis — the *classical* normalization baseline.
+//!
+//! The paper argues (§3, citing Markowitz–Makowsky) that blindly
+//! normalizing with *all* FDs that hold in the data can produce schemas
+//! that do not match the application's objects; its method instead
+//! selects only the FDs that programs *navigate*. We implement textbook
+//! synthesis so the benchmark harness can compare both restructurings
+//! on the same inputs (experiment X3/X5 territory).
+//!
+//! Algorithm (Bernstein 1976, as in Ullman's *Principles of Database
+//! Systems*):
+//!
+//! 1. compute a minimal cover of the FD set;
+//! 2. group FDs by left-hand side; each group becomes a relation
+//!    `(X, attrs determined by X)` with key `X`;
+//! 3. if no relation contains a candidate key of the universe, add one;
+//! 4. drop relations whose attribute set is contained in another's.
+
+use crate::attr::AttrSet;
+use crate::deps::Fd;
+use crate::fd_theory::{candidate_keys, minimal_cover};
+use crate::schema::RelId;
+
+/// One synthesized relation scheme: attribute set plus its key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthScheme {
+    /// All attributes of the scheme.
+    pub attrs: AttrSet,
+    /// The key (the grouped LHS, or the added candidate key).
+    pub key: AttrSet,
+}
+
+/// Synthesizes a 3NF decomposition of `universe` under `fds`.
+///
+/// Returns schemes in deterministic order (sorted by key then attrs).
+pub fn synthesize_3nf(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Vec<SynthScheme> {
+    let cover = minimal_cover(fds);
+
+    // Group singleton-RHS FDs by LHS.
+    let mut groups: Vec<(AttrSet, AttrSet)> = Vec::new();
+    for fd in &cover {
+        match groups.iter_mut().find(|(lhs, _)| lhs == &fd.lhs) {
+            Some((_, rhs)) => *rhs = rhs.union(&fd.rhs),
+            None => groups.push((fd.lhs.clone(), fd.rhs.clone())),
+        }
+    }
+
+    let mut schemes: Vec<SynthScheme> = groups
+        .into_iter()
+        .map(|(lhs, rhs)| SynthScheme {
+            attrs: lhs.union(&rhs),
+            key: lhs,
+        })
+        .collect();
+
+    // Ensure some scheme contains a candidate key of the universe.
+    let keys = candidate_keys(rel, universe, &cover);
+    let has_global_key = schemes
+        .iter()
+        .any(|s| keys.iter().any(|k| k.is_subset(&s.attrs)));
+    if !has_global_key {
+        let k = keys
+            .first()
+            .cloned()
+            .unwrap_or_else(|| universe.clone());
+        schemes.push(SynthScheme {
+            attrs: k.clone(),
+            key: k,
+        });
+    }
+
+    // Also cover attributes mentioned in no FD (they must appear
+    // somewhere; standard practice attaches them to the key scheme).
+    let covered = schemes
+        .iter()
+        .fold(AttrSet::empty(), |acc, s| acc.union(&s.attrs));
+    let loose = universe.difference(&covered);
+    if !loose.is_empty() {
+        // Attach to (or create) the global-key scheme.
+        if let Some(scheme) = schemes
+            .iter_mut()
+            .find(|s| keys.iter().any(|k| k.is_subset(&s.attrs)))
+        {
+            scheme.attrs = scheme.attrs.union(&loose);
+        } else {
+            schemes.push(SynthScheme {
+                attrs: loose.clone(),
+                key: loose,
+            });
+        }
+    }
+
+    // Remove schemes embedded in another scheme.
+    let mut i = 0;
+    while i < schemes.len() {
+        let embedded = schemes
+            .iter()
+            .enumerate()
+            .any(|(j, other)| j != i && schemes[i].attrs.is_subset(&other.attrs));
+        if embedded {
+            schemes.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+
+    schemes.sort_by(|a, b| a.key.cmp(&b.key).then(a.attrs.cmp(&b.attrs)));
+    schemes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd_theory::implies;
+    use crate::normal_forms::is_3nf;
+
+    const R: RelId = RelId(0);
+
+    fn s(ids: &[u16]) -> AttrSet {
+        AttrSet::from_indices(ids.iter().copied())
+    }
+
+    fn fd(lhs: &[u16], rhs: &[u16]) -> Fd {
+        Fd::new(R, s(lhs), s(rhs))
+    }
+
+    #[test]
+    fn textbook_example() {
+        // R(a,b,c), a -> b, b -> c  =>  (ab key a), (bc key b).
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
+        let schemes = synthesize_3nf(R, &s(&[0, 1, 2]), &fds);
+        assert_eq!(schemes.len(), 2);
+        assert!(schemes
+            .iter()
+            .any(|x| x.attrs == s(&[0, 1]) && x.key == s(&[0])));
+        assert!(schemes
+            .iter()
+            .any(|x| x.attrs == s(&[1, 2]) && x.key == s(&[1])));
+    }
+
+    #[test]
+    fn adds_global_key_scheme_when_missing() {
+        // R(a,b,c), b -> c : groups give (bc); key {a,b} must be added.
+        let fds = vec![fd(&[1], &[2])];
+        let schemes = synthesize_3nf(R, &s(&[0, 1, 2]), &fds);
+        assert!(schemes.iter().any(|x| s(&[0, 1]).is_subset(&x.attrs)));
+    }
+
+    #[test]
+    fn attaches_loose_attributes() {
+        // R(a,b,c,d), a -> b : c,d in no FD; must still be covered.
+        let fds = vec![fd(&[0], &[1])];
+        let schemes = synthesize_3nf(R, &s(&[0, 1, 2, 3]), &fds);
+        let covered = schemes
+            .iter()
+            .fold(AttrSet::empty(), |acc, x| acc.union(&x.attrs));
+        assert_eq!(covered, s(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn drops_embedded_schemes() {
+        // a -> bc and b -> c produce (abc) and (bc); (bc) is embedded.
+        // (minimal cover removes a->c, so groups are (ab),(bc): both stay)
+        // Force embedding instead with duplicate-ish FDs:
+        let fds = vec![fd(&[0], &[1, 2]), fd(&[0, 1], &[2])];
+        let schemes = synthesize_3nf(R, &s(&[0, 1, 2]), &fds);
+        for (i, a) in schemes.iter().enumerate() {
+            for (j, b) in schemes.iter().enumerate() {
+                if i != j {
+                    assert!(!a.attrs.is_subset(&b.attrs));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_schemes_are_3nf_and_dependency_preserving() {
+        // Department-style: dep -> emp skill loc proj ; emp -> skill proj.
+        let universe = s(&[0, 1, 2, 3, 4]);
+        let fds = vec![fd(&[0], &[1, 2, 3, 4]), fd(&[1], &[2, 4])];
+        let schemes = synthesize_3nf(R, &universe, &fds);
+        // Each scheme is in 3NF w.r.t. the projected dependencies.
+        for scheme in &schemes {
+            let proj = crate::fd_theory::project_fds(R, &fds, &scheme.attrs);
+            assert!(is_3nf(R, &scheme.attrs, &proj), "scheme {scheme:?} not 3NF");
+        }
+        // Dependency preservation: every original FD implied by the union
+        // of projected FDs.
+        let mut all: Vec<Fd> = Vec::new();
+        for scheme in &schemes {
+            all.extend(crate::fd_theory::project_fds(R, &fds, &scheme.attrs));
+        }
+        for f in &fds {
+            assert!(implies(&all, f), "dependency {f:?} lost");
+        }
+    }
+
+    #[test]
+    fn no_fds_yields_single_universe_scheme() {
+        let schemes = synthesize_3nf(R, &s(&[0, 1]), &[]);
+        assert_eq!(schemes.len(), 1);
+        assert_eq!(schemes[0].attrs, s(&[0, 1]));
+        assert_eq!(schemes[0].key, s(&[0, 1]));
+    }
+}

@@ -1,0 +1,405 @@
+//! Abstract syntax tree for the SQL subset.
+//!
+//! The subset is exactly what the DBRE pipeline needs:
+//!
+//! * `CREATE TABLE` with column and table constraints — the data
+//!   dictionary from which `K` and `N` are computed (paper §4);
+//! * `INSERT … VALUES` — loading the extension `E`;
+//! * `SELECT` with multi-table `FROM`, `JOIN … ON`, `WHERE`
+//!   conjunctions, nested `IN`/`EXISTS` subqueries and `INTERSECT` —
+//!   the query shapes from which equi-joins are extracted (§4), plus
+//!   `COUNT(DISTINCT …)` — the `‖·‖` counting primitive (§2).
+
+use dbre_relational::value::{Domain, Value};
+
+/// A full SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE`.
+    CreateTable(CreateTable),
+    /// `INSERT INTO … VALUES …`.
+    Insert(Insert),
+    /// A (possibly compound) query.
+    Select(Query),
+}
+
+/// `CREATE TABLE name (…)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: String,
+    /// Column definitions, in order.
+    pub columns: Vec<ColumnDef>,
+    /// Table-level constraints.
+    pub constraints: Vec<TableConstraint>,
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared domain.
+    pub domain: Domain,
+    /// `NOT NULL` present?
+    pub not_null: bool,
+    /// Column-level `UNIQUE` present?
+    pub unique: bool,
+    /// Column-level `PRIMARY KEY` present?
+    pub primary_key: bool,
+}
+
+/// Table-level constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableConstraint {
+    /// `UNIQUE (a, b, …)`.
+    Unique(Vec<String>),
+    /// `PRIMARY KEY (a, b, …)`.
+    PrimaryKey(Vec<String>),
+}
+
+/// `INSERT INTO table [(cols)] VALUES (…), (…)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// Target table.
+    pub table: String,
+    /// Optional explicit column list.
+    pub columns: Option<Vec<String>>,
+    /// Literal rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// A query: one select body, optionally combined with another query by
+/// a set operator (right-associated chain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The first `SELECT`.
+    pub body: Select,
+    /// `INTERSECT`/`UNION` continuation.
+    pub compound: Option<(SetOp, Box<Query>)>,
+}
+
+/// Set operator between queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `INTERSECT` (set semantics).
+    Intersect,
+    /// `UNION` (set semantics).
+    Union,
+}
+
+/// One `SELECT … FROM … WHERE …` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `DISTINCT` present?
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` sources (cross product; `JOIN … ON` is desugared by the
+    /// parser into an extra source plus a `WHERE` conjunct, preserving
+    /// the join condition in [`Select::join_conds`] for the extractor).
+    pub from: Vec<TableRef>,
+    /// Conditions that came from `ON` clauses (kept separate so the
+    /// equi-join extractor sees them verbatim; the executor treats them
+    /// as additional `WHERE` conjuncts).
+    pub join_conds: Vec<Expr>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions (legacy report queries).
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate (may contain aggregates).
+    pub having: Option<Expr>,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderItem>,
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// The sort key: a column reference, or an output position when
+    /// the legacy `ORDER BY 2` form is used.
+    pub key: OrderKey,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// What an `ORDER BY` item sorts on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    /// An expression (column reference in this subset).
+    Expr(Expr),
+    /// 1-based output column position.
+    Position(usize),
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A table in `FROM`, with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// `AS alias` / bare alias.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this source binds in scope (alias if given).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A column reference `[qualifier.]name`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Optional table/alias qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(name: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: Some(q.into()),
+            name: name.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Scalar / predicate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Value),
+    /// Comparison between two scalars.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT …)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery (must project exactly one column).
+        query: Box<Query>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Literal list.
+        list: Vec<Expr>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT …)`.
+    Exists {
+        /// The subquery.
+        query: Box<Query>,
+        /// `NOT EXISTS`?
+        negated: bool,
+    },
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(DISTINCT a, b, …)` — multi-column extension matching the
+    /// paper's `‖r[X]‖` definition.
+    CountDistinct(Vec<ColumnRef>),
+    /// `MIN/MAX/SUM/AVG/COUNT(expr)` over a group.
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Aggregated expression (NULLs are skipped, as in SQL).
+        arg: Box<Expr>,
+    },
+}
+
+/// Aggregate functions beyond the counting primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AggFunc {
+    Min,
+    Max,
+    Sum,
+    Avg,
+    /// `COUNT(expr)`: non-null count.
+    Count,
+}
+
+impl Expr {
+    /// Does the expression contain an aggregate anywhere?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::CountStar | Expr::CountDistinct(_) | Expr::Agg { .. } => true,
+            Expr::Cmp { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                l.contains_aggregate() || r.contains_aggregate()
+            }
+            Expr::Not(x) => x.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
+            Expr::Exists { .. } | Expr::Column(_) | Expr::Literal(_) => false,
+        }
+    }
+}
+
+impl Expr {
+    /// Flattens a conjunction tree into its conjuncts
+    /// (`a AND (b AND c)` → `[a, b, c]`). Non-AND expressions yield
+    /// themselves. Used by the equi-join extractor.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            if let Expr::And(l, r) = e {
+                walk(l, out);
+                walk(r, out);
+            } else {
+                out.push(e);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Is this an equality between two column references? Returns the
+    /// pair when so.
+    pub fn as_column_equality(&self) -> Option<(&ColumnRef, &ColumnRef)> {
+        if let Expr::Cmp {
+            op: CmpOp::Eq,
+            left,
+            right,
+        } = self
+        {
+            if let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) {
+                return Some((a, b));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let a = Expr::Column(ColumnRef::bare("a"));
+        let b = Expr::Column(ColumnRef::bare("b"));
+        let c = Expr::Column(ColumnRef::bare("c"));
+        let e = Expr::And(
+            Box::new(a.clone()),
+            Box::new(Expr::And(Box::new(b.clone()), Box::new(c.clone()))),
+        );
+        let parts = e.conjuncts();
+        assert_eq!(parts, vec![&a, &b, &c]);
+        assert_eq!(a.conjuncts(), vec![&a]);
+    }
+
+    #[test]
+    fn column_equality_detection() {
+        let eq = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(Expr::Column(ColumnRef::qualified("t", "x"))),
+            right: Box::new(Expr::Column(ColumnRef::bare("y"))),
+        };
+        let (l, r) = eq.as_column_equality().unwrap();
+        assert_eq!(l.qualifier.as_deref(), Some("t"));
+        assert_eq!(r.name, "y");
+        let lit = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(Expr::Column(ColumnRef::bare("x"))),
+            right: Box::new(Expr::Literal(Value::Int(3))),
+        };
+        assert!(lit.as_column_equality().is_none());
+        let ne = Expr::Cmp {
+            op: CmpOp::Ne,
+            left: Box::new(Expr::Column(ColumnRef::bare("x"))),
+            right: Box::new(Expr::Column(ColumnRef::bare("y"))),
+        };
+        assert!(ne.as_column_equality().is_none());
+    }
+
+    #[test]
+    fn table_ref_binding() {
+        let t = TableRef {
+            table: "Person".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding(), "Person");
+        let t = TableRef {
+            table: "Person".into(),
+            alias: Some("p".into()),
+        };
+        assert_eq!(t.binding(), "p");
+    }
+}

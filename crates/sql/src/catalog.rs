@@ -1,0 +1,303 @@
+//! The catalog — the DBMS *data dictionary* of the paper (§4).
+//!
+//! `CREATE TABLE` statements register relations and their declared
+//! `unique` / `not null` constraints; from those the sets
+//!
+//! * `K = {R.X | X declared unique}` and
+//! * `N = {R.a | a declared not null} ∪ {R.a ∈ R.X | R.X ∈ K}`
+//!
+//! are computed exactly as in the paper. The catalog owns the
+//! [`Database`] being built, so `INSERT` statements load the extension
+//! `E` through domain validation.
+
+use crate::ast::{CreateTable, Insert, Statement, TableConstraint};
+use crate::error::{SqlError, SqlResult};
+use crate::parser::parse_script;
+use dbre_relational::attr::AttrSet;
+use dbre_relational::database::Database;
+use dbre_relational::schema::Relation;
+use dbre_relational::value::Value;
+use dbre_relational::Attribute;
+
+/// Builds a [`Database`] (schema + constraints + extension) from DDL
+/// and DML statements.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    /// The database under construction.
+    pub db: Database,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Applies a whole script of `CREATE TABLE` / `INSERT` statements.
+    /// `SELECT` statements in the script are ignored here (they are the
+    /// extractor's business).
+    pub fn load_script(&mut self, src: &str) -> SqlResult<()> {
+        for stmt in parse_script(src)? {
+            match stmt {
+                Statement::CreateTable(ct) => self.create_table(&ct)?,
+                Statement::Insert(ins) => self.insert(&ins)?,
+                Statement::Select(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers one `CREATE TABLE`, deriving `K` and `N` entries.
+    pub fn create_table(&mut self, ct: &CreateTable) -> SqlResult<()> {
+        let attrs: Vec<Attribute> = ct
+            .columns
+            .iter()
+            .map(|c| Attribute::new(c.name.clone(), c.domain))
+            .collect();
+        let rel = self.db.add_relation(Relation::new(ct.name.clone(), attrs)?)?;
+        let relation = self.db.schema.relation(rel);
+
+        // Column-level constraints.
+        let mut keys: Vec<AttrSet> = Vec::new();
+        let mut not_null: Vec<u16> = Vec::new();
+        for (i, col) in ct.columns.iter().enumerate() {
+            let id = i as u16;
+            if col.unique || col.primary_key {
+                keys.push(AttrSet::from_indices([id]));
+            }
+            if col.not_null || col.primary_key {
+                not_null.push(id);
+            }
+        }
+        // Table-level constraints.
+        for tc in &ct.constraints {
+            let names = match tc {
+                TableConstraint::Unique(n) | TableConstraint::PrimaryKey(n) => n,
+            };
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let set = relation
+                .attr_set(&refs)
+                .map_err(SqlError::Relational)?;
+            keys.push(set);
+        }
+
+        for k in keys {
+            self.db.constraints.add_key(rel, k);
+        }
+        for a in not_null {
+            self.db.constraints.add_not_null(rel, dbre_relational::AttrId(a));
+        }
+        self.db.constraints.normalize();
+        Ok(())
+    }
+
+    /// Applies one `INSERT`, reordering columns when an explicit column
+    /// list is given and padding missing columns with `NULL`.
+    pub fn insert(&mut self, ins: &Insert) -> SqlResult<()> {
+        let rel = self.db.rel(&ins.table)?;
+        let arity = self.db.schema.relation(rel).arity();
+        let mapping: Option<Vec<usize>> = match &ins.columns {
+            None => None,
+            Some(cols) => {
+                let relation = self.db.schema.relation(rel);
+                let mut m = Vec::with_capacity(cols.len());
+                for c in cols {
+                    let id = relation.attr_id(c).ok_or_else(|| {
+                        SqlError::semantic(format!(
+                            "unknown column `{c}` in INSERT into `{}`",
+                            ins.table
+                        ))
+                    })?;
+                    m.push(id.index());
+                }
+                Some(m)
+            }
+        };
+        for row in &ins.rows {
+            let mut full: Vec<Value> = match &mapping {
+                None => {
+                    if row.len() != arity {
+                        return Err(SqlError::semantic(format!(
+                            "INSERT into `{}` expects {arity} values, got {}",
+                            ins.table,
+                            row.len()
+                        )));
+                    }
+                    row.clone()
+                }
+                Some(m) => {
+                    if row.len() != m.len() {
+                        return Err(SqlError::semantic(format!(
+                            "INSERT into `{}` column list has {} names but row has {} values",
+                            ins.table,
+                            m.len(),
+                            row.len()
+                        )));
+                    }
+                    let mut full = vec![Value::Null; arity];
+                    for (slot, v) in m.iter().zip(row) {
+                        full[*slot] = v.clone();
+                    }
+                    full
+                }
+            };
+            // SQL numeric coercion: integer literals fit REAL columns.
+            let relation = self.db.schema.relation(rel);
+            for (i, v) in full.iter_mut().enumerate() {
+                if relation.attributes()[i].domain == dbre_relational::Domain::Float {
+                    if let Value::Int(n) = v {
+                        *v = Value::float(*n as f64);
+                    }
+                }
+            }
+            self.db.insert(rel, full)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the catalog, yielding the loaded database.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// Renders the dictionary sets `K` and `N` the way the paper prints
+    /// them (for reports and the worked example).
+    pub fn render_k_n(&self) -> (Vec<String>, Vec<String>) {
+        let schema = &self.db.schema;
+        let k = self
+            .db
+            .constraints
+            .keys
+            .iter()
+            .map(|key| key.render(schema))
+            .collect();
+        let n = self
+            .db
+            .constraints
+            .not_null
+            .iter()
+            .map(|(rel, attr)| {
+                let r = schema.relation(*rel);
+                format!("{}.{}", r.name, r.attr_name(*attr))
+            })
+            .collect();
+        (k, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DDL: &str = "
+        CREATE TABLE Person (
+            id INTEGER UNIQUE,
+            name VARCHAR(40),
+            zip-code CHAR(5)
+        );
+        CREATE TABLE HEmployee (
+            no INTEGER,
+            date DATE,
+            salary REAL,
+            UNIQUE (no, date)
+        );
+        CREATE TABLE Department (
+            dep CHAR(4) UNIQUE,
+            emp INTEGER,
+            location VARCHAR(30) NOT NULL
+        );
+    ";
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.load_script(DDL).unwrap();
+        c
+    }
+
+    #[test]
+    fn k_and_n_derived_from_dictionary() {
+        let c = catalog();
+        let (k, n) = c.render_k_n();
+        assert!(k.contains(&"Person.{id}".to_string()));
+        assert!(k.contains(&"HEmployee.{no, date}".to_string()));
+        assert!(k.contains(&"Department.{dep}".to_string()));
+        assert_eq!(k.len(), 3);
+        // N includes explicit not-nulls and key attributes.
+        assert!(n.contains(&"Department.location".to_string()));
+        assert!(n.contains(&"Person.id".to_string()));
+        assert!(n.contains(&"HEmployee.no".to_string()));
+        assert!(n.contains(&"HEmployee.date".to_string()));
+        assert!(n.contains(&"Department.dep".to_string()));
+        assert!(!n.contains(&"Person.name".to_string()));
+    }
+
+    #[test]
+    fn primary_key_implies_unique_and_not_null() {
+        let mut c = Catalog::new();
+        c.load_script("CREATE TABLE T (a INT PRIMARY KEY, b INT)")
+            .unwrap();
+        let rel = c.db.rel("T").unwrap();
+        assert!(c
+            .db
+            .constraints
+            .is_key(rel, &AttrSet::from_indices([0u16])));
+        assert!(c.db.constraints.is_not_null(rel, dbre_relational::AttrId(0)));
+        assert!(!c.db.constraints.is_not_null(rel, dbre_relational::AttrId(1)));
+    }
+
+    #[test]
+    fn insert_positional_and_named() {
+        let mut c = catalog();
+        c.load_script("INSERT INTO Person VALUES (1, 'ann', '69100')")
+            .unwrap();
+        c.load_script("INSERT INTO Person (id, name) VALUES (2, 'bob')")
+            .unwrap();
+        let rel = c.db.rel("Person").unwrap();
+        let t = c.db.table(rel);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(1, dbre_relational::AttrId(2)), &Value::Null);
+    }
+
+    #[test]
+    fn insert_errors() {
+        let mut c = catalog();
+        assert!(c.load_script("INSERT INTO Person VALUES (1)").is_err());
+        assert!(c
+            .load_script("INSERT INTO Person (id, ghost) VALUES (1, 2)")
+            .is_err());
+        assert!(c
+            .load_script("INSERT INTO Ghost VALUES (1)")
+            .is_err());
+        // Domain violation bubbles up from the relational layer.
+        assert!(c
+            .load_script("INSERT INTO Person VALUES ('x', 'y', 'z')")
+            .is_err());
+    }
+
+    #[test]
+    fn extension_respects_dictionary_after_load() {
+        let mut c = catalog();
+        c.load_script(
+            "INSERT INTO HEmployee VALUES (1, DATE '1996-01-01', 100.0);
+             INSERT INTO HEmployee VALUES (1, DATE '1996-02-01', 120.0);",
+        )
+        .unwrap();
+        c.db.validate_dictionary().unwrap();
+        c.load_script("INSERT INTO HEmployee VALUES (1, DATE '1996-01-01', 999.0)")
+            .unwrap();
+        assert!(c.db.validate_dictionary().is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = catalog();
+        assert!(c.load_script("CREATE TABLE Person (x INT)").is_err());
+    }
+
+    #[test]
+    fn select_statements_ignored_by_catalog() {
+        let mut c = catalog();
+        c.load_script("SELECT * FROM Person").unwrap();
+        assert_eq!(c.db.schema.len(), 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! Errors for the SQL substrate.
+
+use dbre_relational::RelationalError;
+use std::fmt;
+
+/// Position of a token in the source text (1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Error raised by the lexer, parser, catalog or executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error (bad character, unterminated string, …).
+    Lex {
+        /// Location of the offending character.
+        pos: Pos,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Location of the offending token.
+        pos: Pos,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Semantic error during catalog registration or execution
+    /// (unknown table, ambiguous column, type mismatch, …).
+    Semantic(String),
+    /// Error bubbled up from the relational substrate.
+    Relational(RelationalError),
+}
+
+impl SqlError {
+    /// Shorthand for a semantic error.
+    pub fn semantic(msg: impl Into<String>) -> Self {
+        SqlError::Semantic(msg.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            SqlError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            SqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+            SqlError::Relational(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<RelationalError> for SqlError {
+    fn from(e: RelationalError) -> Self {
+        SqlError::Relational(e)
+    }
+}
+
+/// Result alias for the crate.
+pub type SqlResult<T> = Result<T, SqlError>;

@@ -1,0 +1,469 @@
+//! Hand-written SQL lexer.
+//!
+//! Notable subset decisions (documented here once, relied on
+//! everywhere):
+//!
+//! * keywords are case-insensitive; identifiers are case-preserving and
+//!   compared exactly by later stages;
+//! * `-` is an identifier character when it directly follows an
+//!   identifier character and is directly followed by one
+//!   (`zip-code`, `Ass-Dept`) — the subset has no arithmetic, and the
+//!   paper's worked example requires hyphenated attribute names;
+//! * `--` starts a line comment, `/* … */` a block comment;
+//! * string literals use single quotes with `''` as the escape;
+//! * double-quoted words are *delimited identifiers*.
+
+use crate::error::{Pos, SqlError, SqlResult};
+use crate::token::{Keyword, Tok, Token};
+
+/// Tokenizes `src` into a vector ending with [`Tok::Eof`].
+pub fn tokenize(src: &str) -> SqlResult<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> SqlError {
+        SqlError::Lex {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn push(&mut self, tok: Tok, pos: Pos) {
+        self.out.push(Token { tok, pos });
+    }
+
+    fn run(mut self) -> SqlResult<Vec<Token>> {
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(c) if c.is_ascii_whitespace() => {
+                        self.bump();
+                    }
+                    Some(b'-') if self.peek2() == Some(b'-') => {
+                        while let Some(c) = self.bump() {
+                            if c == b'\n' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(b'/') if self.peek2() == Some(b'*') => {
+                        self.bump();
+                        self.bump();
+                        let mut closed = false;
+                        while let Some(c) = self.bump() {
+                            if c == b'*' && self.peek() == Some(b'/') {
+                                self.bump();
+                                closed = true;
+                                break;
+                            }
+                        }
+                        if !closed {
+                            return Err(self.err("unterminated block comment"));
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                self.push(Tok::Eof, pos);
+                return Ok(self.out);
+            };
+            match c {
+                b'(' => {
+                    self.bump();
+                    self.push(Tok::LParen, pos);
+                }
+                b')' => {
+                    self.bump();
+                    self.push(Tok::RParen, pos);
+                }
+                b',' => {
+                    self.bump();
+                    self.push(Tok::Comma, pos);
+                }
+                b';' => {
+                    self.bump();
+                    self.push(Tok::Semi, pos);
+                }
+                b'.' => {
+                    self.bump();
+                    self.push(Tok::Dot, pos);
+                }
+                b'*' => {
+                    self.bump();
+                    self.push(Tok::Star, pos);
+                }
+                b'=' => {
+                    self.bump();
+                    self.push(Tok::Eq, pos);
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(Tok::Ne, pos);
+                    } else {
+                        return Err(self.err("expected `=` after `!`"));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.bump();
+                            self.push(Tok::Ne, pos);
+                        }
+                        Some(b'=') => {
+                            self.bump();
+                            self.push(Tok::Le, pos);
+                        }
+                        _ => self.push(Tok::Lt, pos),
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(Tok::Ge, pos);
+                    } else {
+                        self.push(Tok::Gt, pos);
+                    }
+                }
+                // A `-` not starting a comment introduces a negative
+                // number literal (the subset has no subtraction).
+                b'-' if matches!(self.peek2(), Some(c) if c.is_ascii_digit()) => {
+                    self.bump();
+                    self.number(pos)?;
+                    match self
+                        .out
+                        .last_mut()
+                        .map(|t| &mut t.tok)
+                        .expect("number() pushed a token")
+                    {
+                        Tok::Int(v) => *v = -*v,
+                        Tok::Float(v) => *v = -*v,
+                        _ => unreachable!("number() pushes Int or Float"),
+                    }
+                }
+                b'\'' => self.string(pos)?,
+                b'"' => self.delimited_ident(pos)?,
+                b'0'..=b'9' => self.number(pos)?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.word(pos),
+                other => {
+                    return Err(self.err(format!(
+                        "unexpected character `{}`",
+                        char::from(other)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self, pos: Pos) -> SqlResult<()> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        break;
+                    }
+                }
+                Some(c) => s.push(char::from(c)),
+            }
+        }
+        self.push(Tok::Str(s), pos);
+        Ok(())
+    }
+
+    fn delimited_ident(&mut self, pos: Pos) -> SqlResult<()> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated delimited identifier")),
+                Some(b'"') => break,
+                Some(c) => s.push(char::from(c)),
+            }
+        }
+        if s.is_empty() {
+            return Err(self.err("empty delimited identifier"));
+        }
+        self.push(Tok::Ident(s), pos);
+        Ok(())
+    }
+
+    fn number(&mut self, pos: Pos) -> SqlResult<()> {
+        let start = self.i;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E'))
+            && matches!(self.peek2(), Some(c) if c.is_ascii_digit() || c == b'+' || c == b'-')
+        {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii digits");
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad float literal `{text}`")))?;
+            self.push(Tok::Float(v), pos);
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("integer literal out of range `{text}`")))?;
+            self.push(Tok::Int(v), pos);
+        }
+        Ok(())
+    }
+
+    fn word(&mut self, pos: Pos) {
+        let start = self.i;
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                    self.bump();
+                }
+                // Hyphen continues an identifier only when followed by
+                // an identifier character: `zip-code` lexes as one
+                // token, while `a --comment` does not.
+                Some(b'-')
+                    if matches!(self.peek2(),
+                        Some(c) if c.is_ascii_alphanumeric() || c == b'_') =>
+                {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii word");
+        // Words containing `-` can never be keywords.
+        match Keyword::from_word(text) {
+            Some(kw) if !text.contains('-') => self.push(Tok::Kw(kw), pos),
+            _ => self.push(Tok::Ident(text.to_string()), pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        let ts = toks("SELECT a FROM t;");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Kw(Keyword::Select),
+                Tok::Ident("a".into()),
+                Tok::Kw(Keyword::From),
+                Tok::Ident("t".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        let ts = toks("select project-name from Ass-Dept");
+        assert!(ts.contains(&Tok::Ident("project-name".into())));
+        assert!(ts.contains(&Tok::Ident("Ass-Dept".into())));
+    }
+
+    #[test]
+    fn line_comment_not_confused_with_hyphen() {
+        let ts = toks("a -- comment to end\n b");
+        assert_eq!(
+            ts,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn block_comment() {
+        let ts = toks("a /* hi\nthere */ b");
+        assert_eq!(
+            ts,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+        assert!(tokenize("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let ts = toks("= <> != < <= > >= . , * ( ) ;");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Dot,
+                Tok::Comma,
+                Tok::Star,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let ts = toks("12 3.5 2e3 1.5e-2");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Int(12),
+                Tok::Float(3.5),
+                Tok::Float(2000.0),
+                Tok::Float(0.015),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escape() {
+        let ts = toks("'o''brien' ''");
+        assert_eq!(
+            ts,
+            vec![Tok::Str("o'brien".into()), Tok::Str("".into()), Tok::Eof]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn delimited_identifiers() {
+        let ts = toks("\"select\" \"weird name\"");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("select".into()),
+                Tok::Ident("weird name".into()),
+                Tok::Eof
+            ]
+        );
+        assert!(tokenize("\"\"").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("select SELECT SeLeCt"),
+            vec![
+                Tok::Kw(Keyword::Select),
+                Tok::Kw(Keyword::Select),
+                Tok::Kw(Keyword::Select),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let tokens = tokenize("a\n  b").unwrap();
+        assert_eq!(tokens[0].pos.line, 1);
+        assert_eq!(tokens[1].pos.line, 2);
+        assert_eq!(tokens[1].pos.col, 3);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(toks("-3 -2.5"), vec![Tok::Int(-3), Tok::Float(-2.5), Tok::Eof]);
+        // `--3` is still a comment, not double negation.
+        assert_eq!(toks("--3\n4"), vec![Tok::Int(4), Tok::Eof]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("! x").is_err());
+    }
+
+    #[test]
+    fn hyphen_word_is_never_keyword() {
+        // `in-box` must lex as an identifier even though `in` is a keyword.
+        let ts = toks("in-box");
+        assert_eq!(ts, vec![Tok::Ident("in-box".into()), Tok::Eof]);
+    }
+}

@@ -1,0 +1,939 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! See [`crate::ast`] for the grammar coverage. One legacy-driven
+//! peculiarity: `DATE` and `KEY` act as *soft keywords* — they may be
+//! used as column names (the paper's `HEmployee(no, date, salary)` has
+//! a column literally named `date`). `DATE '…'` in expression position
+//! is still a date literal.
+
+use crate::ast::*;
+use crate::error::{Pos, SqlError, SqlResult};
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Tok, Token};
+use dbre_relational::value::{Date, Domain, Value};
+
+/// Parses a script: one or more `;`-separated statements.
+pub fn parse_script(src: &str) -> SqlResult<Vec<Statement>> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Tok::Semi) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.at_eof() {
+            p.expect(&Tok::Semi)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a single statement (trailing `;` allowed).
+pub fn parse_statement(src: &str) -> SqlResult<Statement> {
+    let mut p = Parser::new(src)?;
+    let stmt = p.statement()?;
+    p.eat(&Tok::Semi);
+    if !p.at_eof() {
+        return Err(p.unexpected("end of input"));
+    }
+    Ok(stmt)
+}
+
+/// Parses a single query (`SELECT …`).
+pub fn parse_query(src: &str) -> SqlResult<Query> {
+    match parse_statement(src)? {
+        Statement::Select(q) => Ok(q),
+        _ => Err(SqlError::semantic("expected a SELECT statement")),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> SqlResult<Self> {
+        Ok(Parser {
+            tokens: tokenize(src)?,
+            i: 0,
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.i + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.i].tok.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Keyword) -> bool {
+        self.eat(&Tok::Kw(k))
+    }
+
+    fn expect(&mut self, t: &Tok) -> SqlResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&t.to_string()))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Keyword) -> SqlResult<()> {
+        self.expect(&Tok::Kw(k))
+    }
+
+    fn unexpected(&self, wanted: &str) -> SqlError {
+        SqlError::Parse {
+            pos: self.pos(),
+            message: format!("expected {wanted}, found {}", self.peek()),
+        }
+    }
+
+    /// An identifier, admitting the soft keywords `DATE` and `KEY`.
+    fn ident(&mut self) -> SqlResult<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            Tok::Kw(Keyword::Date) => {
+                self.bump();
+                Ok("date".to_string())
+            }
+            Tok::Kw(Keyword::Key) => {
+                self.bump();
+                Ok("key".to_string())
+            }
+            _ => Err(self.unexpected("an identifier")),
+        }
+    }
+
+    fn statement(&mut self) -> SqlResult<Statement> {
+        match self.peek() {
+            Tok::Kw(Keyword::Create) => self.create_table().map(Statement::CreateTable),
+            Tok::Kw(Keyword::Insert) => self.insert().map(Statement::Insert),
+            Tok::Kw(Keyword::Select) => self.query().map(Statement::Select),
+            _ => Err(self.unexpected("CREATE, INSERT or SELECT")),
+        }
+    }
+
+    // ---- DDL ----
+
+    fn create_table(&mut self) -> SqlResult<CreateTable> {
+        self.expect_kw(Keyword::Create)?;
+        self.expect_kw(Keyword::Table)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut columns = Vec::new();
+        let mut constraints = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Kw(Keyword::Unique) => {
+                    self.bump();
+                    constraints.push(TableConstraint::Unique(self.paren_ident_list()?));
+                }
+                Tok::Kw(Keyword::Primary) => {
+                    self.bump();
+                    self.expect_kw(Keyword::Key)?;
+                    constraints.push(TableConstraint::PrimaryKey(self.paren_ident_list()?));
+                }
+                _ => columns.push(self.column_def()?),
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(CreateTable {
+            name,
+            columns,
+            constraints,
+        })
+    }
+
+    fn paren_ident_list(&mut self) -> SqlResult<Vec<String>> {
+        self.expect(&Tok::LParen)?;
+        let mut names = vec![self.ident()?];
+        while self.eat(&Tok::Comma) {
+            names.push(self.ident()?);
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(names)
+    }
+
+    fn column_def(&mut self) -> SqlResult<ColumnDef> {
+        // Disambiguation: `date DATE` — a column named `date`. The soft
+        // keyword path in `ident()` handles it.
+        let name = self.ident()?;
+        let domain = self.domain()?;
+        let mut def = ColumnDef {
+            name,
+            domain,
+            not_null: false,
+            unique: false,
+            primary_key: false,
+        };
+        loop {
+            if self.eat_kw(Keyword::Not) {
+                self.expect_kw(Keyword::Null)?;
+                def.not_null = true;
+            } else if self.eat_kw(Keyword::Unique) {
+                def.unique = true;
+            } else if self.peek() == &Tok::Kw(Keyword::Primary) {
+                self.bump();
+                self.expect_kw(Keyword::Key)?;
+                def.primary_key = true;
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    fn domain(&mut self) -> SqlResult<Domain> {
+        let d = match self.peek() {
+            Tok::Kw(Keyword::Integer) | Tok::Kw(Keyword::Int) | Tok::Kw(Keyword::Smallint) => {
+                self.bump();
+                Domain::Int
+            }
+            Tok::Kw(Keyword::Real)
+            | Tok::Kw(Keyword::Float)
+            | Tok::Kw(Keyword::Numeric)
+            | Tok::Kw(Keyword::Decimal) => {
+                self.bump();
+                self.optional_length_args()?;
+                Domain::Float
+            }
+            Tok::Kw(Keyword::Varchar) | Tok::Kw(Keyword::Char) => {
+                self.bump();
+                self.optional_length_args()?;
+                Domain::Text
+            }
+            Tok::Kw(Keyword::Text) => {
+                self.bump();
+                Domain::Text
+            }
+            Tok::Kw(Keyword::Boolean) => {
+                self.bump();
+                Domain::Bool
+            }
+            Tok::Kw(Keyword::Date) => {
+                self.bump();
+                Domain::Date
+            }
+            _ => return Err(self.unexpected("a type name")),
+        };
+        Ok(d)
+    }
+
+    /// `(n)` / `(p, s)` after VARCHAR/NUMERIC — accepted and ignored.
+    fn optional_length_args(&mut self) -> SqlResult<()> {
+        if self.eat(&Tok::LParen) {
+            loop {
+                match self.bump() {
+                    Tok::Int(_) => {}
+                    other => {
+                        return Err(SqlError::Parse {
+                            pos: self.pos(),
+                            message: format!("expected a length, found {other}"),
+                        })
+                    }
+                }
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(())
+    }
+
+    // ---- INSERT ----
+
+    fn insert(&mut self) -> SqlResult<Insert> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident()?;
+        let columns = if self.peek() == &Tok::LParen {
+            Some(self.paren_ident_list()?)
+        } else {
+            None
+        };
+        self.expect_kw(Keyword::Values)?;
+        let mut rows = vec![self.value_row()?];
+        while self.eat(&Tok::Comma) {
+            rows.push(self.value_row()?);
+        }
+        Ok(Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn value_row(&mut self) -> SqlResult<Vec<Value>> {
+        self.expect(&Tok::LParen)?;
+        let mut row = vec![self.literal()?];
+        while self.eat(&Tok::Comma) {
+            row.push(self.literal()?);
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(row)
+    }
+
+    fn literal(&mut self) -> SqlResult<Value> {
+        let v = match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Value::Int(i)
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Value::float(x)
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Value::str(s)
+            }
+            Tok::Kw(Keyword::Null) => {
+                self.bump();
+                Value::Null
+            }
+            Tok::Kw(Keyword::True) => {
+                self.bump();
+                Value::Bool(true)
+            }
+            Tok::Kw(Keyword::False) => {
+                self.bump();
+                Value::Bool(false)
+            }
+            Tok::Kw(Keyword::Date) if matches!(self.peek2(), Tok::Str(_)) => {
+                self.bump();
+                let Tok::Str(s) = self.bump() else { unreachable!() };
+                let d = Date::parse(&s).ok_or_else(|| SqlError::Parse {
+                    pos: self.pos(),
+                    message: format!("invalid date literal '{s}'"),
+                })?;
+                Value::Date(d)
+            }
+            _ => return Err(self.unexpected("a literal")),
+        };
+        Ok(v)
+    }
+
+    // ---- Queries ----
+
+    fn query(&mut self) -> SqlResult<Query> {
+        let body = self.select()?;
+        let compound = if self.eat_kw(Keyword::Intersect) {
+            Some((SetOp::Intersect, Box::new(self.query()?)))
+        } else if self.eat_kw(Keyword::Union) {
+            Some((SetOp::Union, Box::new(self.query()?)))
+        } else {
+            None
+        };
+        Ok(Query { body, compound })
+    }
+
+    fn select(&mut self) -> SqlResult<Select> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let items = self.select_items()?;
+        self.expect_kw(Keyword::From)?;
+        let mut from = vec![self.table_ref()?];
+        let mut join_conds = Vec::new();
+        loop {
+            if self.eat(&Tok::Comma) {
+                from.push(self.table_ref()?);
+            } else if self.peek() == &Tok::Kw(Keyword::Join)
+                || (self.peek() == &Tok::Kw(Keyword::Inner)
+                    && self.peek2() == &Tok::Kw(Keyword::Join))
+            {
+                self.eat_kw(Keyword::Inner);
+                self.expect_kw(Keyword::Join)?;
+                from.push(self.table_ref()?);
+                self.expect_kw(Keyword::On)?;
+                join_conds.push(self.expr()?);
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.expr()?);
+            while self.eat(&Tok::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let key = if let Tok::Int(n) = self.peek().clone() {
+                    self.bump();
+                    if n < 1 {
+                        return Err(SqlError::Parse {
+                            pos: self.pos(),
+                            message: "ORDER BY position must be >= 1".into(),
+                        });
+                    }
+                    OrderKey::Position(n as usize)
+                } else {
+                    OrderKey::Expr(self.expr()?)
+                };
+                let desc = if self.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    false
+                };
+                order_by.push(OrderItem { key, desc });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            join_conds,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+        })
+    }
+
+    fn select_items(&mut self) -> SqlResult<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Tok::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw(Keyword::As) {
+                    Some(self.ident()?)
+                } else if let Tok::Ident(s) = self.peek().clone() {
+                    // bare alias
+                    self.bump();
+                    Some(s)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn table_ref(&mut self) -> SqlResult<TableRef> {
+        let table = self.ident()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if let Tok::Ident(s) = self.peek().clone() {
+            self.bump();
+            Some(s)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // ---- Expressions (precedence: OR < AND < NOT < comparison) ----
+
+    fn expr(&mut self) -> SqlResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> SqlResult<Expr> {
+        if self.peek() == &Tok::Kw(Keyword::Not)
+            && !matches!(self.peek2(), Tok::Kw(Keyword::In) | Tok::Kw(Keyword::Exists))
+        {
+            self.bump();
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> SqlResult<Expr> {
+        // [NOT] EXISTS (query)
+        if self.peek() == &Tok::Kw(Keyword::Not) && self.peek2() == &Tok::Kw(Keyword::Exists) {
+            self.bump();
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            let query = self.query()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(Expr::Exists {
+                query: Box::new(query),
+                negated: true,
+            });
+        }
+        if self.eat_kw(Keyword::Exists) {
+            self.expect(&Tok::LParen)?;
+            let query = self.query()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(Expr::Exists {
+                query: Box::new(query),
+                negated: false,
+            });
+        }
+
+        let left = self.primary()?;
+
+        // comparison
+        let op = match self.peek() {
+            Tok::Eq => Some(CmpOp::Eq),
+            Tok::Ne => Some(CmpOp::Ne),
+            Tok::Lt => Some(CmpOp::Lt),
+            Tok::Le => Some(CmpOp::Le),
+            Tok::Gt => Some(CmpOp::Gt),
+            Tok::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.primary()?;
+            return Ok(Expr::Cmp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+
+        // IS [NOT] NULL
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        // [NOT] IN ( query | list )
+        let negated_in = if self.peek() == &Tok::Kw(Keyword::Not)
+            && self.peek2() == &Tok::Kw(Keyword::In)
+        {
+            self.bump();
+            self.bump();
+            true
+        } else if self.eat_kw(Keyword::In) {
+            false
+        } else {
+            return Ok(left);
+        };
+        self.expect(&Tok::LParen)?;
+        if self.peek() == &Tok::Kw(Keyword::Select) {
+            let query = self.query()?;
+            self.expect(&Tok::RParen)?;
+            Ok(Expr::InSubquery {
+                expr: Box::new(left),
+                query: Box::new(query),
+                negated: negated_in,
+            })
+        } else {
+            let mut list = vec![self.primary()?];
+            while self.eat(&Tok::Comma) {
+                list.push(self.primary()?);
+            }
+            self.expect(&Tok::RParen)?;
+            Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated: negated_in,
+            })
+        }
+    }
+
+    fn primary(&mut self) -> SqlResult<Expr> {
+        match self.peek().clone() {
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Kw(Keyword::Count) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                if self.eat(&Tok::Star) {
+                    self.expect(&Tok::RParen)?;
+                    return Ok(Expr::CountStar);
+                }
+                if self.eat_kw(Keyword::Distinct) {
+                    let mut cols = vec![self.column_ref()?];
+                    while self.eat(&Tok::Comma) {
+                        cols.push(self.column_ref()?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                    return Ok(Expr::CountDistinct(cols));
+                }
+                // COUNT(expr): non-null count.
+                let arg = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Agg {
+                    func: AggFunc::Count,
+                    arg: Box::new(arg),
+                })
+            }
+            Tok::Kw(k @ (Keyword::Min | Keyword::Max | Keyword::Sum | Keyword::Avg)) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let arg = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let func = match k {
+                    Keyword::Min => AggFunc::Min,
+                    Keyword::Max => AggFunc::Max,
+                    Keyword::Sum => AggFunc::Sum,
+                    _ => AggFunc::Avg,
+                };
+                Ok(Expr::Agg {
+                    func,
+                    arg: Box::new(arg),
+                })
+            }
+            Tok::Kw(Keyword::Date) if matches!(self.peek2(), Tok::Str(_)) => {
+                Ok(Expr::Literal(self.literal()?))
+            }
+            Tok::Int(_)
+            | Tok::Float(_)
+            | Tok::Str(_)
+            | Tok::Kw(Keyword::Null)
+            | Tok::Kw(Keyword::True)
+            | Tok::Kw(Keyword::False) => Ok(Expr::Literal(self.literal()?)),
+            Tok::Ident(_) | Tok::Kw(Keyword::Date) | Tok::Kw(Keyword::Key) => {
+                Ok(Expr::Column(self.column_ref()?))
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+
+    fn column_ref(&mut self) -> SqlResult<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat(&Tok::Dot) {
+            let name = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                name,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_with_constraints() {
+        let stmt = parse_statement(
+            "CREATE TABLE HEmployee (
+                no INTEGER NOT NULL,
+                date DATE NOT NULL,
+                salary REAL,
+                UNIQUE (no, date)
+            )",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = stmt else {
+            panic!("expected create table")
+        };
+        assert_eq!(ct.name, "HEmployee");
+        assert_eq!(ct.columns.len(), 3);
+        assert_eq!(ct.columns[1].name, "date");
+        assert_eq!(ct.columns[1].domain, Domain::Date);
+        assert!(ct.columns[0].not_null);
+        assert_eq!(
+            ct.constraints,
+            vec![TableConstraint::Unique(vec!["no".into(), "date".into()])]
+        );
+    }
+
+    #[test]
+    fn create_table_inline_constraints() {
+        let Statement::CreateTable(ct) = parse_statement(
+            "create table Person (id int primary key, name varchar(40) unique, zip-code char(5))",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert!(ct.columns[0].primary_key);
+        assert!(ct.columns[1].unique);
+        assert_eq!(ct.columns[2].name, "zip-code");
+        assert_eq!(ct.columns[2].domain, Domain::Text);
+    }
+
+    #[test]
+    fn insert_rows() {
+        let Statement::Insert(ins) = parse_statement(
+            "INSERT INTO Person (id, name) VALUES (1, 'ann'), (2, NULL), (-3, 'carl')",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(ins.table, "Person");
+        assert_eq!(ins.columns.as_ref().unwrap().len(), 2);
+        assert_eq!(ins.rows.len(), 3);
+        assert_eq!(ins.rows[1][1], Value::Null);
+        assert_eq!(ins.rows[2][0], Value::Int(-3));
+    }
+
+    #[test]
+    fn insert_date_literal() {
+        let Statement::Insert(ins) =
+            parse_statement("INSERT INTO H VALUES (DATE '1996-02-29')").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            ins.rows[0][0],
+            Value::Date(Date::from_ymd(1996, 2, 29).unwrap())
+        );
+        assert!(parse_statement("INSERT INTO H VALUES (DATE '1995-02-29')").is_err());
+    }
+
+    #[test]
+    fn select_where_equijoin() {
+        let q = parse_query(
+            "SELECT p.name FROM Person p, HEmployee e WHERE e.no = p.id AND e.salary > 100",
+        )
+        .unwrap();
+        assert_eq!(q.body.from.len(), 2);
+        assert_eq!(q.body.from[1].binding(), "e");
+        let w = q.body.where_clause.unwrap();
+        let conj = w.conjuncts();
+        assert_eq!(conj.len(), 2);
+        assert!(conj[0].as_column_equality().is_some());
+        assert!(conj[1].as_column_equality().is_none());
+    }
+
+    #[test]
+    fn select_join_on_desugars() {
+        let q = parse_query(
+            "SELECT * FROM Department d JOIN Assignment a ON d.dep = a.dep WHERE a.proj = 'p1'",
+        )
+        .unwrap();
+        assert_eq!(q.body.from.len(), 2);
+        assert_eq!(q.body.join_conds.len(), 1);
+        assert!(q.body.join_conds[0].as_column_equality().is_some());
+        assert!(q.body.where_clause.is_some());
+    }
+
+    #[test]
+    fn inner_join_keyword() {
+        let q = parse_query("SELECT * FROM A INNER JOIN B ON A.x = B.y").unwrap();
+        assert_eq!(q.body.from.len(), 2);
+        assert_eq!(q.body.join_conds.len(), 1);
+    }
+
+    #[test]
+    fn nested_in_subquery() {
+        let q = parse_query(
+            "SELECT name FROM Person WHERE id IN (SELECT no FROM HEmployee WHERE salary > 0)",
+        )
+        .unwrap();
+        let Some(Expr::InSubquery { negated, .. }) = q.body.where_clause else {
+            panic!("expected IN subquery")
+        };
+        assert!(!negated);
+    }
+
+    #[test]
+    fn not_in_and_not_exists() {
+        let q = parse_query("SELECT * FROM A WHERE x NOT IN (SELECT y FROM B)").unwrap();
+        assert!(matches!(
+            q.body.where_clause,
+            Some(Expr::InSubquery { negated: true, .. })
+        ));
+        let q = parse_query("SELECT * FROM A WHERE NOT EXISTS (SELECT * FROM B)").unwrap();
+        assert!(matches!(
+            q.body.where_clause,
+            Some(Expr::Exists { negated: true, .. })
+        ));
+    }
+
+    #[test]
+    fn in_literal_list() {
+        let q = parse_query("SELECT * FROM A WHERE x IN (1, 2, 3)").unwrap();
+        let Some(Expr::InList { list, .. }) = q.body.where_clause else {
+            panic!()
+        };
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn intersect_chain() {
+        let q = parse_query("SELECT dep FROM Department INTERSECT SELECT dep FROM Assignment")
+            .unwrap();
+        let (op, rest) = q.compound.unwrap();
+        assert_eq!(op, SetOp::Intersect);
+        assert!(rest.compound.is_none());
+    }
+
+    #[test]
+    fn count_forms() {
+        let q = parse_query("SELECT COUNT(*) FROM A").unwrap();
+        assert!(matches!(
+            q.body.items[0],
+            SelectItem::Expr {
+                expr: Expr::CountStar,
+                ..
+            }
+        ));
+        let q = parse_query("SELECT COUNT(DISTINCT no, date) FROM HEmployee").unwrap();
+        let SelectItem::Expr {
+            expr: Expr::CountDistinct(cols),
+            ..
+        } = &q.body.items[0]
+        else {
+            panic!()
+        };
+        assert_eq!(cols.len(), 2);
+    }
+
+    #[test]
+    fn date_as_column_name_in_expr() {
+        let q = parse_query("SELECT date FROM HEmployee WHERE date = DATE '1996-01-01'").unwrap();
+        let SelectItem::Expr {
+            expr: Expr::Column(c),
+            ..
+        } = &q.body.items[0]
+        else {
+            panic!()
+        };
+        assert_eq!(c.name, "date");
+        let Some(Expr::Cmp { left, right, .. }) = q.body.where_clause else {
+            panic!()
+        };
+        assert!(matches!(*left, Expr::Column(_)));
+        assert!(matches!(*right, Expr::Literal(Value::Date(_))));
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let q = parse_query("SELECT * FROM A WHERE x IS NULL AND y IS NOT NULL").unwrap();
+        let w = q.body.where_clause.unwrap();
+        let c = w.conjuncts();
+        assert!(matches!(c[0], Expr::IsNull { negated: false, .. }));
+        assert!(matches!(c[1], Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn or_and_not_precedence() {
+        // NOT binds tighter than AND, AND tighter than OR.
+        let q = parse_query("SELECT * FROM A WHERE NOT x = 1 AND y = 2 OR z = 3").unwrap();
+        let Some(Expr::Or(l, _)) = q.body.where_clause else {
+            panic!("OR should be outermost")
+        };
+        let Expr::And(nl, _) = *l else {
+            panic!("AND under OR")
+        };
+        assert!(matches!(*nl, Expr::Not(_)));
+    }
+
+    #[test]
+    fn script_parses_multiple_statements() {
+        let stmts = parse_script(
+            "CREATE TABLE A (x INT); INSERT INTO A VALUES (1); SELECT * FROM A;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(parse_script("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_reporting_has_position() {
+        let err = parse_statement("SELECT FROM").unwrap_err();
+        match err {
+            SqlError::Parse { pos, .. } => assert_eq!(pos.line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_statement("SELECT * FROM A B C").is_err());
+    }
+
+    #[test]
+    fn select_item_aliases() {
+        let q = parse_query("SELECT a AS x, b y, c FROM T").unwrap();
+        let names: Vec<Option<&str>> = q
+            .body
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Expr { alias, .. } => alias.as_deref(),
+                SelectItem::Wildcard => None,
+            })
+            .collect();
+        assert_eq!(names, vec![Some("x"), Some("y"), None]);
+    }
+}

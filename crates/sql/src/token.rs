@@ -1,0 +1,227 @@
+//! Token model for the SQL lexer.
+
+use crate::error::Pos;
+use std::fmt;
+
+/// SQL keywords recognized by the subset grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    In,
+    Exists,
+    Is,
+    Null,
+    Insert,
+    Into,
+    Values,
+    Create,
+    Table,
+    Unique,
+    Primary,
+    Key,
+    Count,
+    Min,
+    Max,
+    Sum,
+    Avg,
+    Group,
+    Order,
+    By,
+    Having,
+    Asc,
+    Desc,
+    Intersect,
+    Union,
+    Join,
+    Inner,
+    On,
+    As,
+    True,
+    False,
+    Date,
+    Integer,
+    Int,
+    Smallint,
+    Real,
+    Float,
+    Numeric,
+    Decimal,
+    Varchar,
+    Char,
+    Text,
+    Boolean,
+}
+
+impl Keyword {
+    /// Looks a word up case-insensitively.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        // Keywords are short; uppercase into a stack buffer sized for
+        // the longest keyword.
+        let mut buf = [0u8; 12];
+        if word.len() > buf.len() {
+            return None;
+        }
+        for (i, b) in word.bytes().enumerate() {
+            buf[i] = b.to_ascii_uppercase();
+        }
+        Some(match &buf[..word.len()] {
+            b"SELECT" => Keyword::Select,
+            b"DISTINCT" => Keyword::Distinct,
+            b"FROM" => Keyword::From,
+            b"WHERE" => Keyword::Where,
+            b"AND" => Keyword::And,
+            b"OR" => Keyword::Or,
+            b"NOT" => Keyword::Not,
+            b"IN" => Keyword::In,
+            b"EXISTS" => Keyword::Exists,
+            b"IS" => Keyword::Is,
+            b"NULL" => Keyword::Null,
+            b"INSERT" => Keyword::Insert,
+            b"INTO" => Keyword::Into,
+            b"VALUES" => Keyword::Values,
+            b"CREATE" => Keyword::Create,
+            b"TABLE" => Keyword::Table,
+            b"UNIQUE" => Keyword::Unique,
+            b"PRIMARY" => Keyword::Primary,
+            b"KEY" => Keyword::Key,
+            b"COUNT" => Keyword::Count,
+            b"MIN" => Keyword::Min,
+            b"MAX" => Keyword::Max,
+            b"SUM" => Keyword::Sum,
+            b"AVG" => Keyword::Avg,
+            b"GROUP" => Keyword::Group,
+            b"ORDER" => Keyword::Order,
+            b"BY" => Keyword::By,
+            b"HAVING" => Keyword::Having,
+            b"ASC" => Keyword::Asc,
+            b"DESC" => Keyword::Desc,
+            b"INTERSECT" => Keyword::Intersect,
+            b"UNION" => Keyword::Union,
+            b"JOIN" => Keyword::Join,
+            b"INNER" => Keyword::Inner,
+            b"ON" => Keyword::On,
+            b"AS" => Keyword::As,
+            b"TRUE" => Keyword::True,
+            b"FALSE" => Keyword::False,
+            b"DATE" => Keyword::Date,
+            b"INTEGER" => Keyword::Integer,
+            b"INT" => Keyword::Int,
+            b"SMALLINT" => Keyword::Smallint,
+            b"REAL" => Keyword::Real,
+            b"FLOAT" => Keyword::Float,
+            b"NUMERIC" => Keyword::Numeric,
+            b"DECIMAL" => Keyword::Decimal,
+            b"VARCHAR" => Keyword::Varchar,
+            b"CHAR" => Keyword::Char,
+            b"TEXT" => Keyword::Text,
+            b"BOOLEAN" => Keyword::Boolean,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword (case-insensitive in source).
+    Kw(Keyword),
+    /// Identifier. Note: the lexer admits `-` *inside* identifiers
+    /// (`zip-code`, `project-name`, `Ass-Dept`) because the legacy
+    /// schemas this library targets — including the paper's worked
+    /// example — use hyphenated names, and the grammar subset has no
+    /// arithmetic to conflict with.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// String literal (single quotes, `''` escape).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Kw(k) => write!(f, "{k:?}"),
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer {i}"),
+            Tok::Float(x) => write!(f, "float {x}"),
+            Tok::Str(s) => write!(f, "string '{s}'"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Eq => f.write_str("`=`"),
+            Tok::Ne => f.write_str("`<>`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::from_word("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_word("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_word("INTERSECT"), Some(Keyword::Intersect));
+        assert_eq!(Keyword::from_word("widget"), None);
+        assert_eq!(Keyword::from_word("averyveryverylongword"), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Tok::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(Tok::Ne.to_string(), "`<>`");
+    }
+}

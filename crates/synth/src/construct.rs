@@ -1,0 +1,819 @@
+//! Forward mapping (spec → normalized 3NF database with data),
+//! controlled denormalization (→ the legacy 1NF/2NF database the
+//! pipeline gets), corruption injection, and the [`GroundTruth`]
+//! answer key.
+
+use crate::spec::{FkEdge, FkSource, SynthSpec};
+use dbre_relational::attr::AttrId;
+use dbre_relational::database::Database;
+use dbre_relational::schema::Relation;
+use dbre_relational::value::{Domain, Value};
+use dbre_relational::{AttrSet, Attribute};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Which denormalizations were applied.
+#[derive(Debug, Clone, Default)]
+pub struct DenormPlan {
+    /// Per FK edge (indexing [`SynthSpec::all_fk_edges`]): were the
+    /// target's value attributes embedded into the source?
+    pub embedded: Vec<bool>,
+    /// Per entity: was its relation dropped from the legacy schema
+    /// (making its identifier a *hidden object*)?
+    pub dropped: Vec<bool>,
+}
+
+/// Plan-generation knobs.
+#[derive(Debug, Clone)]
+pub struct DenormConfig {
+    /// Probability that an FK edge embeds the target's attributes.
+    pub p_embed: f64,
+    /// Probability that a droppable entity is dropped.
+    pub p_drop: f64,
+    /// Seed for the plan (independent of the spec seed).
+    pub seed: u64,
+}
+
+impl Default for DenormConfig {
+    fn default() -> Self {
+        DenormConfig {
+            p_embed: 0.6,
+            p_drop: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+/// An expected dependency, expressed with names (schema-independent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedFd {
+    /// Relation name.
+    pub rel: String,
+    /// LHS attribute names.
+    pub lhs: Vec<String>,
+    /// RHS attribute names.
+    pub rhs: Vec<String>,
+    /// Is there any program navigation that can surface this FD?
+    pub reachable: bool,
+}
+
+/// An expected inclusion dependency, by names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedInd {
+    /// Source relation / attributes.
+    pub lhs: (String, Vec<String>),
+    /// Target relation / attributes.
+    pub rhs: (String, Vec<String>),
+    /// Surfaced by some program navigation?
+    pub reachable: bool,
+}
+
+/// What a program join corresponds to in the ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinKind {
+    /// A kept FK edge: source values ⊆ target ids.
+    Fk {
+        /// Index into [`SynthSpec::all_fk_edges`].
+        edge: usize,
+    },
+    /// An is-a edge: child ids ⊆ parent ids.
+    IsA {
+        /// Child entity index.
+        child: usize,
+        /// Parent entity index.
+        parent: usize,
+    },
+    /// Two referencing sites of a *dropped* entity: both value sets are
+    /// subsets of the lost identifier — a non-empty intersection.
+    Shared {
+        /// The dropped entity.
+        entity: usize,
+    },
+}
+
+/// A navigation the application programs may exhibit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Left relation / attribute list (composite identifiers navigate
+    /// on several columns at once).
+    pub left: (String, Vec<String>),
+    /// Right relation / attribute list, positionally parallel.
+    pub right: (String, Vec<String>),
+    /// Ground-truth meaning.
+    pub kind: JoinKind,
+}
+
+/// The complete answer key for one synthetic workload.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// The conceptual spec.
+    pub spec: SynthSpec,
+    /// The denormalization plan.
+    pub plan: DenormPlan,
+    /// The normalized 3NF schema (the recovery target), with data.
+    pub normalized: Database,
+    /// FDs the pipeline should elicit (one per embedded edge).
+    pub expected_fds: Vec<NamedFd>,
+    /// INDs the pipeline should elicit (kept FKs + is-a edges).
+    pub expected_inds: Vec<NamedInd>,
+    /// Dropped-entity identifier sites `(relation, attrs, entity)` —
+    /// hidden objects.
+    pub hidden_sites: Vec<(String, Vec<String>, usize)>,
+    /// All possible navigations, for the program generator.
+    pub join_specs: Vec<JoinSpec>,
+}
+
+/// Builds the normalized database (schema, keys, extension) for a spec.
+///
+/// Data is deterministic given `seed`: entity ids are dense `0..rows`,
+/// value attributes are functions of the id, FK values are uniform over
+/// target ids, relationship keys are distinct tuples.
+pub fn build_normalized(spec: &SynthSpec, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6e6f_726d);
+    let mut db = Database::new();
+
+    // Entities.
+    for (i, e) in spec.entities.iter().enumerate() {
+        let key_width = e.key_attrs.len();
+        let mut attrs: Vec<Attribute> =
+            e.key_attrs.iter().map(Attribute::int).collect();
+        attrs.extend(e.attrs.iter().map(Attribute::text));
+        // Entity-FK columns.
+        let fks: Vec<&FkEdge> = spec
+            .entity_fks
+            .iter()
+            .filter(|f| f.source == FkSource::Entity(i))
+            .collect();
+        for f in &fks {
+            attrs.extend(f.attrs.iter().map(Attribute::int));
+        }
+        let rel = db
+            .add_relation(Relation::new(e.name.clone(), attrs).expect("unique attr names"))
+            .expect("unique entity names");
+        db.constraints
+            .add_key(rel, AttrSet::from_indices(0..key_width as u16));
+
+        for id in 0..e.rows as i64 {
+            let mut row: Vec<Value> = SynthSpec::key_values(key_width, id)
+                .into_iter()
+                .map(Value::Int)
+                .collect();
+            for (j, _) in e.attrs.iter().enumerate() {
+                row.push(Value::str(SynthSpec::attr_value(i, j, id)));
+            }
+            for f in &fks {
+                // Reference only the lower ¾ of target ids: FK value
+                // sets are then *strict* subsets, so IND-Discovery
+                // elicits a single direction (like real data, where
+                // some customers have no orders).
+                let target = &spec.entities[f.target];
+                let t = rng.random_range(0..referenced_range(target.rows));
+                row.extend(
+                    SynthSpec::key_values(target.key_attrs.len(), t)
+                        .into_iter()
+                        .map(Value::Int),
+                );
+            }
+            db.insert(rel, row).expect("row matches header");
+        }
+    }
+
+    // Relationships.
+    for (ri, r) in spec.relationships.iter().enumerate() {
+        let mut attrs: Vec<Attribute> = r
+            .ref_attrs
+            .iter()
+            .flatten()
+            .map(Attribute::int)
+            .collect();
+        let key_width = attrs.len();
+        attrs.extend(r.attrs.iter().map(Attribute::text));
+        let rel = db
+            .add_relation(Relation::new(r.name.clone(), attrs).expect("unique attr names"))
+            .expect("unique relationship names");
+        db.constraints
+            .add_key(rel, AttrSet::from_indices(0..key_width as u16));
+        let mut seen: HashSet<Vec<i64>> = HashSet::new();
+        let mut attempts = 0;
+        while seen.len() < r.rows && attempts < r.rows * 20 {
+            attempts += 1;
+            // Pick one instance per participant; the instance tuple is
+            // the logical key, its encoding the stored key.
+            let instances: Vec<i64> = r
+                .participants
+                .iter()
+                .map(|&e| rng.random_range(0..referenced_range(spec.entities[e].rows)))
+                .collect();
+            if !seen.insert(instances.clone()) {
+                continue;
+            }
+            let mut row: Vec<Value> = Vec::with_capacity(key_width + r.attrs.len());
+            for (&e, &inst) in r.participants.iter().zip(&instances) {
+                row.extend(
+                    SynthSpec::key_values(spec.entities[e].key_attrs.len(), inst)
+                        .into_iter()
+                        .map(Value::Int),
+                );
+            }
+            for j in 0..r.attrs.len() {
+                row.push(Value::str(format!("r{ri}a{j}_v{}", rng.random_range(0..9))));
+            }
+            db.insert(rel, row).expect("row matches header");
+        }
+    }
+
+    db.constraints.normalize();
+    db.validate_dictionary().expect("generated data is valid");
+    db
+}
+
+/// The portion of an entity's id space that FK values are drawn from
+/// (strict subset → single-direction inclusions).
+fn referenced_range(rows: usize) -> i64 {
+    ((rows * 3) / 4).max(1) as i64
+}
+
+/// Draws a denormalization plan: embeds edges with `p_embed`, then
+/// drops entities whose every incoming edge is embedded (and that have
+/// no outgoing FKs, no is-a involvement, and at least one incoming
+/// edge) with `p_drop`.
+pub fn plan_denormalization(spec: &SynthSpec, cfg: &DenormConfig) -> DenormPlan {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x706c_616e);
+    let edges = spec.all_fk_edges();
+    let embedded: Vec<bool> = edges
+        .iter()
+        .map(|e| {
+            // Embedding is meaningful only when the target has attrs.
+            !spec.entities[e.target].attrs.is_empty() && rng.random_bool(cfg.p_embed)
+        })
+        .collect();
+
+    let isa_involved: HashSet<usize> = spec
+        .entities
+        .iter()
+        .enumerate()
+        .flat_map(|(i, e)| e.isa_parent.map(|p| [i, p]).into_iter().flatten())
+        .collect();
+    let mut dropped = vec![false; spec.entities.len()];
+    for (ei, _) in spec.entities.iter().enumerate() {
+        let incoming: Vec<usize> = edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.target == ei)
+            .map(|(k, _)| k)
+            .collect();
+        let has_outgoing = spec
+            .entity_fks
+            .iter()
+            .any(|f| f.source == FkSource::Entity(ei));
+        let droppable = !incoming.is_empty()
+            && incoming.iter().all(|&k| {
+                embedded[k] || spec.entities[ei].attrs.is_empty()
+            })
+            && !has_outgoing
+            && !isa_involved.contains(&ei);
+        if droppable && rng.random_bool(cfg.p_drop) {
+            dropped[ei] = true;
+        }
+    }
+    DenormPlan { embedded, dropped }
+}
+
+/// Builds the denormalized (legacy) database plus the ground truth.
+pub fn build_workload(
+    spec: &SynthSpec,
+    cfg: &DenormConfig,
+    data_seed: u64,
+) -> (Database, GroundTruth) {
+    let normalized = build_normalized(spec, data_seed);
+    let plan = plan_denormalization(spec, cfg);
+    let edges = spec.all_fk_edges();
+
+    // ---- Legacy schema ----
+    let mut db = Database::new();
+    // Entities (except dropped ones), with embedded columns appended.
+    for (i, e) in spec.entities.iter().enumerate() {
+        if plan.dropped[i] {
+            continue;
+        }
+        copy_relation_with_embeds(
+            &mut db,
+            &normalized,
+            spec,
+            &plan,
+            &edges,
+            FkSource::Entity(i),
+            &e.name,
+        );
+    }
+    for (ri, r) in spec.relationships.iter().enumerate() {
+        copy_relation_with_embeds(
+            &mut db,
+            &normalized,
+            spec,
+            &plan,
+            &edges,
+            FkSource::Relationship(ri),
+            &r.name,
+        );
+    }
+    db.constraints.normalize();
+    db.validate_dictionary()
+        .expect("denormalized data stays dictionary-valid");
+
+    // ---- Ground truth ----
+    let mut truth = GroundTruth {
+        spec: spec.clone(),
+        plan: plan.clone(),
+        normalized,
+        expected_fds: Vec::new(),
+        expected_inds: Vec::new(),
+        hidden_sites: Vec::new(),
+        join_specs: Vec::new(),
+    };
+
+    // Kept-FK joins and INDs.
+    for (k, edge) in edges.iter().enumerate() {
+        let src_dropped = matches!(edge.source, FkSource::Entity(s) if plan.dropped[s]);
+        if src_dropped {
+            continue;
+        }
+        let source_name = spec.source_name(edge.source).to_string();
+        let target = &spec.entities[edge.target];
+        if !plan.dropped[edge.target] {
+            truth.join_specs.push(JoinSpec {
+                left: (source_name.clone(), edge.attrs.clone()),
+                right: (target.name.clone(), target.key_attrs.clone()),
+                kind: JoinKind::Fk { edge: k },
+            });
+            truth.expected_inds.push(NamedInd {
+                lhs: (source_name.clone(), edge.attrs.clone()),
+                rhs: (target.name.clone(), target.key_attrs.clone()),
+                reachable: true,
+            });
+        }
+        if plan.embedded[k] {
+            truth.expected_fds.push(NamedFd {
+                rel: source_name,
+                lhs: edge.attrs.clone(),
+                rhs: target.attrs.clone(),
+                reachable: true, // refined below for dropped targets
+            });
+        }
+    }
+
+    // is-a joins and INDs.
+    for (ci, c) in spec.entities.iter().enumerate() {
+        if plan.dropped[ci] {
+            continue;
+        }
+        if let Some(pi) = c.isa_parent {
+            let p = &spec.entities[pi];
+            truth.join_specs.push(JoinSpec {
+                left: (c.name.clone(), c.key_attrs.clone()),
+                right: (p.name.clone(), p.key_attrs.clone()),
+                kind: JoinKind::IsA {
+                    child: ci,
+                    parent: pi,
+                },
+            });
+            truth.expected_inds.push(NamedInd {
+                lhs: (c.name.clone(), c.key_attrs.clone()),
+                rhs: (p.name.clone(), p.key_attrs.clone()),
+                reachable: true,
+            });
+        }
+    }
+
+    // Dropped entities: pairwise joins between referencing sites.
+    for (ei, _) in spec.entities.iter().enumerate() {
+        if !plan.dropped[ei] {
+            continue;
+        }
+        let sites: Vec<(String, Vec<String>)> = edges
+            .iter()
+            .filter(|edge| edge.target == ei)
+            .filter(|edge| {
+                !matches!(edge.source, FkSource::Entity(s) if plan.dropped[s])
+            })
+            .map(|edge| (spec.source_name(edge.source).to_string(), edge.attrs.clone()))
+            .collect();
+        for site in &sites {
+            truth
+                .hidden_sites
+                .push((site.0.clone(), site.1.clone(), ei));
+        }
+        for a in 0..sites.len() {
+            for b in a + 1..sites.len() {
+                truth.join_specs.push(JoinSpec {
+                    left: sites[a].clone(),
+                    right: sites[b].clone(),
+                    kind: JoinKind::Shared { entity: ei },
+                });
+            }
+        }
+        if sites.len() < 2 {
+            // The identifier appears at a single site: no navigation
+            // can surface it. Mark its FD (if any) unreachable.
+            for site in &sites {
+                for fd in truth.expected_fds.iter_mut() {
+                    if fd.rel == site.0 && fd.lhs == site.1 {
+                        fd.reachable = false;
+                    }
+                }
+            }
+        }
+    }
+
+    (db, truth)
+}
+
+/// Copies a relation from the normalized database into the legacy one,
+/// appending embedded target attributes for each embedded FK edge of
+/// this source.
+fn copy_relation_with_embeds(
+    db: &mut Database,
+    normalized: &Database,
+    spec: &SynthSpec,
+    plan: &DenormPlan,
+    edges: &[FkEdge],
+    source: FkSource,
+    name: &str,
+) {
+    let src_rel = normalized.rel(name).expect("relation exists in normalized db");
+    let src_relation = normalized.schema.relation(src_rel).clone();
+    let src_table = normalized.table(src_rel);
+
+    let mut attrs: Vec<Attribute> = src_relation.attributes().to_vec();
+    // (fk column indexes in source, target entity)
+    let mut embeds: Vec<(Vec<usize>, usize)> = Vec::new();
+    for (k, edge) in edges.iter().enumerate() {
+        if edge.source != source || !plan.embedded[k] {
+            continue;
+        }
+        let fk_cols: Vec<usize> = edge
+            .attrs
+            .iter()
+            .map(|a| {
+                src_relation
+                    .attr_id(a)
+                    .expect("fk column exists")
+                    .index()
+            })
+            .collect();
+        embeds.push((fk_cols, edge.target));
+        for a in &spec.entities[edge.target].attrs {
+            // Embedded columns keep the target attribute name (suffix
+            // on collision with anything already present).
+            let mut n = a.clone();
+            let mut k2 = 2;
+            while attrs.iter().any(|x| x.name == n) {
+                n = format!("{a}_{k2}");
+                k2 += 1;
+            }
+            attrs.push(Attribute::new(n, Domain::Text));
+        }
+    }
+
+    let rel = db
+        .add_relation(Relation::new(name, attrs).expect("names deduplicated above"))
+        .expect("unique relation names");
+    // Same key as in the normalized schema.
+    let key = normalized
+        .constraints
+        .primary_key(src_rel)
+        .expect("every generated relation is keyed")
+        .attrs
+        .clone();
+    db.constraints.add_key(rel, key);
+
+    for i in 0..src_table.len() {
+        let mut row = src_table.row(i);
+        for (fk_cols, target) in &embeds {
+            // Decode the referenced instance index from the key encoding.
+            let parts: Vec<i64> = fk_cols
+                .iter()
+                .map(|&c| match &row[c] {
+                    Value::Int(v) => *v,
+                    other => panic!("fk column must be an integer, got {other}"),
+                })
+                .collect();
+            let id = match parts.len() {
+                1 => parts[0],
+                2 => parts[0] * SynthSpec::COMPOSITE_BASE + parts[1],
+                other => panic!("unsupported key width {other}"),
+            };
+            for (j, _) in spec.entities[*target].attrs.iter().enumerate() {
+                row.push(Value::str(SynthSpec::attr_value(*target, j, id)));
+            }
+        }
+        db.insert(rel, row).expect("row matches header");
+    }
+}
+
+/// Corruption knobs.
+#[derive(Debug, Clone)]
+pub struct CorruptionConfig {
+    /// Fraction of embedded-attribute cells overwritten with junk
+    /// (breaks expected FDs).
+    pub fd_noise: f64,
+    /// Fraction of FK cells pointed at out-of-range ids (breaks
+    /// expected INDs into near-inclusions).
+    pub ind_noise: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        CorruptionConfig {
+            fd_noise: 0.0,
+            ind_noise: 0.0,
+            seed: 99,
+        }
+    }
+}
+
+/// Injects corruption into the legacy database, guided by the truth
+/// (it knows which columns are embedded attributes and which are FKs).
+/// Out-of-range FK ids are unique huge integers, so keys stay valid.
+pub fn corrupt(db: &mut Database, truth: &GroundTruth, cfg: &CorruptionConfig) {
+    if cfg.fd_noise <= 0.0 && cfg.ind_noise <= 0.0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6372_7074);
+    let mut big_id = 1_000_000i64;
+    let edges = truth.spec.all_fk_edges();
+
+    for (k, edge) in edges.iter().enumerate() {
+        let src_name = truth.spec.source_name(edge.source).to_string();
+        let Ok(rel) = db.rel(&src_name) else { continue };
+        let relation = db.schema.relation(rel).clone();
+        let fk_cols: Vec<_> = edge
+            .attrs
+            .iter()
+            .filter_map(|a| relation.attr_id(a))
+            .collect();
+        if fk_cols.len() != edge.attrs.len() {
+            continue;
+        }
+        let rows = db.table(rel).len();
+
+        // IND noise on the FK columns — but never on key columns of the
+        // source (that would re-key relationship relations), so skip
+        // relationship refs.
+        if cfg.ind_noise > 0.0 && matches!(edge.source, FkSource::Entity(_)) {
+            for i in 0..rows {
+                if rng.random_bool(cfg.ind_noise) {
+                    for &col in &fk_cols {
+                        big_id += 1;
+                        set_cell(db, rel, i, col, Value::Int(big_id));
+                    }
+                }
+            }
+        }
+
+        // FD noise on embedded columns.
+        if cfg.fd_noise > 0.0 && truth.plan.embedded[k] {
+            for a in &truth.spec.entities[edge.target].attrs {
+                let Some(col) = relation.attr_id(a) else { continue };
+                for i in 0..rows {
+                    if rng.random_bool(cfg.fd_noise) {
+                        big_id += 1;
+                        set_cell(db, rel, i, col, Value::str(format!("junk{big_id}")));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Overwrites a cell (columnar tables have no in-place API; rebuilds
+/// the column cheaply through push-based copy is overkill, so go
+/// through a full row replacement).
+fn set_cell(
+    db: &mut Database,
+    rel: dbre_relational::RelId,
+    row: usize,
+    col: AttrId,
+    value: Value,
+) {
+    let mut table = db.table(rel).clone();
+    // Rebuild with the one cell changed.
+    let mut rows: Vec<Vec<Value>> = table.rows().collect();
+    rows[row][col.index()] = value;
+    table = dbre_relational::Table::from_rows(table.arity(), rows).expect("same arity");
+    db.replace_table(rel, table).expect("same arity");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{generate_spec, SynthConfig};
+
+    fn small_cfg() -> SynthConfig {
+        SynthConfig {
+            n_entities: 5,
+            n_relationships: 2,
+            n_entity_fks: 3,
+            n_isa: 1,
+            rows_per_entity: 40,
+            rows_per_relationship: 60,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn normalized_db_is_valid_and_keyed() {
+        let spec = generate_spec(&small_cfg());
+        let db = build_normalized(&spec, 1);
+        db.validate_dictionary().unwrap();
+        assert_eq!(
+            db.schema.len(),
+            spec.entities.len() + spec.relationships.len()
+        );
+        for (rel, _) in db.schema.iter() {
+            assert!(db.constraints.primary_key(rel).is_some());
+        }
+    }
+
+    #[test]
+    fn normalized_fk_inds_hold() {
+        let spec = generate_spec(&small_cfg());
+        let db = build_normalized(&spec, 1);
+        for edge in spec.all_fk_edges() {
+            let src = db.rel(spec.source_name(edge.source)).unwrap();
+            let tgt = db.rel(&spec.entities[edge.target].name).unwrap();
+            let (_, src_ids) = db
+                .resolve(
+                    spec.source_name(edge.source),
+                    &edge.attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+                )
+                .unwrap();
+            let tgt_ids: Vec<AttrId> =
+                (0..edge.attrs.len() as u16).map(AttrId).collect();
+            let ind = dbre_relational::Ind::new(
+                dbre_relational::IndSide::new(src, src_ids),
+                dbre_relational::IndSide::new(tgt, tgt_ids),
+            )
+            .unwrap();
+            assert!(db.ind_holds(&ind), "FK IND must hold in normalized data");
+        }
+    }
+
+    #[test]
+    fn workload_embeds_and_drops_per_plan() {
+        let spec = generate_spec(&small_cfg());
+        let cfg = DenormConfig {
+            p_embed: 1.0,
+            p_drop: 1.0,
+            ..Default::default()
+        };
+        let (db, truth) = build_workload(&spec, &cfg, 1);
+        // Dropped entities absent from the legacy schema.
+        for (i, e) in spec.entities.iter().enumerate() {
+            assert_eq!(
+                db.schema.rel_id(&e.name).is_none(),
+                truth.plan.dropped[i],
+                "{}",
+                e.name
+            );
+        }
+        // Every embedded edge appears as an expected FD that holds in
+        // the legacy extension.
+        for fd in &truth.expected_fds {
+            let rel = db.rel(&fd.rel).unwrap();
+            let relation = db.schema.relation(rel);
+            let lhs: Vec<&str> = fd.lhs.iter().map(String::as_str).collect();
+            let lhs_set = relation.attr_set(&lhs).unwrap();
+            // Embedded columns may be suffixed on collision; check the
+            // unsuffixed common case.
+            let rhs_ids: Vec<_> = fd
+                .rhs
+                .iter()
+                .filter_map(|n| relation.attr_id(n))
+                .collect();
+            if rhs_ids.len() != fd.rhs.len() {
+                continue;
+            }
+            let f = dbre_relational::Fd::new(
+                rel,
+                lhs_set,
+                AttrSet::from_iter_ids(rhs_ids),
+            );
+            assert!(db.fd_holds(&f), "expected FD must hold: {fd:?}");
+        }
+    }
+
+    #[test]
+    fn kept_fk_inds_hold_in_legacy_db() {
+        let spec = generate_spec(&small_cfg());
+        let (db, truth) = build_workload(&spec, &DenormConfig::default(), 1);
+        for ind in &truth.expected_inds {
+            let lrel = db.rel(&ind.lhs.0).unwrap();
+            let rrel = db.rel(&ind.rhs.0).unwrap();
+            let (_, lids) = db
+                .resolve(
+                    &ind.lhs.0,
+                    &ind.lhs.1.iter().map(String::as_str).collect::<Vec<_>>(),
+                )
+                .unwrap();
+            let (_, rids) = db
+                .resolve(
+                    &ind.rhs.0,
+                    &ind.rhs.1.iter().map(String::as_str).collect::<Vec<_>>(),
+                )
+                .unwrap();
+            let i = dbre_relational::Ind::new(
+                dbre_relational::IndSide::new(lrel, lids),
+                dbre_relational::IndSide::new(rrel, rids),
+            )
+            .unwrap();
+            assert!(db.ind_holds(&i), "expected IND must hold: {ind:?}");
+        }
+    }
+
+    #[test]
+    fn shared_join_specs_only_for_dropped_entities() {
+        let spec = generate_spec(&small_cfg());
+        let cfg = DenormConfig {
+            p_embed: 1.0,
+            p_drop: 1.0,
+            ..Default::default()
+        };
+        let (_, truth) = build_workload(&spec, &cfg, 1);
+        for js in &truth.join_specs {
+            if let JoinKind::Shared { entity } = js.kind {
+                assert!(truth.plan.dropped[entity]);
+            }
+        }
+        // Hidden sites reference relations that exist in the legacy db.
+        let (db, _) = build_workload(&spec, &cfg, 1);
+        for (rel, attrs, _) in &truth.hidden_sites {
+            let r = db.rel(rel).unwrap();
+            for attr in attrs {
+                assert!(db.schema.relation(r).attr_id(attr).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_breaks_fds_proportionally() {
+        let spec = generate_spec(&small_cfg());
+        let cfg = DenormConfig {
+            p_embed: 1.0,
+            p_drop: 0.0,
+            ..Default::default()
+        };
+        let (mut db, truth) = build_workload(&spec, &cfg, 1);
+        assert!(!truth.expected_fds.is_empty());
+        corrupt(
+            &mut db,
+            &truth,
+            &CorruptionConfig {
+                fd_noise: 0.3,
+                ind_noise: 0.0,
+                seed: 5,
+            },
+        );
+        // At least one expected FD must now fail.
+        let mut failed = 0;
+        for fd in &truth.expected_fds {
+            let rel = db.rel(&fd.rel).unwrap();
+            let relation = db.schema.relation(rel);
+            let lhs: Vec<&str> = fd.lhs.iter().map(String::as_str).collect();
+            let lhs_set = relation.attr_set(&lhs).unwrap();
+            let rhs_ids: Vec<_> =
+                fd.rhs.iter().filter_map(|n| relation.attr_id(n)).collect();
+            if rhs_ids.len() != fd.rhs.len() {
+                continue;
+            }
+            let f = dbre_relational::Fd::new(rel, lhs_set, AttrSet::from_iter_ids(rhs_ids));
+            if !db.fd_holds(&f) {
+                failed += 1;
+            }
+        }
+        assert!(failed > 0, "30% noise must break some FD");
+        // Dictionary still valid (keys untouched).
+        db.validate_dictionary().unwrap();
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let spec = generate_spec(&small_cfg());
+        let cfg = DenormConfig::default();
+        let (mut a, truth) = build_workload(&spec, &cfg, 1);
+        let (mut b, _) = build_workload(&spec, &cfg, 1);
+        let ccfg = CorruptionConfig {
+            fd_noise: 0.1,
+            ind_noise: 0.1,
+            seed: 3,
+        };
+        corrupt(&mut a, &truth, &ccfg);
+        corrupt(&mut b, &truth, &ccfg);
+        for (rel, _) in a.schema.iter() {
+            assert_eq!(a.table(rel), b.table(rel));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # dbre-synth
+//!
+//! The evaluation substrate the 1996 paper lacked: synthetic legacy
+//! workloads with known answers.
+//!
+//! A random conceptual schema ([`spec`]) is forward-mapped to a
+//! normalized 3NF database with data, then *denormalized* under a
+//! controlled plan ([`construct`]) — attributes embedded along FK
+//! edges, whole entities dropped into hidden objects — producing
+//! exactly the kind of 1NF/2NF legacy database the paper
+//! reverse-engineers, with the normalized schema as answer key
+//! ([`construct::GroundTruth`]). Application programs exhibiting a
+//! configurable fraction of the true navigations are generated in the
+//! paper's five equi-join forms ([`programs`]); extension corruption is
+//! injected on demand. [`truth::TruthOracle`] plays the perfectly
+//! informed expert, and [`metrics`] scores any pipeline run with
+//! precision/recall over INDs, FDs, hidden objects and the recovered
+//! schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod construct;
+pub mod metrics;
+pub mod programs;
+pub mod spec;
+pub mod truth;
+
+pub use construct::{
+    build_normalized, build_workload, corrupt, plan_denormalization, CorruptionConfig,
+    DenormConfig, DenormPlan, GroundTruth, JoinKind, JoinSpec, NamedFd, NamedInd,
+};
+pub use metrics::{evaluate, Prf, Quality};
+pub use programs::{generate_programs, GeneratedPrograms, ProgramConfig};
+pub use spec::{generate_spec, EntitySpec, FkEdge, FkSource, RelationshipSpec, SynthConfig, SynthSpec};
+pub use truth::TruthOracle;

@@ -1,0 +1,523 @@
+//! Recovery-quality metrics: elicited dependencies and restructured
+//! schema versus the ground truth.
+//!
+//! Everything is compared by *names* (relation name + attribute-name
+//! sets), which the pipeline preserves; the pipeline itself never
+//! inspects names (the paper's method explicitly avoids naming
+//! assumptions), so this is measurement, not leakage.
+
+use crate::construct::GroundTruth;
+use dbre_core::pipeline::PipelineResult;
+use std::collections::BTreeSet;
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Prf {
+    /// Correct elicited / total elicited.
+    pub precision: f64,
+    /// Correct elicited / total expected.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+}
+
+impl Prf {
+    fn new(hits: usize, elicited: usize, expected: usize) -> Prf {
+        let precision = if elicited == 0 {
+            1.0
+        } else {
+            hits as f64 / elicited as f64
+        };
+        let recall = if expected == 0 {
+            1.0
+        } else {
+            hits as f64 / expected as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Full quality report for one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct Quality {
+    /// Inclusion-dependency elicitation quality (IND-Discovery stage,
+    /// excluding the conceptualized-intersection artifacts).
+    pub ind: Prf,
+    /// FD elicitation quality (RHS-Discovery stage).
+    pub fd: Prf,
+    /// Restructured-schema quality: relation attribute-sets versus the
+    /// normalized ground truth (S artifacts excluded from precision).
+    pub schema: Prf,
+    /// Fraction of dropped entities whose relation (identifier [+
+    /// attributes]) reappears in the restructured schema.
+    pub hidden_recovery: f64,
+    /// Expected-but-unreachable dependencies (no navigation exists) —
+    /// the recall ceiling the method itself imposes.
+    pub unreachable_fds: usize,
+}
+
+type SideKey = (String, BTreeSet<String>);
+
+fn ind_key(db: &dbre_relational::Database, ind: &dbre_relational::Ind) -> (SideKey, SideKey) {
+    let side = |s: &dbre_relational::IndSide| {
+        let rel = db.schema.relation(s.rel);
+        (
+            rel.name.clone(),
+            s.attrs
+                .iter()
+                .map(|a| rel.attr_name(*a).to_string())
+                .collect(),
+        )
+    };
+    (side(&ind.lhs), side(&ind.rhs))
+}
+
+/// Evaluates a pipeline result against the answer key. `covered`, when
+/// given (parallel to `truth.join_specs`), restricts recall
+/// denominators to navigations that programs actually exhibited.
+pub fn evaluate(result: &PipelineResult, truth: &GroundTruth, covered: Option<&[bool]>) -> Quality {
+    let db = &result.db_before;
+
+    // ---- INDs ----
+    let s_rels: BTreeSet<_> = result.ind.new_relations.iter().copied().collect();
+    let elicited: Vec<(SideKey, SideKey)> = result
+        .ind
+        .inds
+        .iter()
+        .filter(|i| !s_rels.contains(&i.lhs.rel) && !s_rels.contains(&i.rhs.rel))
+        .map(|i| ind_key(db, i))
+        .collect();
+    let is_covered = |spec_left: &(String, Vec<String>), spec_right: &(String, Vec<String>)| {
+        match covered {
+            None => true,
+            Some(flags) => truth
+                .join_specs
+                .iter()
+                .zip(flags)
+                .any(|(s, &c)| {
+                    c && ((s.left.0 == spec_left.0
+                        && s.left.1 == spec_left.1
+                        && s.right.0 == spec_right.0
+                        && s.right.1 == spec_right.1)
+                        || (s.left.0 == spec_right.0
+                            && s.left.1 == spec_right.1
+                            && s.right.0 == spec_left.0
+                            && s.right.1 == spec_left.1))
+                }),
+        }
+    };
+    let expected_inds: Vec<_> = truth
+        .expected_inds
+        .iter()
+        .filter(|e| e.reachable && is_covered(&e.lhs, &e.rhs))
+        .collect();
+    let mut ind_hits = 0;
+    for e in &expected_inds {
+        let key = (
+            (e.lhs.0.clone(), e.lhs.1.iter().cloned().collect()),
+            (e.rhs.0.clone(), e.rhs.1.iter().cloned().collect()),
+        );
+        if elicited.contains(&key) {
+            ind_hits += 1;
+        }
+    }
+    let ind = Prf::new(ind_hits, elicited.len(), expected_inds.len());
+
+    // ---- FDs ----
+    let elicited_fds: Vec<(String, BTreeSet<String>, BTreeSet<String>)> = result
+        .rhs
+        .fds
+        .iter()
+        .map(|f| {
+            let rel = db.schema.relation(f.rel);
+            (
+                rel.name.clone(),
+                f.lhs.iter().map(|a| rel.attr_name(a).to_string()).collect(),
+                f.rhs.iter().map(|a| rel.attr_name(a).to_string()).collect(),
+            )
+        })
+        .collect();
+    let expected_fds: Vec<_> = truth.expected_fds.iter().filter(|f| f.reachable).collect();
+    let mut fd_hits = 0;
+    for e in &expected_fds {
+        let lhs: BTreeSet<String> = e.lhs.iter().cloned().collect();
+        let hit = elicited_fds.iter().any(|(rel, l, r)| {
+            rel == &e.rel
+                && l == &lhs
+                && e.rhs.iter().all(|want| {
+                    r.iter().any(|got| got == want || got.starts_with(&format!("{want}_")))
+                })
+        });
+        if hit {
+            fd_hits += 1;
+        }
+    }
+    // Precision: an elicited FD is correct when its (rel, lhs) pair is
+    // expected (reachable or not — eliciting an unreachable truth is
+    // still correct).
+    let fd_correct = elicited_fds
+        .iter()
+        .filter(|(rel, l, _)| {
+            truth.expected_fds.iter().any(|e| {
+                &e.rel == rel && e.lhs.iter().cloned().collect::<BTreeSet<_>>() == *l
+            })
+        })
+        .count();
+    let fd = Prf {
+        precision: if elicited_fds.is_empty() {
+            1.0
+        } else {
+            fd_correct as f64 / elicited_fds.len() as f64
+        },
+        ..Prf::new(fd_hits, elicited_fds.len().max(1), expected_fds.len())
+    };
+    let fd = Prf {
+        f1: if fd.precision + fd.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * fd.precision * fd.recall / (fd.precision + fd.recall)
+        },
+        ..fd
+    };
+
+    // ---- Schema ----
+    let truth_sets: BTreeSet<BTreeSet<String>> = truth
+        .normalized
+        .schema
+        .iter()
+        .map(|(_, r)| r.attributes().iter().map(|a| a.name.clone()).collect())
+        .collect();
+    let recovered_all: Vec<BTreeSet<String>> = result
+        .db
+        .schema
+        .iter()
+        .filter(|(rel, _)| {
+            // Exclude the conceptualized-intersection artifacts.
+            !result
+                .ind
+                .new_relations
+                .iter()
+                .any(|s| result.db.schema.relation(*s).name == result.db.schema.relation(*rel).name)
+        })
+        .map(|(_, r)| r.attributes().iter().map(|a| a.name.clone()).collect())
+        .collect();
+    let recovered_set: BTreeSet<BTreeSet<String>> = recovered_all.iter().cloned().collect();
+    let schema_hits = truth_sets.intersection(&recovered_set).count();
+    let schema = Prf::new(schema_hits, recovered_set.len(), truth_sets.len());
+
+    // ---- Hidden-entity recovery ----
+    // Only *recoverable* dropped entities count: the method can see a
+    // lost identifier only through a join between two of its
+    // referencing sites, so an entity with fewer than two sites (or
+    // whose pairwise navigation no program exhibited) is outside any
+    // method's reach — like `reachable` for FDs.
+    let dropped: Vec<usize> = truth
+        .plan
+        .dropped
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d)
+        .map(|(i, _)| i)
+        .filter(|&ei| {
+            truth
+                .join_specs
+                .iter()
+                .enumerate()
+                .any(|(si, s)| {
+                    matches!(s.kind, crate::construct::JoinKind::Shared { entity } if entity == ei)
+                        && covered.is_none_or(|flags| flags[si])
+                })
+        })
+        .collect();
+    let hidden_recovery = if dropped.is_empty() {
+        1.0
+    } else {
+        let recovered = dropped
+            .iter()
+            .filter(|&&ei| {
+                let e = &truth.spec.entities[ei];
+                let full: BTreeSet<String> = e
+                    .key_attrs
+                    .iter()
+                    .cloned()
+                    .chain(e.attrs.iter().cloned())
+                    .collect();
+                let id_only: BTreeSet<String> = e.key_attrs.iter().cloned().collect();
+                recovered_set.contains(&full) || recovered_set.contains(&id_only)
+            })
+            .count();
+        recovered as f64 / dropped.len() as f64
+    };
+
+    Quality {
+        ind,
+        fd,
+        schema,
+        hidden_recovery,
+        unreachable_fds: truth.expected_fds.iter().filter(|f| !f.reachable).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{build_workload, corrupt, CorruptionConfig, DenormConfig};
+    use crate::programs::{generate_programs, ProgramConfig};
+    use crate::spec::{generate_spec, SynthConfig};
+    use crate::truth::TruthOracle;
+    use dbre_core::pipeline::{run_with_programs, PipelineOptions};
+    use dbre_core::DenyOracle;
+
+    fn spec_cfg() -> SynthConfig {
+        SynthConfig {
+            n_entities: 6,
+            n_relationships: 2,
+            n_entity_fks: 3,
+            n_isa: 1,
+            rows_per_entity: 60,
+            rows_per_relationship: 90,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn perfect_conditions_give_perfect_recall() {
+        let spec = generate_spec(&spec_cfg());
+        let (db, truth) = build_workload(
+            &spec,
+            &DenormConfig {
+                p_embed: 1.0,
+                p_drop: 1.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let programs = generate_programs(&truth, &ProgramConfig::default());
+        let mut oracle = TruthOracle::new(truth.clone());
+        let result = run_with_programs(
+            db,
+            &programs.programs,
+            &mut oracle,
+            &PipelineOptions::default(),
+        );
+        let q = evaluate(&result, &truth, Some(&programs.covered));
+        assert!(
+            q.ind.recall >= 0.999,
+            "expected full IND recall, got {:?}",
+            q.ind
+        );
+        assert!(
+            q.fd.recall >= 0.999,
+            "expected full FD recall, got {:?}\nelicited: {:?}",
+            q.fd,
+            result.rhs.fds
+        );
+        assert!(q.fd.precision >= 0.999, "{:?}", q.fd);
+        assert!(
+            q.hidden_recovery >= 0.999,
+            "dropped entities must be recovered: {}",
+            q.hidden_recovery
+        );
+        // Full schema recall is not always reachable: a dropped entity
+        // referenced from a single site cannot be surfaced by any
+        // navigation, leaving its attributes glued to the site (this
+        // workload has exactly one such entity, costing two relations
+        // of the 8-relation answer key).
+        assert!(q.schema.recall >= 0.7, "schema recall: {:?}", q.schema);
+    }
+
+    #[test]
+    fn zero_coverage_recovers_nothing() {
+        let spec = generate_spec(&spec_cfg());
+        let (db, truth) = build_workload(&spec, &DenormConfig::default(), 1);
+        let programs = generate_programs(
+            &truth,
+            &ProgramConfig {
+                coverage: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut oracle = TruthOracle::new(truth.clone());
+        let result = run_with_programs(
+            db,
+            &programs.programs,
+            &mut oracle,
+            &PipelineOptions::default(),
+        );
+        let q = evaluate(&result, &truth, None);
+        assert_eq!(q.ind.recall, 0.0);
+        assert_eq!(q.fd.recall, 0.0);
+        assert!(result.ind.inds.is_empty());
+    }
+
+    #[test]
+    fn deny_oracle_loses_hidden_objects_but_keeps_clean_inds() {
+        let spec = generate_spec(&spec_cfg());
+        let (db, truth) = build_workload(
+            &spec,
+            &DenormConfig {
+                p_embed: 1.0,
+                p_drop: 1.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let has_dropped = truth.plan.dropped.iter().any(|&d| d);
+        let programs = generate_programs(&truth, &ProgramConfig::default());
+        let mut oracle = DenyOracle;
+        let result = run_with_programs(
+            db,
+            &programs.programs,
+            &mut oracle,
+            &PipelineOptions::default(),
+        );
+        let q = evaluate(&result, &truth, None);
+        // Kept-FK INDs still elicited automatically (pure inclusion).
+        assert!(q.ind.recall >= 0.999, "{:?}", q.ind);
+        if has_dropped {
+            // But nothing is ever conceptualized.
+            assert!(result.ind.new_relations.is_empty());
+        }
+    }
+
+    #[test]
+    fn corruption_degrades_deny_but_not_truth_oracle() {
+        let spec = generate_spec(&spec_cfg());
+        let dn = DenormConfig {
+            p_embed: 1.0,
+            p_drop: 0.0,
+            ..Default::default()
+        };
+        let (mut db1, truth) = build_workload(&spec, &dn, 1);
+        corrupt(
+            &mut db1,
+            &truth,
+            &CorruptionConfig {
+                fd_noise: 0.05,
+                ind_noise: 0.05,
+                seed: 3,
+            },
+        );
+        let db2 = db1.clone();
+        let programs = generate_programs(&truth, &ProgramConfig::default());
+
+        let mut deny = DenyOracle;
+        let r_deny =
+            run_with_programs(db1, &programs.programs, &mut deny, &PipelineOptions::default());
+        let q_deny = evaluate(&r_deny, &truth, None);
+
+        let mut tru = TruthOracle::new(truth.clone());
+        let r_truth =
+            run_with_programs(db2, &programs.programs, &mut tru, &PipelineOptions::default());
+        let q_truth = evaluate(&r_truth, &truth, None);
+
+        assert!(
+            q_truth.fd.recall > q_deny.fd.recall,
+            "truth {:?} vs deny {:?}",
+            q_truth.fd,
+            q_deny.fd
+        );
+        assert!(q_truth.ind.recall >= q_deny.ind.recall);
+    }
+
+    #[test]
+    fn composite_key_workload_end_to_end() {
+        // Every entity gets a two-attribute identifier: FKs, embeds,
+        // navigations, INDs and FDs are all composite.
+        let spec = generate_spec(&SynthConfig {
+            n_entities: 5,
+            n_relationships: 2,
+            n_entity_fks: 3,
+            n_isa: 1,
+            p_composite_key: 1.0,
+            rows_per_entity: 60,
+            rows_per_relationship: 90,
+            ..Default::default()
+        });
+        assert!(spec.entities.iter().all(|e| e.key_attrs.len() == 2));
+        let (db, truth) = build_workload(
+            &spec,
+            &DenormConfig {
+                p_embed: 1.0,
+                p_drop: 0.5,
+                ..Default::default()
+            },
+            1,
+        );
+        db.validate_dictionary().unwrap();
+        let programs = generate_programs(&truth, &ProgramConfig::default());
+        let mut oracle = TruthOracle::new(truth.clone());
+        let result = run_with_programs(
+            db,
+            &programs.programs,
+            &mut oracle,
+            &PipelineOptions::default(),
+        );
+        assert!(result.warnings.is_empty(), "{:?}", result.warnings);
+        // Composite INDs were elicited.
+        assert!(result
+            .ind
+            .inds
+            .iter()
+            .any(|i| i.lhs.attrs.len() == 2), "no composite IND elicited");
+        let q = evaluate(&result, &truth, Some(&programs.covered));
+        assert!(q.ind.recall >= 0.999, "{:?}", q.ind);
+        assert!(q.fd.recall >= 0.999, "{:?}", q.fd);
+        assert!(q.hidden_recovery >= 0.999, "{}", q.hidden_recovery);
+        // All RICs hold in the restructured extension.
+        for ric in &result.restructured.ric {
+            assert!(result.db.ind_holds(ric));
+        }
+        result.db.validate_dictionary().unwrap();
+    }
+
+    #[test]
+    fn mixed_key_widths_workload() {
+        let spec = generate_spec(&SynthConfig {
+            n_entities: 6,
+            n_relationships: 2,
+            n_entity_fks: 4,
+            p_composite_key: 0.5,
+            rows_per_entity: 50,
+            rows_per_relationship: 70,
+            seed: 9,
+            ..Default::default()
+        });
+        let widths: std::collections::BTreeSet<usize> =
+            spec.entities.iter().map(|e| e.key_attrs.len()).collect();
+        assert_eq!(widths.len(), 2, "seed 9 must mix key widths");
+        let (db, truth) = build_workload(&spec, &DenormConfig::default(), 9);
+        db.validate_dictionary().unwrap();
+        let programs = generate_programs(&truth, &ProgramConfig::default());
+        let mut oracle = TruthOracle::new(truth.clone());
+        let result = run_with_programs(
+            db,
+            &programs.programs,
+            &mut oracle,
+            &PipelineOptions::default(),
+        );
+        let q = evaluate(&result, &truth, Some(&programs.covered));
+        assert!(q.ind.recall >= 0.999, "{:?}", q.ind);
+        assert!(q.fd.recall >= 0.999, "{:?}", q.fd);
+    }
+
+    #[test]
+    fn prf_edge_cases() {
+        let p = Prf::new(0, 0, 0);
+        assert_eq!(p.precision, 1.0);
+        assert_eq!(p.recall, 1.0);
+        let p = Prf::new(1, 2, 4);
+        assert!((p.precision - 0.5).abs() < 1e-12);
+        assert!((p.recall - 0.25).abs() < 1e-12);
+        assert!((p.f1 - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

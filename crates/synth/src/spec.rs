@@ -1,0 +1,435 @@
+//! Synthetic conceptual-schema specifications and their random
+//! generator.
+//!
+//! A [`SynthSpec`] is the *ground truth*: entities with integer
+//! identifiers (single-attribute or composite, per
+//! [`SynthConfig::p_composite_key`]), many-to-one foreign keys between
+//! entities, many-to-many relationship relations, and is-a edges. The forward
+//! mapping ([`crate::construct`]) turns it into a normalized 3NF
+//! database; the denormalizer then merges attributes along chosen FK
+//! edges — producing exactly the kind of legacy 1NF/2NF schema the
+//! paper reverse-engineers, with the normalized schema as the answer
+//! key.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of entities.
+    pub n_entities: usize,
+    /// Value attributes per entity (uniform in this range, inclusive).
+    pub attrs_per_entity: (usize, usize),
+    /// Number of many-to-many relationship relations.
+    pub n_relationships: usize,
+    /// Participants per relationship (2 or 3, uniform).
+    pub max_relationship_arity: usize,
+    /// Extra entity→entity foreign keys.
+    pub n_entity_fks: usize,
+    /// Number of is-a specializations.
+    pub n_isa: usize,
+    /// Probability that an entity uses a *composite* (two-attribute)
+    /// identifier instead of a single one.
+    pub p_composite_key: f64,
+    /// Rows per entity.
+    pub rows_per_entity: usize,
+    /// Rows per relationship relation.
+    pub rows_per_relationship: usize,
+    /// RNG seed (everything downstream is deterministic given this).
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            n_entities: 6,
+            attrs_per_entity: (1, 3),
+            n_relationships: 3,
+            max_relationship_arity: 3,
+            n_entity_fks: 3,
+            n_isa: 1,
+            p_composite_key: 0.0,
+            rows_per_entity: 200,
+            rows_per_relationship: 400,
+            seed: 42,
+        }
+    }
+}
+
+/// One entity of the conceptual schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntitySpec {
+    /// Relation/entity name (`Ent3`).
+    pub name: String,
+    /// Identifier attribute names (`ent3_id`, or `ent3_id_hi` +
+    /// `ent3_id_lo` for composite identifiers) — deliberately reused as
+    /// the FK attribute names at referencing sites, so that recovered
+    /// relations carry the same attribute sets as the ground truth
+    /// (the *pipeline* never looks at names; only the metrics do).
+    pub key_attrs: Vec<String>,
+    /// Value attribute names (`ent3_a0`, …).
+    pub attrs: Vec<String>,
+    /// is-a parent (index into `entities`), if specialized.
+    pub isa_parent: Option<usize>,
+    /// Row count (≤ parent's when specialized).
+    pub rows: usize,
+}
+
+/// Where an FK attribute lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FkSource {
+    /// An entity relation (index into `entities`).
+    Entity(usize),
+    /// A relationship relation (index into `relationships`).
+    Relationship(usize),
+}
+
+/// A foreign-key edge: `source.attrs → entities[target].key`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FkEdge {
+    /// Which relation holds the FK attributes.
+    pub source: FkSource,
+    /// The FK attribute names (equal the target's `key_attrs`,
+    /// possibly suffixed on collision), positionally parallel to them.
+    pub attrs: Vec<String>,
+    /// Referenced entity index.
+    pub target: usize,
+}
+
+/// A many-to-many relationship relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationshipSpec {
+    /// Relation name (`Rel1`).
+    pub name: String,
+    /// Participant entity indices.
+    pub participants: Vec<usize>,
+    /// FK attribute name lists, parallel to `participants` (composite
+    /// participants contribute several columns).
+    pub ref_attrs: Vec<Vec<String>>,
+    /// Own value attributes.
+    pub attrs: Vec<String>,
+    /// Row count.
+    pub rows: usize,
+}
+
+/// The full conceptual specification.
+#[derive(Debug, Clone, Default)]
+pub struct SynthSpec {
+    /// Entities.
+    pub entities: Vec<EntitySpec>,
+    /// Relationship relations.
+    pub relationships: Vec<RelationshipSpec>,
+    /// Entity→entity FK edges (relationship refs are implied by
+    /// [`RelationshipSpec::participants`]).
+    pub entity_fks: Vec<FkEdge>,
+}
+
+impl SynthSpec {
+    /// All FK edges, entity FKs first then relationship refs, in
+    /// deterministic order.
+    pub fn all_fk_edges(&self) -> Vec<FkEdge> {
+        let mut edges = self.entity_fks.clone();
+        for (ri, r) in self.relationships.iter().enumerate() {
+            for (pi, &target) in r.participants.iter().enumerate() {
+                edges.push(FkEdge {
+                    source: FkSource::Relationship(ri),
+                    attrs: r.ref_attrs[pi].clone(),
+                    target,
+                });
+            }
+        }
+        edges
+    }
+
+    /// The relation name of an FK source.
+    pub fn source_name(&self, s: FkSource) -> &str {
+        match s {
+            FkSource::Entity(i) => &self.entities[i].name,
+            FkSource::Relationship(i) => &self.relationships[i].name,
+        }
+    }
+
+    /// Value-attribute cardinality used by the data generator: values
+    /// of `attr j` are `id % (3 + j)` — functional in the id, small
+    /// enough to exercise duplicate grouping.
+    pub fn attr_value(entity: usize, attr_j: usize, id: i64) -> String {
+        format!("e{entity}a{attr_j}_v{}", id % (3 + attr_j as i64))
+    }
+
+    /// Radix of the composite-key encoding.
+    pub const COMPOSITE_BASE: i64 = 10;
+
+    /// Encodes an instance index as key-column values: identity for
+    /// single-attribute identifiers, `(id / B, id % B)` for composite
+    /// ones. The encoding is injective, so composite keys stay unique.
+    pub fn key_values(width: usize, id: i64) -> Vec<i64> {
+        match width {
+            1 => vec![id],
+            2 => vec![id / Self::COMPOSITE_BASE, id % Self::COMPOSITE_BASE],
+            other => panic!("unsupported key width {other}"),
+        }
+    }
+}
+
+/// Generates a random specification.
+pub fn generate_spec(cfg: &SynthConfig) -> SynthSpec {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut spec = SynthSpec::default();
+
+    // Entities; is-a parents point at lower indices (acyclic).
+    for i in 0..cfg.n_entities {
+        let n_attrs =
+            rng.random_range(cfg.attrs_per_entity.0..=cfg.attrs_per_entity.1);
+        let key_attrs = if rng.random_bool(cfg.p_composite_key.clamp(0.0, 1.0)) {
+            vec![format!("ent{i}_id_hi"), format!("ent{i}_id_lo")]
+        } else {
+            vec![format!("ent{i}_id")]
+        };
+        spec.entities.push(EntitySpec {
+            name: format!("Ent{i}"),
+            key_attrs,
+            attrs: (0..n_attrs).map(|j| format!("ent{i}_a{j}")).collect(),
+            isa_parent: None,
+            rows: cfg.rows_per_entity,
+        });
+    }
+    let mut isa_done = 0;
+    while isa_done < cfg.n_isa && cfg.n_entities >= 2 {
+        let child = rng.random_range(1..cfg.n_entities);
+        let parent = rng.random_range(0..child);
+        if spec.entities[child].isa_parent.is_none()
+            && spec.entities[parent].isa_parent != Some(child)
+        {
+            spec.entities[child].isa_parent = Some(parent);
+            spec.entities[child].rows =
+                (spec.entities[parent].rows / 2).max(1);
+            // A specialization shares its parent's identifier shape.
+            if spec.entities[child].key_attrs.len()
+                != spec.entities[parent].key_attrs.len()
+            {
+                let c = child;
+                spec.entities[c].key_attrs = if spec.entities[parent].key_attrs.len() == 2 {
+                    vec![format!("ent{c}_id_hi"), format!("ent{c}_id_lo")]
+                } else {
+                    vec![format!("ent{c}_id")]
+                };
+            }
+            isa_done += 1;
+        } else {
+            break;
+        }
+    }
+
+    // Entity→entity FKs: source must differ from target; avoid is-a
+    // children as drop-complicating sources of confusion is fine, any
+    // pair works for the pipeline.
+    for _ in 0..cfg.n_entity_fks {
+        if cfg.n_entities < 2 {
+            break;
+        }
+        let source = rng.random_range(0..cfg.n_entities);
+        let mut target = rng.random_range(0..cfg.n_entities);
+        if target == source {
+            target = (target + 1) % cfg.n_entities;
+        }
+        let bases = spec.entities[target].key_attrs.clone();
+        let attrs: Vec<String> = bases
+            .iter()
+            .map(|b| unique_attr_name(&spec, FkSource::Entity(source), b))
+            .collect();
+        spec.entity_fks.push(FkEdge {
+            source: FkSource::Entity(source),
+            attrs,
+            target,
+        });
+    }
+
+    // Relationships.
+    for i in 0..cfg.n_relationships {
+        if cfg.n_entities < 2 {
+            break;
+        }
+        let arity = rng.random_range(2..=cfg.max_relationship_arity.max(2));
+        let mut participants = Vec::new();
+        while participants.len() < arity {
+            let e = rng.random_range(0..cfg.n_entities);
+            if !participants.contains(&e) {
+                participants.push(e);
+            }
+            if participants.len() >= cfg.n_entities {
+                break;
+            }
+        }
+        let ref_attrs: Vec<Vec<String>> = participants
+            .iter()
+            .map(|&e| spec.entities[e].key_attrs.clone())
+            .collect();
+        let n_attrs = rng.random_range(0..=2);
+        spec.relationships.push(RelationshipSpec {
+            name: format!("Rel{i}"),
+            participants,
+            ref_attrs,
+            attrs: (0..n_attrs).map(|j| format!("rel{i}_a{j}")).collect(),
+            rows: cfg.rows_per_relationship,
+        });
+    }
+
+    spec
+}
+
+fn unique_attr_name(spec: &SynthSpec, source: FkSource, base: &str) -> String {
+    let existing: Vec<&str> = match source {
+        FkSource::Entity(i) => {
+            let e = &spec.entities[i];
+            e.key_attrs
+                .iter()
+                .map(String::as_str)
+                .chain(e.attrs.iter().map(String::as_str))
+                .chain(
+                    spec.entity_fks
+                        .iter()
+                        .filter(|f| f.source == source)
+                        .flat_map(|f| f.attrs.iter().map(String::as_str)),
+                )
+                .collect()
+        }
+        FkSource::Relationship(i) => {
+            let r = &spec.relationships[i];
+            r.ref_attrs
+                .iter()
+                .flatten()
+                .chain(r.attrs.iter())
+                .map(String::as_str)
+                .collect()
+        }
+    };
+    if !existing.contains(&base) {
+        return base.to_string();
+    }
+    let mut k = 2;
+    loop {
+        let cand = format!("{base}_{k}");
+        if !existing.contains(&cand.as_str()) {
+            return cand;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig::default();
+        let a = generate_spec(&cfg);
+        let b = generate_spec(&cfg);
+        assert_eq!(a.entities, b.entities);
+        assert_eq!(a.relationships, b.relationships);
+        assert_eq!(a.entity_fks, b.entity_fks);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_spec(&SynthConfig::default());
+        let b = generate_spec(&SynthConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        // Structures may coincide on tiny configs, but FK targets are
+        // random; compare the full picture.
+        assert!(a.entity_fks != b.entity_fks || a.relationships != b.relationships);
+    }
+
+    #[test]
+    fn spec_is_well_formed() {
+        let cfg = SynthConfig {
+            n_entities: 8,
+            n_relationships: 4,
+            n_entity_fks: 5,
+            n_isa: 2,
+            ..Default::default()
+        };
+        let spec = generate_spec(&cfg);
+        assert_eq!(spec.entities.len(), 8);
+        for fk in &spec.entity_fks {
+            let FkSource::Entity(s) = fk.source else {
+                panic!("entity fk from relationship")
+            };
+            assert_ne!(s, fk.target, "self-referencing fk");
+            assert!(fk.target < spec.entities.len());
+        }
+        for r in &spec.relationships {
+            assert!(r.participants.len() >= 2);
+            assert_eq!(r.participants.len(), r.ref_attrs.len());
+            let mut p = r.participants.clone();
+            p.dedup();
+            assert_eq!(p.len(), r.participants.len(), "duplicate participant");
+        }
+        for (i, e) in spec.entities.iter().enumerate() {
+            if let Some(p) = e.isa_parent {
+                assert!(p < i, "is-a parent must precede child");
+                assert!(e.rows <= spec.entities[p].rows);
+            }
+        }
+    }
+
+    #[test]
+    fn all_fk_edges_includes_relationship_refs() {
+        let spec = generate_spec(&SynthConfig::default());
+        let edges = spec.all_fk_edges();
+        let rel_edges = edges
+            .iter()
+            .filter(|e| matches!(e.source, FkSource::Relationship(_)))
+            .count();
+        let expected: usize = spec
+            .relationships
+            .iter()
+            .map(|r| r.participants.len())
+            .sum();
+        assert_eq!(rel_edges, expected);
+        assert_eq!(edges.len(), expected + spec.entity_fks.len());
+    }
+
+    #[test]
+    fn attr_values_are_functional_in_id() {
+        assert_eq!(SynthSpec::attr_value(1, 0, 3), SynthSpec::attr_value(1, 0, 3));
+        assert_eq!(SynthSpec::attr_value(1, 0, 0), SynthSpec::attr_value(1, 0, 3));
+        assert_ne!(SynthSpec::attr_value(1, 0, 0), SynthSpec::attr_value(1, 0, 1));
+    }
+
+    #[test]
+    fn fk_attr_name_collisions_get_suffixes() {
+        // Force two FKs from Ent0 to Ent1.
+        let mut spec = SynthSpec {
+            entities: vec![
+                EntitySpec {
+                    name: "Ent0".into(),
+                    key_attrs: vec!["ent0_id".into()],
+                    attrs: vec![],
+                    isa_parent: None,
+                    rows: 5,
+                },
+                EntitySpec {
+                    name: "Ent1".into(),
+                    key_attrs: vec!["ent1_id".into()],
+                    attrs: vec![],
+                    isa_parent: None,
+                    rows: 5,
+                },
+            ],
+            ..Default::default()
+        };
+        let a1 = unique_attr_name(&spec, FkSource::Entity(0), "ent1_id");
+        spec.entity_fks.push(FkEdge {
+            source: FkSource::Entity(0),
+            attrs: vec![a1.clone()],
+            target: 1,
+        });
+        let a2 = unique_attr_name(&spec, FkSource::Entity(0), "ent1_id");
+        assert_eq!(a1, "ent1_id");
+        assert_eq!(a2, "ent1_id_2");
+    }
+}

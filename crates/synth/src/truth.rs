@@ -1,0 +1,246 @@
+//! The ground-truth-backed expert: an [`Oracle`] that answers every
+//! question from the answer key. It is the *upper bound* on what the
+//! interactive method can achieve — benchmark X3 compares it against
+//! [`dbre_core::AutoOracle`] policies and the conservative
+//! [`dbre_core::DenyOracle`].
+
+use crate::construct::{GroundTruth, JoinKind};
+use dbre_core::oracle::{
+    FdContext, HiddenContext, NamingContext, NeiContext, NeiDecision, Oracle,
+};
+use dbre_relational::database::Database;
+use dbre_relational::deps::IndSide;
+
+/// Expert user with perfect knowledge of the ground truth.
+#[derive(Debug, Clone)]
+pub struct TruthOracle {
+    truth: GroundTruth,
+}
+
+impl TruthOracle {
+    /// Wraps an answer key.
+    pub fn new(truth: GroundTruth) -> Self {
+        TruthOracle { truth }
+    }
+
+    fn side_names(db: &Database, side: &IndSide) -> (String, Vec<String>) {
+        let rel = db.schema.relation(side.rel);
+        (
+            rel.name.clone(),
+            side.attrs
+                .iter()
+                .map(|a| rel.attr_name(*a).to_string())
+                .collect(),
+        )
+    }
+}
+
+impl Oracle for TruthOracle {
+    fn resolve_nei(&mut self, ctx: &NeiContext<'_>) -> NeiDecision {
+        let left = Self::side_names(ctx.db, &ctx.join.left);
+        let right = Self::side_names(ctx.db, &ctx.join.right);
+        for spec in &self.truth.join_specs {
+            let sl = (&spec.left.0, &spec.left.1);
+            let sr = (&spec.right.0, &spec.right.1);
+            let forward = sl == (&left.0, &left.1) && sr == (&right.0, &right.1);
+            let backward = sl == (&right.0, &right.1) && sr == (&left.0, &left.1);
+            if !forward && !backward {
+                continue;
+            }
+            return match spec.kind {
+                // A lost shared identifier: conceptualize it.
+                JoinKind::Shared { .. } => NeiDecision::Conceptualize,
+                // A corrupted FK or is-a: force the true direction —
+                // the spec's left side is always the contained one.
+                JoinKind::Fk { .. } | JoinKind::IsA { .. } => {
+                    if forward {
+                        NeiDecision::ForceLeftInRight
+                    } else {
+                        NeiDecision::ForceRightInLeft
+                    }
+                }
+            };
+        }
+        NeiDecision::Ignore
+    }
+
+    fn enforce_fd(&mut self, ctx: &FdContext<'_>) -> bool {
+        // Enforce when the candidate's (relation, LHS) pair is an
+        // expected embedded dependency and the RHS attribute belongs to
+        // its expected right-hand side (corruption noise must not trick
+        // the expert into keeping junk-valued attributes out — the
+        // expert "knows" the application domain).
+        let relation = ctx.db.schema.relation(ctx.fd.rel);
+        let lhs: Vec<String> = ctx
+            .fd
+            .lhs
+            .iter()
+            .map(|a| relation.attr_name(a).to_string())
+            .collect();
+        let rhs: Vec<String> = ctx
+            .fd
+            .rhs
+            .iter()
+            .map(|a| relation.attr_name(a).to_string())
+            .collect();
+        self.truth.expected_fds.iter().any(|fd| {
+            fd.rel == relation.name
+                && fd.lhs == lhs
+                && rhs.iter().all(|b| {
+                    fd.rhs.iter().any(|e| b == e || b.starts_with(&format!("{e}_")))
+                })
+        })
+    }
+
+    fn conceptualize_hidden(&mut self, ctx: &HiddenContext<'_>) -> bool {
+        let relation = ctx.db.schema.relation(ctx.candidate.rel);
+        let attrs: Vec<String> = ctx
+            .candidate
+            .attrs
+            .iter()
+            .map(|a| relation.attr_name(a).to_string())
+            .collect();
+        self.truth
+            .hidden_sites
+            .iter()
+            .any(|(rel, site_attrs, _)| {
+                rel == &relation.name && {
+                    // QualAttrs carries a *set* (sorted by attr id);
+                    // compare as sets.
+                    let mut a = attrs.clone();
+                    let mut b = site_attrs.clone();
+                    a.sort();
+                    b.sort();
+                    a == b
+                }
+            })
+    }
+
+    fn name_new_relation(&mut self, ctx: &NamingContext<'_>) -> String {
+        // Names do not influence the quality metrics (those compare
+        // attribute-name sets); keep the derived default.
+        ctx.default_name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{build_workload, DenormConfig};
+    use crate::spec::{generate_spec, SynthConfig};
+    use dbre_relational::counting::{EquiJoin, JoinStats};
+
+    fn workload() -> (Database, GroundTruth) {
+        let spec = generate_spec(&SynthConfig {
+            n_entities: 5,
+            n_relationships: 2,
+            n_entity_fks: 3,
+            rows_per_entity: 30,
+            rows_per_relationship: 40,
+            ..Default::default()
+        });
+        build_workload(
+            &spec,
+            &DenormConfig {
+                p_embed: 1.0,
+                p_drop: 1.0,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn fk_nei_forces_true_direction() {
+        let (db, truth) = workload();
+        let Some(spec) = truth
+            .join_specs
+            .iter()
+            .find(|s| matches!(s.kind, JoinKind::Fk { .. }))
+        else {
+            return; // plan may have dropped everything referenced
+        };
+        let mut oracle = TruthOracle::new(truth.clone());
+        let lcols: Vec<&str> = spec.left.1.iter().map(String::as_str).collect();
+        let rcols: Vec<&str> = spec.right.1.iter().map(String::as_str).collect();
+        let (lrel, lids) = db.resolve(&spec.left.0, &lcols).unwrap();
+        let (rrel, rids) = db.resolve(&spec.right.0, &rcols).unwrap();
+        let join = EquiJoin::new(IndSide::new(lrel, lids), IndSide::new(rrel, rids));
+        let ctx = NeiContext {
+            db: &db,
+            join: &join,
+            stats: JoinStats {
+                n_left: 10,
+                n_right: 12,
+                n_join: 9,
+            },
+        };
+        assert_eq!(oracle.resolve_nei(&ctx), NeiDecision::ForceLeftInRight);
+        // Flipped join forces the other way.
+        let flipped = EquiJoin::new(join.right.clone(), join.left.clone());
+        let ctx = NeiContext {
+            db: &db,
+            join: &flipped,
+            stats: JoinStats {
+                n_left: 12,
+                n_right: 10,
+                n_join: 9,
+            },
+        };
+        assert_eq!(oracle.resolve_nei(&ctx), NeiDecision::ForceRightInLeft);
+    }
+
+    #[test]
+    fn unknown_join_is_ignored() {
+        let (db, truth) = workload();
+        let mut oracle = TruthOracle::new(truth);
+        // Join two arbitrary value attributes — not a navigation.
+        let names: Vec<String> = db.schema.iter().map(|(_, r)| r.name.clone()).collect();
+        let rel0 = db.rel(&names[0]).unwrap();
+        let join = EquiJoin::new(IndSide::single(rel0, dbre_relational::AttrId(0)), {
+            IndSide::single(rel0, dbre_relational::AttrId(0))
+        });
+        let ctx = NeiContext {
+            db: &db,
+            join: &join,
+            stats: JoinStats {
+                n_left: 1,
+                n_right: 1,
+                n_join: 1,
+            },
+        };
+        assert_eq!(oracle.resolve_nei(&ctx), NeiDecision::Ignore);
+    }
+
+    #[test]
+    fn hidden_sites_conceptualized() {
+        let (db, truth) = workload();
+        if truth.hidden_sites.is_empty() {
+            return;
+        }
+        let (rel_name, site_attrs, _) = truth.hidden_sites[0].clone();
+        let mut oracle = TruthOracle::new(truth);
+        let cols: Vec<&str> = site_attrs.iter().map(String::as_str).collect();
+        let (rel, set) = db.resolve_set(&rel_name, &cols).unwrap();
+        let cand = dbre_relational::QualAttrs::new(rel, set);
+        assert!(oracle.conceptualize_hidden(&HiddenContext {
+            db: &db,
+            candidate: &cand
+        }));
+        // A non-site attribute is declined.
+        let other = dbre_relational::QualAttrs::new(
+            rel,
+            dbre_relational::AttrSet::from_indices([0u16]),
+        );
+        let relation = db.schema.relation(rel);
+        if !site_attrs
+            .iter()
+            .any(|a| a == relation.attr_name(dbre_relational::AttrId(0)))
+        {
+            assert!(!oracle.conceptualize_hidden(&HiddenContext {
+                db: &db,
+                candidate: &other
+            }));
+        }
+    }
+}

@@ -1,0 +1,5 @@
+int main() {
+    EXEC SQL SELECT o.oid FROM Orders o
+             WHERE o.cust IN (SELECT cid FROM Customer WHERE region = :reg);
+    return 0;
+}

@@ -1,0 +1,4 @@
+-- The navigation that gives the game away: orders reference customers.
+SELECT o.cname, o.amount
+FROM Orders o, Customer c
+WHERE o.cust = c.cid;

@@ -1,0 +1,17 @@
+-- A miniature legacy schema for trying the `dbre` CLI:
+--   dbre reverse --schema examples/data/schema.sql \
+--                --csv Customer=examples/data/customer.csv \
+--                --csv Orders=examples/data/orders.csv \
+--                --programs examples/data/programs \
+--                --dot /tmp/eer.dot
+CREATE TABLE Customer (
+    cid INT UNIQUE,
+    cname VARCHAR(30),
+    region CHAR(4)
+);
+CREATE TABLE Orders (
+    oid INT UNIQUE,
+    cust INT,
+    cname VARCHAR(30),
+    amount INT
+);

@@ -1,0 +1,179 @@
+//! A second legacy scenario, written from scratch: a 1980s-style
+//! payroll system where the `Paycheck` relation embeds employee grade
+//! data and the `Timesheet` relation embeds project billing data —
+//! classic denormalization for report speed. The cost-center entity
+//! was never given a relation at all: it only survives as a code
+//! shared between `Paycheck` and `Timesheet` (a hidden object).
+//!
+//! The pipeline is driven by the `AutoOracle` with one scripted
+//! override, showing how the two can be combined.
+//!
+//! ```sh
+//! cargo run --example legacy_payroll
+//! ```
+
+use dbre::core::oracle::{
+    FdContext, HiddenContext, NeiContext, NeiDecision, Oracle, ScriptedOracle,
+};
+use dbre::core::render::{render_fds, render_inds, render_schema};
+use dbre::core::{run_with_programs, AutoOracle, PipelineOptions};
+use dbre::extract::ProgramSource;
+use dbre::sql::Catalog;
+
+/// Combines a scripted layer (for the decisions the analyst has made
+/// explicitly) with an automatic policy fallback.
+struct AnalystOracle {
+    scripted: ScriptedOracle,
+    fallback: AutoOracle,
+}
+
+impl Oracle for AnalystOracle {
+    fn resolve_nei(&mut self, ctx: &NeiContext<'_>) -> NeiDecision {
+        let before = self.scripted.unanswered.len();
+        let d = self.scripted.resolve_nei(ctx);
+        if self.scripted.unanswered.len() == before {
+            d
+        } else {
+            self.fallback.resolve_nei(ctx)
+        }
+    }
+    fn enforce_fd(&mut self, ctx: &FdContext<'_>) -> bool {
+        self.fallback.enforce_fd(ctx)
+    }
+    fn conceptualize_hidden(&mut self, ctx: &HiddenContext<'_>) -> bool {
+        let before = self.scripted.unanswered.len();
+        let d = self.scripted.conceptualize_hidden(ctx);
+        if self.scripted.unanswered.len() == before {
+            d
+        } else {
+            self.fallback.conceptualize_hidden(ctx)
+        }
+    }
+    fn name_new_relation(&mut self, ctx: &dbre::core::oracle::NamingContext<'_>) -> String {
+        self.scripted.name_new_relation(ctx)
+    }
+}
+
+fn main() {
+    let mut catalog = Catalog::new();
+    catalog
+        .load_script(
+            "CREATE TABLE Staff (
+                 badge INT UNIQUE,
+                 name VARCHAR(40),
+                 hired DATE
+             );
+             CREATE TABLE Paycheck (
+                 badge INT,
+                 period CHAR(7),
+                 gross REAL,
+                 grade CHAR(3),
+                 grade-label VARCHAR(20),
+                 cost-center CHAR(4),
+                 UNIQUE (badge, period)
+             );
+             CREATE TABLE Timesheet (
+                 badge INT,
+                 project CHAR(6),
+                 week INT,
+                 hours REAL,
+                 project-title VARCHAR(30),
+                 bill-rate REAL,
+                 cost-center CHAR(4),
+                 UNIQUE (badge, project, week)
+             );",
+        )
+        .expect("DDL parses");
+
+    // A small but telling extension.
+    let mut inserts = String::new();
+    for b in 0..120 {
+        inserts.push_str(&format!(
+            "INSERT INTO Staff VALUES ({b}, 'person{b}', DATE '1989-01-01');"
+        ));
+    }
+    for b in 0..90 {
+        for p in 0..2 {
+            // Grade and cost center are *employee* facts, denormalized
+            // into every paycheck row: badge -> grade, grade-label,
+            // cost-center holds.
+            let grade = b % 5;
+            let cc = 5 + b % 7; // cost centers C5..C11
+            inserts.push_str(&format!(
+                "INSERT INTO Paycheck VALUES ({b}, '1995-{:02}', {}, 'G{grade}', \
+                 'grade {grade}', 'C{cc}');",
+                p + 1,
+                1000 + (b * 7 + p * 13) % 900,
+            ));
+        }
+    }
+    for b in 0..70 {
+        for w in 0..2 {
+            // Projects vary per (badge, week) so neither badge nor
+            // cost-center determines them; titles/rates are *project*
+            // facts: project -> project-title, bill-rate holds (but is
+            // never navigated, so the method rightly leaves it alone).
+            let proj = (3 * b + w) % 9;
+            let cc = 10 + (b + w) % 9; // cost centers C10..C18: the
+                                       // overlap with Paycheck is {C10, C11} — an NEI.
+            inserts.push_str(&format!(
+                "INSERT INTO Timesheet VALUES ({b}, 'P{proj}', {w}, {}, \
+                 'project {proj}', {}, 'C{cc}');",
+                8 + (b + w) % 4,
+                50 + proj * 5,
+            ));
+        }
+    }
+    catalog.load_script(&inserts).expect("inserts parse");
+    let db = catalog.into_database();
+    db.validate_dictionary().expect("extension is consistent");
+
+    // The application programs (reports and batch jobs).
+    let programs = [
+        ProgramSource::sql(
+            "monthly_report.sql",
+            "SELECT s.name, p.gross FROM Staff s, Paycheck p WHERE p.badge = s.badge;",
+        ),
+        ProgramSource::embedded(
+            "billing.c",
+            "int main() {\n EXEC SQL SELECT t.hours FROM Timesheet t \
+             WHERE t.badge IN (SELECT badge FROM Staff) AND t.week = :wk;\n}",
+        ),
+        ProgramSource::sql(
+            "costcenter_recon.sql",
+            "SELECT p.cost-center FROM Paycheck p, Timesheet t \
+             WHERE p.cost-center = t.cost-center;",
+        ),
+    ];
+
+    let mut oracle = AnalystOracle {
+        scripted: ScriptedOracle::new()
+            .nei("Paycheck[cost-center] |><| Timesheet[cost-center]", NeiDecision::Conceptualize)
+            .name(
+                "nei:Paycheck[cost-center] |><| Timesheet[cost-center]",
+                "Shared-CostCenter",
+            )
+            .name(
+                "fd:Paycheck: badge -> grade, grade-label, cost-center",
+                "PayProfile",
+            )
+            .name("hidden:Timesheet.{badge}", "Employee")
+            .name("hidden:Paycheck.{cost-center}", "CostCenter")
+            .name("hidden:Timesheet.{cost-center}", "CostCenter-T"),
+        fallback: AutoOracle::default(),
+    };
+    let result = run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
+
+    println!("## Elicited dependencies\n");
+    println!("{}\n", render_inds(&result.db_before, &result.ind.inds));
+    println!("{}\n", render_fds(&result.db_before, &result.rhs.fds));
+
+    println!("## Restructured payroll schema (3NF)\n");
+    println!("{}\n", render_schema(&result.db));
+
+    println!("## Referential integrity constraints\n");
+    println!("{}\n", render_inds(&result.db, &result.restructured.ric));
+
+    println!("## EER view\n");
+    println!("{}", result.eer.render_text());
+}

@@ -1,0 +1,76 @@
+//! # dbre — reverse engineering of denormalized relational databases
+//!
+//! A full reproduction of *"Towards the Reverse Engineering of
+//! Denormalized Relational Databases"* (Petit, Toumani, Boulicaut,
+//! Kouloumdjian — ICDE 1996), plus every substrate it needs and the
+//! quantitative evaluation it never had. This facade crate re-exports
+//! the workspace:
+//!
+//! * [`relational`] — the relational model `(R, E, Δ)`, FD/IND theory,
+//!   normal forms, counting primitives;
+//! * [`sql`] — lexer/parser/catalog/executor for the legacy SQL subset
+//!   (the *data dictionary* that yields the paper's `K` and `N`);
+//! * [`extract`] — equi-join extraction from application programs (the
+//!   set `Q`);
+//! * [`mine`] — blind-mining baselines (TANE, SPIDER, approximate
+//!   dependencies);
+//! * [`core`] — the paper's algorithms: IND-Discovery, LHS-Discovery,
+//!   RHS-Discovery, Restruct, Translate, and the oracle-driven
+//!   pipeline;
+//! * [`synth`] — synthetic legacy workloads with ground truth, and the
+//!   recovery-quality metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbre::core::example::run_paper_example;
+//!
+//! let result = run_paper_example();
+//! // The restructured schema is in 3NF with 10 referential integrity
+//! // constraints, and the EER schema matches the paper's Figure 1.
+//! assert_eq!(result.restructured.ric.len(), 10);
+//! assert!(result.eer.has_isa("Employee", "Person"));
+//! ```
+//!
+//! Or on your own database:
+//!
+//! ```
+//! use dbre::core::{run_with_programs, AutoOracle, PipelineOptions};
+//! use dbre::extract::ProgramSource;
+//! use dbre::sql::Catalog;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog
+//!     .load_script(
+//!         "CREATE TABLE Customer (cid INT UNIQUE, cname VARCHAR(30));
+//!          CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30));
+//!          INSERT INTO Customer VALUES (1, 'ann'), (2, 'bob');
+//!          INSERT INTO Orders VALUES (10, 1, 'ann'), (11, 1, 'ann');",
+//!     )
+//!     .unwrap();
+//! let programs = [ProgramSource::sql(
+//!     "report.sql",
+//!     "SELECT cname FROM Orders o, Customer c WHERE o.cust = c.cid;",
+//! )];
+//! let mut oracle = AutoOracle::default();
+//! let result = run_with_programs(
+//!     catalog.into_database(),
+//!     &programs,
+//!     &mut oracle,
+//!     &PipelineOptions::default(),
+//! );
+//! // Orders was split: the embedded customer name moved to its own
+//! // relation, referenced by a new referential integrity constraint.
+//! assert_eq!(result.rhs.fds.len(), 1);
+//! assert!(!result.restructured.ric.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dbre_core as core;
+pub use dbre_extract as extract;
+pub use dbre_mine as mine;
+pub use dbre_relational as relational;
+pub use dbre_sql as sql;
+pub use dbre_synth as synth;

@@ -1,0 +1,246 @@
+//! Cross-crate integration tests: SQL catalog → program extraction →
+//! pipeline → restructured database → EER, exercised through the
+//! `dbre` facade exactly as a downstream user would.
+
+use dbre::core::pipeline::{run_with_programs, PipelineOptions};
+use dbre::core::{AutoOracle, DenyOracle};
+use dbre::extract::{extract_programs, ExtractConfig, ProgramSource};
+use dbre::mine::spider::{spider, SpiderConfig};
+use dbre::relational::normal_forms::{analyze, NormalForm};
+use dbre::sql::{run_sql, Catalog};
+
+/// A library system: `Loan` embeds both member and book data; the
+/// publisher entity exists only as a code inside `Book`.
+fn library() -> (dbre::relational::Database, Vec<ProgramSource>) {
+    let mut cat = Catalog::new();
+    cat.load_script(
+        "CREATE TABLE Member (mid INT UNIQUE, mname VARCHAR(40), joined DATE);
+         CREATE TABLE Book (isbn INT UNIQUE, title VARCHAR(60), publisher INT);
+         CREATE TABLE Loan (
+             mid INT, isbn INT, day DATE,
+             mname VARCHAR(40), title VARCHAR(60),
+             UNIQUE (mid, isbn, day)
+         );",
+    )
+    .unwrap();
+    let mut script = String::new();
+    for m in 0..50 {
+        script.push_str(&format!(
+            "INSERT INTO Member VALUES ({m}, 'member{m}', DATE '1990-01-01');"
+        ));
+    }
+    for b in 0..80 {
+        script.push_str(&format!(
+            "INSERT INTO Book VALUES ({b}, 'title{b}', {});",
+            b % 6
+        ));
+    }
+    for l in 0..120 {
+        let m = l % 40; // members 0..39 borrow
+        let b = (l * 7) % 60; // books 0..59 circulate
+        script.push_str(&format!(
+            "INSERT INTO Loan VALUES ({m}, {b}, DATE '1995-{:02}-{:02}', \
+             'member{m}', 'title{b}');",
+            1 + (l % 12),
+            1 + (l % 28),
+        ));
+    }
+    cat.load_script(&script).unwrap();
+    let db = cat.into_database();
+    db.validate_dictionary().unwrap();
+
+    let programs = vec![
+        ProgramSource::sql(
+            "overdue.sql",
+            "SELECT m.mname FROM Loan l, Member m WHERE l.mid = m.mid;",
+        ),
+        ProgramSource::embedded(
+            "circulation.c",
+            "EXEC SQL SELECT l.day FROM Loan l JOIN Book b ON l.isbn = b.isbn;",
+        ),
+    ];
+    (db, programs)
+}
+
+#[test]
+fn library_end_to_end() {
+    let (db, programs) = library();
+    let mut oracle = AutoOracle::default();
+    let result = run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
+
+    // Both navigations became referential integrity constraints.
+    assert_eq!(result.ind.inds.len(), 2);
+    // Loan was split twice: member data and book data each moved out.
+    assert_eq!(result.rhs.fds.len(), 2);
+    assert_eq!(result.restructured.fd_relations.len(), 2);
+    let loan = result.db.rel("Loan").unwrap();
+    assert_eq!(result.db.schema.relation(loan).arity(), 3); // mid, isbn, day
+
+    // Output is 3NF and all RICs hold.
+    for (rel, relation) in result.db.schema.iter() {
+        let fds: Vec<_> = result
+            .restructured
+            .fds
+            .iter()
+            .filter(|f| f.rel == rel)
+            .cloned()
+            .collect();
+        let report = analyze(rel, &relation.all_attrs(), &fds);
+        assert!(report.form >= NormalForm::Third, "{}", relation.name);
+    }
+    for ind in &result.restructured.ric {
+        assert!(result.db.ind_holds(ind));
+    }
+
+    // Loan translates to a relationship-ish structure: its key
+    // components reference the split-off objects.
+    assert!(!result.eer.entities.is_empty());
+    result.db.validate_dictionary().unwrap();
+}
+
+#[test]
+fn extraction_and_sql_agree_on_counts() {
+    let (db, programs) = library();
+    let extraction = extract_programs(&db.schema, &programs, &ExtractConfig::default());
+    assert_eq!(extraction.joins.len(), 2);
+    assert!(extraction.warnings.is_empty());
+
+    // ‖Loan[mid] ⋈ Member[mid]‖ through the SQL executor equals the
+    // counting primitive used by IND-Discovery.
+    for j in &extraction.joins {
+        let stats = dbre::relational::join_stats(&db, &j.join);
+        let lrel = db.schema.relation(j.join.left.rel);
+        let rrel = db.schema.relation(j.join.right.rel);
+        let la = lrel.attr_name(j.join.left.attrs[0]);
+        let ra = rrel.attr_name(j.join.right.attrs[0]);
+        let sql = format!(
+            "SELECT COUNT(DISTINCT x.{la}) FROM {} x, {} y WHERE x.{la} = y.{ra}",
+            lrel.name, rrel.name
+        );
+        let via_sql = run_sql(&db, &sql).unwrap().count().unwrap();
+        assert_eq!(via_sql, stats.n_join, "join {}", j.join.render(&db.schema));
+    }
+}
+
+#[test]
+fn pipeline_inds_are_a_subset_of_exhaustive_mining() {
+    // Everything the query-guided method elicits from a *clean*
+    // extension must also be found by exhaustive SPIDER mining (the
+    // reverse is deliberately false — that's the point of the paper).
+    let (db, programs) = library();
+    let mut oracle = DenyOracle;
+    let result = run_with_programs(
+        db.clone(),
+        &programs,
+        &mut oracle,
+        &PipelineOptions::default(),
+    );
+    let exhaustive = spider(&db, &SpiderConfig::default());
+    for ind in &result.ind.inds {
+        assert!(
+            exhaustive.inds.contains(ind),
+            "elicited IND missing from exhaustive set: {}",
+            ind.render(&result.db_before.schema)
+        );
+    }
+    assert!(exhaustive.inds.len() > result.ind.inds.len());
+}
+
+#[test]
+fn composite_identifier_pipeline() {
+    // A *composite* hidden object: courses are identified by
+    // (dept, num); Enrollment embeds the course title. The program
+    // joins on both columns, so the extractor produces one composite
+    // equi-join, IND-Discovery one composite IND, and RHS-Discovery a
+    // composite-LHS FD whose split recovers the Course relation.
+    let mut cat = Catalog::new();
+    cat.load_script(
+        "CREATE TABLE Course (dept CHAR(4), num INT, title VARCHAR(40), UNIQUE(dept, num));
+         CREATE TABLE Enrollment (student INT, dept CHAR(4), num INT, title VARCHAR(40),
+                                  UNIQUE(student, dept, num));",
+    )
+    .unwrap();
+    let mut script = String::new();
+    for d in 0..4 {
+        for n in 0..10 {
+            script.push_str(&format!(
+                "INSERT INTO Course VALUES ('D{d}', {n}, 'course {d}-{n}');"
+            ));
+        }
+    }
+    for s in 0..120 {
+        let d = s % 3; // D3 never referenced → strict inclusion
+        let n = (s * 7) % 10;
+        script.push_str(&format!(
+            "INSERT INTO Enrollment VALUES ({s}, 'D{d}', {n}, 'course {d}-{n}');"
+        ));
+    }
+    cat.load_script(&script).unwrap();
+    let db = cat.into_database();
+    db.validate_dictionary().unwrap();
+
+    let programs = [ProgramSource::sql(
+        "roster.sql",
+        "SELECT e.student, c.title FROM Enrollment e, Course c \
+         WHERE e.dept = c.dept AND e.num = c.num;",
+    )];
+    let mut oracle = AutoOracle::default();
+    let result = run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
+
+    // One composite IND.
+    assert_eq!(result.ind.inds.len(), 1);
+    let ind = &result.ind.inds[0];
+    assert_eq!(ind.lhs.attrs.len(), 2);
+    assert_eq!(
+        ind.render(&result.db_before.schema),
+        "Enrollment[dept, num] << Course[dept, num]"
+    );
+    // Composite-LHS FD elicited: (dept, num) -> title.
+    assert_eq!(result.rhs.fds.len(), 1);
+    assert_eq!(
+        result.rhs.fds[0].render(&result.db_before.schema),
+        "Enrollment: dept, num -> title"
+    );
+    // Enrollment lost the embedded title; the split relation carries
+    // (dept, num, title) keyed on (dept, num) — Course recovered.
+    let enrollment = result.db.rel("Enrollment").unwrap();
+    assert_eq!(result.db.schema.relation(enrollment).arity(), 3);
+    let split = result.restructured.fd_relations[0];
+    let split_rel = result.db.schema.relation(split);
+    assert_eq!(split_rel.arity(), 3);
+    assert!(result.db.constraints.is_key(
+        split,
+        &split_rel.attr_set(&["dept", "num"]).unwrap()
+    ));
+    // The composite RIC holds in the restructured extension.
+    for ric in &result.restructured.ric {
+        assert!(result.db.ind_holds(ric));
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Compile-time check that the facade exposes the full surface.
+    let _schema = dbre::relational::Schema::new();
+    let _cfg = dbre::synth::SynthConfig::default();
+    let _opts = dbre::core::PipelineOptions::default();
+    let _x = dbre::mine::SpiderConfig::default();
+    let _p = dbre::extract::ExtractConfig::default();
+    let tokens = dbre::sql::lexer::tokenize("SELECT 1").unwrap();
+    assert!(!tokens.is_empty());
+}
+
+#[test]
+fn warnings_surface_through_pipeline() {
+    let (db, mut programs) = library();
+    programs.push(ProgramSource::sql("broken.sql", "SELEC nonsense FRM"));
+    programs.push(ProgramSource::sql(
+        "ghost.sql",
+        "SELECT * FROM Ghost g, Member m WHERE g.x = m.mid;",
+    ));
+    let mut oracle = DenyOracle;
+    let result = run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
+    assert!(result.warnings.len() >= 2);
+    // …and the good programs still worked.
+    assert_eq!(result.ind.inds.len(), 2);
+}
