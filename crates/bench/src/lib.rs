@@ -11,8 +11,8 @@ use dbre_core::pipeline::PipelineOptions;
 use dbre_core::DenyOracle;
 use dbre_relational::Database;
 use dbre_synth::{
-    build_workload, generate_programs, generate_spec, DenormConfig, GroundTruth,
-    ProgramConfig, SynthConfig, TruthOracle,
+    build_workload, generate_programs, generate_spec, DenormConfig, GroundTruth, ProgramConfig,
+    SynthConfig, TruthOracle,
 };
 
 /// A ready-to-run synthetic scenario.
@@ -29,11 +29,17 @@ pub struct Scenario {
 
 /// Builds a scenario scaled by `(entities, rows per entity)`.
 pub fn scenario(entities: usize, rows: usize, seed: u64) -> Scenario {
-    scenario_with(entities, rows, seed, 1.0, &DenormConfig {
-        p_embed: 0.7,
-        p_drop: 0.4,
+    scenario_with(
+        entities,
+        rows,
         seed,
-    })
+        1.0,
+        &DenormConfig {
+            p_embed: 0.7,
+            p_drop: 0.4,
+            seed,
+        },
+    )
 }
 
 /// Builds a scenario with explicit coverage and denormalization plan.

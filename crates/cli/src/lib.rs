@@ -110,19 +110,13 @@ pub fn parse_args(args: &[String]) -> Command {
                             let (table, path) = v.split_once('=').ok_or_else(|| {
                                 format!("--csv expects Table=path.csv, got `{v}`")
                             })?;
-                            reverse
-                                .csv
-                                .push((table.to_string(), PathBuf::from(path)));
+                            reverse.csv.push((table.to_string(), PathBuf::from(path)));
                         }
-                        "--programs" => {
-                            reverse.programs.push(PathBuf::from(value("--programs")?))
-                        }
+                        "--programs" => reverse.programs.push(PathBuf::from(value("--programs")?)),
                         "--oracle" => {
                             let v = value("--oracle")?;
                             if v != "auto" && v != "deny" {
-                                return Err(format!(
-                                    "--oracle must be auto or deny, got `{v}`"
-                                ));
+                                return Err(format!("--oracle must be auto or deny, got `{v}`"));
                             }
                             reverse.oracle = v;
                         }
@@ -289,8 +283,7 @@ fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> S
     if !result.provenance.is_empty() {
         let _ = writeln!(out, "# Q — navigations found in the programs\n");
         for (join, provenance) in &result.provenance {
-            let programs: Vec<&str> =
-                provenance.iter().map(|p| p.program.as_str()).collect();
+            let programs: Vec<&str> = provenance.iter().map(|p| p.program.as_str()).collect();
             let _ = writeln!(
                 out,
                 "{:<55} [{}]",
@@ -307,15 +300,21 @@ fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> S
     let _ = writeln!(out, "\n# Restructured schema (3NF)\n");
     let _ = writeln!(out, "{}", render_schema(&result.db));
     let _ = writeln!(out, "\n# Referential integrity constraints\n");
-    let _ = writeln!(
-        out,
-        "{}",
-        render_inds(&result.db, &result.restructured.ric)
-    );
+    let _ = writeln!(out, "{}", render_inds(&result.db, &result.restructured.ric));
     let _ = writeln!(out, "\n# EER schema\n");
     let _ = writeln!(out, "{}", result.eer.render_text());
     for w in &result.warnings {
         let _ = writeln!(out, "warning: {w}");
+    }
+    let _ = writeln!(out, "\n# Pipeline statistics\n");
+    let c = &result.stats.counters;
+    let _ = writeln!(
+        out,
+        "counting engine: {} cache hits, {} misses, {} rows scanned",
+        c.cache_hits, c.cache_misses, c.rows_scanned
+    );
+    for (stage, t) in &result.stats.stage_timings {
+        let _ = writeln!(out, "{stage:<14} {:>9.3} ms", t.as_secs_f64() * 1e3);
     }
     if !quiet {
         let _ = writeln!(out, "\n# Decision log\n");
@@ -351,7 +350,9 @@ mod tests {
             "out.dot",
             "--quiet",
         ]));
-        let Command::Reverse(a) = cmd else { panic!("{cmd:?}") };
+        let Command::Reverse(a) = cmd else {
+            panic!("{cmd:?}")
+        };
         assert_eq!(a.schema, PathBuf::from("ddl.sql"));
         assert_eq!(a.data, Some(PathBuf::from("rows.sql")));
         assert_eq!(a.csv, vec![("Person".into(), PathBuf::from("p.csv"))]);
@@ -362,7 +363,10 @@ mod tests {
 
     #[test]
     fn parse_errors_are_help() {
-        assert!(matches!(parse_args(&s(&["reverse"])), Command::Help(Some(_))));
+        assert!(matches!(
+            parse_args(&s(&["reverse"])),
+            Command::Help(Some(_))
+        ));
         assert!(matches!(
             parse_args(&s(&["reverse", "--schema"])),
             Command::Help(Some(_))
@@ -375,7 +379,10 @@ mod tests {
             parse_args(&s(&["reverse", "--schema", "x", "--csv", "nopath"])),
             Command::Help(Some(_))
         ));
-        assert!(matches!(parse_args(&s(&["frobnicate"])), Command::Help(Some(_))));
+        assert!(matches!(
+            parse_args(&s(&["frobnicate"])),
+            Command::Help(Some(_))
+        ));
         assert!(matches!(parse_args(&s(&[])), Command::Help(None)));
         assert!(matches!(parse_args(&s(&["example"])), Command::Example));
     }
@@ -385,6 +392,9 @@ mod tests {
         let out = run(&Command::Example).unwrap();
         assert!(out.contains("Manager[proj] << Project[proj]"));
         assert!(out.contains("Assignment [relationship]"));
+        assert!(out.contains("# Pipeline statistics"));
+        assert!(out.contains("counting engine:"));
+        assert!(out.contains("ind-discovery"));
     }
 
     #[test]
@@ -397,11 +407,7 @@ mod tests {
              CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30));",
         )
         .unwrap();
-        std::fs::write(
-            dir.join("customer.csv"),
-            "cid,cname\n1,ann\n2,bob\n3,cid\n",
-        )
-        .unwrap();
+        std::fs::write(dir.join("customer.csv"), "cid,cname\n1,ann\n2,bob\n3,cid\n").unwrap();
         std::fs::write(
             dir.join("orders.csv"),
             "oid,cust,cname\n10,1,ann\n11,1,ann\n12,2,bob\n",

@@ -154,7 +154,8 @@ impl EerSchema {
     /// weak entities, diamonds for relationships, `onormal`-tipped
     /// edges for is-a).
     pub fn render_dot(&self) -> String {
-        let mut s = String::from("digraph eer {\n  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n");
+        let mut s =
+            String::from("digraph eer {\n  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n");
         for e in &self.entities {
             let shape = if e.weak {
                 "shape=box, peripheries=2"

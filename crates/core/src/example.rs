@@ -245,8 +245,14 @@ pub fn paper_oracle() -> ScriptedOracle {
     ScriptedOracle::new()
         // NEI on the dep attributes — both orientations of the join,
         // so both the verbatim-Q and the extracted-Q paths are covered.
-        .nei("Assignment[dep] |><| Department[dep]", NeiDecision::Conceptualize)
-        .nei("Department[dep] |><| Assignment[dep]", NeiDecision::Conceptualize)
+        .nei(
+            "Assignment[dep] |><| Department[dep]",
+            NeiDecision::Conceptualize,
+        )
+        .nei(
+            "Department[dep] |><| Assignment[dep]",
+            NeiDecision::Conceptualize,
+        )
         .name("nei:Assignment[dep] |><| Department[dep]", "Ass-Dept")
         .name("nei:Department[dep] |><| Assignment[dep]", "Ass-Dept")
         // Hidden objects (§6.2.2): Employee conceptualized, the other
@@ -420,7 +426,10 @@ HEmployee[no] << Employee[no]
 Manager[emp] << Employee[no]
 Manager[proj] << Project[proj]";
         assert_eq!(ric, expected_ric);
-        assert_eq!(result.restructured.ric.len(), result.restructured.inds.len());
+        assert_eq!(
+            result.restructured.ric.len(),
+            result.restructured.inds.len()
+        );
     }
 
     #[test]
@@ -462,8 +471,11 @@ Manager[proj] << Project[proj]";
         let eer = &result.eer;
         // The ternary Assignment relationship with attribute date.
         let assign = eer.relationship("Assignment").expect("Assignment diamond");
-        let mut objs: Vec<&str> =
-            assign.participants.iter().map(|p| p.object.as_str()).collect();
+        let mut objs: Vec<&str> = assign
+            .participants
+            .iter()
+            .map(|p| p.object.as_str())
+            .collect();
         objs.sort();
         assert_eq!(objs, vec!["Employee", "Other-Dept", "Project"]);
         assert_eq!(assign.attrs, vec!["date"]);

@@ -85,7 +85,9 @@ pub fn forward_map(eer: &EerSchema) -> ForwardMapped {
     // Weak-entity ownership and is-a links become RICs between already
     // mapped relations.
     for e in &eer.entities {
-        let Some(sub) = db.schema.rel_id(&e.name) else { continue };
+        let Some(sub) = db.schema.rel_id(&e.name) else {
+            continue;
+        };
         for owner in &e.owners {
             match link_by_key_prefix(&db, &e.name, owner) {
                 Ok(ind) => ric.push(ind),

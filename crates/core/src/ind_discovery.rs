@@ -17,13 +17,15 @@
 //! and recorded in `S`.
 
 use crate::oracle::{
-    DecisionRecord, NeiContext, NeiDecision, NewRelationReason, NamingContext, Oracle,
+    DecisionRecord, NamingContext, NeiContext, NeiDecision, NewRelationReason, Oracle,
 };
 use dbre_relational::attr::{AttrId, AttrSet};
-use dbre_relational::counting::{join_stats, EquiJoin, JoinStats};
+use dbre_relational::counting::{EquiJoin, JoinStats};
 use dbre_relational::database::Database;
 use dbre_relational::deps::{Ind, IndSide};
+use dbre_relational::par::par_map;
 use dbre_relational::schema::{RelId, Relation};
+use dbre_relational::stats::StatsEngine;
 use dbre_relational::table::Table;
 use dbre_relational::value::Value;
 use dbre_relational::Attribute;
@@ -54,14 +56,31 @@ impl IndDiscovery {
 
 /// Runs IND-Discovery over the set `Q`. Conceptualized NEI relations
 /// are added to `db` (schema, extension, key constraint).
-pub fn ind_discovery(
+///
+/// Equivalent to [`ind_discovery_with_stats`] with a throwaway
+/// [`StatsEngine`].
+pub fn ind_discovery(db: &mut Database, q: &[EquiJoin], oracle: &mut dyn Oracle) -> IndDiscovery {
+    ind_discovery_with_stats(db, q, oracle, &StatsEngine::new())
+}
+
+/// Runs IND-Discovery with counting memoized in `engine`.
+///
+/// All join cardinalities of `Q` are collected up front in one
+/// [`par_map`] pass (concurrent with `--features parallel`), which is
+/// sound because the only mutation the loop performs —
+/// conceptualization — *adds* relations and never touches existing
+/// tables. The oracle dialogue itself stays strictly sequential and in
+/// `Q` order, so the decision log and results are deterministic.
+pub fn ind_discovery_with_stats(
     db: &mut Database,
     q: &[EquiJoin],
     oracle: &mut dyn Oracle,
+    engine: &StatsEngine,
 ) -> IndDiscovery {
     let mut out = IndDiscovery::default();
+    par_map(q, |join| engine.join_stats(db, join));
     for join in q {
-        let stats = join_stats(db, join);
+        let stats = engine.join_stats(db, join);
         out.join_stats.push((join.clone(), stats));
         let rendered = join.render(&db.schema);
 
@@ -79,9 +98,10 @@ pub fn ind_discovery(
         if stats.n_join == stats.n_left || stats.n_join == stats.n_right {
             // (ii)/(iii) — exactly the paper's two independent tests.
             if stats.n_left <= stats.n_right {
-                out.add_ind(Ind::new(join.left.clone(), join.right.clone()).expect(
-                    "equi-join sides have equal arity by construction",
-                ));
+                out.add_ind(
+                    Ind::new(join.left.clone(), join.right.clone())
+                        .expect("equi-join sides have equal arity by construction"),
+                );
                 out.log.push(DecisionRecord::new(
                     "IND-Discovery",
                     rendered.clone(),
@@ -89,9 +109,10 @@ pub fn ind_discovery(
                 ));
             }
             if stats.n_right <= stats.n_left {
-                out.add_ind(Ind::new(join.right.clone(), join.left.clone()).expect(
-                    "equi-join sides have equal arity by construction",
-                ));
+                out.add_ind(
+                    Ind::new(join.right.clone(), join.left.clone())
+                        .expect("equi-join sides have equal arity by construction"),
+                );
                 out.log.push(DecisionRecord::new(
                     "IND-Discovery",
                     rendered,
@@ -102,28 +123,24 @@ pub fn ind_discovery(
         }
 
         // NEI — expert user decides.
-        let decision = oracle.resolve_nei(&NeiContext {
-            db,
-            join,
-            stats,
-        });
+        let decision = oracle.resolve_nei(&NeiContext { db, join, stats });
         out.log.push(DecisionRecord::new(
             "IND-Discovery/NEI",
             rendered.clone(),
-            format!("{decision:?} (N_k={}, N_l={}, N_kl={})", stats.n_left, stats.n_right, stats.n_join),
+            format!(
+                "{decision:?} (N_k={}, N_l={}, N_kl={})",
+                stats.n_left, stats.n_right, stats.n_join
+            ),
         ));
         match decision {
             NeiDecision::Conceptualize => {
-                let rel_p = conceptualize_intersection(db, join, oracle);
+                let rel_p = conceptualize_intersection(db, join, oracle, engine);
                 out.new_relations.push(rel_p);
                 let arity = join.left.attrs.len() as u16;
                 let p_attrs: Vec<AttrId> = (0..arity).map(AttrId).collect();
                 out.add_ind(
-                    Ind::new(
-                        IndSide::new(rel_p, p_attrs.clone()),
-                        join.left.clone(),
-                    )
-                    .expect("intersection relation mirrors the join arity"),
+                    Ind::new(IndSide::new(rel_p, p_attrs.clone()), join.left.clone())
+                        .expect("intersection relation mirrors the join arity"),
                 );
                 out.add_ind(
                     Ind::new(IndSide::new(rel_p, p_attrs), join.right.clone())
@@ -155,6 +172,7 @@ fn conceptualize_intersection(
     db: &mut Database,
     join: &EquiJoin,
     oracle: &mut dyn Oracle,
+    engine: &StatsEngine,
 ) -> RelId {
     let left_rel = db.schema.relation(join.left.rel);
     let right_rel = db.schema.relation(join.right.rel);
@@ -188,15 +206,14 @@ fn conceptualize_intersection(
     });
     let name = unique_name(db, &name);
 
-    // Extension: the intersection of both distinct projections, in
-    // deterministic (sorted) order.
-    let left_vals = db.table(join.left.rel).distinct_projection(&join.left.attrs);
-    let right_vals = db
-        .table(join.right.rel)
-        .distinct_projection(&join.right.attrs);
+    // Extension: the intersection of both distinct projections (served
+    // from the engine cache), in deterministic (sorted) order.
+    let left_vals = engine.projection(db, join.left.rel, &join.left.attrs);
+    let right_vals = engine.projection(db, join.right.rel, &join.right.attrs);
     let mut rows: Vec<Vec<Value>> = left_vals
-        .into_iter()
-        .filter(|v| right_vals.contains(v))
+        .iter()
+        .filter(|v| right_vals.contains(*v))
+        .cloned()
         .collect();
     rows.sort();
     let mut table = Table::new(attr_names.len());
@@ -216,10 +233,8 @@ fn conceptualize_intersection(
         )
         .expect("name uniqueness enforced by unique_name");
     // Identifier sets are keys of their conceptualized relation.
-    db.constraints.add_key(
-        rel_p,
-        AttrSet::from_indices(0..attr_names.len() as u16),
-    );
+    db.constraints
+        .add_key(rel_p, AttrSet::from_indices(0..attr_names.len() as u16));
     db.constraints.normalize();
     rel_p
 }
@@ -356,16 +371,14 @@ mod tests {
     #[test]
     fn nei_forced_directions() {
         let (mut db, join) = nei_db();
-        let mut oracle =
-            ScriptedOracle::new().nei("L[x] |><| R[y]", NeiDecision::ForceLeftInRight);
+        let mut oracle = ScriptedOracle::new().nei("L[x] |><| R[y]", NeiDecision::ForceLeftInRight);
         let out = ind_discovery(&mut db, std::slice::from_ref(&join), &mut oracle);
         assert_eq!(out.inds[0].render(&db.schema), "L[x] << R[y]");
         // Forced INDs need not hold in the (dirty) extension.
         assert!(!db.ind_holds(&out.inds[0]));
 
         let (mut db, join) = nei_db();
-        let mut oracle =
-            ScriptedOracle::new().nei("L[x] |><| R[y]", NeiDecision::ForceRightInLeft);
+        let mut oracle = ScriptedOracle::new().nei("L[x] |><| R[y]", NeiDecision::ForceRightInLeft);
         let out = ind_discovery(&mut db, &[join], &mut oracle);
         assert_eq!(out.inds[0].render(&db.schema), "R[y] << L[x]");
     }

@@ -85,12 +85,16 @@ mod tests {
             .add_relation(Relation::of("Person", &[("id", Domain::Int)]))
             .unwrap();
         let emp = db
-            .add_relation(Relation::of("Emp", &[("no", Domain::Int), ("dep", Domain::Text)]))
+            .add_relation(Relation::of(
+                "Emp",
+                &[("no", Domain::Int), ("dep", Domain::Text)],
+            ))
             .unwrap();
         let s0 = db
             .add_relation(Relation::of("S0", &[("v", Domain::Int)]))
             .unwrap();
-        db.constraints.add_key(person, AttrSet::from_indices([0u16]));
+        db.constraints
+            .add_key(person, AttrSet::from_indices([0u16]));
         db.constraints.add_key(s0, AttrSet::from_indices([0u16]));
         db.constraints.normalize();
         (db, person, emp, s0)
@@ -161,18 +165,13 @@ mod tests {
     fn composite_sides_compared_as_sets_against_keys() {
         let mut db = Database::new();
         let a = db
-            .add_relation(Relation::of(
-                "A",
-                &[("x", Domain::Int), ("y", Domain::Int)],
-            ))
+            .add_relation(Relation::of("A", &[("x", Domain::Int), ("y", Domain::Int)]))
             .unwrap();
         let b = db
-            .add_relation(Relation::of(
-                "B",
-                &[("u", Domain::Int), ("v", Domain::Int)],
-            ))
+            .add_relation(Relation::of("B", &[("u", Domain::Int), ("v", Domain::Int)]))
             .unwrap();
-        db.constraints.add_key(b, AttrSet::from_indices([0u16, 1u16]));
+        db.constraints
+            .add_key(b, AttrSet::from_indices([0u16, 1u16]));
         db.constraints.normalize();
         // A[y, x] << B[v, u]: rhs set {u, v} IS the key even though the
         // positional order differs.

@@ -238,14 +238,16 @@ impl ScriptedOracle {
 
     /// Adds an NEI decision keyed by the rendered equi-join.
     pub fn nei(mut self, join: &str, d: NeiDecision) -> Self {
-        self.decisions.insert(join.to_string(), ScriptedDecision::Nei(d));
+        self.decisions
+            .insert(join.to_string(), ScriptedDecision::Nei(d));
         self
     }
 
     /// Adds an FD enforce/validate decision keyed by the rendered FD
     /// (`"Rel: a -> b"`).
     pub fn fd(mut self, fd: &str, accept: bool) -> Self {
-        self.decisions.insert(fd.to_string(), ScriptedDecision::Fd(accept));
+        self.decisions
+            .insert(fd.to_string(), ScriptedDecision::Fd(accept));
         self
     }
 
@@ -356,8 +358,10 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.add_relation(Relation::of("A", &[("x", Domain::Int)])).unwrap();
-        db.add_relation(Relation::of("B", &[("y", Domain::Int)])).unwrap();
+        db.add_relation(Relation::of("A", &[("x", Domain::Int)]))
+            .unwrap();
+        db.add_relation(Relation::of("B", &[("y", Domain::Int)]))
+            .unwrap();
         db
     }
 
@@ -412,9 +416,15 @@ mod tests {
             },
         };
         // 96% coverage of smaller (left) side → force left ⊆ right.
-        assert_eq!(o.resolve_nei(&mk(100, 200, 96)), NeiDecision::ForceLeftInRight);
+        assert_eq!(
+            o.resolve_nei(&mk(100, 200, 96)),
+            NeiDecision::ForceLeftInRight
+        );
         // Same but right smaller.
-        assert_eq!(o.resolve_nei(&mk(200, 100, 96)), NeiDecision::ForceRightInLeft);
+        assert_eq!(
+            o.resolve_nei(&mk(200, 100, 96)),
+            NeiDecision::ForceRightInLeft
+        );
         // 60% coverage → conceptualize.
         assert_eq!(o.resolve_nei(&mk(100, 200, 60)), NeiDecision::Conceptualize);
         // 10% coverage → ignore.

@@ -15,15 +15,17 @@
 //! Every expert interaction is recorded in one merged audit log.
 
 use crate::eer::EerSchema;
-use crate::ind_discovery::{ind_discovery, IndDiscovery};
+use crate::ind_discovery::{ind_discovery_with_stats, IndDiscovery};
 use crate::lhs_discovery::{lhs_discovery, LhsDiscovery};
 use crate::oracle::{DecisionRecord, Oracle};
 use crate::restruct::{restruct, Restructured};
-use crate::rhs_discovery::{rhs_discovery, RhsDiscovery, RhsOptions};
+use crate::rhs_discovery::{rhs_discovery_with_stats, RhsDiscovery, RhsOptions};
 use crate::translate::translate;
 use dbre_extract::{extract_programs, ExtractConfig, ProgramSource};
 use dbre_relational::counting::EquiJoin;
 use dbre_relational::database::Database;
+use dbre_relational::stats::{StatsCounters, StatsEngine};
+use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +39,24 @@ pub struct PipelineOptions {
     /// beyond the paper's §4 assumption that `K` is always available).
     /// The inferred key's width is bounded to 3 columns.
     pub infer_missing_keys: bool,
+}
+
+/// Instrumentation for one pipeline run: wall-clock per stage plus the
+/// counting-engine counters.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// `(stage, wall time)` in execution order.
+    pub stage_timings: Vec<(&'static str, Duration)>,
+    /// Counting-engine observability: cache hits/misses and rows
+    /// scanned across all `‖·‖` / FD / partition queries of the run.
+    pub counters: StatsCounters,
+}
+
+impl PipelineStats {
+    /// Total wall time across the recorded stages.
+    pub fn total(&self) -> Duration {
+        self.stage_timings.iter().map(|(_, d)| *d).sum()
+    }
 }
 
 /// Everything the pipeline produced, stage by stage.
@@ -63,8 +83,12 @@ pub struct PipelineResult {
     pub db_before: Database,
     /// Merged audit log across stages.
     pub log: Vec<DecisionRecord>,
-    /// Extraction warnings (stage 2), empty when `Q` was supplied.
+    /// Warnings: malformed `Q` elements that were skipped, plus
+    /// extraction warnings (stage 2) when running from programs.
     pub warnings: Vec<String>,
+    /// Instrumentation: per-stage wall time and counting-engine
+    /// counters.
+    pub stats: PipelineStats,
     /// Provenance of each element of `Q` (program name, statement
     /// index), parallel-keyed by canonical join; empty when `Q` was
     /// supplied directly. This is the paper's promise that the expert
@@ -97,7 +121,9 @@ pub fn run_with_programs(
 ) -> PipelineResult {
     let extraction = extract_programs(&db.schema, programs, &options.extract);
     let mut result = run_with_q(db, &extraction.q(), oracle, options);
-    result.warnings = extraction.warnings;
+    // Extend — run_with_q may already have recorded Q-validation
+    // warnings of its own.
+    result.warnings.extend(extraction.warnings);
     result.provenance = extraction
         .joins
         .into_iter()
@@ -106,7 +132,50 @@ pub fn run_with_programs(
     result
 }
 
+/// Validates one caller-supplied join against the schema; `Err` is the
+/// warning to record.
+fn validate_join(db: &Database, join: &EquiJoin) -> Result<(), String> {
+    if join.left.attrs.len() != join.right.attrs.len() {
+        return Err(format!(
+            "skipping malformed join: arity mismatch ({} vs {} attributes)",
+            join.left.attrs.len(),
+            join.right.attrs.len()
+        ));
+    }
+    for side in [&join.left, &join.right] {
+        if side.rel.index() >= db.schema.len() {
+            return Err(format!(
+                "skipping malformed join: unknown relation id {}",
+                side.rel.index()
+            ));
+        }
+        let relation = db.schema.relation(side.rel);
+        if side.attrs.is_empty() {
+            return Err(format!(
+                "skipping malformed join: empty attribute list on {}",
+                relation.name
+            ));
+        }
+        for attr in &side.attrs {
+            if attr.index() >= relation.arity() {
+                return Err(format!(
+                    "skipping malformed join: attribute id {} out of bounds for {} (arity {})",
+                    attr.index(),
+                    relation.name,
+                    relation.arity()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs the pipeline from a prepared set `Q`.
+///
+/// Malformed elements of `Q` — mismatched side arity, out-of-bounds
+/// relation or attribute ids, empty attribute lists — are skipped with
+/// a warning in [`PipelineResult::warnings`] instead of panicking
+/// deep inside counting.
 pub fn run_with_q(
     mut db: Database,
     q: &[EquiJoin],
@@ -114,8 +183,25 @@ pub fn run_with_q(
     options: &PipelineOptions,
 ) -> PipelineResult {
     let mut log = Vec::new();
+    let mut warnings = Vec::new();
+    let mut stats = PipelineStats::default();
+    let engine = StatsEngine::new();
+
+    let q: Vec<EquiJoin> = q
+        .iter()
+        .filter(|join| match validate_join(&db, join) {
+            Ok(()) => true,
+            Err(w) => {
+                warnings.push(w);
+                false
+            }
+        })
+        .cloned()
+        .collect();
+
     if options.infer_missing_keys {
-        for (rel, key) in dbre_mine::infer_missing_keys(&mut db, Some(3)) {
+        let t = Instant::now();
+        for (rel, key) in dbre_mine::infer_missing_keys_with_stats(&mut db, Some(3), &engine) {
             let relation = db.schema.relation(rel);
             log.push(DecisionRecord::new(
                 "Key inference",
@@ -123,20 +209,38 @@ pub fn run_with_q(
                 format!("inferred key {{{}}}", relation.render_set(&key)),
             ));
         }
+        stats.stage_timings.push(("key-inference", t.elapsed()));
     }
-    let ind = ind_discovery(&mut db, q, oracle);
+
+    let t = Instant::now();
+    let ind = ind_discovery_with_stats(&mut db, &q, oracle, &engine);
+    stats.stage_timings.push(("ind-discovery", t.elapsed()));
+
+    let t = Instant::now();
     let lhs = lhs_discovery(&db, &ind.inds, &ind.new_relations);
-    let rhs = rhs_discovery(&db, &lhs, oracle, &options.rhs);
+    stats.stage_timings.push(("lhs-discovery", t.elapsed()));
+
+    let t = Instant::now();
+    let rhs = rhs_discovery_with_stats(&db, &lhs, oracle, &options.rhs, &engine);
+    stats.stage_timings.push(("rhs-discovery", t.elapsed()));
+
     let db_before = db.clone();
+    let t = Instant::now();
     let restructured = restruct(&mut db, &rhs.fds, &rhs.hidden, &ind.inds, oracle);
+    stats.stage_timings.push(("restruct", t.elapsed()));
+
+    let t = Instant::now();
     let eer = translate(&db, &restructured.ric);
+    stats.stage_timings.push(("translate", t.elapsed()));
+
+    stats.counters = engine.counters();
 
     log.extend(ind.log.iter().cloned());
     log.extend(rhs.log.iter().cloned());
     log.extend(restructured.log.iter().cloned());
 
     PipelineResult {
-        q: q.to_vec(),
+        q,
         ind,
         lhs,
         rhs,
@@ -145,8 +249,9 @@ pub fn run_with_q(
         db,
         db_before,
         log,
-        warnings: Vec::new(),
+        warnings,
         provenance: Vec::new(),
+        stats,
     }
 }
 
@@ -178,12 +283,7 @@ mod tests {
     fn end_to_end_produces_3nf_and_eer() {
         let (db, programs) = legacy();
         let mut oracle = AutoOracle::default();
-        let result = run_with_programs(
-            db,
-            &programs,
-            &mut oracle,
-            &PipelineOptions::default(),
-        );
+        let result = run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
         // Q extracted.
         assert_eq!(result.q.len(), 1);
         // Orders[cust] << Customer[cid] elicited.
@@ -208,7 +308,11 @@ mod tests {
                 .cloned()
                 .collect();
             let report = analyze(rel, &relation.all_attrs(), &fds);
-            assert!(report.form >= NormalForm::Third, "{} not 3NF", relation.name);
+            assert!(
+                report.form >= NormalForm::Third,
+                "{} not 3NF",
+                relation.name
+            );
         }
         // EER produced with a binary relationship Orders–<new rel>.
         assert!(!result.eer.entities.is_empty());
@@ -222,11 +326,8 @@ mod tests {
     #[test]
     fn pipeline_with_explicit_q_matches_programs_path() {
         let (db, programs) = legacy();
-        let extraction = dbre_extract::extract_programs(
-            &db.schema,
-            &programs,
-            &ExtractConfig::default(),
-        );
+        let extraction =
+            dbre_extract::extract_programs(&db.schema, &programs, &ExtractConfig::default());
         let mut o1 = AutoOracle::default();
         let r1 = run_with_q(db, &extraction.q(), &mut o1, &PipelineOptions::default());
 
@@ -242,8 +343,7 @@ mod tests {
     fn provenance_traces_joins_to_programs() {
         let (db, programs) = legacy();
         let mut oracle = AutoOracle::default();
-        let result =
-            run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
+        let result = run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
         assert_eq!(result.provenance.len(), 1);
         let evidence = result.evidence_for(&result.q[0]);
         assert_eq!(evidence, vec!["report"]);
@@ -280,25 +380,102 @@ mod tests {
         };
         let result = run_with_programs(db, &programs, &mut oracle, &opts);
         // Keys inferred for both relations (cid, oid are unique).
-        assert!(result
-            .log
-            .iter()
-            .filter(|r| r.step == "Key inference")
-            .count()
-            >= 2);
+        assert!(
+            result
+                .log
+                .iter()
+                .filter(|r| r.step == "Key inference")
+                .count()
+                >= 2
+        );
         // The FK became a referential integrity constraint again.
         assert!(!result.restructured.ric.is_empty());
         assert_eq!(result.rhs.fds.len(), 1);
     }
 
     #[test]
+    fn malformed_q_skipped_with_warnings() {
+        use dbre_relational::attr::AttrId;
+        use dbre_relational::deps::IndSide;
+        use dbre_relational::schema::RelId;
+
+        let (db, _) = legacy();
+        let customer = db.rel("Customer").unwrap();
+        let orders = db.rel("Orders").unwrap();
+        // Struct literals bypass the EquiJoin::try_new guard — exactly
+        // what an external caller assembling Q by hand can do.
+        let bad_arity = EquiJoin {
+            left: IndSide::new(orders, vec![AttrId(1), AttrId(2)]),
+            right: IndSide::single(customer, AttrId(0)),
+        };
+        let bad_attr = EquiJoin {
+            left: IndSide::single(orders, AttrId(9)),
+            right: IndSide::single(customer, AttrId(0)),
+        };
+        let bad_rel = EquiJoin {
+            left: IndSide::single(RelId(99), AttrId(0)),
+            right: IndSide::single(customer, AttrId(0)),
+        };
+        let empty_attrs = EquiJoin {
+            left: IndSide::new(orders, vec![]),
+            right: IndSide::new(customer, vec![]),
+        };
+        let good = EquiJoin::new(
+            IndSide::single(orders, AttrId(1)),
+            IndSide::single(customer, AttrId(0)),
+        );
+        let mut oracle = AutoOracle::default();
+        let result = run_with_q(
+            db,
+            &[bad_arity, bad_attr, bad_rel, empty_attrs, good],
+            &mut oracle,
+            &PipelineOptions::default(),
+        );
+        assert_eq!(result.q.len(), 1, "only the well-formed join survives");
+        assert_eq!(result.warnings.len(), 4, "{:?}", result.warnings);
+        assert!(result
+            .warnings
+            .iter()
+            .all(|w| w.contains("skipping malformed join")));
+        assert_eq!(result.ind.inds.len(), 1);
+    }
+
+    #[test]
+    fn stats_record_stages_and_counters() {
+        let (db, programs) = legacy();
+        let mut oracle = AutoOracle::default();
+        let result = run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
+        let names: Vec<&str> = result.stats.stage_timings.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "ind-discovery",
+                "lhs-discovery",
+                "rhs-discovery",
+                "restruct",
+                "translate"
+            ]
+        );
+        assert!(result.stats.counters.cache_misses > 0, "engine was used");
+        assert!(
+            result.stats.counters.cache_hits > 0,
+            "join stats are pre-collected then re-read: {:?}",
+            result.stats.counters
+        );
+        assert!(result.stats.counters.rows_scanned > 0);
+        assert!(result.stats.total() >= result.stats.stage_timings[0].1);
+    }
+
+    #[test]
     fn log_merges_all_stages() {
         let (db, programs) = legacy();
         let mut oracle = AutoOracle::default();
-        let result =
-            run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
+        let result = run_with_programs(db, &programs, &mut oracle, &PipelineOptions::default());
         // At least the IND elicitation and the FD split naming appear.
-        assert!(result.log.iter().any(|r| r.step.starts_with("IND-Discovery")));
+        assert!(result
+            .log
+            .iter()
+            .any(|r| r.step.starts_with("IND-Discovery")));
         assert!(result.log.iter().any(|r| r.step.starts_with("Restruct")));
     }
 }

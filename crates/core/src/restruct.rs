@@ -180,8 +180,11 @@ pub fn restruct(
         replace_side(&mut out.inds, fd.rel, &a_ids, rel_p, &p_a);
         replace_side(&mut out.inds, fd.rel, &b_ids, rel_p, &p_b);
         out.inds.push(
-            Ind::new(IndSide::new(fd.rel, a_ids.clone()), IndSide::new(rel_p, p_a))
-                .expect("matching arity by construction"),
+            Ind::new(
+                IndSide::new(fd.rel, a_ids.clone()),
+                IndSide::new(rel_p, p_a),
+            )
+            .expect("matching arity by construction"),
         );
     }
 
@@ -263,10 +266,7 @@ fn replace_side(
     let target: AttrSet = AttrSet::from_iter_ids(attrs.iter().copied());
     for ind in inds.iter_mut() {
         for side in [&mut ind.lhs, &mut ind.rhs] {
-            if side.rel == rel
-                && !side.attrs.is_empty()
-                && side.attr_set().is_subset(&target)
-            {
+            if side.rel == rel && !side.attrs.is_empty() && side.attr_set().is_subset(&target) {
                 // Map each positional attribute through attrs→new_attrs.
                 let mapped: Vec<AttrId> = side
                     .attrs
@@ -291,11 +291,7 @@ fn replace_side(
 /// attribute indices. IND sides that still reference a removed
 /// attribute are dropped with a warning — they straddled a split the
 /// elicited dependencies did not anticipate.
-fn apply_removals(
-    db: &mut Database,
-    removals: &[(RelId, AttrSet)],
-    out: &mut Restructured,
-) {
+fn apply_removals(db: &mut Database, removals: &[(RelId, AttrSet)], out: &mut Restructured) {
     use std::collections::HashMap;
     // Merge removals per relation.
     let mut per_rel: HashMap<RelId, AttrSet> = HashMap::new();
@@ -481,8 +477,7 @@ mod tests {
         let existing = Ind::unary(dept, AttrId(1), assign, AttrId(0));
         let mut oracle = ScriptedOracle::new().name("hidden:Assignment.{emp}", "Employee");
         let out = restruct(&mut db, &[], &[h], &[existing], &mut oracle);
-        let rendered: Vec<String> =
-            out.inds.iter().map(|i| i.render(&db.schema)).collect();
+        let rendered: Vec<String> = out.inds.iter().map(|i| i.render(&db.schema)).collect();
         assert!(rendered.contains(&"Department[emp] << Employee[emp]".to_string()));
         assert!(rendered.contains(&"Assignment[emp] << Employee[emp]".to_string()));
         assert_eq!(out.inds.len(), 2);
@@ -497,8 +492,7 @@ mod tests {
             AttrSet::from_indices([1u16]),
             AttrSet::from_indices([2u16, 4u16]),
         );
-        let mut oracle =
-            ScriptedOracle::new().name("fd:Department: emp -> skill, proj", "Manager");
+        let mut oracle = ScriptedOracle::new().name("fd:Department: emp -> skill, proj", "Manager");
         let out = restruct(&mut db, &[fd], &[], &[], &mut oracle);
         assert_eq!(out.fd_relations.len(), 1);
         // Department lost skill and proj.
@@ -520,9 +514,11 @@ mod tests {
             .constraints
             .is_key(manager, &AttrSet::from_indices([0u16])));
         // Linking IND remapped to the *new* Department layout.
-        let rendered: Vec<String> =
-            out.inds.iter().map(|i| i.render(&db.schema)).collect();
-        assert_eq!(rendered, vec!["Department[emp] << Manager[emp]".to_string()]);
+        let rendered: Vec<String> = out.inds.iter().map(|i| i.render(&db.schema)).collect();
+        assert_eq!(
+            rendered,
+            vec!["Department[emp] << Manager[emp]".to_string()]
+        );
         for ind in &out.inds {
             assert!(db.ind_holds(ind));
         }
@@ -554,15 +550,17 @@ mod tests {
             .name("fd:Assignment: proj -> project-name", "Project")
             .name("fd:Department: emp -> skill, proj", "Manager");
         let out = restruct(&mut db, &fds, &[], &[existing], &mut oracle);
-        let rendered: Vec<String> =
-            out.inds.iter().map(|i| i.render(&db.schema)).collect();
+        let rendered: Vec<String> = out.inds.iter().map(|i| i.render(&db.schema)).collect();
         assert!(
             rendered.contains(&"Manager[proj] << Project[proj]".to_string()),
             "got {rendered:?}"
         );
         for ind in &out.inds {
-            assert!(db.ind_holds(ind), "IND must hold after restructuring: {}",
-                ind.render(&db.schema));
+            assert!(
+                db.ind_holds(ind),
+                "IND must hold after restructuring: {}",
+                ind.render(&db.schema)
+            );
         }
     }
 

@@ -19,10 +19,12 @@
 
 use crate::lhs_discovery::LhsDiscovery;
 use crate::oracle::{DecisionRecord, FdContext, HiddenContext, Oracle};
-use dbre_relational::attr::AttrSet;
+use dbre_relational::attr::{AttrId, AttrSet};
 use dbre_relational::database::Database;
 use dbre_relational::deps::Fd;
+use dbre_relational::par::par_map;
 use dbre_relational::schema::QualAttrs;
+use dbre_relational::stats::StatsEngine;
 
 /// Options controlling RHS-Discovery (the ablation knobs).
 #[derive(Debug, Clone)]
@@ -58,11 +60,32 @@ pub struct RhsDiscovery {
 }
 
 /// Runs RHS-Discovery over `LHS ∪ H`.
+///
+/// Equivalent to [`rhs_discovery_with_stats`] with a throwaway
+/// [`StatsEngine`].
 pub fn rhs_discovery(
     db: &Database,
     input: &LhsDiscovery,
     oracle: &mut dyn Oracle,
     options: &RhsOptions,
+) -> RhsDiscovery {
+    rhs_discovery_with_stats(db, input, oracle, options, &StatsEngine::new())
+}
+
+/// Runs RHS-Discovery with `A → b` extension tests memoized in
+/// `engine`.
+///
+/// All candidates `b` of one step share the LHS `A`, so the engine
+/// groups the rows agreeing on `A` once and every test only rescans the
+/// grouped rows. The per-candidate tests run through [`par_map`]
+/// (concurrent with `--features parallel`); oracle interaction for
+/// failing/elicited FDs stays sequential and in candidate order.
+pub fn rhs_discovery_with_stats(
+    db: &Database,
+    input: &LhsDiscovery,
+    oracle: &mut dyn Oracle,
+    options: &RhsOptions,
+    engine: &StatsEngine,
 ) -> RhsDiscovery {
     let mut out = RhsDiscovery {
         hidden: input.hidden.clone(),
@@ -93,21 +116,25 @@ pub fn rhs_discovery(
             t = t.difference(&db.constraints.not_null_set(rel));
         }
 
-        // Step 2 — test each candidate attribute.
+        // Step 2 — test each candidate attribute. The extension probes
+        // all share the LHS `A`, so they run through the engine (and
+        // concurrently under `parallel`); the oracle dialogue below
+        // stays sequential in candidate order.
+        let cand_attrs: Vec<AttrId> = t.iter().collect();
+        let cand_fds: Vec<Fd> = cand_attrs
+            .iter()
+            .map(|ca| Fd::new(rel, a.clone(), AttrSet::single(*ca)))
+            .collect();
+        let holds_vec: Vec<bool> = par_map(&cand_fds, |fd| engine.fd_holds(db, fd));
         let mut b = AttrSet::empty();
-        for cand_attr in t.iter() {
-            let fd = Fd::new(rel, a.clone(), AttrSet::single(cand_attr));
+        for ((cand_attr, fd), holds) in cand_attrs.iter().zip(&cand_fds).zip(holds_vec) {
+            let cand_attr = *cand_attr;
             out.fd_checks += 1;
-            let holds = db.fd_holds(&fd);
             if holds {
                 b.insert(cand_attr);
             } else {
-                let error = dbre_mine::fd_error_db(db, &fd);
-                let enforced = oracle.enforce_fd(&FdContext {
-                    db,
-                    fd: &fd,
-                    error,
-                });
+                let error = dbre_mine::fd_error_db(db, fd);
+                let enforced = oracle.enforce_fd(&FdContext { db, fd, error });
                 out.log.push(DecisionRecord::new(
                     "RHS-Discovery/enforce",
                     fd.render(&db.schema),
@@ -134,7 +161,12 @@ pub fn rhs_discovery(
             out.log.push(DecisionRecord::new(
                 "RHS-Discovery/validate",
                 fd.render(&db.schema),
-                if validated { "accepted into F" } else { "rejected" }.to_string(),
+                if validated {
+                    "accepted into F"
+                } else {
+                    "rejected"
+                }
+                .to_string(),
             ));
             if validated {
                 if from_hidden {
@@ -252,7 +284,10 @@ mod tests {
         // the not-null set {location, dep} → {skill, proj}: 2 checks.
         assert_eq!(out.fd_checks, 2);
         assert_eq!(out.fds.len(), 1);
-        assert_eq!(out.fds[0].render(&db.schema), "Department: emp -> skill, proj");
+        assert_eq!(
+            out.fds[0].render(&db.schema),
+            "Department: emp -> skill, proj"
+        );
         assert!(out.hidden.is_empty());
     }
 
@@ -274,7 +309,10 @@ mod tests {
         // emp -> location fails (emp=1 has lyon & paris) and dep is the
         // key (emp -> dep fails: emp=1 in d1, d2), so same FD found.
         assert_eq!(out.fds.len(), 1);
-        assert_eq!(out.fds[0].render(&db.schema), "Department: emp -> skill, proj");
+        assert_eq!(
+            out.fds[0].render(&db.schema),
+            "Department: emp -> skill, proj"
+        );
     }
 
     #[test]
@@ -356,8 +394,7 @@ mod tests {
     #[test]
     fn validation_can_reject_elicited_fd() {
         let (db, dept) = dept_db();
-        let mut oracle =
-            ScriptedOracle::new().fd("Department: emp -> skill, proj", false);
+        let mut oracle = ScriptedOracle::new().fd("Department: emp -> skill, proj", false);
         let out = rhs_discovery(
             &db,
             &input(&db, dept, &[1], false),

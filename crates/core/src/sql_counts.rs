@@ -13,13 +13,13 @@ use dbre_relational::database::Database;
 use dbre_relational::deps::IndSide;
 use dbre_sql::{run_sql, SqlResult};
 
-/// Renders an identifier for the generated SQL. Names produced by the
-/// catalog are already lexable (including hyphenated legacy names);
-/// anything else is double-quoted.
+/// Renders an identifier for the generated SQL. Hyphenated legacy
+/// names (`project-name`) must be double-quoted: left bare in an
+/// expression they read as subtraction (`project - name`), silently
+/// changing the counted value wherever both operands happen to resolve.
+/// Anything not lexable as a plain identifier is double-quoted too.
 fn ident(name: &str) -> String {
-    let plain = name
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    let plain = name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && name
             .chars()
             .next()
@@ -118,7 +118,11 @@ mod tests {
         let (rel, ids) = db.resolve("Assignment", &["project-name"]).unwrap();
         let side = IndSide::new(rel, ids);
         let sql = count_side_sql(&db, &side);
-        assert_eq!(sql, "SELECT COUNT(DISTINCT x.project-name) FROM Assignment x");
+        // Quoted: bare `x.project-name` would lex as `x.project - name`.
+        assert_eq!(
+            sql,
+            "SELECT COUNT(DISTINCT x.\"project-name\") FROM Assignment x"
+        );
         // And it executes.
         let n = run_sql(&db, &sql).unwrap().count().unwrap();
         assert_eq!(n, 50); // one project name per project p01..p50
@@ -128,7 +132,8 @@ mod tests {
     fn odd_names_get_quoted() {
         assert_eq!(ident("weird name"), "\"weird name\"");
         assert_eq!(ident("3col"), "\"3col\"");
-        assert_eq!(ident("plain_name-2"), "plain_name-2");
+        assert_eq!(ident("plain_name-2"), "\"plain_name-2\"");
+        assert_eq!(ident("plain_name2"), "plain_name2");
     }
 
     #[test]

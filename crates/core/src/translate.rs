@@ -83,8 +83,11 @@ pub fn translate(db: &Database, ric: &[Ind]) -> EerSchema {
             .primary_key(*rel)
             .map(|k| k.attrs.clone())
             .unwrap_or_else(|| relation.all_attrs());
-        let attr_names: Vec<String> =
-            relation.attributes().iter().map(|a| a.name.clone()).collect();
+        let attr_names: Vec<String> = relation
+            .attributes()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
         let key_names: Vec<String> = key
             .iter()
             .map(|a| relation.attr_name(a).to_string())
@@ -397,8 +400,11 @@ mod tests {
         // Assignment: ternary many-to-many relationship with attr date.
         let assign = eer.relationship("Assignment").expect("Assignment diamond");
         assert_eq!(assign.kind, RelationshipKind::ManyToMany);
-        let mut objs: Vec<&str> =
-            assign.participants.iter().map(|p| p.object.as_str()).collect();
+        let mut objs: Vec<&str> = assign
+            .participants
+            .iter()
+            .map(|p| p.object.as_str())
+            .collect();
         objs.sort();
         assert_eq!(objs, vec!["Employee", "Other-Dept", "Project"]);
         assert_eq!(assign.attrs, vec!["date"]);
@@ -420,7 +426,14 @@ mod tests {
         assert!(eer.relationship("Department-Manager").is_some());
 
         // Plain entities present.
-        for e in ["Person", "Employee", "Department", "Manager", "Project", "Other-Dept"] {
+        for e in [
+            "Person",
+            "Employee",
+            "Department",
+            "Manager",
+            "Project",
+            "Other-Dept",
+        ] {
             assert!(eer.entity(e).is_some(), "missing entity {e}");
             assert!(!eer.entity(e).unwrap().weak);
         }
@@ -432,7 +445,10 @@ mod tests {
     fn relation_without_rics_is_plain_entity() {
         let mut db = Database::new();
         let rel = db
-            .add_relation(Relation::of("Lone", &[("k", Domain::Int), ("v", Domain::Text)]))
+            .add_relation(Relation::of(
+                "Lone",
+                &[("k", Domain::Int), ("v", Domain::Text)],
+            ))
             .unwrap();
         db.constraints.add_key(rel, AttrSet::from_indices([0u16]));
         db.constraints.normalize();
@@ -450,13 +466,18 @@ mod tests {
         let hist = db
             .add_relation(Relation::of(
                 "History",
-                &[("id", Domain::Int), ("at", Domain::Date), ("v", Domain::Int)],
+                &[
+                    ("id", Domain::Int),
+                    ("at", Domain::Date),
+                    ("v", Domain::Int),
+                ],
             ))
             .unwrap();
         let base = db
             .add_relation(Relation::of("Base", &[("id", Domain::Int)]))
             .unwrap();
-        db.constraints.add_key(hist, AttrSet::from_indices([0u16, 1]));
+        db.constraints
+            .add_key(hist, AttrSet::from_indices([0u16, 1]));
         db.constraints.add_key(base, AttrSet::from_indices([0u16]));
         db.constraints.normalize();
         let ric = vec![Ind::unary(hist, AttrId(0), base, AttrId(0))];
@@ -493,7 +514,10 @@ mod tests {
     fn full_key_ric_gives_isa_not_relationship() {
         let mut db = Database::new();
         let sub = db
-            .add_relation(Relation::of("Sub", &[("id", Domain::Int), ("x", Domain::Int)]))
+            .add_relation(Relation::of(
+                "Sub",
+                &[("id", Domain::Int), ("x", Domain::Int)],
+            ))
             .unwrap();
         let sup = db
             .add_relation(Relation::of("Sup", &[("id", Domain::Int)]))
@@ -515,12 +539,19 @@ mod tests {
         // leaves out.
         let mut db = Database::new();
         let client = db
-            .add_relation(Relation::of("Client", &[("id", Domain::Int), ("a", Domain::Text)]))
+            .add_relation(Relation::of(
+                "Client",
+                &[("id", Domain::Int), ("a", Domain::Text)],
+            ))
             .unwrap();
         let cust = db
-            .add_relation(Relation::of("Cust", &[("id", Domain::Int), ("b", Domain::Text)]))
+            .add_relation(Relation::of(
+                "Cust",
+                &[("id", Domain::Int), ("b", Domain::Text)],
+            ))
             .unwrap();
-        db.constraints.add_key(client, AttrSet::from_indices([0u16]));
+        db.constraints
+            .add_key(client, AttrSet::from_indices([0u16]));
         db.constraints.add_key(cust, AttrSet::from_indices([0u16]));
         db.constraints.normalize();
         let ric = vec![

@@ -72,10 +72,7 @@ impl EqualityGraph {
             let r = self.find(i);
             groups.entry(r).or_default().push(self.nodes[i]);
         }
-        let mut out: Vec<Vec<Node>> = groups
-            .into_values()
-            .filter(|g| g.len() >= 2)
-            .collect();
+        let mut out: Vec<Vec<Node>> = groups.into_values().filter(|g| g.len() >= 2).collect();
         for g in &mut out {
             g.sort();
         }

@@ -107,10 +107,8 @@ pub fn extract_programs(
             let stmts = match parse_script(stmt_text) {
                 Ok(s) => s,
                 Err(e) => {
-                    acc.warnings.push(format!(
-                        "{} (statement {}): {e}",
-                        program.name, idx
-                    ));
+                    acc.warnings
+                        .push(format!("{} (statement {}): {e}", program.name, idx));
                     continue;
                 }
             };
@@ -190,7 +188,10 @@ fn extract_query(
     };
     walk_query(&mut ctx, q, &[]);
     acc.warnings.extend(ctx.warnings.drain(..).map(|w| {
-        format!("{} (statement {}): {w}", provenance.program, provenance.statement)
+        format!(
+            "{} (statement {}): {w}",
+            provenance.program, provenance.statement
+        )
     }));
 
     // Read equi-joins off the equality classes.
@@ -200,7 +201,11 @@ fn extract_query(
     for class in &classes {
         for (a_idx, a) in class.iter().enumerate() {
             for b in &class[a_idx + 1..] {
-                let (l, r) = if a.instance <= b.instance { (a, b) } else { (b, a) };
+                let (l, r) = if a.instance <= b.instance {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 if l.instance == r.instance {
                     continue; // same binding instance: not a join
                 }
@@ -353,11 +358,7 @@ fn harvest(ctx: &mut StatementCtx<'_>, e: &Expr, scopes: &[Scope], inside_disjun
                     if cols.len() == 1 {
                         if let Some(inner_col) = &cols[0] {
                             let on = resolve(ctx, outer_col, scopes);
-                            let inn = resolve(
-                                ctx,
-                                inner_col,
-                                &with_scope(scopes, &sub_scope),
-                            );
+                            let inn = resolve(ctx, inner_col, &with_scope(scopes, &sub_scope));
                             if let (Some(on), Some(inn)) = (on, inn) {
                                 ctx.graph.equate(on, inn);
                             }
@@ -431,17 +432,29 @@ mod tests {
         .unwrap();
         s.add_relation(Relation::of(
             "HEmployee",
-            &[("no", Domain::Int), ("date", Domain::Date), ("salary", Domain::Float)],
+            &[
+                ("no", Domain::Int),
+                ("date", Domain::Date),
+                ("salary", Domain::Float),
+            ],
         ))
         .unwrap();
         s.add_relation(Relation::of(
             "Assignment",
-            &[("emp", Domain::Int), ("dep", Domain::Text), ("proj", Domain::Text)],
+            &[
+                ("emp", Domain::Int),
+                ("dep", Domain::Text),
+                ("proj", Domain::Text),
+            ],
         ))
         .unwrap();
         s.add_relation(Relation::of(
             "Department",
-            &[("dep", Domain::Text), ("emp", Domain::Int), ("proj", Domain::Text)],
+            &[
+                ("dep", Domain::Text),
+                ("emp", Domain::Int),
+                ("proj", Domain::Text),
+            ],
         ))
         .unwrap();
         s
@@ -522,9 +535,7 @@ mod tests {
 
     #[test]
     fn not_in_subquery_is_not_a_join() {
-        let e = extract_sql(
-            "SELECT name FROM Person WHERE id NOT IN (SELECT no FROM HEmployee)",
-        );
+        let e = extract_sql("SELECT name FROM Person WHERE id NOT IN (SELECT no FROM HEmployee)");
         assert!(e.joins.is_empty());
     }
 
@@ -539,17 +550,13 @@ mod tests {
 
     #[test]
     fn intersect_projections_join() {
-        let e = extract_sql(
-            "SELECT dep FROM Department INTERSECT SELECT dep FROM Assignment",
-        );
+        let e = extract_sql("SELECT dep FROM Department INTERSECT SELECT dep FROM Assignment");
         assert_eq!(rendered(&e), vec!["Assignment[dep] |><| Department[dep]"]);
     }
 
     #[test]
     fn join_on_clause() {
-        let e = extract_sql(
-            "SELECT * FROM Department d JOIN Assignment a ON d.proj = a.proj",
-        );
+        let e = extract_sql("SELECT * FROM Department d JOIN Assignment a ON d.proj = a.proj");
         assert_eq!(rendered(&e), vec!["Assignment[proj] |><| Department[proj]"]);
     }
 
@@ -599,8 +606,14 @@ mod tests {
     fn duplicate_joins_merge_provenance() {
         let schema = schema();
         let programs = [
-            ProgramSource::sql("p1", "SELECT * FROM Person p, HEmployee e WHERE e.no = p.id"),
-            ProgramSource::sql("p2", "SELECT * FROM HEmployee e, Person p WHERE p.id = e.no"),
+            ProgramSource::sql(
+                "p1",
+                "SELECT * FROM Person p, HEmployee e WHERE e.no = p.id",
+            ),
+            ProgramSource::sql(
+                "p2",
+                "SELECT * FROM HEmployee e, Person p WHERE p.id = e.no",
+            ),
         ];
         let e = extract_programs(&schema, &programs, &ExtractConfig::default());
         assert_eq!(e.joins.len(), 1);

@@ -124,9 +124,7 @@ fn scan_embedded(text: &str) -> Vec<String> {
             } else if c == b';' {
                 end = Some((j, j + 1));
                 break;
-            } else if c.eq_ignore_ascii_case(&b'e')
-                && find_ci(text, "END-EXEC", j) == Some(j)
-            {
+            } else if c.eq_ignore_ascii_case(&b'e') && find_ci(text, "END-EXEC", j) == Some(j) {
                 end = Some((j, j + "END-EXEC".len()));
                 break;
             }
@@ -175,9 +173,7 @@ fn strip_host_variables(sql: &str) -> String {
             {
                 i += 1;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric()
-                        || bytes[i] == b'_'
-                        || bytes[i] == b'-')
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
                 {
                     i += 1;
                 }
@@ -227,7 +223,10 @@ mod tests {
             "payroll.cob",
             "PROCEDURE DIVISION.\n EXEC SQL SELECT dep FROM Department END-EXEC.\n STOP RUN.",
         );
-        assert_eq!(p.statements(), vec!["SELECT dep FROM Department".to_string()]);
+        assert_eq!(
+            p.statements(),
+            vec!["SELECT dep FROM Department".to_string()]
+        );
     }
 
     #[test]
@@ -248,10 +247,7 @@ mod tests {
 
     #[test]
     fn semicolon_inside_string_does_not_terminate() {
-        let p = ProgramSource::embedded(
-            "x.c",
-            "EXEC SQL SELECT a FROM b WHERE c = 'x;y';",
-        );
+        let p = ProgramSource::embedded("x.c", "EXEC SQL SELECT a FROM b WHERE c = 'x;y';");
         assert_eq!(
             p.statements(),
             vec!["SELECT a FROM b WHERE c = 'x;y'".to_string()]

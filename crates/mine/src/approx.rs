@@ -65,7 +65,11 @@ mod tests {
     use dbre_relational::schema::Relation;
     use dbre_relational::value::{Domain, Value};
 
-    fn db() -> (Database, dbre_relational::schema::RelId, dbre_relational::schema::RelId) {
+    fn db() -> (
+        Database,
+        dbre_relational::schema::RelId,
+        dbre_relational::schema::RelId,
+    ) {
         let mut db = Database::new();
         let a = db
             .add_relation(Relation::of("A", &[("x", Domain::Int), ("y", Domain::Int)]))
@@ -86,7 +90,11 @@ mod tests {
     #[test]
     fn fd_error_fraction() {
         let (db, a, _) = db();
-        let fd = Fd::new(a, AttrSet::from_indices([0u16]), AttrSet::from_indices([1u16]));
+        let fd = Fd::new(
+            a,
+            AttrSet::from_indices([0u16]),
+            AttrSet::from_indices([1u16]),
+        );
         let e = fd_error_db(&db, &fd);
         assert!((e - 0.2).abs() < 1e-12, "got {e}");
         assert!(fd_holds_approx(&db, &fd, 0.25));
@@ -97,7 +105,11 @@ mod tests {
     fn exact_fd_has_zero_error() {
         let (db, a, _) = db();
         // y -> y trivially.
-        let fd = Fd::new(a, AttrSet::from_indices([1u16]), AttrSet::from_indices([1u16]));
+        let fd = Fd::new(
+            a,
+            AttrSet::from_indices([1u16]),
+            AttrSet::from_indices([1u16]),
+        );
         assert_eq!(fd_error_db(&db, &fd), 0.0);
     }
 
@@ -126,7 +138,11 @@ mod tests {
         let _ = b;
         let ind = Ind::unary(a, AttrId(0), b, AttrId(0));
         assert_eq!(ind_error(&db, &ind), 0.0);
-        let fd = Fd::new(a, AttrSet::from_indices([0u16]), AttrSet::from_indices([0u16]));
+        let fd = Fd::new(
+            a,
+            AttrSet::from_indices([0u16]),
+            AttrSet::from_indices([0u16]),
+        );
         assert_eq!(fd_error_db(&db, &fd), 0.0);
     }
 }

@@ -16,6 +16,9 @@
 
 use crate::partitions::fd_holds_partition;
 use dbre_relational::attr::AttrId;
+use dbre_relational::database::Database;
+use dbre_relational::deps::Fd;
+use dbre_relational::stats::StatsEngine;
 use dbre_relational::table::Table;
 use dbre_relational::value::Value;
 use std::collections::HashMap;
@@ -47,6 +50,14 @@ pub fn check_hash(table: &Table, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
 /// [`check_hash`] on NULL-free columns).
 pub fn check_partition(table: &Table, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
     fd_holds_partition(table, lhs, rhs)
+}
+
+/// Engine-backed FD check: same SQL NULL semantics and same answer as
+/// [`check_hash`], but the LHS row grouping is memoized in `engine`,
+/// so a batch of tests sharing one LHS (the shape RHS-Discovery
+/// produces) groups once and only rescans the grouped rows.
+pub fn check_cached(db: &Database, fd: &Fd, engine: &StatsEngine) -> bool {
+    engine.fd_holds(db, fd)
 }
 
 /// `g3`-style violation count: the minimum number of tuples to delete
@@ -138,11 +149,7 @@ mod tests {
 
     #[test]
     fn violations_zero_iff_holds() {
-        let cases: &[&[(i64, i64)]] = &[
-            &[(1, 1), (2, 2), (1, 1)],
-            &[(1, 1), (1, 2)],
-            &[(3, 7)],
-        ];
+        let cases: &[&[(i64, i64)]] = &[&[(1, 1), (2, 2), (1, 1)], &[(1, 1), (1, 2)], &[(3, 7)]];
         for rows in cases {
             let t = table(rows);
             assert_eq!(

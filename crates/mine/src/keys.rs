@@ -16,7 +16,9 @@
 use crate::partitions::StrippedPartition;
 use dbre_relational::attr::{AttrId, AttrSet};
 use dbre_relational::database::Database;
+use dbre_relational::par::par_map;
 use dbre_relational::schema::RelId;
+use dbre_relational::stats::StatsEngine;
 use dbre_relational::table::Table;
 
 /// Work counters.
@@ -39,6 +41,35 @@ pub struct KeyResult {
 /// `max_width` columns (`None` = full lattice). Columns containing
 /// NULL are excluded from key membership.
 pub fn discover_keys(table: &Table, max_width: Option<usize>) -> KeyResult {
+    discover_keys_seeded(table, max_width, |eligible| {
+        let attrs: Vec<AttrId> = eligible.iter().map(|&i| AttrId(i)).collect();
+        par_map(&attrs, |&a| StrippedPartition::for_attribute(table, a))
+    })
+}
+
+/// [`discover_keys`] with the unary seed partitions served from (and
+/// cached into) `engine`, built concurrently under `--features
+/// parallel`.
+pub fn discover_keys_with_stats(
+    db: &Database,
+    rel: RelId,
+    max_width: Option<usize>,
+    engine: &StatsEngine,
+) -> KeyResult {
+    let table = db.table(rel);
+    discover_keys_seeded(table, max_width, |eligible| {
+        let attrs: Vec<AttrId> = eligible.iter().map(|&i| AttrId(i)).collect();
+        par_map(&attrs, |&a| (*engine.partition(db, rel, a)).clone())
+    })
+}
+
+/// The shared levelwise search; `seed` builds the unary partitions for
+/// the eligible columns, in order.
+fn discover_keys_seeded(
+    table: &Table,
+    max_width: Option<usize>,
+    seed: impl FnOnce(&[u16]) -> Vec<StrippedPartition>,
+) -> KeyResult {
     let n = table.arity();
     assert!(n <= 32, "key discovery supports at most 32 attributes");
     let mut stats = KeyStats::default();
@@ -56,8 +87,7 @@ pub fn discover_keys(table: &Table, max_width: Option<usize>) -> KeyResult {
     let mut keys: Vec<AttrSet> = Vec::new();
     // Level 1 seeds: partitions for eligible single columns.
     let mut level: Vec<(u32, StrippedPartition)> = Vec::new();
-    for &i in &eligible {
-        let p = StrippedPartition::for_attribute(table, AttrId(i));
+    for (&i, p) in eligible.iter().zip(seed(&eligible)) {
         stats.tests += 1;
         if p.is_key() {
             keys.push(AttrSet::from_indices([i]));
@@ -117,18 +147,25 @@ fn set_of(mask: u32) -> AttrSet {
 /// and registers the narrowest discovered key as its primary key.
 /// Returns the relations that received an inferred key.
 pub fn infer_missing_keys(db: &mut Database, max_width: Option<usize>) -> Vec<(RelId, AttrSet)> {
+    infer_missing_keys_with_stats(db, max_width, &StatsEngine::new())
+}
+
+/// [`infer_missing_keys`] with unary partitions memoized in `engine`
+/// (key registration touches only the dictionary, never the tables, so
+/// previously cached entries stay valid).
+pub fn infer_missing_keys_with_stats(
+    db: &mut Database,
+    max_width: Option<usize>,
+    engine: &StatsEngine,
+) -> Vec<(RelId, AttrSet)> {
     let mut inferred = Vec::new();
     let rels: Vec<RelId> = db.schema.iter().map(|(r, _)| r).collect();
     for rel in rels {
         if db.constraints.primary_key(rel).is_some() {
             continue;
         }
-        let result = discover_keys(db.table(rel), max_width);
-        if let Some(best) = result
-            .keys
-            .iter()
-            .min_by_key(|k| (k.len(), mask_of(k)))
-        {
+        let result = discover_keys_with_stats(db, rel, max_width, engine);
+        if let Some(best) = result.keys.iter().min_by_key(|k| (k.len(), mask_of(k))) {
             db.constraints.add_key(rel, best.clone());
             inferred.push((rel, best.clone()));
         }
@@ -229,7 +266,8 @@ mod tests {
         let declared = db
             .add_relation(Relation::of("Declared", &[("id", Domain::Int)]))
             .unwrap();
-        db.constraints.add_key(declared, AttrSet::from_indices([0u16]));
+        db.constraints
+            .add_key(declared, AttrSet::from_indices([0u16]));
         let bare = db
             .add_relation(Relation::of(
                 "Bare",

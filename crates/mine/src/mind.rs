@@ -16,6 +16,8 @@ use crate::spider::{spider, SpiderConfig};
 use dbre_relational::attr::AttrId;
 use dbre_relational::database::Database;
 use dbre_relational::deps::{Ind, IndSide};
+use dbre_relational::par::par_map;
+use dbre_relational::stats::StatsEngine;
 use std::collections::BTreeSet;
 
 /// Work counters.
@@ -44,6 +46,20 @@ pub struct MindResult {
 /// `max_arity` bounds the composite width (2 or 3 is typical; the
 /// candidate space explodes beyond that — which is the measurement).
 pub fn mind(db: &Database, cfg: &SpiderConfig, max_arity: usize) -> MindResult {
+    mind_with_stats(db, cfg, max_arity, &StatsEngine::new())
+}
+
+/// [`mind`] with candidate validation served from `engine`: every
+/// `r[X] ⊆ s[Y]` test reuses the memoized distinct projections, and the
+/// validations of one level run through [`par_map`] (concurrent under
+/// `--features parallel`, identical output either way since candidate
+/// generation stays sequential and order-preserving).
+pub fn mind_with_stats(
+    db: &Database,
+    cfg: &SpiderConfig,
+    max_arity: usize,
+    engine: &StatsEngine,
+) -> MindResult {
     let unary = spider(db, cfg);
     let mut stats = MindStats {
         unary: unary.inds.len(),
@@ -56,8 +72,8 @@ pub fn mind(db: &Database, cfg: &SpiderConfig, max_arity: usize) -> MindResult {
     let mut arity = 1;
     while arity < max_arity && !level.is_empty() {
         let level_set: BTreeSet<Ind> = level.iter().cloned().collect();
-        let mut next: Vec<Ind> = Vec::new();
         let mut seen: BTreeSet<Ind> = BTreeSet::new();
+        let mut cands: Vec<Ind> = Vec::new();
 
         // Join pairs of same-pair INDs that extend each other by one
         // position (prefix-join on the attribute correspondence).
@@ -74,13 +90,17 @@ pub fn mind(db: &Database, cfg: &SpiderConfig, max_arity: usize) -> MindResult {
                     continue;
                 }
                 seen.insert(cand.clone());
-                stats.candidates += 1;
-                stats.validated += 1;
-                if db.ind_holds(&cand) {
-                    next.push(cand);
-                }
+                cands.push(cand);
             }
         }
+        stats.candidates += cands.len();
+        stats.validated += cands.len();
+        let holds = par_map(&cands, |cand| engine.ind_holds(db, cand));
+        let next: Vec<Ind> = cands
+            .into_iter()
+            .zip(holds)
+            .filter_map(|(cand, ok)| ok.then_some(cand))
+            .collect();
         all.extend(next.iter().cloned());
         level = next;
         arity += 1;
@@ -184,18 +204,14 @@ pub fn maximal(result: &MindResult) -> Vec<&Ind> {
                 bigger.lhs.attrs.len() > i.lhs.attrs.len()
                     && bigger.lhs.rel == i.lhs.rel
                     && bigger.rhs.rel == i.rhs.rel
-                    && i.lhs
-                        .attrs
-                        .iter()
-                        .zip(&i.rhs.attrs)
-                        .all(|(la, ra)| {
-                            bigger
-                                .lhs
-                                .attrs
-                                .iter()
-                                .zip(&bigger.rhs.attrs)
-                                .any(|(bl, br)| bl == la && br == ra)
-                        })
+                    && i.lhs.attrs.iter().zip(&i.rhs.attrs).all(|(la, ra)| {
+                        bigger
+                            .lhs
+                            .attrs
+                            .iter()
+                            .zip(&bigger.rhs.attrs)
+                            .any(|(bl, br)| bl == la && br == ra)
+                    })
             })
         })
         .collect()
@@ -229,7 +245,8 @@ mod tests {
                 .unwrap();
         }
         for (c, r) in [(1, 10), (2, 20), (1, 10)] {
-            db.insert(orders, vec![Value::Int(c), Value::Int(r)]).unwrap();
+            db.insert(orders, vec![Value::Int(c), Value::Int(r)])
+                .unwrap();
         }
         db
     }
@@ -271,8 +288,7 @@ mod tests {
         let result = mind(&d, &SpiderConfig::default(), 2);
         let binary = of_arity(&result, 2);
         assert!(
-            !render(&d, &binary)
-                .contains(&"A[x, y] << B[u, v]".to_string()),
+            !render(&d, &binary).contains(&"A[x, y] << B[u, v]".to_string()),
             "pair inclusion must be checked against the extension"
         );
     }
@@ -323,14 +339,16 @@ mod tests {
             ))
             .unwrap();
         for row in [(1, 2, 3), (4, 5, 6)] {
-            d.insert(s, vec![Value::Int(row.0), Value::Int(row.1), Value::Int(row.2)])
-                .unwrap();
+            d.insert(
+                s,
+                vec![Value::Int(row.0), Value::Int(row.1), Value::Int(row.2)],
+            )
+            .unwrap();
         }
         d.insert(t, vec![Value::Int(1), Value::Int(2), Value::Int(3)])
             .unwrap();
         let result = mind(&d, &SpiderConfig::default(), 3);
         let ternary = of_arity(&result, 3);
-        assert!(render(&d, &ternary)
-            .contains(&"T[a, b, c] << S[x, y, z]".to_string()));
+        assert!(render(&d, &ternary).contains(&"T[a, b, c] << S[x, y, z]".to_string()));
     }
 }

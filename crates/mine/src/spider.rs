@@ -272,8 +272,7 @@ mod tests {
                             continue;
                         }
                         let ind = Ind::unary(ri, AttrId(ai as u16), rj, AttrId(aj as u16));
-                        if d.ind_holds(&ind)
-                            && d.table(ri).count_distinct(&[AttrId(ai as u16)]) > 0
+                        if d.ind_holds(&ind) && d.table(ri).count_distinct(&[AttrId(ai as u16)]) > 0
                         {
                             expected += 1;
                             assert!(r.inds.contains(&ind), "missed {ind}");
@@ -317,7 +316,8 @@ mod tests {
     #[test]
     fn empty_columns_skipped() {
         let mut d = Database::new();
-        d.add_relation(Relation::of("A", &[("x", Domain::Int)])).unwrap();
+        d.add_relation(Relation::of("A", &[("x", Domain::Int)]))
+            .unwrap();
         let b = d
             .add_relation(Relation::of("B", &[("y", Domain::Int)]))
             .unwrap();

@@ -236,12 +236,7 @@ mod tests {
     #[test]
     fn discovers_simple_chain() {
         // x -> y (x unique per y), y -> z.
-        let t = table(&[
-            &[1, 10, 100],
-            &[2, 10, 100],
-            &[3, 20, 200],
-            &[4, 20, 200],
-        ]);
+        let t = table(&[&[1, 10, 100], &[2, 10, 100], &[3, 20, 200], &[4, 20, 200]]);
         let result = tane(R, &t, None);
         assert!(result.fds.contains(&fd(&[1], 2)), "y -> z expected");
         assert!(result.fds.contains(&fd(&[0], 1)), "x -> y expected");
@@ -269,8 +264,7 @@ mod tests {
             );
             // Minimality: every strict subset of the LHS fails.
             for drop in &lhs {
-                let smaller: Vec<AttrId> =
-                    lhs.iter().copied().filter(|a| a != drop).collect();
+                let smaller: Vec<AttrId> = lhs.iter().copied().filter(|a| a != drop).collect();
                 assert!(
                     !fd_holds_partition(&t, &smaller, &rhs),
                     "FD not minimal: {f:?}"
@@ -305,8 +299,10 @@ mod tests {
                 if lhs_mask & (1 << rhs) != 0 {
                     continue;
                 }
-                let lhs: Vec<AttrId> =
-                    (0..3u16).filter(|i| lhs_mask & (1 << i) != 0).map(AttrId).collect();
+                let lhs: Vec<AttrId> = (0..3u16)
+                    .filter(|i| lhs_mask & (1 << i) != 0)
+                    .map(AttrId)
+                    .collect();
                 let holds = fd_holds_partition(&t, &lhs, &[AttrId(rhs)]);
                 let minimal = holds
                     && lhs.iter().all(|drop| {
@@ -339,10 +335,7 @@ mod tests {
         let t = Table::new(3);
         let result = tane(R, &t, None);
         // Everything holds vacuously; minimal FDs are ∅ -> a.
-        assert!(result
-            .fds
-            .iter()
-            .all(|f| f.lhs.is_empty()));
+        assert!(result.fds.iter().all(|f| f.lhs.is_empty()));
         let t = table(&[&[1, 2, 3]]);
         let result = tane(R, &t, None);
         assert!(result.fds.iter().all(|f| f.lhs.is_empty()));

@@ -14,18 +14,16 @@ use dbre_relational::value::{Domain, Value};
 use proptest::prelude::*;
 
 fn small_table(cols: usize, max_rows: usize, card: i64) -> impl Strategy<Value = Table> {
-    prop::collection::vec(
-        prop::collection::vec(0..card, cols..=cols),
-        0..=max_rows,
+    prop::collection::vec(prop::collection::vec(0..card, cols..=cols), 0..=max_rows).prop_map(
+        move |rows| {
+            Table::from_rows(
+                cols,
+                rows.into_iter()
+                    .map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>()),
+            )
+            .unwrap()
+        },
     )
-    .prop_map(move |rows| {
-        Table::from_rows(
-            cols,
-            rows.into_iter()
-                .map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>()),
-        )
-        .unwrap()
-    })
 }
 
 proptest! {

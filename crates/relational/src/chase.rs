@@ -74,9 +74,7 @@ pub fn is_lossless_join(universe: &AttrSet, fragments: &[AttrSet], fds: &[Fd]) -
                         // Prefer the distinguished symbol; otherwise
                         // collapse onto the smaller subscript.
                         let target = match (a, b) {
-                            (Sym::Distinguished, _) | (_, Sym::Distinguished) => {
-                                Sym::Distinguished
-                            }
+                            (Sym::Distinguished, _) | (_, Sym::Distinguished) => Sym::Distinguished,
                             (Sym::Subscripted(x), Sym::Subscripted(y)) => {
                                 Sym::Subscripted(x.min(y))
                             }
@@ -126,7 +124,12 @@ mod tests {
     fn textbook_lossless_split() {
         // R(a,b,c), a->b: {ab, ac} is lossless.
         let fds = vec![fd(&[0], &[1])];
-        assert!(is_lossless_binary(&s(&[0, 1, 2]), &s(&[0, 1]), &s(&[0, 2]), &fds));
+        assert!(is_lossless_binary(
+            &s(&[0, 1, 2]),
+            &s(&[0, 1]),
+            &s(&[0, 2]),
+            &fds
+        ));
     }
 
     #[test]
@@ -134,15 +137,30 @@ mod tests {
         // R(a,b,c), a->b: {ab, bc} is lossy (b is not a key of either
         // side's intersection-determined part).
         let fds = vec![fd(&[0], &[1])];
-        assert!(!is_lossless_binary(&s(&[0, 1, 2]), &s(&[0, 1]), &s(&[1, 2]), &fds));
+        assert!(!is_lossless_binary(
+            &s(&[0, 1, 2]),
+            &s(&[0, 1]),
+            &s(&[1, 2]),
+            &fds
+        ));
         // With b->c it becomes lossless.
         let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
-        assert!(is_lossless_binary(&s(&[0, 1, 2]), &s(&[0, 1]), &s(&[1, 2]), &fds));
+        assert!(is_lossless_binary(
+            &s(&[0, 1, 2]),
+            &s(&[0, 1]),
+            &s(&[1, 2]),
+            &fds
+        ));
     }
 
     #[test]
     fn no_fds_means_lossy_unless_covering_fragment() {
-        assert!(!is_lossless_binary(&s(&[0, 1, 2]), &s(&[0, 1]), &s(&[1, 2]), &[]));
+        assert!(!is_lossless_binary(
+            &s(&[0, 1, 2]),
+            &s(&[0, 1]),
+            &s(&[1, 2]),
+            &[]
+        ));
         // A fragment equal to the universe is trivially lossless.
         assert!(is_lossless_join(&s(&[0, 1]), &[s(&[0, 1]), s(&[0])], &[]));
     }

@@ -32,14 +32,23 @@ pub struct EquiJoin {
 
 impl EquiJoin {
     /// Creates an equi-join; panics if the sides differ in arity (the
-    /// extractor guarantees equal arity by construction).
+    /// extractor guarantees equal arity by construction). Use
+    /// [`EquiJoin::try_new`] for joins from untrusted callers.
     pub fn new(left: IndSide, right: IndSide) -> Self {
-        assert_eq!(
-            left.attrs.len(),
-            right.attrs.len(),
-            "equi-join sides must pair attributes positionally"
-        );
-        EquiJoin { left, right }
+        Self::try_new(left, right).expect("equi-join sides must pair attributes positionally")
+    }
+
+    /// Fallible constructor: errors (instead of panicking) when the
+    /// sides differ in arity, so public APIs accepting caller-supplied
+    /// `Q` can reject malformed joins gracefully.
+    pub fn try_new(left: IndSide, right: IndSide) -> Result<Self, crate::RelationalError> {
+        if left.attrs.len() != right.attrs.len() {
+            return Err(crate::RelationalError::IndArityMismatch {
+                lhs: left.attrs.len(),
+                rhs: right.attrs.len(),
+            });
+        }
+        Ok(EquiJoin { left, right })
     }
 
     /// A canonical form with the lexicographically smaller side first,
@@ -116,7 +125,9 @@ impl JoinStats {
 /// Cost: one pass over each table plus a hash intersection —
 /// `O(|r_k| + |r_l|)`.
 pub fn join_stats(db: &Database, join: &EquiJoin) -> JoinStats {
-    let left = db.table(join.left.rel).distinct_projection(&join.left.attrs);
+    let left = db
+        .table(join.left.rel)
+        .distinct_projection(&join.left.attrs);
     let right = db
         .table(join.right.rel)
         .distinct_projection(&join.right.attrs);
@@ -243,6 +254,29 @@ mod tests {
         let (_, join) = db_with(&[], &[]);
         let flipped = EquiJoin::new(join.right.clone(), join.left.clone());
         assert_eq!(join.canonical(), flipped.canonical());
+    }
+
+    #[test]
+    fn try_new_rejects_mismatched_arity() {
+        let mut db = Database::new();
+        let l = db
+            .add_relation(Relation::of("L", &[("a", Domain::Int), ("b", Domain::Int)]))
+            .unwrap();
+        let r = db
+            .add_relation(Relation::of("R", &[("c", Domain::Int)]))
+            .unwrap();
+        let err = EquiJoin::try_new(
+            IndSide::new(l, vec![AttrId(0), AttrId(1)]),
+            IndSide::single(r, AttrId(0)),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::RelationalError::IndArityMismatch { lhs: 2, rhs: 1 }
+        ));
+        assert!(
+            EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0))).is_ok()
+        );
     }
 
     #[test]

@@ -62,14 +62,13 @@ fn parse_records(text: &str) -> Result<Vec<Vec<Option<String>>>, CsvError> {
     let mut line = 1usize;
     let mut chars = text.chars().peekable();
 
-    let push_field =
-        |record: &mut Vec<Option<String>>, field: &mut String, was_quoted: bool| {
-            if field.is_empty() && !was_quoted {
-                record.push(None);
-            } else {
-                record.push(Some(std::mem::take(field)));
-            }
-        };
+    let push_field = |record: &mut Vec<Option<String>>, field: &mut String, was_quoted: bool| {
+        if field.is_empty() && !was_quoted {
+            record.push(None);
+        } else {
+            record.push(Some(std::mem::take(field)));
+        }
+    };
 
     while let Some(c) = chars.next() {
         if quoted {
@@ -145,9 +144,9 @@ pub fn import_csv(db: &mut Database, rel: RelId, text: &str) -> Result<usize, Cs
     let relation = db.schema.relation(rel).clone();
     let mut mapping: Vec<AttrId> = Vec::with_capacity(header.len());
     for (i, h) in header.iter().enumerate() {
-        let name = h.as_deref().ok_or_else(|| {
-            CsvError::Schema(format!("empty header field at position {}", i + 1))
-        })?;
+        let name = h
+            .as_deref()
+            .ok_or_else(|| CsvError::Schema(format!("empty header field at position {}", i + 1)))?;
         let id = relation.attr_id(name).ok_or_else(|| {
             CsvError::Schema(format!(
                 "header column `{name}` not in relation `{}`",
@@ -170,11 +169,7 @@ pub fn import_csv(db: &mut Database, rel: RelId, text: &str) -> Result<usize, Cs
         if record.len() != mapping.len() {
             return Err(CsvError::Malformed {
                 line: line_no + 1,
-                message: format!(
-                    "expected {} fields, found {}",
-                    mapping.len(),
-                    record.len()
-                ),
+                message: format!("expected {} fields, found {}", mapping.len(), record.len()),
             });
         }
         let mut row = vec![Value::Null; relation.arity()];
@@ -294,12 +289,7 @@ mod tests {
     #[test]
     fn header_order_independent() {
         let (mut db, rel) = db();
-        let n = import_csv(
-            &mut db,
-            rel,
-            "name,id,score,when\nalice,7,2.5,1990-01-02\n",
-        )
-        .unwrap();
+        let n = import_csv(&mut db, rel, "name,id,score,when\nalice,7,2.5,1990-01-02\n").unwrap();
         assert_eq!(n, 1);
         assert_eq!(db.table(rel).cell(0, AttrId(0)), &Value::Int(7));
         assert_eq!(db.table(rel).cell(0, AttrId(1)), &Value::str("alice"));

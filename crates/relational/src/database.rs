@@ -16,6 +16,11 @@ pub struct Database {
     /// The schema `R`.
     pub schema: Schema,
     tables: Vec<Table>,
+    /// Per-table generation counters, bumped on every (potential)
+    /// extension mutation. [`crate::stats::StatsEngine`] keys its
+    /// caches on these so a cached count is never served after the
+    /// underlying table changed.
+    gens: Vec<u64>,
     /// Dictionary constraints `K` and `N`.
     pub constraints: Constraints,
     /// Dependency set `Δ` (starts empty — the point of the paper).
@@ -33,6 +38,7 @@ impl Database {
         let arity = rel.arity();
         let id = self.schema.add_relation(rel)?;
         self.tables.push(Table::new(arity));
+        self.gens.push(0);
         Ok(id)
     }
 
@@ -51,6 +57,7 @@ impl Database {
         }
         let id = self.schema.add_relation(rel)?;
         self.tables.push(table);
+        self.gens.push(0);
         Ok(id)
     }
 
@@ -59,9 +66,19 @@ impl Database {
         &self.tables[rel.index()]
     }
 
-    /// Mutable extension access.
+    /// Mutable extension access. Conservatively counts as a mutation
+    /// for cache-invalidation purposes (see [`Self::generation`]).
     pub fn table_mut(&mut self, rel: RelId) -> &mut Table {
+        self.gens[rel.index()] += 1;
         &mut self.tables[rel.index()]
+    }
+
+    /// The generation counter of `rel`'s extension: 0 at creation,
+    /// bumped by [`Self::insert`], [`Self::replace_table`], and
+    /// [`Self::table_mut`]. Cached statistics tagged with an older
+    /// generation are stale.
+    pub fn generation(&self, rel: RelId) -> u64 {
+        self.gens[rel.index()]
     }
 
     /// Replaces the extension of `rel` (Restruct uses this when dropping
@@ -75,6 +92,7 @@ impl Database {
             });
         }
         self.tables[rel.index()] = table;
+        self.gens[rel.index()] += 1;
         Ok(())
     }
 
@@ -98,6 +116,7 @@ impl Database {
                 });
             }
         }
+        self.gens[rel.index()] += 1;
         self.tables[rel.index()].push_row(row)
     }
 
@@ -177,9 +196,7 @@ impl Database {
     /// Checks whether an IND holds in the current extension
     /// (`r_lhs[Y] ⊆ r_rhs[Z]`, NULL-containing projections dropped).
     pub fn ind_holds(&self, ind: &Ind) -> bool {
-        let right = self
-            .table(ind.rhs.rel)
-            .distinct_projection(&ind.rhs.attrs);
+        let right = self.table(ind.rhs.rel).distinct_projection(&ind.rhs.attrs);
         let left_table = self.table(ind.lhs.rel);
         for i in 0..left_table.len() {
             if left_table.row_has_null(i, &ind.lhs.attrs) {
@@ -236,9 +253,12 @@ mod tests {
                 &[("no", Domain::Int), ("salary", Domain::Int)],
             ))
             .unwrap();
-        db.insert(person, vec![Value::Int(1), Value::str("ann")]).unwrap();
-        db.insert(person, vec![Value::Int(2), Value::str("bob")]).unwrap();
-        db.insert(emp, vec![Value::Int(1), Value::Int(100)]).unwrap();
+        db.insert(person, vec![Value::Int(1), Value::str("ann")])
+            .unwrap();
+        db.insert(person, vec![Value::Int(2), Value::str("bob")])
+            .unwrap();
+        db.insert(emp, vec![Value::Int(1), Value::Int(100)])
+            .unwrap();
         db
     }
 
@@ -269,7 +289,8 @@ mod tests {
         d.constraints.add_key(person, AttrSet::from_indices([0]));
         d.constraints.normalize();
         d.validate_dictionary().unwrap();
-        d.insert(person, vec![Value::Int(1), Value::str("dup")]).unwrap();
+        d.insert(person, vec![Value::Int(1), Value::str("dup")])
+            .unwrap();
         assert!(matches!(
             d.validate_dictionary(),
             Err(RelationalError::KeyViolation { .. })
@@ -300,7 +321,8 @@ mod tests {
             AttrSet::from_indices([1]),
         );
         assert!(d.fd_holds(&fd));
-        d.insert(person, vec![Value::Int(1), Value::str("other")]).unwrap();
+        d.insert(person, vec![Value::Int(1), Value::str("other")])
+            .unwrap();
         assert!(!d.fd_holds(&fd));
     }
 
@@ -308,8 +330,10 @@ mod tests {
     fn fd_ignores_null_lhs() {
         let mut d = db();
         let person = d.rel("Person").unwrap();
-        d.insert(person, vec![Value::Null, Value::str("x")]).unwrap();
-        d.insert(person, vec![Value::Null, Value::str("y")]).unwrap();
+        d.insert(person, vec![Value::Null, Value::str("x")])
+            .unwrap();
+        d.insert(person, vec![Value::Null, Value::str("y")])
+            .unwrap();
         let fd = Fd::new(
             person,
             AttrSet::from_indices([0]),

@@ -70,14 +70,26 @@ pub enum RelationalError {
 impl fmt::Display for RelationalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RelationalError::DuplicateAttribute { relation, attribute } => {
-                write!(f, "duplicate attribute `{attribute}` in relation `{relation}`")
+            RelationalError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "duplicate attribute `{attribute}` in relation `{relation}`"
+                )
             }
             RelationalError::DuplicateRelation(name) => {
                 write!(f, "duplicate relation `{name}`")
             }
-            RelationalError::UnknownAttribute { relation, attribute } => {
-                write!(f, "unknown attribute `{attribute}` in relation `{relation}`")
+            RelationalError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "unknown attribute `{attribute}` in relation `{relation}`"
+                )
             }
             RelationalError::UnknownRelation(name) => {
                 write!(f, "unknown relation `{name}`")
@@ -85,13 +97,21 @@ impl fmt::Display for RelationalError {
             RelationalError::TooManyAttributes(name) => {
                 write!(f, "relation `{name}` has more than 65535 attributes")
             }
-            RelationalError::ArityMismatch { relation, expected, got } => {
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
                 write!(
                     f,
                     "tuple arity {got} does not match relation `{relation}` arity {expected}"
                 )
             }
-            RelationalError::DomainViolation { relation, attribute, value } => {
+            RelationalError::DomainViolation {
+                relation,
+                attribute,
+                value,
+            } => {
                 write!(
                     f,
                     "value {value} violates the domain of `{relation}.{attribute}`"
@@ -100,7 +120,10 @@ impl fmt::Display for RelationalError {
             RelationalError::KeyViolation { relation, key } => {
                 write!(f, "key {{{key}}} violated in relation `{relation}`")
             }
-            RelationalError::NotNullViolation { relation, attribute } => {
+            RelationalError::NotNullViolation {
+                relation,
+                attribute,
+            } => {
                 write!(f, "not-null violated on `{relation}.{attribute}`")
             }
             RelationalError::IndArityMismatch { lhs, rhs } => {

@@ -80,10 +80,7 @@ pub fn minimal_cover(fds: &[Fd]) -> Vec<Fd> {
             let mut reduced = lhs.clone();
             reduced.remove(a);
             // `a` is extraneous iff reduced -> rhs still follows.
-            if fd
-                .rhs
-                .is_subset(&closure(&reduced, &snapshot))
-            {
+            if fd.rhs.is_subset(&closure(&reduced, &snapshot)) {
                 lhs = reduced;
             }
         }
@@ -156,9 +153,8 @@ pub fn candidate_keys(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Vec<AttrSet
     let mut masks: Vec<u32> = (1u32..(1 << n)).collect();
     masks.sort_by_key(|m| m.count_ones());
     for mask in masks {
-        let ext = AttrSet::from_iter_ids(
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| floating[i]),
-        );
+        let ext =
+            AttrSet::from_iter_ids((0..n).filter(|i| mask & (1 << i) != 0).map(|i| floating[i]));
         let cand = core.union(&ext);
         if keys.iter().any(|k| k.is_subset(&cand)) {
             continue; // a strictly smaller key already covers this set
@@ -197,11 +193,7 @@ pub fn project_fds(rel: RelId, fds: &[Fd], target: &AttrSet) -> Vec<Fd> {
     let n = attrs.len();
     let mut out = Vec::new();
     for mask in 0u32..(1 << n) {
-        let lhs = AttrSet::from_iter_ids(
-            (0..n)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(|i| attrs[i]),
-        );
+        let lhs = AttrSet::from_iter_ids((0..n).filter(|i| mask & (1 << i) != 0).map(|i| attrs[i]));
         let cl = closure(&lhs, fds);
         for b in target.iter() {
             if !lhs.contains(b) && cl.contains(b) {
@@ -349,7 +341,8 @@ mod tests {
         let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
         let proj = project_fds(R, &fds, &s(&[0, 2]));
         assert!(implies(&proj, &fd(&[0], &[2])));
-        assert!(proj.iter().all(|f| f.lhs.is_subset(&s(&[0, 2]))
-            && f.rhs.is_subset(&s(&[0, 2]))));
+        assert!(proj
+            .iter()
+            .all(|f| f.lhs.is_subset(&s(&[0, 2])) && f.rhs.is_subset(&s(&[0, 2]))));
     }
 }

@@ -158,10 +158,7 @@ pub fn find_cycles(inds: &[Ind]) -> Vec<IndCycle> {
     for ind in inds {
         adj.entry(ind.lhs.rel).or_default().push(ind);
     }
-    let nodes: BTreeSet<RelId> = inds
-        .iter()
-        .flat_map(|i| [i.lhs.rel, i.rhs.rel])
-        .collect();
+    let nodes: BTreeSet<RelId> = inds.iter().flat_map(|i| [i.lhs.rel, i.rhs.rel]).collect();
 
     let mut cycles: Vec<IndCycle> = Vec::new();
     let mut seen_keys: BTreeSet<Vec<RelId>> = BTreeSet::new();
@@ -231,11 +228,8 @@ pub fn mutually_included(inds: &[Ind], a: RelId, b: RelId) -> bool {
         return true;
     }
     let closure = transitive_closure(inds);
-    let reaches = |from: RelId, to: RelId| {
-        closure
-            .iter()
-            .any(|i| i.lhs.rel == from && i.rhs.rel == to)
-    };
+    let reaches =
+        |from: RelId, to: RelId| closure.iter().any(|i| i.lhs.rel == from && i.rhs.rel == to);
     reaches(a, b) && reaches(b, a)
 }
 
@@ -353,11 +347,7 @@ mod tests {
 
     #[test]
     fn three_cycle_detected_once() {
-        let inds = vec![
-            unary(0, 0, 1, 0),
-            unary(1, 0, 2, 0),
-            unary(2, 0, 0, 0),
-        ];
+        let inds = vec![unary(0, 0, 1, 0), unary(1, 0, 2, 0), unary(2, 0, 0, 0)];
         let cycles = find_cycles(&inds);
         assert_eq!(cycles.len(), 1);
         assert_eq!(cycles[0].relations.len(), 3);

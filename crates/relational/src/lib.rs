@@ -35,7 +35,10 @@ pub mod error;
 pub mod fd_theory;
 pub mod ind_theory;
 pub mod normal_forms;
+pub mod par;
+pub mod partitions;
 pub mod schema;
+pub mod stats;
 pub mod synthesis;
 pub mod table;
 pub mod value;
@@ -45,6 +48,9 @@ pub use counting::{join_stats, EquiJoin, JoinStats};
 pub use database::Database;
 pub use deps::{Constraints, Dependencies, Fd, Ind, IndSide, Key};
 pub use error::RelationalError;
+pub use par::par_map;
+pub use partitions::StrippedPartition;
 pub use schema::{QualAttrs, RelId, Relation, Schema};
+pub use stats::{StatsCounters, StatsEngine};
 pub use table::Table;
 pub use value::{Date, Domain, OrdF64, Value};

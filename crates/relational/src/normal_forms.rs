@@ -78,9 +78,8 @@ fn first_2nf_violation(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Option<Fd>
         let members: Vec<_> = key.iter().collect();
         let n = members.len();
         for mask in 1u32..((1 << n) - 1) {
-            let sub = AttrSet::from_iter_ids(
-                (0..n).filter(|i| mask & (1 << i) != 0).map(|i| members[i]),
-            );
+            let sub =
+                AttrSet::from_iter_ids((0..n).filter(|i| mask & (1 << i) != 0).map(|i| members[i]));
             let cl = closure(&sub, fds);
             for a in cl.difference(&sub).iter() {
                 if !primes.contains(a) && universe.contains(a) {
@@ -103,7 +102,11 @@ fn first_3nf_violation(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Option<Fd>
         if !fd.lhs.is_subset(universe) || !fd.rhs.is_subset(universe) {
             continue;
         }
-        let a = fd.rhs.iter().next().expect("minimal cover has singleton RHS");
+        let a = fd
+            .rhs
+            .iter()
+            .next()
+            .expect("minimal cover has singleton RHS");
         if fd.lhs.contains(a) {
             continue;
         }
@@ -124,7 +127,11 @@ fn first_bcnf_violation(_rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Option<F
         if !fd.lhs.is_subset(universe) || !fd.rhs.is_subset(universe) {
             continue;
         }
-        let a = fd.rhs.iter().next().expect("minimal cover has singleton RHS");
+        let a = fd
+            .rhs
+            .iter()
+            .next()
+            .expect("minimal cover has singleton RHS");
         if fd.lhs.contains(a) {
             continue;
         }

@@ -1,0 +1,74 @@
+//! Order-preserving parallel mapping over independent work units.
+//!
+//! With the `parallel` cargo feature off (the default), [`par_map`] is
+//! a plain sequential map, so results are trivially deterministic. With
+//! the feature on, items are split into contiguous chunks across OS
+//! threads (`std::thread::scope` — the container has no rayon) and
+//! results are written back *by position*, so the output order is
+//! byte-identical to the sequential run. Anything order-sensitive —
+//! oracle interaction in IND-Discovery, log emission — must therefore
+//! stay outside the mapped closure.
+
+/// Maps `f` over `items`, preserving input order in the output.
+///
+/// The closure must be free of side effects that observe ordering:
+/// with `--features parallel` invocations run concurrently (though
+/// results are still returned in input order).
+#[cfg(not(feature = "parallel"))]
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    F: Fn(&T) -> R,
+{
+    items.iter().map(f).collect()
+}
+
+/// Maps `f` over `items` on a scoped thread pool, preserving input
+/// order in the output.
+#[cfg(feature = "parallel")]
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(n, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (item_chunk, result_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in item_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk slot is filled by its thread"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::par_map;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        assert!(par_map(&empty, |&x: &usize| x).is_empty());
+        assert_eq!(par_map(&[9usize], |&x| x + 1), vec![10]);
+    }
+}

@@ -12,8 +12,8 @@
 //! tuples with NULL on the left-hand side; the two agree on NULL-free
 //! data, which the equivalence property test exercises.
 
-use dbre_relational::attr::AttrId;
-use dbre_relational::table::Table;
+use crate::attr::AttrId;
+use crate::table::Table;
 use std::collections::HashMap;
 
 /// A stripped partition: equivalence classes of row indices with ≥ 2
@@ -29,7 +29,7 @@ pub struct StrippedPartition {
 impl StrippedPartition {
     /// Builds `π_X` for a single attribute.
     pub fn for_attribute(table: &Table, attr: AttrId) -> Self {
-        let mut groups: HashMap<&dbre_relational::value::Value, Vec<usize>> = HashMap::new();
+        let mut groups: HashMap<&crate::value::Value, Vec<usize>> = HashMap::new();
         for (i, v) in table.column(attr).iter().enumerate() {
             groups.entry(v).or_default().push(i);
         }
@@ -126,7 +126,7 @@ pub fn fd_holds_partition(table: &Table, lhs: &[AttrId], rhs: &[AttrId]) -> bool
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbre_relational::value::Value;
+    use crate::value::Value;
 
     fn a(i: u16) -> AttrId {
         AttrId(i)
@@ -161,13 +161,7 @@ mod tests {
 
     #[test]
     fn product_equals_direct_partition() {
-        let t = table(&[
-            (1, 10, 0),
-            (1, 10, 0),
-            (1, 20, 1),
-            (2, 10, 1),
-            (2, 10, 0),
-        ]);
+        let t = table(&[(1, 10, 0), (1, 10, 0), (1, 20, 1), (2, 10, 1), (2, 10, 0)]);
         let px = StrippedPartition::for_attribute(&t, a(0));
         let py = StrippedPartition::for_attribute(&t, a(1));
         let product = px.product(&py);
@@ -220,11 +214,11 @@ mod tests {
 
     #[test]
     fn agreement_with_database_fd_holds_on_null_free_data() {
-        use dbre_relational::attr::AttrSet;
-        use dbre_relational::database::Database;
-        use dbre_relational::deps::Fd;
-        use dbre_relational::schema::Relation;
-        use dbre_relational::value::Domain;
+        use crate::attr::AttrSet;
+        use crate::database::Database;
+        use crate::deps::Fd;
+        use crate::schema::Relation;
+        use crate::value::Domain;
 
         let rows = [(1, 10, 0), (1, 10, 1), (2, 20, 2), (3, 20, 3)];
         let mut db = Database::new();
@@ -241,8 +235,10 @@ mod tests {
         let t = table(&rows);
         for lhs_mask in 1u8..8 {
             for rhs_bit in 0..3u16 {
-                let lhs: Vec<AttrId> =
-                    (0..3u16).filter(|i| lhs_mask & (1 << i) != 0).map(AttrId).collect();
+                let lhs: Vec<AttrId> = (0..3u16)
+                    .filter(|i| lhs_mask & (1 << i) != 0)
+                    .map(AttrId)
+                    .collect();
                 let fd = Fd::new(
                     rel,
                     AttrSet::from_iter_ids(lhs.iter().copied()),

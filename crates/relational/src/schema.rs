@@ -36,10 +36,7 @@ pub struct Relation {
 
 impl Relation {
     /// Creates a relation; fails on duplicate attribute names.
-    pub fn new(
-        name: impl Into<String>,
-        attrs: Vec<Attribute>,
-    ) -> Result<Self, RelationalError> {
+    pub fn new(name: impl Into<String>, attrs: Vec<Attribute>) -> Result<Self, RelationalError> {
         let name = name.into();
         if attrs.len() > u16::MAX as usize {
             return Err(RelationalError::TooManyAttributes(name));
@@ -65,9 +62,7 @@ impl Relation {
     pub fn of(name: &str, cols: &[(&str, Domain)]) -> Self {
         Relation::new(
             name,
-            cols.iter()
-                .map(|(n, d)| Attribute::new(*n, *d))
-                .collect(),
+            cols.iter().map(|(n, d)| Attribute::new(*n, *d)).collect(),
         )
         .expect("duplicate attribute in Relation::of literal")
     }
@@ -103,10 +98,11 @@ impl Relation {
         names
             .iter()
             .map(|n| {
-                self.attr_id(n).ok_or_else(|| RelationalError::UnknownAttribute {
-                    relation: self.name.clone(),
-                    attribute: (*n).to_string(),
-                })
+                self.attr_id(n)
+                    .ok_or_else(|| RelationalError::UnknownAttribute {
+                        relation: self.name.clone(),
+                        attribute: (*n).to_string(),
+                    })
             })
             .collect()
     }
@@ -257,11 +253,7 @@ mod tests {
 
     #[test]
     fn duplicate_attribute_rejected() {
-        let err = Relation::new(
-            "R",
-            vec![Attribute::int("a"), Attribute::int("a")],
-        )
-        .unwrap_err();
+        let err = Relation::new("R", vec![Attribute::int("a"), Attribute::int("a")]).unwrap_err();
         assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
     }
 

@@ -1,0 +1,455 @@
+//! The memoized `‖·‖` counting engine.
+//!
+//! Every step of the paper's method is driven by a handful of
+//! extension statistics: distinct projections (`‖r[X]‖`, §2) for the
+//! three IND-Discovery cardinalities, grouped LHS classes for the
+//! `A → b` extension tests of RHS-Discovery (§6.2.2), and stripped
+//! partitions for the mining baselines. The naive primitives in
+//! [`crate::counting`] and [`crate::partitions`] rescan the table on
+//! every call; a pipeline asks for the same projection dozens of times
+//! (each join of `Q` twice, every candidate FD once per oracle round).
+//!
+//! [`StatsEngine`] memoizes these per `(relation, attribute-list)`,
+//! tagged with the owning table's generation counter
+//! ([`Database::generation`]), so conceptualization in IND-Discovery
+//! and attribute drops in Restruct — both of which mutate the
+//! database — can never cause a stale count to be served: a mutated
+//! table's generation moves past the tag and the entry is rebuilt on
+//! next use.
+//!
+//! Interior mutability (`RwLock` caches, atomic counters) keeps the
+//! whole API on `&self`, so one engine can be shared by the parallel
+//! workers of [`crate::par::par_map`] without cloning caches.
+//!
+//! NULL semantics are preserved exactly per entry point: projections
+//! drop NULL-containing rows (SQL `COUNT(DISTINCT …)`), [`StatsEngine::fd_holds`]
+//! skips NULL-LHS rows (SQL, matching [`Database::fd_holds`]), while
+//! [`StatsEngine::partition_for_attrs`] keeps the mining convention
+//! (NULL = NULL) of [`crate::partitions`]. The two families are cached
+//! separately and never conflated.
+
+use crate::attr::AttrId;
+use crate::counting::{EquiJoin, JoinStats};
+use crate::database::Database;
+use crate::deps::{Fd, Ind};
+use crate::partitions::StrippedPartition;
+use crate::schema::RelId;
+use crate::table::ProjKey;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A cache entry tagged with the table generation it was built from.
+struct Tagged<T> {
+    gen: u64,
+    value: Arc<T>,
+}
+
+impl<T> Clone for Tagged<T> {
+    fn clone(&self) -> Self {
+        Tagged {
+            gen: self.gen,
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+/// Cached [`JoinStats`], valid while both side tables keep their
+/// generations.
+#[derive(Clone, Copy)]
+struct TaggedJoin {
+    left_gen: u64,
+    right_gen: u64,
+    stats: JoinStats,
+}
+
+/// Cheap observability counters, readable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsCounters {
+    /// Lookups answered from cache.
+    pub cache_hits: u64,
+    /// Lookups that had to (re)build an entry.
+    pub cache_misses: u64,
+    /// Table rows scanned while building entries and running checks.
+    pub rows_scanned: u64,
+}
+
+/// A cache family: one generation-tagged entry per `(rel, attrs)` key.
+type AttrCache<T> = RwLock<HashMap<(RelId, Vec<AttrId>), Tagged<T>>>;
+
+/// Memoized distinct-projection / partition / FD-group statistics over
+/// one [`Database`] (see the module docs).
+///
+/// The engine must only be queried with the database it has been
+/// serving — generations identify *versions of one table*, not table
+/// contents, so feeding a different `Database` value whose tables
+/// happen to share generation numbers would alias cache keys. Create
+/// one engine per pipeline run.
+#[derive(Default)]
+pub struct StatsEngine {
+    projections: AttrCache<HashSet<ProjKey>>,
+    partitions: AttrCache<StrippedPartition>,
+    lhs_groups: AttrCache<Vec<Vec<usize>>>,
+    joins: RwLock<HashMap<EquiJoin, TaggedJoin>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rows_scanned: AtomicU64,
+}
+
+impl StatsEngine {
+    /// An engine with empty caches and zeroed counters.
+    pub fn new() -> Self {
+        StatsEngine::default()
+    }
+
+    /// The distinct projection `π_{attrs}(rel)` (NULL rows dropped),
+    /// shared out of the cache.
+    pub fn projection(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<HashSet<ProjKey>> {
+        let gen = db.generation(rel);
+        if let Some(entry) = self
+            .projections
+            .read()
+            .expect("stats lock")
+            .get(&(rel, attrs.to_vec()))
+        {
+            if entry.gen == gen {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.value);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let table = db.table(rel);
+        self.rows_scanned
+            .fetch_add(table.len() as u64, Ordering::Relaxed);
+        let value = Arc::new(table.distinct_projection(attrs));
+        self.projections.write().expect("stats lock").insert(
+            (rel, attrs.to_vec()),
+            Tagged {
+                gen,
+                value: Arc::clone(&value),
+            },
+        );
+        value
+    }
+
+    /// `‖rel[attrs]‖` — the paper's cardinality query.
+    pub fn count_distinct(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> usize {
+        self.projection(db, rel, attrs).len()
+    }
+
+    /// The three IND-Discovery cardinalities for `join`, memoized at
+    /// two levels: the full [`JoinStats`] per join, and the two side
+    /// projections (shared with every other join touching them).
+    pub fn join_stats(&self, db: &Database, join: &EquiJoin) -> JoinStats {
+        let left_gen = db.generation(join.left.rel);
+        let right_gen = db.generation(join.right.rel);
+        if let Some(entry) = self.joins.read().expect("stats lock").get(join) {
+            if entry.left_gen == left_gen && entry.right_gen == right_gen {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.stats;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let left = self.projection(db, join.left.rel, &join.left.attrs);
+        let right = self.projection(db, join.right.rel, &join.right.attrs);
+        let (small, large) = if left.len() <= right.len() {
+            (&left, &right)
+        } else {
+            (&right, &left)
+        };
+        self.rows_scanned
+            .fetch_add(small.len() as u64, Ordering::Relaxed);
+        let n_join = small.iter().filter(|k| large.contains(*k)).count();
+        let stats = JoinStats {
+            n_left: left.len(),
+            n_right: right.len(),
+            n_join,
+        };
+        self.joins.write().expect("stats lock").insert(
+            join.clone(),
+            TaggedJoin {
+                left_gen,
+                right_gen,
+                stats,
+            },
+        );
+        stats
+    }
+
+    /// The stripped partition `π_{attr}` (mining convention:
+    /// NULL = NULL), shared out of the cache.
+    pub fn partition(&self, db: &Database, rel: RelId, attr: AttrId) -> Arc<StrippedPartition> {
+        self.partition_for_attrs(db, rel, &[attr])
+    }
+
+    /// The stripped partition `π_{attrs}`, built by products of cached
+    /// unary partitions and itself cached.
+    pub fn partition_for_attrs(
+        &self,
+        db: &Database,
+        rel: RelId,
+        attrs: &[AttrId],
+    ) -> Arc<StrippedPartition> {
+        let gen = db.generation(rel);
+        let key = (rel, attrs.to_vec());
+        if let Some(entry) = self.partitions.read().expect("stats lock").get(&key) {
+            if entry.gen == gen {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.value);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let table = db.table(rel);
+        let value = match attrs {
+            [] | [_] => {
+                self.rows_scanned
+                    .fetch_add(table.len() as u64, Ordering::Relaxed);
+                Arc::new(StrippedPartition::for_attrs(table, attrs))
+            }
+            [first, rest @ ..] => {
+                // Chain products of cached unary partitions; each
+                // product touches at most the surviving class rows.
+                let mut p = (*self.partition(db, rel, *first)).clone();
+                for a in rest {
+                    self.rows_scanned
+                        .fetch_add(p.error() as u64, Ordering::Relaxed);
+                    p = p.product(&self.partition(db, rel, *a));
+                }
+                Arc::new(p)
+            }
+        };
+        self.partitions.write().expect("stats lock").insert(
+            key,
+            Tagged {
+                gen,
+                value: Arc::clone(&value),
+            },
+        );
+        value
+    }
+
+    /// Row-index groups (size ≥ 2) agreeing on `attrs` under **SQL
+    /// semantics** — rows with a NULL in `attrs` are skipped, exactly
+    /// like [`Database::fd_holds`]. Deterministically ordered.
+    fn groups(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<Vec<Vec<usize>>> {
+        let gen = db.generation(rel);
+        let key = (rel, attrs.to_vec());
+        if let Some(entry) = self.lhs_groups.read().expect("stats lock").get(&key) {
+            if entry.gen == gen {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.value);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let table = db.table(rel);
+        self.rows_scanned
+            .fetch_add(table.len() as u64, Ordering::Relaxed);
+        let mut map: HashMap<ProjKey, Vec<usize>> = HashMap::with_capacity(table.len());
+        for i in 0..table.len() {
+            if table.row_has_null(i, attrs) {
+                continue;
+            }
+            map.entry(table.project_row(i, attrs)).or_default().push(i);
+        }
+        let mut groups: Vec<Vec<usize>> = map.into_values().filter(|g| g.len() >= 2).collect();
+        groups.sort();
+        let value = Arc::new(groups);
+        self.lhs_groups.write().expect("stats lock").insert(
+            key,
+            Tagged {
+                gen,
+                value: Arc::clone(&value),
+            },
+        );
+        value
+    }
+
+    /// Does `fd` hold in the extension? Same SQL NULL semantics and
+    /// same answer as [`Database::fd_holds`], but the LHS grouping is
+    /// cached — repeated `A → b` probes with a shared LHS (the shape
+    /// RHS-Discovery generates) only rescan the grouped rows.
+    pub fn fd_holds(&self, db: &Database, fd: &Fd) -> bool {
+        let lhs: Vec<AttrId> = fd.lhs.iter().collect();
+        let rhs: Vec<AttrId> = fd.rhs.iter().collect();
+        let groups = self.groups(db, fd.rel, &lhs);
+        let table = db.table(fd.rel);
+        for group in groups.iter() {
+            self.rows_scanned
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+            let first = table.project_row(group[0], &rhs);
+            if group[1..]
+                .iter()
+                .any(|&i| table.project_row(i, &rhs) != first)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does `ind` hold in the extension? Same answer as
+    /// [`Database::ind_holds`], via cached distinct projections.
+    pub fn ind_holds(&self, db: &Database, ind: &Ind) -> bool {
+        let left = self.projection(db, ind.lhs.rel, &ind.lhs.attrs);
+        let right = self.projection(db, ind.rhs.rel, &ind.rhs.attrs);
+        if left.len() > right.len() {
+            return false;
+        }
+        self.rows_scanned
+            .fetch_add(left.len() as u64, Ordering::Relaxed);
+        left.iter().all(|k| right.contains(k))
+    }
+
+    /// A snapshot of the observability counters.
+    pub fn counters(&self) -> StatsCounters {
+        StatsCounters {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters (cache contents are kept).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.rows_scanned.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrSet;
+    use crate::counting::join_stats;
+    use crate::deps::IndSide;
+    use crate::schema::Relation;
+    use crate::value::{Domain, Value};
+
+    fn two_table_db() -> (Database, RelId, RelId) {
+        let mut db = Database::new();
+        let l = db
+            .add_relation(Relation::of("L", &[("a", Domain::Int), ("b", Domain::Int)]))
+            .unwrap();
+        let r = db
+            .add_relation(Relation::of("R", &[("c", Domain::Int)]))
+            .unwrap();
+        for (a, b) in [(1, 10), (1, 10), (2, 20), (3, 20), (4, 30)] {
+            db.insert(l, vec![Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        for c in [1, 2, 3, 9] {
+            db.insert(r, vec![Value::Int(c)]).unwrap();
+        }
+        (db, l, r)
+    }
+
+    #[test]
+    fn join_stats_matches_naive_and_hits_cache() {
+        let (db, l, r) = two_table_db();
+        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let engine = StatsEngine::new();
+        let first = engine.join_stats(&db, &join);
+        assert_eq!(first, join_stats(&db, &join));
+        let misses_after_first = engine.counters().cache_misses;
+        let second = engine.join_stats(&db, &join);
+        assert_eq!(second, first);
+        let c = engine.counters();
+        assert_eq!(
+            c.cache_misses, misses_after_first,
+            "second call must not rebuild"
+        );
+        assert!(c.cache_hits >= 1);
+    }
+
+    #[test]
+    fn insert_invalidates_served_counts() {
+        let (mut db, l, r) = two_table_db();
+        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let engine = StatsEngine::new();
+        let before = engine.join_stats(&db, &join);
+        db.insert(r, vec![Value::Int(4)]).unwrap();
+        let after = engine.join_stats(&db, &join);
+        assert_eq!(after, join_stats(&db, &join));
+        assert_eq!(after.n_right, before.n_right + 1);
+        assert_eq!(after.n_join, before.n_join + 1);
+    }
+
+    #[test]
+    fn adding_a_new_relation_keeps_existing_entries_valid() {
+        let (mut db, l, _) = two_table_db();
+        let engine = StatsEngine::new();
+        engine.projection(&db, l, &[AttrId(0)]);
+        let misses = engine.counters().cache_misses;
+        // Conceptualization mid-discovery adds relations; that must
+        // not invalidate entries of untouched tables.
+        db.add_relation(Relation::of("New", &[("x", Domain::Int)]))
+            .unwrap();
+        engine.projection(&db, l, &[AttrId(0)]);
+        assert_eq!(engine.counters().cache_misses, misses);
+    }
+
+    #[test]
+    fn fd_holds_agrees_with_database_including_null_lhs() {
+        let mut db = Database::new();
+        let t = db
+            .add_relation(Relation::of("T", &[("x", Domain::Int), ("y", Domain::Int)]))
+            .unwrap();
+        for row in [
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Null, Value::Int(1)],
+            vec![Value::Null, Value::Int(2)],
+            vec![Value::Int(2), Value::Int(20)],
+        ] {
+            db.insert(t, row).unwrap();
+        }
+        let engine = StatsEngine::new();
+        let fd = Fd::new(
+            t,
+            AttrSet::from_indices([0u16]),
+            AttrSet::from_indices([1u16]),
+        );
+        // NULL-LHS rows are skipped under SQL semantics, so x → y holds.
+        assert!(engine.fd_holds(&db, &fd));
+        assert_eq!(engine.fd_holds(&db, &fd), db.fd_holds(&fd));
+        // Break it and confirm the engine notices (generation bump).
+        db.insert(t, vec![Value::Int(1), Value::Int(99)]).unwrap();
+        assert!(!engine.fd_holds(&db, &fd));
+        assert_eq!(engine.fd_holds(&db, &fd), db.fd_holds(&fd));
+    }
+
+    #[test]
+    fn ind_holds_agrees_with_database() {
+        let (db, l, r) = two_table_db();
+        let engine = StatsEngine::new();
+        for (lhs, rhs) in [(l, r), (r, l)] {
+            let ind = Ind::unary(lhs, AttrId(0), rhs, AttrId(0));
+            assert_eq!(engine.ind_holds(&db, &ind), db.ind_holds(&ind), "{ind}");
+        }
+    }
+
+    #[test]
+    fn partitions_match_direct_construction() {
+        let (db, l, _) = two_table_db();
+        let engine = StatsEngine::new();
+        let direct = StrippedPartition::for_attrs(db.table(l), &[AttrId(0), AttrId(1)]);
+        let cached = engine.partition_for_attrs(&db, l, &[AttrId(0), AttrId(1)]);
+        assert_eq!(*cached, direct);
+        // Unary partitions were cached along the way.
+        let before = engine.counters();
+        engine.partition(&db, l, AttrId(0));
+        let after = engine.counters();
+        assert_eq!(after.cache_misses, before.cache_misses);
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+    }
+
+    #[test]
+    fn counters_reset() {
+        let (db, l, _) = two_table_db();
+        let engine = StatsEngine::new();
+        engine.projection(&db, l, &[AttrId(0)]);
+        assert!(engine.counters().cache_misses > 0);
+        engine.reset_counters();
+        assert_eq!(engine.counters(), StatsCounters::default());
+    }
+}

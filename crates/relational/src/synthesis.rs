@@ -59,10 +59,7 @@ pub fn synthesize_3nf(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Vec<SynthSc
         .iter()
         .any(|s| keys.iter().any(|k| k.is_subset(&s.attrs)));
     if !has_global_key {
-        let k = keys
-            .first()
-            .cloned()
-            .unwrap_or_else(|| universe.clone());
+        let k = keys.first().cloned().unwrap_or_else(|| universe.clone());
         schemes.push(SynthScheme {
             attrs: k.clone(),
             key: k,

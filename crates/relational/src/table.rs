@@ -71,7 +71,10 @@ impl Table {
     }
 
     /// Bulk constructor from rows; all rows must share the arity.
-    pub fn from_rows(arity: usize, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<Self, RelationalError> {
+    pub fn from_rows(
+        arity: usize,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<Self, RelationalError> {
         let mut t = Table::new(arity);
         for row in rows {
             t.push_row(row)?;

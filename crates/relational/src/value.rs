@@ -362,12 +362,14 @@ mod tests {
 
     #[test]
     fn ordf64_total_order() {
-        let mut xs = [OrdF64(f64::NAN),
+        let mut xs = [
+            OrdF64(f64::NAN),
             OrdF64(1.0),
             OrdF64(-1.0),
             OrdF64(f64::NEG_INFINITY),
             OrdF64(0.0),
-            OrdF64(f64::INFINITY)];
+            OrdF64(f64::INFINITY),
+        ];
         xs.sort();
         assert_eq!(xs[0].0, f64::NEG_INFINITY);
         assert_eq!(xs[1].0, -1.0);

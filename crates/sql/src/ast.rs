@@ -298,9 +298,7 @@ impl Expr {
             Expr::Cmp { left, right, .. } => {
                 left.contains_aggregate() || right.contains_aggregate()
             }
-            Expr::And(l, r) | Expr::Or(l, r) => {
-                l.contains_aggregate() || r.contains_aggregate()
-            }
+            Expr::And(l, r) | Expr::Or(l, r) => l.contains_aggregate() || r.contains_aggregate(),
             Expr::Not(x) => x.contains_aggregate(),
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::InList { expr, list, .. } => {

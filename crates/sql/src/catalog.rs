@@ -54,7 +54,9 @@ impl Catalog {
             .iter()
             .map(|c| Attribute::new(c.name.clone(), c.domain))
             .collect();
-        let rel = self.db.add_relation(Relation::new(ct.name.clone(), attrs)?)?;
+        let rel = self
+            .db
+            .add_relation(Relation::new(ct.name.clone(), attrs)?)?;
         let relation = self.db.schema.relation(rel);
 
         // Column-level constraints.
@@ -75,9 +77,7 @@ impl Catalog {
                 TableConstraint::Unique(n) | TableConstraint::PrimaryKey(n) => n,
             };
             let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-            let set = relation
-                .attr_set(&refs)
-                .map_err(SqlError::Relational)?;
+            let set = relation.attr_set(&refs).map_err(SqlError::Relational)?;
             keys.push(set);
         }
 
@@ -85,7 +85,9 @@ impl Catalog {
             self.db.constraints.add_key(rel, k);
         }
         for a in not_null {
-            self.db.constraints.add_not_null(rel, dbre_relational::AttrId(a));
+            self.db
+                .constraints
+                .add_not_null(rel, dbre_relational::AttrId(a));
         }
         self.db.constraints.normalize();
         Ok(())
@@ -237,12 +239,15 @@ mod tests {
         c.load_script("CREATE TABLE T (a INT PRIMARY KEY, b INT)")
             .unwrap();
         let rel = c.db.rel("T").unwrap();
+        assert!(c.db.constraints.is_key(rel, &AttrSet::from_indices([0u16])));
         assert!(c
             .db
             .constraints
-            .is_key(rel, &AttrSet::from_indices([0u16])));
-        assert!(c.db.constraints.is_not_null(rel, dbre_relational::AttrId(0)));
-        assert!(!c.db.constraints.is_not_null(rel, dbre_relational::AttrId(1)));
+            .is_not_null(rel, dbre_relational::AttrId(0)));
+        assert!(!c
+            .db
+            .constraints
+            .is_not_null(rel, dbre_relational::AttrId(1)));
     }
 
     #[test]
@@ -265,9 +270,7 @@ mod tests {
         assert!(c
             .load_script("INSERT INTO Person (id, ghost) VALUES (1, 2)")
             .is_err());
-        assert!(c
-            .load_script("INSERT INTO Ghost VALUES (1)")
-            .is_err());
+        assert!(c.load_script("INSERT INTO Ghost VALUES (1)").is_err());
         // Domain violation bubbles up from the relational layer.
         assert!(c
             .load_script("INSERT INTO Person VALUES ('x', 'y', 'z')")

@@ -85,9 +85,7 @@ impl<'a> Executor<'a> {
                 let left: HashSet<Vec<Value>> = first.rows.into_iter().collect();
                 let right: HashSet<Vec<Value>> = second.rows.into_iter().collect();
                 let mut rows: Vec<Vec<Value>> = match op {
-                    SetOp::Intersect => {
-                        left.into_iter().filter(|r| right.contains(r)).collect()
-                    }
+                    SetOp::Intersect => left.into_iter().filter(|r| right.contains(r)).collect(),
                     SetOp::Union => left.union(&right).cloned().collect(),
                 };
                 rows.sort();
@@ -114,11 +112,7 @@ impl<'a> Executor<'a> {
         }
 
         // Effective predicate = WHERE ∧ all ON conditions.
-        let preds: Vec<&Expr> = s
-            .join_conds
-            .iter()
-            .chain(s.where_clause.iter())
-            .collect();
+        let preds: Vec<&Expr> = s.join_conds.iter().chain(s.where_clause.iter()).collect();
         for p in &preds {
             if p.contains_aggregate() {
                 return Err(SqlError::semantic("aggregates are not allowed in WHERE"));
@@ -182,8 +176,7 @@ impl<'a> Executor<'a> {
         }
 
         // Build the hash indexes.
-        let mut indexes: Vec<Option<HashMap<Value, Vec<usize>>>> =
-            vec![None; n_tables];
+        let mut indexes: Vec<Option<HashMap<Value, Vec<usize>>>> = vec![None; n_tables];
         for (d, access) in hash_access.iter().enumerate() {
             let Some((attr, _, _)) = access else { continue };
             let table = self.db.table(bindings[d].rel);
@@ -289,9 +282,7 @@ impl<'a> Executor<'a> {
                 for item in &s.items {
                     match item {
                         SelectItem::Wildcard => {
-                            return Err(SqlError::semantic(
-                                "`*` is not allowed in a grouped query",
-                            ))
+                            return Err(SqlError::semantic("`*` is not allowed in a grouped query"))
                         }
                         SelectItem::Expr { expr, .. } => row.push(ge.eval(expr)?),
                     }
@@ -424,11 +415,7 @@ impl<'a> Executor<'a> {
 
 /// Statically resolves a column against the FROM bindings (no outer
 /// scopes): `Some((binding index, attr))` on an unambiguous hit.
-fn static_resolve(
-    db: &Database,
-    bindings: &[Binding],
-    c: &ColumnRef,
-) -> Option<(usize, AttrId)> {
+fn static_resolve(db: &Database, bindings: &[Binding], c: &ColumnRef) -> Option<(usize, AttrId)> {
     let mut found = None;
     for (i, b) in bindings.iter().enumerate() {
         if let Some(q) = &c.qualifier {
@@ -452,12 +439,7 @@ fn static_resolve(
 /// references we do not analyse).
 fn expr_depth(db: &Database, bindings: &[Binding], e: &Expr, n_tables: usize) -> usize {
     let last = n_tables.saturating_sub(1);
-    fn walk(
-        db: &Database,
-        bindings: &[Binding],
-        e: &Expr,
-        max: &mut usize,
-    ) -> bool {
+    fn walk(db: &Database, bindings: &[Binding], e: &Expr, max: &mut usize) -> bool {
         match e {
             Expr::Column(c) => {
                 if let Some((d, _)) = static_resolve(db, bindings, c) {
@@ -474,8 +456,7 @@ fn expr_depth(db: &Database, bindings: &[Binding], e: &Expr, n_tables: usize) ->
             }
             Expr::Not(x) | Expr::IsNull { expr: x, .. } => walk(db, bindings, x, max),
             Expr::InList { expr, list, .. } => {
-                walk(db, bindings, expr, max)
-                    && list.iter().all(|i| walk(db, bindings, i, max))
+                walk(db, bindings, expr, max) && list.iter().all(|i| walk(db, bindings, i, max))
             }
             // Subqueries may reference anything; pin to the last depth.
             Expr::InSubquery { .. } | Expr::Exists { .. } => false,
@@ -566,9 +547,7 @@ impl<'a, 'b> GroupEval<'a, 'b> {
                     AggFunc::Avg => match sum_values(&vals)? {
                         Value::Null => Value::Null,
                         Value::Int(total) => Value::float(total as f64 / vals.len() as f64),
-                        Value::Float(total) => {
-                            Value::float(total.get() / vals.len() as f64)
-                        }
+                        Value::Float(total) => Value::float(total.get() / vals.len() as f64),
                         other => {
                             return Err(SqlError::semantic(format!(
                                 "AVG over non-numeric value {other}"
@@ -635,9 +614,7 @@ impl<'a, 'b> GroupEval<'a, 'b> {
                 let is_null = self.eval(expr)?.is_null();
                 Ok(Some(if *negated { !is_null } else { is_null }))
             }
-            _ => Err(SqlError::semantic(
-                "unsupported predicate form in HAVING",
-            )),
+            _ => Err(SqlError::semantic("unsupported predicate form in HAVING")),
         }
     }
 }
@@ -848,9 +825,9 @@ impl<'a, 'b> ScopeStack<'a, 'b> {
                     ))),
                 }
             }
-            Expr::CountStar | Expr::CountDistinct(_) | Expr::Agg { .. } => Err(
-                SqlError::semantic("aggregates are not allowed in WHERE"),
-            ),
+            Expr::CountStar | Expr::CountDistinct(_) | Expr::Agg { .. } => {
+                Err(SqlError::semantic("aggregates are not allowed in WHERE"))
+            }
         }
     }
 
@@ -926,7 +903,13 @@ mod tests {
     #[test]
     fn count_star_and_count_distinct() {
         let d = db();
-        assert_eq!(run_sql(&d, "SELECT COUNT(*) FROM Person").unwrap().count().unwrap(), 4);
+        assert_eq!(
+            run_sql(&d, "SELECT COUNT(*) FROM Person")
+                .unwrap()
+                .count()
+                .unwrap(),
+            4
+        );
         assert_eq!(
             run_sql(&d, "SELECT COUNT(DISTINCT zip) FROM Person")
                 .unwrap()
@@ -958,11 +941,7 @@ mod tests {
             "SELECT DISTINCT p.name FROM Person p, HEmployee e WHERE e.no = p.id",
         )
         .unwrap();
-        let mut names: Vec<String> = rs
-            .rows
-            .iter()
-            .map(|r| format!("{}", r[0]))
-            .collect();
+        let mut names: Vec<String> = rs.rows.iter().map(|r| format!("{}", r[0])).collect();
         names.sort();
         assert_eq!(names, vec!["'ann'", "'cid'"]);
     }

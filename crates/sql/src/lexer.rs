@@ -181,27 +181,14 @@ impl<'a> Lexer<'a> {
                 // number literal (the subset has no subtraction).
                 b'-' if matches!(self.peek2(), Some(c) if c.is_ascii_digit()) => {
                     self.bump();
-                    self.number(pos)?;
-                    match self
-                        .out
-                        .last_mut()
-                        .map(|t| &mut t.tok)
-                        .expect("number() pushed a token")
-                    {
-                        Tok::Int(v) => *v = -*v,
-                        Tok::Float(v) => *v = -*v,
-                        _ => unreachable!("number() pushes Int or Float"),
-                    }
+                    self.number(pos, true)?;
                 }
                 b'\'' => self.string(pos)?,
                 b'"' => self.delimited_ident(pos)?,
-                b'0'..=b'9' => self.number(pos)?,
+                b'0'..=b'9' => self.number(pos, false)?,
                 c if c.is_ascii_alphabetic() || c == b'_' => self.word(pos),
                 other => {
-                    return Err(self.err(format!(
-                        "unexpected character `{}`",
-                        char::from(other)
-                    )))
+                    return Err(self.err(format!("unexpected character `{}`", char::from(other))))
                 }
             }
         }
@@ -245,7 +232,7 @@ impl<'a> Lexer<'a> {
         Ok(())
     }
 
-    fn number(&mut self, pos: Pos) -> SqlResult<()> {
+    fn number(&mut self, pos: Pos, negative: bool) -> SqlResult<()> {
         let start = self.i;
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.bump();
@@ -275,10 +262,15 @@ impl<'a> Lexer<'a> {
             let v: f64 = text
                 .parse()
                 .map_err(|_| self.err(format!("bad float literal `{text}`")))?;
-            self.push(Tok::Float(v), pos);
+            self.push(Tok::Float(if negative { -v } else { v }), pos);
         } else {
-            let v: i64 = text
+            // Apply the sign before the range check so i64::MIN, whose
+            // magnitude alone exceeds i64::MAX, still lexes.
+            let magnitude: i128 = text
                 .parse()
+                .map_err(|_| self.err(format!("integer literal out of range `{text}`")))?;
+            let signed = if negative { -magnitude } else { magnitude };
+            let v = i64::try_from(signed)
                 .map_err(|_| self.err(format!("integer literal out of range `{text}`")))?;
             self.push(Tok::Int(v), pos);
         }
@@ -449,7 +441,10 @@ mod tests {
 
     #[test]
     fn negative_numbers() {
-        assert_eq!(toks("-3 -2.5"), vec![Tok::Int(-3), Tok::Float(-2.5), Tok::Eof]);
+        assert_eq!(
+            toks("-3 -2.5"),
+            vec![Tok::Int(-3), Tok::Float(-2.5), Tok::Eof]
+        );
         // `--3` is still a comment, not double negation.
         assert_eq!(toks("--3\n4"), vec![Tok::Int(4), Tok::Eof]);
     }

@@ -337,7 +337,9 @@ impl Parser {
             }
             Tok::Kw(Keyword::Date) if matches!(self.peek2(), Tok::Str(_)) => {
                 self.bump();
-                let Tok::Str(s) = self.bump() else { unreachable!() };
+                let Tok::Str(s) = self.bump() else {
+                    unreachable!()
+                };
                 let d = Date::parse(&s).ok_or_else(|| SqlError::Parse {
                     pos: self.pos(),
                     message: format!("invalid date literal '{s}'"),
@@ -508,7 +510,10 @@ impl Parser {
 
     fn not_expr(&mut self) -> SqlResult<Expr> {
         if self.peek() == &Tok::Kw(Keyword::Not)
-            && !matches!(self.peek2(), Tok::Kw(Keyword::In) | Tok::Kw(Keyword::Exists))
+            && !matches!(
+                self.peek2(),
+                Tok::Kw(Keyword::In) | Tok::Kw(Keyword::Exists)
+            )
         {
             self.bump();
             let inner = self.not_expr()?;
@@ -573,17 +578,16 @@ impl Parser {
         }
 
         // [NOT] IN ( query | list )
-        let negated_in = if self.peek() == &Tok::Kw(Keyword::Not)
-            && self.peek2() == &Tok::Kw(Keyword::In)
-        {
-            self.bump();
-            self.bump();
-            true
-        } else if self.eat_kw(Keyword::In) {
-            false
-        } else {
-            return Ok(left);
-        };
+        let negated_in =
+            if self.peek() == &Tok::Kw(Keyword::Not) && self.peek2() == &Tok::Kw(Keyword::In) {
+                self.bump();
+                self.bump();
+                true
+            } else if self.eat_kw(Keyword::In) {
+                false
+            } else {
+                return Ok(left);
+            };
         self.expect(&Tok::LParen)?;
         if self.peek() == &Tok::Kw(Keyword::Select) {
             let query = self.query()?;
@@ -830,8 +834,8 @@ mod tests {
 
     #[test]
     fn intersect_chain() {
-        let q = parse_query("SELECT dep FROM Department INTERSECT SELECT dep FROM Assignment")
-            .unwrap();
+        let q =
+            parse_query("SELECT dep FROM Department INTERSECT SELECT dep FROM Assignment").unwrap();
         let (op, rest) = q.compound.unwrap();
         assert_eq!(op, SetOp::Intersect);
         assert!(rest.compound.is_none());
@@ -900,10 +904,9 @@ mod tests {
 
     #[test]
     fn script_parses_multiple_statements() {
-        let stmts = parse_script(
-            "CREATE TABLE A (x INT); INSERT INTO A VALUES (1); SELECT * FROM A;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("CREATE TABLE A (x INT); INSERT INTO A VALUES (1); SELECT * FROM A;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
         assert!(parse_script("").unwrap().is_empty());
     }

@@ -136,8 +136,7 @@ pub fn build_normalized(spec: &SynthSpec, seed: u64) -> Database {
     // Entities.
     for (i, e) in spec.entities.iter().enumerate() {
         let key_width = e.key_attrs.len();
-        let mut attrs: Vec<Attribute> =
-            e.key_attrs.iter().map(Attribute::int).collect();
+        let mut attrs: Vec<Attribute> = e.key_attrs.iter().map(Attribute::int).collect();
         attrs.extend(e.attrs.iter().map(Attribute::text));
         // Entity-FK columns.
         let fks: Vec<&FkEdge> = spec
@@ -181,12 +180,7 @@ pub fn build_normalized(spec: &SynthSpec, seed: u64) -> Database {
 
     // Relationships.
     for (ri, r) in spec.relationships.iter().enumerate() {
-        let mut attrs: Vec<Attribute> = r
-            .ref_attrs
-            .iter()
-            .flatten()
-            .map(Attribute::int)
-            .collect();
+        let mut attrs: Vec<Attribute> = r.ref_attrs.iter().flatten().map(Attribute::int).collect();
         let key_width = attrs.len();
         attrs.extend(r.attrs.iter().map(Attribute::text));
         let rel = db
@@ -268,9 +262,9 @@ pub fn plan_denormalization(spec: &SynthSpec, cfg: &DenormConfig) -> DenormPlan 
             .iter()
             .any(|f| f.source == FkSource::Entity(ei));
         let droppable = !incoming.is_empty()
-            && incoming.iter().all(|&k| {
-                embedded[k] || spec.entities[ei].attrs.is_empty()
-            })
+            && incoming
+                .iter()
+                .all(|&k| embedded[k] || spec.entities[ei].attrs.is_empty())
             && !has_outgoing
             && !isa_involved.contains(&ei);
         if droppable && rng.random_bool(cfg.p_drop) {
@@ -394,10 +388,13 @@ pub fn build_workload(
         let sites: Vec<(String, Vec<String>)> = edges
             .iter()
             .filter(|edge| edge.target == ei)
-            .filter(|edge| {
-                !matches!(edge.source, FkSource::Entity(s) if plan.dropped[s])
+            .filter(|edge| !matches!(edge.source, FkSource::Entity(s) if plan.dropped[s]))
+            .map(|edge| {
+                (
+                    spec.source_name(edge.source).to_string(),
+                    edge.attrs.clone(),
+                )
             })
-            .map(|edge| (spec.source_name(edge.source).to_string(), edge.attrs.clone()))
             .collect();
         for site in &sites {
             truth
@@ -441,7 +438,9 @@ fn copy_relation_with_embeds(
     source: FkSource,
     name: &str,
 ) {
-    let src_rel = normalized.rel(name).expect("relation exists in normalized db");
+    let src_rel = normalized
+        .rel(name)
+        .expect("relation exists in normalized db");
     let src_relation = normalized.schema.relation(src_rel).clone();
     let src_table = normalized.table(src_rel);
 
@@ -455,12 +454,7 @@ fn copy_relation_with_embeds(
         let fk_cols: Vec<usize> = edge
             .attrs
             .iter()
-            .map(|a| {
-                src_relation
-                    .attr_id(a)
-                    .expect("fk column exists")
-                    .index()
-            })
+            .map(|a| src_relation.attr_id(a).expect("fk column exists").index())
             .collect();
         embeds.push((fk_cols, edge.target));
         for a in &spec.entities[edge.target].attrs {
@@ -577,7 +571,9 @@ pub fn corrupt(db: &mut Database, truth: &GroundTruth, cfg: &CorruptionConfig) {
         // FD noise on embedded columns.
         if cfg.fd_noise > 0.0 && truth.plan.embedded[k] {
             for a in &truth.spec.entities[edge.target].attrs {
-                let Some(col) = relation.attr_id(a) else { continue };
+                let Some(col) = relation.attr_id(a) else {
+                    continue;
+                };
                 for i in 0..rows {
                     if rng.random_bool(cfg.fd_noise) {
                         big_id += 1;
@@ -592,13 +588,7 @@ pub fn corrupt(db: &mut Database, truth: &GroundTruth, cfg: &CorruptionConfig) {
 /// Overwrites a cell (columnar tables have no in-place API; rebuilds
 /// the column cheaply through push-based copy is overkill, so go
 /// through a full row replacement).
-fn set_cell(
-    db: &mut Database,
-    rel: dbre_relational::RelId,
-    row: usize,
-    col: AttrId,
-    value: Value,
-) {
+fn set_cell(db: &mut Database, rel: dbre_relational::RelId, row: usize, col: AttrId, value: Value) {
     let mut table = db.table(rel).clone();
     // Rebuild with the one cell changed.
     let mut rows: Vec<Vec<Value>> = table.rows().collect();
@@ -651,8 +641,7 @@ mod tests {
                     &edge.attrs.iter().map(String::as_str).collect::<Vec<_>>(),
                 )
                 .unwrap();
-            let tgt_ids: Vec<AttrId> =
-                (0..edge.attrs.len() as u16).map(AttrId).collect();
+            let tgt_ids: Vec<AttrId> = (0..edge.attrs.len() as u16).map(AttrId).collect();
             let ind = dbre_relational::Ind::new(
                 dbre_relational::IndSide::new(src, src_ids),
                 dbre_relational::IndSide::new(tgt, tgt_ids),
@@ -689,19 +678,11 @@ mod tests {
             let lhs_set = relation.attr_set(&lhs).unwrap();
             // Embedded columns may be suffixed on collision; check the
             // unsuffixed common case.
-            let rhs_ids: Vec<_> = fd
-                .rhs
-                .iter()
-                .filter_map(|n| relation.attr_id(n))
-                .collect();
+            let rhs_ids: Vec<_> = fd.rhs.iter().filter_map(|n| relation.attr_id(n)).collect();
             if rhs_ids.len() != fd.rhs.len() {
                 continue;
             }
-            let f = dbre_relational::Fd::new(
-                rel,
-                lhs_set,
-                AttrSet::from_iter_ids(rhs_ids),
-            );
+            let f = dbre_relational::Fd::new(rel, lhs_set, AttrSet::from_iter_ids(rhs_ids));
             assert!(db.fd_holds(&f), "expected FD must hold: {fd:?}");
         }
     }
@@ -784,8 +765,7 @@ mod tests {
             let relation = db.schema.relation(rel);
             let lhs: Vec<&str> = fd.lhs.iter().map(String::as_str).collect();
             let lhs_set = relation.attr_set(&lhs).unwrap();
-            let rhs_ids: Vec<_> =
-                fd.rhs.iter().filter_map(|n| relation.attr_id(n)).collect();
+            let rhs_ids: Vec<_> = fd.rhs.iter().filter_map(|n| relation.attr_id(n)).collect();
             if rhs_ids.len() != fd.rhs.len() {
                 continue;
             }

@@ -32,5 +32,7 @@ pub use construct::{
 };
 pub use metrics::{evaluate, Prf, Quality};
 pub use programs::{generate_programs, GeneratedPrograms, ProgramConfig};
-pub use spec::{generate_spec, EntitySpec, FkEdge, FkSource, RelationshipSpec, SynthConfig, SynthSpec};
+pub use spec::{
+    generate_spec, EntitySpec, FkEdge, FkSource, RelationshipSpec, SynthConfig, SynthSpec,
+};
 pub use truth::TruthOracle;

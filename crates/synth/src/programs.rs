@@ -127,7 +127,10 @@ fn render_program(spec: &JoinSpec, idx: usize, form: usize) -> ProgramSource {
         // Unnested WHERE join (default, and the composite fallback).
         _ => ProgramSource::sql(
             format!("report_{idx}.sql"),
-            format!("SELECT x.{la0} FROM {lr} x, {rr} y WHERE {};", conds("x", "y")),
+            format!(
+                "SELECT x.{la0} FROM {lr} x, {rr} y WHERE {};",
+                conds("x", "y")
+            ),
         ),
     }
 }

@@ -179,8 +179,7 @@ pub fn generate_spec(cfg: &SynthConfig) -> SynthSpec {
 
     // Entities; is-a parents point at lower indices (acyclic).
     for i in 0..cfg.n_entities {
-        let n_attrs =
-            rng.random_range(cfg.attrs_per_entity.0..=cfg.attrs_per_entity.1);
+        let n_attrs = rng.random_range(cfg.attrs_per_entity.0..=cfg.attrs_per_entity.1);
         let key_attrs = if rng.random_bool(cfg.p_composite_key.clamp(0.0, 1.0)) {
             vec![format!("ent{i}_id_hi"), format!("ent{i}_id_lo")]
         } else {
@@ -202,12 +201,9 @@ pub fn generate_spec(cfg: &SynthConfig) -> SynthSpec {
             && spec.entities[parent].isa_parent != Some(child)
         {
             spec.entities[child].isa_parent = Some(parent);
-            spec.entities[child].rows =
-                (spec.entities[parent].rows / 2).max(1);
+            spec.entities[child].rows = (spec.entities[parent].rows / 2).max(1);
             // A specialization shares its parent's identifier shape.
-            if spec.entities[child].key_attrs.len()
-                != spec.entities[parent].key_attrs.len()
-            {
+            if spec.entities[child].key_attrs.len() != spec.entities[parent].key_attrs.len() {
                 let c = child;
                 spec.entities[c].key_attrs = if spec.entities[parent].key_attrs.len() == 2 {
                     vec![format!("ent{c}_id_hi"), format!("ent{c}_id_lo")]
@@ -395,9 +391,18 @@ mod tests {
 
     #[test]
     fn attr_values_are_functional_in_id() {
-        assert_eq!(SynthSpec::attr_value(1, 0, 3), SynthSpec::attr_value(1, 0, 3));
-        assert_eq!(SynthSpec::attr_value(1, 0, 0), SynthSpec::attr_value(1, 0, 3));
-        assert_ne!(SynthSpec::attr_value(1, 0, 0), SynthSpec::attr_value(1, 0, 1));
+        assert_eq!(
+            SynthSpec::attr_value(1, 0, 3),
+            SynthSpec::attr_value(1, 0, 3)
+        );
+        assert_eq!(
+            SynthSpec::attr_value(1, 0, 0),
+            SynthSpec::attr_value(1, 0, 3)
+        );
+        assert_ne!(
+            SynthSpec::attr_value(1, 0, 0),
+            SynthSpec::attr_value(1, 0, 1)
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! [`dbre_core::DenyOracle`].
 
 use crate::construct::{GroundTruth, JoinKind};
-use dbre_core::oracle::{
-    FdContext, HiddenContext, NamingContext, NeiContext, NeiDecision, Oracle,
-};
+use dbre_core::oracle::{FdContext, HiddenContext, NamingContext, NeiContext, NeiDecision, Oracle};
 use dbre_relational::database::Database;
 use dbre_relational::deps::IndSide;
 
@@ -87,7 +85,9 @@ impl Oracle for TruthOracle {
             fd.rel == relation.name
                 && fd.lhs == lhs
                 && rhs.iter().all(|b| {
-                    fd.rhs.iter().any(|e| b == e || b.starts_with(&format!("{e}_")))
+                    fd.rhs
+                        .iter()
+                        .any(|e| b == e || b.starts_with(&format!("{e}_")))
                 })
         })
     }
@@ -100,20 +100,17 @@ impl Oracle for TruthOracle {
             .iter()
             .map(|a| relation.attr_name(a).to_string())
             .collect();
-        self.truth
-            .hidden_sites
-            .iter()
-            .any(|(rel, site_attrs, _)| {
-                rel == &relation.name && {
-                    // QualAttrs carries a *set* (sorted by attr id);
-                    // compare as sets.
-                    let mut a = attrs.clone();
-                    let mut b = site_attrs.clone();
-                    a.sort();
-                    b.sort();
-                    a == b
-                }
-            })
+        self.truth.hidden_sites.iter().any(|(rel, site_attrs, _)| {
+            rel == &relation.name && {
+                // QualAttrs carries a *set* (sorted by attr id);
+                // compare as sets.
+                let mut a = attrs.clone();
+                let mut b = site_attrs.clone();
+                a.sort();
+                b.sort();
+                a == b
+            }
+        })
     }
 
     fn name_new_relation(&mut self, ctx: &NamingContext<'_>) -> String {
@@ -219,6 +216,7 @@ mod tests {
             return;
         }
         let (rel_name, site_attrs, _) = truth.hidden_sites[0].clone();
+        let all_sites = truth.hidden_sites.clone();
         let mut oracle = TruthOracle::new(truth);
         let cols: Vec<&str> = site_attrs.iter().map(String::as_str).collect();
         let (rel, set) = db.resolve_set(&rel_name, &cols).unwrap();
@@ -228,14 +226,16 @@ mod tests {
             candidate: &cand
         }));
         // A non-site attribute is declined.
-        let other = dbre_relational::QualAttrs::new(
-            rel,
-            dbre_relational::AttrSet::from_indices([0u16]),
-        );
+        let other =
+            dbre_relational::QualAttrs::new(rel, dbre_relational::AttrSet::from_indices([0u16]));
         let relation = db.schema.relation(rel);
-        if !site_attrs
+        // The oracle set-matches against *every* hidden site of the
+        // relation, so only assert a decline when no site is exactly
+        // `{attr 0}`.
+        let attr0 = relation.attr_name(dbre_relational::AttrId(0));
+        if !all_sites
             .iter()
-            .any(|a| a == relation.attr_name(dbre_relational::AttrId(0)))
+            .any(|(r, site, _)| r == &rel_name && site.len() == 1 && site[0] == attr0)
         {
             assert!(!oracle.conceptualize_hidden(&HiddenContext {
                 db: &db,

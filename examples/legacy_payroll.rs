@@ -148,7 +148,10 @@ fn main() {
 
     let mut oracle = AnalystOracle {
         scripted: ScriptedOracle::new()
-            .nei("Paycheck[cost-center] |><| Timesheet[cost-center]", NeiDecision::Conceptualize)
+            .nei(
+                "Paycheck[cost-center] |><| Timesheet[cost-center]",
+                NeiDecision::Conceptualize,
+            )
             .name(
                 "nei:Paycheck[cost-center] |><| Timesheet[cost-center]",
                 "Shared-CostCenter",

@@ -9,7 +9,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use dbre::core::example::{paper_q, paper_database, run_paper_example};
+use dbre::core::example::{paper_database, paper_q, run_paper_example};
 use dbre::core::render::{render_fds, render_inds, render_log, render_quals, render_schema};
 use dbre::relational::counting::join_stats;
 
@@ -41,7 +41,10 @@ fn main() {
 
     println!("\n## Candidate identifiers (LHS) and hidden objects (H)\n");
     println!("LHS:\n{}", render_quals(&result.db_before, &result.lhs.lhs));
-    println!("H after RHS-Discovery:\n{}", render_quals(&result.db_before, &result.rhs.hidden));
+    println!(
+        "H after RHS-Discovery:\n{}",
+        render_quals(&result.db_before, &result.rhs.hidden)
+    );
 
     println!("\n## Elicited functional dependencies\n");
     println!("{}", render_fds(&result.db_before, &result.rhs.fds));

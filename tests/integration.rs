@@ -208,10 +208,10 @@ fn composite_identifier_pipeline() {
     let split = result.restructured.fd_relations[0];
     let split_rel = result.db.schema.relation(split);
     assert_eq!(split_rel.arity(), 3);
-    assert!(result.db.constraints.is_key(
-        split,
-        &split_rel.attr_set(&["dept", "num"]).unwrap()
-    ));
+    assert!(result
+        .db
+        .constraints
+        .is_key(split, &split_rel.attr_set(&["dept", "num"]).unwrap()));
     // The composite RIC holds in the restructured extension.
     for ric in &result.restructured.ric {
         assert!(result.db.ind_holds(ric));

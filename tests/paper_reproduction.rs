@@ -91,11 +91,7 @@ fn original_schema_normal_forms_match_the_paper_annotations() {
     for f in &person_fds {
         assert!(db.fd_holds(f), "{f:?}");
     }
-    let rep = analyze(
-        person,
-        &db.schema.relation(person).all_attrs(),
-        &person_fds,
-    );
+    let rep = analyze(person, &db.schema.relation(person).all_attrs(), &person_fds);
     assert_eq!(rep.form, NormalForm::Second, "Person is 2NF in the paper");
 
     // HEmployee: only the key FD — 3NF (indeed BCNF).
@@ -189,9 +185,7 @@ fn restructured_extension_is_lossless_for_navigated_data() {
     // Rows with NULL emp cannot be reconstructed (no join partner) —
     // the paper's method shares this property of natural-join
     // decompositions. All non-null rows must round-trip.
-    let before_non_null: std::collections::HashSet<_> = before
-        .into_iter()
-        .filter(|row| !row[1].is_null())
-        .collect();
+    let before_non_null: std::collections::HashSet<_> =
+        before.into_iter().filter(|row| !row[1].is_null()).collect();
     assert_eq!(reconstructed, before_non_null);
 }

@@ -1,0 +1,916 @@
+//! Offline, dependency-free stand-in for the subset of the `proptest`
+//! API this workspace uses.
+//!
+//! The container building this repository has no network access, so the
+//! real crates-io `proptest` cannot be fetched; this vendored crate
+//! keeps the same module paths, macros, and trait names so the test
+//! files compile unchanged. Differences from the real engine:
+//!
+//! - generation is deterministic (seeded per test-function name and
+//!   case index), so failures reproduce exactly across runs;
+//! - there is **no shrinking** — a failing case reports its generated
+//!   arguments instead of a minimized counterexample;
+//! - regex strategies support the subset actually used by the tests:
+//!   literals, `[...]` classes (with ranges), `(a|b|...)` groups,
+//!   `\PC` (any non-control character), `.`, and `{m}`/`{m,n}`/`*`/
+//!   `+`/`?` repetition.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases required per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config that runs `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The case did not meet a `prop_assume!` precondition.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection (assumption not met) with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// Deterministic per-case generator (SplitMix64 over an FNV-1a
+    /// hash of the test path and the case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The generator for case number `case` of test `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 uniformly random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+
+        /// Uniform `usize` in `[lo, hi]` (inclusive).
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u64 + 1;
+            lo + self.below(span) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)` from the 53 high bits.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real proptest there is no value-tree/shrinking
+    /// machinery: a strategy is just a deterministic function of the
+    /// per-case RNG. Values must be `Debug` so failing cases can be
+    /// reported (the real crate requires the same bound).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: std::fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `source` mapped through `f` (see [`Strategy::prop_map`]).
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: std::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: std::fmt::Debug> OneOf<T> {
+        /// A strategy choosing uniformly among `options`.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { options }
+        }
+    }
+
+    impl<T: std::fmt::Debug> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (u128::from(rng.next_u64()) * span) >> 64;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (u128::from(rng.next_u64()) * span) >> 64;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.f64_unit() as $t;
+                    let v = self.start + u * (self.end - self.start);
+                    // Floating rounding can land exactly on `end`.
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + (rng.f64_unit() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f64, f32);
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let node = crate::pattern::parse(self);
+            let mut out = String::new();
+            crate::pattern::generate(&node, rng, &mut out);
+            out
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy (`any::<T>()`).
+    pub trait ArbitraryValue: Sized + std::fmt::Debug {
+        /// Samples an arbitrary value, biased toward edge cases.
+        fn sample(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn sample(rng: &mut TestRng) -> $t {
+                    // Mirror the real proptest's edge-case bias: extremes
+                    // and small values show up often, the rest is uniform
+                    // over the full bit-width.
+                    match rng.below(8) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1 as $t,
+                        4 => (0 as $t).wrapping_sub(1),
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i64, i32, i16, i8, u64, u32, u16, u8, usize);
+
+    impl ArbitraryValue for bool {
+        fn sample(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn sample(rng: &mut TestRng) -> f64 {
+            match rng.below(8) {
+                0 => 0.0,
+                1 => -0.0,
+                2 => 1.0,
+                3 => -1.0,
+                _ => {
+                    let m = rng.f64_unit() * 2.0 - 1.0;
+                    let e = rng.below(61) as i32 - 30;
+                    m * (2.0f64).powi(e)
+                }
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample(rng)
+        }
+    }
+
+    /// A strategy for arbitrary values of `T`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.min, self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose length lies in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Tiny regex-subset generator backing `&'static str` strategies.
+pub(crate) mod pattern {
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        Seq(Vec<Node>),
+        Alt(Vec<Node>),
+        Rep(Box<Node>, usize, usize),
+        Class(Vec<(char, char)>),
+        Lit(char),
+        AnyPrintable,
+    }
+
+    /// Parses the supported regex subset; panics on anything else so an
+    /// unsupported pattern fails loudly at test time rather than
+    /// silently generating the wrong language.
+    pub fn parse(pattern: &str) -> Node {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let node = p.alt();
+        assert!(
+            p.pos == p.chars.len(),
+            "unsupported regex pattern {pattern:?}: trailing input at {}",
+            p.pos
+        );
+        node
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl Parser {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> char {
+            let c = self.chars[self.pos];
+            self.pos += 1;
+            c
+        }
+
+        fn alt(&mut self) -> Node {
+            let mut branches = vec![self.seq()];
+            while self.peek() == Some('|') {
+                self.bump();
+                branches.push(self.seq());
+            }
+            if branches.len() == 1 {
+                branches.pop().unwrap()
+            } else {
+                Node::Alt(branches)
+            }
+        }
+
+        fn seq(&mut self) -> Node {
+            let mut items = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                items.push(self.repeated());
+            }
+            if items.len() == 1 {
+                items.pop().unwrap()
+            } else {
+                Node::Seq(items)
+            }
+        }
+
+        fn repeated(&mut self) -> Node {
+            let atom = self.atom();
+            match self.peek() {
+                Some('{') => {
+                    self.bump();
+                    let min = self.number();
+                    let max = if self.peek() == Some(',') {
+                        self.bump();
+                        self.number()
+                    } else {
+                        min
+                    };
+                    assert_eq!(self.bump(), '}', "malformed repetition");
+                    Node::Rep(Box::new(atom), min, max)
+                }
+                // Unbounded operators get a small practical cap; the
+                // tests only assert totality, not length distribution.
+                Some('*') => {
+                    self.bump();
+                    Node::Rep(Box::new(atom), 0, 8)
+                }
+                Some('+') => {
+                    self.bump();
+                    Node::Rep(Box::new(atom), 1, 8)
+                }
+                Some('?') => {
+                    self.bump();
+                    Node::Rep(Box::new(atom), 0, 1)
+                }
+                _ => atom,
+            }
+        }
+
+        fn number(&mut self) -> usize {
+            let mut n = 0usize;
+            let mut any = false;
+            while let Some(c) = self.peek() {
+                if let Some(d) = c.to_digit(10) {
+                    self.bump();
+                    n = n * 10 + d as usize;
+                    any = true;
+                } else {
+                    break;
+                }
+            }
+            assert!(any, "expected number in repetition");
+            n
+        }
+
+        fn atom(&mut self) -> Node {
+            match self.bump() {
+                '(' => {
+                    let inner = self.alt();
+                    assert_eq!(self.bump(), ')', "unbalanced group");
+                    inner
+                }
+                '[' => self.class(),
+                '\\' => match self.bump() {
+                    // \PC / \pC: anything outside Unicode category C
+                    // ("Other") — i.e. any non-control printable char.
+                    'P' | 'p' => {
+                        self.bump();
+                        Node::AnyPrintable
+                    }
+                    'd' => Node::Class(vec![('0', '9')]),
+                    'n' => Node::Lit('\n'),
+                    't' => Node::Lit('\t'),
+                    c => Node::Lit(c),
+                },
+                '.' => Node::AnyPrintable,
+                c => Node::Lit(c),
+            }
+        }
+
+        fn class(&mut self) -> Node {
+            assert!(
+                self.peek() != Some('^'),
+                "negated classes are not supported by the vendored proptest"
+            );
+            let mut ranges = Vec::new();
+            loop {
+                let c = match self.bump() {
+                    ']' => break,
+                    '\\' => self.bump(),
+                    c => c,
+                };
+                if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                    self.bump();
+                    let hi = self.bump();
+                    assert!(c <= hi, "inverted class range");
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            assert!(!ranges.is_empty(), "empty character class");
+            Node::Class(ranges)
+        }
+    }
+
+    /// A few multi-byte characters so `\PC` exercises non-ASCII paths.
+    const UNICODE_SAMPLES: &[char] = &['é', 'ß', 'Ж', 'λ', '中', '日', 'Ω', 'ñ', 'ü', '🙂'];
+
+    pub fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Seq(items) => {
+                for item in items {
+                    generate(item, rng, out);
+                }
+            }
+            Node::Alt(branches) => {
+                let i = rng.below(branches.len() as u64) as usize;
+                generate(&branches[i], rng, out);
+            }
+            Node::Rep(inner, min, max) => {
+                let n = rng.usize_in(*min, *max);
+                for _ in 0..n {
+                    generate(inner, rng, out);
+                }
+            }
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = u64::from(*hi as u32 - *lo as u32 + 1);
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!("class pick out of range");
+            }
+            Node::AnyPrintable => {
+                if rng.below(10) == 0 {
+                    let i = rng.below(UNICODE_SAMPLES.len() as u64) as usize;
+                    out.push(UNICODE_SAMPLES[i]);
+                } else {
+                    out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap());
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors `proptest::prelude::prop` (module shorthand).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Each body runs once per generated case; the
+/// whole macro form (optional `#![proptest_config(..)]`, `arg in
+/// strategy` parameters, `prop_assert*` macros) matches the real crate.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __case_name = concat!(module_path!(), "::", stringify!($name));
+                let mut __executed: u32 = 0;
+                let mut __attempt: u32 = 0;
+                while __executed < __config.cases {
+                    if __attempt > __config.cases.saturating_mul(10) + 100 {
+                        panic!(
+                            "proptest '{}': too many rejected cases ({} accepted of {} wanted)",
+                            __case_name, __executed, __config.cases
+                        );
+                    }
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(__case_name, __attempt);
+                    __attempt += 1;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __args_dbg = ::std::format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg,)+
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {
+                            __executed += 1;
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!(
+                                "proptest '{}' failed at case #{}: {}\n  args: {}",
+                                __case_name,
+                                __attempt - 1,
+                                __msg,
+                                __args_dbg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, recording a test-case
+/// failure (not an immediate panic) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, reporting both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    ::std::format!($($fmt)+),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality, reporting the operands on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a run)
+/// when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_vecs_respect_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        let s = prop::collection::vec(0u16..12, 0..6);
+        for case in 0..200 {
+            let mut rng_case = TestRng::for_case("bounds", case);
+            let v = s.generate(&mut rng_case);
+            assert!(v.len() < 6);
+            assert!(v.iter().all(|&x| x < 12));
+        }
+        let f = (-2.0f64..2.0).generate(&mut rng);
+        assert!((-2.0..2.0).contains(&f));
+        let g = (0.0f64..=1.0).generate(&mut rng);
+        assert!((0.0..=1.0).contains(&g));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = prop::collection::vec((0i64..100, "\\PC{0,20}"), 0..10);
+        let a = s.generate(&mut TestRng::for_case("det", 7));
+        let b = s.generate(&mut TestRng::for_case("det", 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regex_subset_generates_within_language() {
+        for case in 0..300 {
+            let mut rng = TestRng::for_case("regex", case);
+            let s = "[a-z ']{0,12}".generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\''));
+
+            let mut rng = TestRng::for_case("regex2", case);
+            let t = "(ab|[0-9]{1,3}|x){2}".generate(&mut rng);
+            assert!(!t.is_empty());
+
+            let mut rng = TestRng::for_case("regex3", case);
+            let u = "\\PC{0,50}".generate(&mut rng);
+            assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for case in 0..200 {
+            let mut rng = TestRng::for_case("oneof", case);
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0usize..10, b in 0usize..10) {
+            prop_assume!(a != 9 || b != 9);
+            prop_assert!(a + b <= 18);
+            prop_assert_eq!(a + b, b + a, "addition must commute");
+            prop_assert_ne!(a + b + 1, a + b);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline, dependency-free stand-in for the subset of the `rand 0.9`
+//! API this workspace uses (`StdRng::seed_from_u64`, `random_range`,
+//! `random_bool`).
+//!
+//! The container building this repository has no network access, so the
+//! real crates-io `rand` cannot be fetched; this vendored crate keeps
+//! the same module paths and method names. The generator is
+//! xoshiro256** seeded through SplitMix64 — statistically solid for
+//! workload synthesis, *not* cryptographic. Streams differ from the
+//! real `StdRng` (ChaCha12), which only shifts which synthetic
+//! databases the seeds denote; all consumers treat the stream as
+//! opaque.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (API-compatible subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods (API-compatible subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range; panics on an empty range, like the
+    /// real `rand`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: IntoUniformRange<T>,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample(self, lo, hi_inclusive)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to [0,1]).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 high bits -> uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// Generator namespace mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** — the standard generator of this shim.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+/// Integer types `random_range` can sample.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi]` (inclusive).
+    fn sample<G: Rng + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<G: Rng + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // Multiply-shift bounded sampling (Lemire); the tiny
+                // modulo bias of the plain variant is irrelevant here.
+                let x = rng.next_u64() as u128;
+                let v = (x * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8, i64, i32, i16);
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait IntoUniformRange<T: UniformInt> {
+    /// `(low, high_inclusive)` bounds.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: UniformInt + HalfOpenEnd> IntoUniformRange<T> for Range<T> {
+    fn bounds(self) -> (T, T) {
+        assert!(self.start < self.end, "cannot sample empty range");
+        (self.start, self.end.pred())
+    }
+}
+
+impl<T: UniformInt> IntoUniformRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Predecessor for converting half-open to inclusive bounds.
+pub trait HalfOpenEnd {
+    /// `self - 1`; only called on a value known to exceed the range
+    /// start, so it never underflows.
+    fn pred(self) -> Self;
+}
+
+macro_rules! impl_half_open {
+    ($($t:ty),*) => {$(
+        impl HalfOpenEnd for $t {
+            fn pred(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_half_open!(usize, u64, u32, u16, u8, i64, i32, i16);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: i64 = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+        // Degenerate singleton ranges are fine.
+        assert_eq!(rng.random_range(4usize..5), 4);
+        assert_eq!(rng.random_range(9u16..=9), 9);
+    }
+
+    #[test]
+    fn bool_probabilities_roughly_honoured() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let hits = (0..n).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "got {frac}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn all_values_reachable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
