@@ -20,7 +20,7 @@ fn bench_ablation(c: &mut Criterion) {
     .q();
     let mut db = s.db.clone();
     let mut oracle = TruthOracle::new(s.truth.clone());
-    let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle);
+    let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle).unwrap();
     let lhs = dbre_core::lhs_discovery(&db, &ind.inds, &ind.new_relations);
 
     for (name, opts) in [

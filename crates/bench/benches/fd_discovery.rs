@@ -25,7 +25,7 @@ fn bench_fd(c: &mut Criterion) {
         // Pre-run IND/LHS so the bench isolates RHS-Discovery.
         let mut db = s.db.clone();
         let mut oracle = TruthOracle::new(s.truth.clone());
-        let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle);
+        let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle).unwrap();
         let lhs = dbre_core::lhs_discovery(&db, &ind.inds, &ind.new_relations);
 
         group.bench_with_input(

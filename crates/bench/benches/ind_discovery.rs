@@ -31,7 +31,7 @@ fn bench_ind(c: &mut Criterion) {
                 b.iter(|| {
                     let mut db = s.db.clone();
                     let mut oracle = TruthOracle::new(s.truth.clone());
-                    black_box(dbre_core::ind_discovery(&mut db, q, &mut oracle))
+                    black_box(dbre_core::ind_discovery(&mut db, q, &mut oracle).unwrap())
                 })
             },
         );

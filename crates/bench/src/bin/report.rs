@@ -125,7 +125,7 @@ fn e3() {
         );
     }
     let mut oracle = paper_oracle();
-    let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle);
+    let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle).unwrap();
     println!("elicited IND set:");
     println!("{}", indent(&render_inds(&db, &ind.inds)));
     println!(
@@ -143,7 +143,7 @@ fn e4() {
     let mut db = paper_database();
     let q = paper_q(&db);
     let mut oracle = paper_oracle();
-    let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle);
+    let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle).unwrap();
     let lhs = dbre_core::lhs_discovery(&db, &ind.inds, &ind.new_relations);
     println!("LHS =");
     println!("{}", indent(&render_quals(&db, &lhs.lhs)));
@@ -222,7 +222,7 @@ fn x1() {
         let mut db = s.db.clone();
         let mut oracle = TruthOracle::new(s.truth.clone());
         let t0 = Instant::now();
-        let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle);
+        let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle).unwrap();
         let paper_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t0 = Instant::now();
@@ -264,7 +264,7 @@ fn x2() {
         )
         .q();
         let mut oracle = TruthOracle::new(s.truth.clone());
-        let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle);
+        let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle).unwrap();
         let lhs = dbre_core::lhs_discovery(&db, &ind.inds, &ind.new_relations);
         let t0 = Instant::now();
         let rhs = dbre_core::rhs_discovery(&db, &lhs, &mut oracle, &RhsOptions::default());
@@ -385,7 +385,7 @@ fn x4() {
         let mut db = paper_database();
         let q = paper_q(&db);
         let mut oracle = paper_oracle();
-        let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle);
+        let ind = dbre_core::ind_discovery(&mut db, &q, &mut oracle).unwrap();
         let lhs = dbre_core::lhs_discovery(&db, &ind.inds, &ind.new_relations);
         let rhs = dbre_core::rhs_discovery(&db, &lhs, &mut oracle, &opts);
         println!("{:<28} {:>10} {:>10}", name, rhs.fd_checks, rhs.fds.len());
@@ -492,7 +492,7 @@ fn x6() {
     let q = extraction.q();
     let mut db2 = db.clone();
     let mut oracle = DenyOracle;
-    let ind = dbre_core::ind_discovery(&mut db2, &q, &mut oracle);
+    let ind = dbre_core::ind_discovery(&mut db2, &q, &mut oracle).unwrap();
     let extract_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let t0 = Instant::now();

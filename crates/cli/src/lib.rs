@@ -303,6 +303,16 @@ fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> S
     let _ = writeln!(out, "{}", render_inds(&result.db, &result.restructured.ric));
     let _ = writeln!(out, "\n# EER schema\n");
     let _ = writeln!(out, "{}", result.eer.render_text());
+    if !result.stage_errors.is_empty() {
+        let _ = writeln!(out, "\n# Degraded stages\n");
+        for se in &result.stage_errors {
+            let _ = writeln!(out, "{se}");
+        }
+        let _ = writeln!(
+            out,
+            "\nThe outputs above are partial: each degraded stage fell back to an empty result."
+        );
+    }
     for w in &result.warnings {
         let _ = writeln!(out, "warning: {w}");
     }
@@ -446,5 +456,35 @@ mod tests {
         assert!(run(&cmd).is_err());
         let cmd = parse_args(&s(&["extract", "--schema", "/nonexistent/x.sql"]));
         assert!(run(&cmd).is_err());
+    }
+
+    #[test]
+    fn degraded_run_renders_stage_errors() {
+        let mut cat = dbre_sql::Catalog::new();
+        cat.load_script(
+            "CREATE TABLE Customer (cid INT UNIQUE, cname VARCHAR(30));
+             CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30));
+             INSERT INTO Customer VALUES (1, 'ann'), (2, 'bob');
+             INSERT INTO Orders VALUES (10, 1, 'ann'), (11, 2, 'bob');",
+        )
+        .unwrap();
+        let programs = vec![dbre_extract::ProgramSource::sql(
+            "report",
+            "SELECT cname FROM Orders o, Customer c WHERE o.cust = c.cid;",
+        )];
+        let mut oracle = dbre_core::ChaosOracle::with_abort(1, 1.0);
+        let result = run_with_programs(
+            cat.into_database(),
+            &programs,
+            &mut oracle,
+            &Default::default(),
+        );
+        assert!(!result.stage_errors.is_empty());
+        let out = render_result(&result, true);
+        assert!(out.contains("# Degraded stages"), "{out}");
+        assert!(out.contains("oracle aborted the session"), "{out}");
+        assert!(out.contains("partial"), "{out}");
+        // No backtrace-looking content in user-facing output.
+        assert!(!out.contains("RUST_BACKTRACE"), "{out}");
     }
 }

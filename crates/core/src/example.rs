@@ -16,6 +16,11 @@
 //! * `Department.location` is not-null while `Department.emp` has
 //!   nulls (the pruning example of §6.2.2).
 
+// The fixture is built from compile-time constants taken verbatim
+// from the paper; any failure here is a bug in the fixture itself, so
+// panicking (like a test would) is the right behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::oracle::{NeiDecision, ScriptedOracle};
 use crate::pipeline::{run_with_q, PipelineOptions, PipelineResult};
 use dbre_extract::ProgramSource;
@@ -347,7 +352,7 @@ mod tests {
         let mut db = paper_database();
         let q = paper_q(&db);
         let mut oracle = paper_oracle();
-        let ind = crate::ind_discovery::ind_discovery(&mut db, &q, &mut oracle);
+        let ind = crate::ind_discovery::ind_discovery(&mut db, &q, &mut oracle).unwrap();
         let lines = render_inds(&db, &ind.inds);
         let expected = "\
 Ass-Dept[dep] << Assignment[dep]
@@ -368,7 +373,7 @@ HEmployee[no] << Person[id]";
         let mut db = paper_database();
         let q = paper_q(&db);
         let mut oracle = paper_oracle();
-        let ind = crate::ind_discovery::ind_discovery(&mut db, &q, &mut oracle);
+        let ind = crate::ind_discovery::ind_discovery(&mut db, &q, &mut oracle).unwrap();
         let lhs = crate::lhs_discovery::lhs_discovery(&db, &ind.inds, &ind.new_relations);
         let got = render_quals(&db, &lhs.lhs);
         let expected = "\

@@ -195,13 +195,13 @@ pub fn forward_map(eer: &EerSchema) -> ForwardMapped {
                 ));
                 continue;
             }
-            ric.push(
-                Ind::new(
-                    IndSide::new(rel, source_ids),
-                    IndSide::new(target, target_attrs),
-                )
-                .expect("arity checked above"),
-            );
+            match Ind::new(
+                IndSide::new(rel, source_ids),
+                IndSide::new(target, target_attrs),
+            ) {
+                Ok(ind) => ric.push(ind),
+                Err(e) => warnings.push(format!("participation {} -> {object}: {e}", r.name)),
+            }
         }
     }
 
@@ -238,7 +238,8 @@ fn binary_fk_ric(db: &Database, r: &crate::eer::RelationshipType) -> Result<Ind,
     if s_ids.len() != t_ids.len() {
         return Err(format!("binary relationship {}: arity mismatch", r.name));
     }
-    Ok(Ind::new(IndSide::new(s, s_ids), IndSide::new(t, t_ids)).expect("arity checked"))
+    Ind::new(IndSide::new(s, s_ids), IndSide::new(t, t_ids))
+        .map_err(|e| format!("binary relationship {}: {e}", r.name))
 }
 
 /// `sub`'s key ⊆ `sup`'s key (is-a / equivalence realization).
@@ -272,7 +273,8 @@ fn link_keys(db: &Database, sub: &str, sup: &str) -> Result<Ind, String> {
             pk.len()
         ));
     }
-    Ok(Ind::new(IndSide::new(s, sk), IndSide::new(p, pk)).expect("arity checked"))
+    Ind::new(IndSide::new(s, sk), IndSide::new(p, pk))
+        .map_err(|e| format!("is-a {sub} -> {sup}: {e}"))
 }
 
 /// Weak entity `sub` references its owner through the prefix of its
@@ -305,11 +307,11 @@ fn link_by_key_prefix(db: &Database, sub: &str, owner: &str) -> Result<Ind, Stri
             "weak entity {sub}: owner key wider than its own key"
         ));
     }
-    Ok(Ind::new(
+    Ind::new(
         IndSide::new(s, sk[..ok.len()].to_vec()),
         IndSide::new(o, ok),
     )
-    .expect("arity matched by slicing"))
+    .map_err(|e| format!("weak entity {sub}: {e}"))
 }
 
 #[cfg(test)]
@@ -349,7 +351,7 @@ mod tests {
         // translate(forward(eer)) must reproduce eer (structure-wise).
         let result = run_paper_example();
         let mapped = forward_map(&result.eer);
-        let again = translate(&mapped.db, &mapped.ric);
+        let again = translate(&mapped.db, &mapped.ric).unwrap();
         assert_eq!(result.eer.render_text(), again.render_text());
     }
 

@@ -28,7 +28,7 @@ use dbre_relational::schema::{RelId, Relation};
 use dbre_relational::stats::StatsEngine;
 use dbre_relational::table::Table;
 use dbre_relational::value::Value;
-use dbre_relational::Attribute;
+use dbre_relational::{Attribute, DbreError};
 
 /// Result of IND-Discovery.
 #[derive(Debug, Clone, Default)]
@@ -59,7 +59,11 @@ impl IndDiscovery {
 ///
 /// Equivalent to [`ind_discovery_with_stats`] with a throwaway
 /// [`StatsEngine`].
-pub fn ind_discovery(db: &mut Database, q: &[EquiJoin], oracle: &mut dyn Oracle) -> IndDiscovery {
+pub fn ind_discovery(
+    db: &mut Database,
+    q: &[EquiJoin],
+    oracle: &mut dyn Oracle,
+) -> Result<IndDiscovery, DbreError> {
     ind_discovery_with_stats(db, q, oracle, &StatsEngine::new())
 }
 
@@ -71,12 +75,22 @@ pub fn ind_discovery(db: &mut Database, q: &[EquiJoin], oracle: &mut dyn Oracle)
 /// conceptualization — *adds* relations and never touches existing
 /// tables. The oracle dialogue itself stays strictly sequential and in
 /// `Q` order, so the decision log and results are deterministic.
+///
+/// Every join is validated against the schema *before* any counting
+/// touches a table; a malformed join (out-of-range ids, mismatched
+/// side arity, empty attribute list) yields a typed
+/// [`DbreError::Relational`] instead of an index panic. The pipeline
+/// pre-filters `Q` with per-join warnings, so a direct caller is the
+/// only one who ever sees this error.
 pub fn ind_discovery_with_stats(
     db: &mut Database,
     q: &[EquiJoin],
     oracle: &mut dyn Oracle,
     engine: &StatsEngine,
-) -> IndDiscovery {
+) -> Result<IndDiscovery, DbreError> {
+    for join in q {
+        join.validate(db)?;
+    }
     let mut out = IndDiscovery::default();
     par_map(q, |join| engine.join_stats(db, join));
     for join in q {
@@ -98,10 +112,7 @@ pub fn ind_discovery_with_stats(
         if stats.n_join == stats.n_left || stats.n_join == stats.n_right {
             // (ii)/(iii) — exactly the paper's two independent tests.
             if stats.n_left <= stats.n_right {
-                out.add_ind(
-                    Ind::new(join.left.clone(), join.right.clone())
-                        .expect("equi-join sides have equal arity by construction"),
-                );
+                out.add_ind(Ind::new(join.left.clone(), join.right.clone())?);
                 out.log.push(DecisionRecord::new(
                     "IND-Discovery",
                     rendered.clone(),
@@ -109,10 +120,7 @@ pub fn ind_discovery_with_stats(
                 ));
             }
             if stats.n_right <= stats.n_left {
-                out.add_ind(
-                    Ind::new(join.right.clone(), join.left.clone())
-                        .expect("equi-join sides have equal arity by construction"),
-                );
+                out.add_ind(Ind::new(join.right.clone(), join.left.clone())?);
                 out.log.push(DecisionRecord::new(
                     "IND-Discovery",
                     rendered,
@@ -134,46 +142,41 @@ pub fn ind_discovery_with_stats(
         ));
         match decision {
             NeiDecision::Conceptualize => {
-                let rel_p = conceptualize_intersection(db, join, oracle, engine);
+                let rel_p = conceptualize_intersection(db, join, oracle, engine)?;
                 out.new_relations.push(rel_p);
                 let arity = join.left.attrs.len() as u16;
                 let p_attrs: Vec<AttrId> = (0..arity).map(AttrId).collect();
-                out.add_ind(
-                    Ind::new(IndSide::new(rel_p, p_attrs.clone()), join.left.clone())
-                        .expect("intersection relation mirrors the join arity"),
-                );
-                out.add_ind(
-                    Ind::new(IndSide::new(rel_p, p_attrs), join.right.clone())
-                        .expect("intersection relation mirrors the join arity"),
-                );
+                out.add_ind(Ind::new(
+                    IndSide::new(rel_p, p_attrs.clone()),
+                    join.left.clone(),
+                )?);
+                out.add_ind(Ind::new(IndSide::new(rel_p, p_attrs), join.right.clone())?);
             }
             NeiDecision::ForceLeftInRight => {
-                out.add_ind(
-                    Ind::new(join.left.clone(), join.right.clone())
-                        .expect("equi-join sides have equal arity"),
-                );
+                out.add_ind(Ind::new(join.left.clone(), join.right.clone())?);
             }
             NeiDecision::ForceRightInLeft => {
-                out.add_ind(
-                    Ind::new(join.right.clone(), join.left.clone())
-                        .expect("equi-join sides have equal arity"),
-                );
+                out.add_ind(Ind::new(join.right.clone(), join.left.clone())?);
             }
             NeiDecision::Ignore => {}
         }
     }
-    out
+    Ok(out)
 }
 
 /// Materializes `R_p(A_p)` for a conceptualized NEI: attributes named
 /// after the left side, extension = the value intersection, key = the
 /// whole attribute set.
+///
+/// Fallible: a join side that lists the same attribute twice (legal in
+/// `Q`, e.g. `a.x = b.u AND a.x = b.v`) would give the new relation
+/// duplicate attribute names — surfaced as a typed error.
 fn conceptualize_intersection(
     db: &mut Database,
     join: &EquiJoin,
     oracle: &mut dyn Oracle,
     engine: &StatsEngine,
-) -> RelId {
+) -> Result<RelId, DbreError> {
     let left_rel = db.schema.relation(join.left.rel);
     let right_rel = db.schema.relation(join.right.rel);
     let attr_names: Vec<String> = join
@@ -218,7 +221,7 @@ fn conceptualize_intersection(
     rows.sort();
     let mut table = Table::new(attr_names.len());
     for row in rows {
-        table.push_row(row).expect("arity fixed by construction");
+        table.push_row(row)?;
     }
 
     let attrs: Vec<Attribute> = attr_names
@@ -226,17 +229,12 @@ fn conceptualize_intersection(
         .zip(domains)
         .map(|(n, d)| Attribute::new(n.clone(), d))
         .collect();
-    let rel_p = db
-        .add_relation_with_table(
-            Relation::new(name, attrs).expect("attribute names deduplicated by source relation"),
-            table,
-        )
-        .expect("name uniqueness enforced by unique_name");
+    let rel_p = db.add_relation_with_table(Relation::new(name, attrs)?, table)?;
     // Identifier sets are keys of their conceptualized relation.
     db.constraints
         .add_key(rel_p, AttrSet::from_indices(0..attr_names.len() as u16));
     db.constraints.normalize();
-    rel_p
+    Ok(rel_p)
 }
 
 /// Returns `base` or `base_2`, `base_3`, … whichever is free.
@@ -295,7 +293,7 @@ mod tests {
             db.insert(r, vec![Value::Int(v)]).unwrap();
         }
         let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
-        let out = ind_discovery(&mut db, &[join], &mut DenyOracle);
+        let out = ind_discovery(&mut db, &[join], &mut DenyOracle).unwrap();
         assert_eq!(out.inds.len(), 1);
         assert_eq!(out.inds[0].render(&db.schema), "L[x] << R[y]");
         assert!(out.new_relations.is_empty());
@@ -315,7 +313,7 @@ mod tests {
             db.insert(r, vec![Value::Int(v)]).unwrap();
         }
         let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
-        let out = ind_discovery(&mut db, &[join], &mut DenyOracle);
+        let out = ind_discovery(&mut db, &[join], &mut DenyOracle).unwrap();
         assert_eq!(out.inds.len(), 2);
     }
 
@@ -331,7 +329,7 @@ mod tests {
         db.insert(l, vec![Value::Int(1)]).unwrap();
         db.insert(r, vec![Value::Int(2)]).unwrap();
         let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
-        let out = ind_discovery(&mut db, &[join], &mut DenyOracle);
+        let out = ind_discovery(&mut db, &[join], &mut DenyOracle).unwrap();
         assert!(out.inds.is_empty());
         assert_eq!(out.empty_intersections.len(), 1);
     }
@@ -339,7 +337,7 @@ mod tests {
     #[test]
     fn nei_ignored_by_deny_oracle() {
         let (mut db, join) = nei_db();
-        let out = ind_discovery(&mut db, &[join], &mut DenyOracle);
+        let out = ind_discovery(&mut db, &[join], &mut DenyOracle).unwrap();
         assert!(out.inds.is_empty());
         assert!(out.new_relations.is_empty());
         assert_eq!(out.log.len(), 1);
@@ -351,7 +349,7 @@ mod tests {
         let mut oracle = ScriptedOracle::new()
             .nei("L[x] |><| R[y]", NeiDecision::Conceptualize)
             .name("nei:L[x] |><| R[y]", "Shared");
-        let out = ind_discovery(&mut db, &[join], &mut oracle);
+        let out = ind_discovery(&mut db, &[join], &mut oracle).unwrap();
         assert_eq!(out.new_relations.len(), 1);
         let shared = db.rel("Shared").unwrap();
         let t = db.table(shared);
@@ -372,14 +370,14 @@ mod tests {
     fn nei_forced_directions() {
         let (mut db, join) = nei_db();
         let mut oracle = ScriptedOracle::new().nei("L[x] |><| R[y]", NeiDecision::ForceLeftInRight);
-        let out = ind_discovery(&mut db, std::slice::from_ref(&join), &mut oracle);
+        let out = ind_discovery(&mut db, std::slice::from_ref(&join), &mut oracle).unwrap();
         assert_eq!(out.inds[0].render(&db.schema), "L[x] << R[y]");
         // Forced INDs need not hold in the (dirty) extension.
         assert!(!db.ind_holds(&out.inds[0]));
 
         let (mut db, join) = nei_db();
         let mut oracle = ScriptedOracle::new().nei("L[x] |><| R[y]", NeiDecision::ForceRightInLeft);
-        let out = ind_discovery(&mut db, &[join], &mut oracle);
+        let out = ind_discovery(&mut db, &[join], &mut oracle).unwrap();
         assert_eq!(out.inds[0].render(&db.schema), "R[y] << L[x]");
     }
 
@@ -387,7 +385,7 @@ mod tests {
     fn auto_oracle_conceptualizes_mid_overlap() {
         // |L∩R| = 2 of min 4 → ratio 0.5 → conceptualize at default τ.
         let (mut db, join) = nei_db();
-        let out = ind_discovery(&mut db, &[join], &mut AutoOracle::default());
+        let out = ind_discovery(&mut db, &[join], &mut AutoOracle::default()).unwrap();
         assert_eq!(out.new_relations.len(), 1);
     }
 
@@ -395,7 +393,7 @@ mod tests {
     fn elicited_inds_hold_in_extension() {
         let (mut db, join) = nei_db();
         let mut oracle = ScriptedOracle::new().nei("L[x] |><| R[y]", NeiDecision::Conceptualize);
-        let out = ind_discovery(&mut db, &[join], &mut oracle);
+        let out = ind_discovery(&mut db, &[join], &mut oracle).unwrap();
         for ind in &out.inds {
             assert!(db.ind_holds(ind));
         }
@@ -408,7 +406,7 @@ mod tests {
         let mut oracle = ScriptedOracle::new()
             .nei("L[x] |><| R[y]", NeiDecision::Conceptualize)
             .name("nei:L[x] |><| R[y]", "L");
-        let out = ind_discovery(&mut db, &[join], &mut oracle);
+        let out = ind_discovery(&mut db, &[join], &mut oracle).unwrap();
         let created = out.new_relations[0];
         assert_eq!(db.schema.relation(created).name, "L_2");
     }
@@ -425,7 +423,7 @@ mod tests {
         db.insert(l, vec![Value::Int(1)]).unwrap();
         db.insert(r, vec![Value::Int(1)]).unwrap();
         let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
-        let out = ind_discovery(&mut db, &[join.clone(), join], &mut DenyOracle);
+        let out = ind_discovery(&mut db, &[join.clone(), join], &mut DenyOracle).unwrap();
         assert_eq!(out.inds.len(), 2); // both directions, once each
     }
 }

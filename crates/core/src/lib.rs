@@ -43,8 +43,10 @@ pub use eer::EerSchema;
 pub use forward::{forward_map, ForwardMapped};
 pub use ind_discovery::{ind_discovery, IndDiscovery};
 pub use lhs_discovery::{lhs_discovery, LhsDiscovery};
-pub use oracle::{AutoOracle, DenyOracle, NeiDecision, Oracle, ScriptedOracle};
-pub use pipeline::{run_with_programs, run_with_q, PipelineOptions, PipelineResult};
+pub use oracle::{
+    AutoOracle, ChaosOracle, DenyOracle, NeiDecision, Oracle, OracleAbort, ScriptedOracle,
+};
+pub use pipeline::{run_with_programs, run_with_q, PipelineOptions, PipelineResult, StageError};
 pub use restruct::{restruct, Restructured};
 pub use rhs_discovery::{rhs_discovery, RhsDiscovery, RhsOptions};
 pub use translate::translate;

@@ -348,6 +348,117 @@ impl DecisionRecord {
     }
 }
 
+/// Panic payload thrown by an oracle that aborts the interactive
+/// session mid-dialogue (the expert walks away, §6 — the questions are
+/// asked one at a time, so an abort can land anywhere). The pipeline's
+/// stage runner catches the unwind at the stage boundary and downcasts
+/// this payload into `DbreError::OracleAbort`; any other payload
+/// becomes `DbreError::Panic`.
+#[derive(Debug, Clone)]
+pub struct OracleAbort(pub String);
+
+impl OracleAbort {
+    /// Unwinds the current stage with this abort as payload.
+    pub fn raise(message: impl Into<String>) -> ! {
+        std::panic::panic_any(OracleAbort(message.into()))
+    }
+}
+
+/// Fault-injection oracle: with probability [`abort_probability`] any
+/// single question aborts the whole session (unwinding with an
+/// [`OracleAbort`] payload); otherwise it answers uniformly at random
+/// — including *inconsistently* across repeated identical questions —
+/// and returns hostile relation names (empty, whitespace, colliding).
+/// Deterministic for a given seed (a SplitMix64 stream), so any
+/// failure it provokes replays exactly.
+///
+/// [`abort_probability`]: ChaosOracle::abort_probability
+#[derive(Debug, Clone)]
+pub struct ChaosOracle {
+    state: u64,
+    /// Probability in `[0, 1]` that any single question aborts.
+    pub abort_probability: f64,
+    /// Questions answered so far (for abort diagnostics).
+    pub questions: u64,
+}
+
+impl ChaosOracle {
+    /// A chaos oracle that never aborts but answers at random.
+    pub fn new(seed: u64) -> Self {
+        Self::with_abort(seed, 0.0)
+    }
+
+    /// A chaos oracle that aborts each question with `abort_probability`.
+    pub fn with_abort(seed: u64, abort_probability: f64) -> Self {
+        ChaosOracle {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            abort_probability,
+            questions: 0,
+        }
+    }
+
+    /// SplitMix64 step.
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn maybe_abort(&mut self, what: &str) {
+        self.questions += 1;
+        if self.abort_probability > 0.0 && self.unit() < self.abort_probability {
+            OracleAbort::raise(format!(
+                "chaos oracle gave up at question {} ({what})",
+                self.questions
+            ));
+        }
+    }
+}
+
+impl Oracle for ChaosOracle {
+    fn resolve_nei(&mut self, _ctx: &NeiContext<'_>) -> NeiDecision {
+        self.maybe_abort("NEI resolution");
+        match self.next() % 4 {
+            0 => NeiDecision::Conceptualize,
+            1 => NeiDecision::ForceLeftInRight,
+            2 => NeiDecision::ForceRightInLeft,
+            _ => NeiDecision::Ignore,
+        }
+    }
+
+    fn enforce_fd(&mut self, _ctx: &FdContext<'_>) -> bool {
+        self.maybe_abort("FD enforcement");
+        self.next().is_multiple_of(2)
+    }
+
+    fn validate_fd(&mut self, _ctx: &FdContext<'_>) -> bool {
+        self.maybe_abort("FD validation");
+        self.next().is_multiple_of(2)
+    }
+
+    fn conceptualize_hidden(&mut self, _ctx: &HiddenContext<'_>) -> bool {
+        self.maybe_abort("hidden-object decision");
+        self.next().is_multiple_of(2)
+    }
+
+    fn name_new_relation(&mut self, ctx: &NamingContext<'_>) -> String {
+        self.maybe_abort("naming decision");
+        match self.next() % 4 {
+            0 => ctx.default_name.clone(),
+            1 => String::new(),
+            2 => "  chaos name  ".to_string(),
+            _ => "X".to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

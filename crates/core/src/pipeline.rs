@@ -17,7 +17,7 @@
 use crate::eer::EerSchema;
 use crate::ind_discovery::{ind_discovery_with_stats, IndDiscovery};
 use crate::lhs_discovery::{lhs_discovery, LhsDiscovery};
-use crate::oracle::{DecisionRecord, Oracle};
+use crate::oracle::{DecisionRecord, Oracle, OracleAbort};
 use crate::restruct::{restruct, Restructured};
 use crate::rhs_discovery::{rhs_discovery_with_stats, RhsDiscovery, RhsOptions};
 use crate::translate::translate;
@@ -25,6 +25,9 @@ use dbre_extract::{extract_programs, ExtractConfig, ProgramSource};
 use dbre_relational::counting::EquiJoin;
 use dbre_relational::database::Database;
 use dbre_relational::stats::{StatsCounters, StatsEngine};
+use dbre_relational::DbreError;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
@@ -56,6 +59,23 @@ impl PipelineStats {
     /// Total wall time across the recorded stages.
     pub fn total(&self) -> Duration {
         self.stage_timings.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// One failed (degraded) stage: which stage, and the typed error it
+/// failed with. The stage's output was replaced by its empty default
+/// and the run continued.
+#[derive(Debug, Clone)]
+pub struct StageError {
+    /// Stage name, matching [`PipelineStats::stage_timings`].
+    pub stage: &'static str,
+    /// The typed failure.
+    pub error: DbreError,
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage `{}` failed: {}", self.stage, self.error)
     }
 }
 
@@ -94,9 +114,18 @@ pub struct PipelineResult {
     /// supplied directly. This is the paper's promise that the expert
     /// can trace every presumption back to the code exhibiting it.
     pub provenance: Vec<(EquiJoin, Vec<dbre_extract::Provenance>)>,
+    /// Stages that failed and were degraded: each failed stage yields
+    /// its empty default output, a warning, and an entry here. Empty
+    /// on a clean run — see [`PipelineResult::is_complete`].
+    pub stage_errors: Vec<StageError>,
 }
 
 impl PipelineResult {
+    /// Did every stage complete without degradation?
+    pub fn is_complete(&self) -> bool {
+        self.stage_errors.is_empty()
+    }
+
     /// The programs that exhibited `join` (empty when unknown).
     pub fn evidence_for(&self, join: &EquiJoin) -> Vec<&str> {
         let canonical = join.canonical();
@@ -135,39 +164,52 @@ pub fn run_with_programs(
 /// Validates one caller-supplied join against the schema; `Err` is the
 /// warning to record.
 fn validate_join(db: &Database, join: &EquiJoin) -> Result<(), String> {
-    if join.left.attrs.len() != join.right.attrs.len() {
-        return Err(format!(
-            "skipping malformed join: arity mismatch ({} vs {} attributes)",
-            join.left.attrs.len(),
-            join.right.attrs.len()
-        ));
+    join.validate(db)
+        .map_err(|e| format!("skipping malformed join: {e}"))
+}
+
+/// Renders a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
     }
-    for side in [&join.left, &join.right] {
-        if side.rel.index() >= db.schema.len() {
-            return Err(format!(
-                "skipping malformed join: unknown relation id {}",
-                side.rel.index()
-            ));
-        }
-        let relation = db.schema.relation(side.rel);
-        if side.attrs.is_empty() {
-            return Err(format!(
-                "skipping malformed join: empty attribute list on {}",
-                relation.name
-            ));
-        }
-        for attr in &side.attrs {
-            if attr.index() >= relation.arity() {
-                return Err(format!(
-                    "skipping malformed join: attribute id {} out of bounds for {} (arity {})",
-                    attr.index(),
-                    relation.name,
-                    relation.arity()
-                ));
-            }
-        }
-    }
-    Ok(())
+}
+
+/// Runs one pipeline stage with graceful degradation: a typed error
+/// *or a panic* inside `f` is demoted to a warning plus a
+/// [`StageError`], and the stage's output is replaced by `fallback()`
+/// so the remaining stages still run over whatever survived. An
+/// [`OracleAbort`] unwind is recognized and surfaces as the typed
+/// [`DbreError::OracleAbort`].
+fn run_stage<T>(
+    stage: &'static str,
+    stats: &mut PipelineStats,
+    warnings: &mut Vec<String>,
+    stage_errors: &mut Vec<StageError>,
+    fallback: impl FnOnce() -> T,
+    f: impl FnOnce() -> Result<T, DbreError>,
+) -> T {
+    let t = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    stats.stage_timings.push((stage, t.elapsed()));
+    let error = match outcome {
+        Ok(Ok(v)) => return v,
+        Ok(Err(e)) => e,
+        Err(payload) => match payload.downcast::<OracleAbort>() {
+            Ok(abort) => DbreError::OracleAbort(abort.0),
+            Err(payload) => DbreError::Panic {
+                stage: stage.to_string(),
+                message: panic_message(payload.as_ref()),
+            },
+        },
+    };
+    warnings.push(format!("stage `{stage}` degraded: {error}"));
+    stage_errors.push(StageError { stage, error });
+    fallback()
 }
 
 /// Runs the pipeline from a prepared set `Q`.
@@ -176,6 +218,15 @@ fn validate_join(db: &Database, join: &EquiJoin) -> Result<(), String> {
 /// relation or attribute ids, empty attribute lists — are skipped with
 /// a warning in [`PipelineResult::warnings`] instead of panicking
 /// deep inside counting.
+///
+/// The run itself is infallible: a stage that returns a typed error
+/// or panics (including an expert aborting the session, modeled as an
+/// [`OracleAbort`] unwind) is *degraded* — its output is replaced by
+/// the empty default, the failure is recorded in
+/// [`PipelineResult::stage_errors`] and mirrored as a warning, and
+/// the remaining stages run over whatever survived. The audit log and
+/// the pre-restruct snapshot stay coherent with the stages that did
+/// complete.
 pub fn run_with_q(
     mut db: Database,
     q: &[EquiJoin],
@@ -184,6 +235,7 @@ pub fn run_with_q(
 ) -> PipelineResult {
     let mut log = Vec::new();
     let mut warnings = Vec::new();
+    let mut stage_errors = Vec::new();
     let mut stats = PipelineStats::default();
     let engine = StatsEngine::new();
 
@@ -200,8 +252,21 @@ pub fn run_with_q(
         .collect();
 
     if options.infer_missing_keys {
-        let t = Instant::now();
-        for (rel, key) in dbre_mine::infer_missing_keys_with_stats(&mut db, Some(3), &engine) {
+        let inferred = run_stage(
+            "key-inference",
+            &mut stats,
+            &mut warnings,
+            &mut stage_errors,
+            Vec::new,
+            || {
+                Ok(dbre_mine::infer_missing_keys_with_stats(
+                    &mut db,
+                    Some(3),
+                    &engine,
+                ))
+            },
+        );
+        for (rel, key) in inferred {
             let relation = db.schema.relation(rel);
             log.push(DecisionRecord::new(
                 "Key inference",
@@ -209,29 +274,61 @@ pub fn run_with_q(
                 format!("inferred key {{{}}}", relation.render_set(&key)),
             ));
         }
-        stats.stage_timings.push(("key-inference", t.elapsed()));
     }
 
-    let t = Instant::now();
-    let ind = ind_discovery_with_stats(&mut db, &q, oracle, &engine);
-    stats.stage_timings.push(("ind-discovery", t.elapsed()));
+    let ind = run_stage(
+        "ind-discovery",
+        &mut stats,
+        &mut warnings,
+        &mut stage_errors,
+        IndDiscovery::default,
+        || ind_discovery_with_stats(&mut db, &q, &mut *oracle, &engine),
+    );
 
-    let t = Instant::now();
-    let lhs = lhs_discovery(&db, &ind.inds, &ind.new_relations);
-    stats.stage_timings.push(("lhs-discovery", t.elapsed()));
+    let lhs = run_stage(
+        "lhs-discovery",
+        &mut stats,
+        &mut warnings,
+        &mut stage_errors,
+        LhsDiscovery::default,
+        || Ok(lhs_discovery(&db, &ind.inds, &ind.new_relations)),
+    );
 
-    let t = Instant::now();
-    let rhs = rhs_discovery_with_stats(&db, &lhs, oracle, &options.rhs, &engine);
-    stats.stage_timings.push(("rhs-discovery", t.elapsed()));
+    let rhs = run_stage(
+        "rhs-discovery",
+        &mut stats,
+        &mut warnings,
+        &mut stage_errors,
+        RhsDiscovery::default,
+        || {
+            Ok(rhs_discovery_with_stats(
+                &db,
+                &lhs,
+                &mut *oracle,
+                &options.rhs,
+                &engine,
+            ))
+        },
+    );
 
     let db_before = db.clone();
-    let t = Instant::now();
-    let restructured = restruct(&mut db, &rhs.fds, &rhs.hidden, &ind.inds, oracle);
-    stats.stage_timings.push(("restruct", t.elapsed()));
+    let restructured = run_stage(
+        "restruct",
+        &mut stats,
+        &mut warnings,
+        &mut stage_errors,
+        Restructured::default,
+        || restruct(&mut db, &rhs.fds, &rhs.hidden, &ind.inds, &mut *oracle),
+    );
 
-    let t = Instant::now();
-    let eer = translate(&db, &restructured.ric);
-    stats.stage_timings.push(("translate", t.elapsed()));
+    let eer = run_stage(
+        "translate",
+        &mut stats,
+        &mut warnings,
+        &mut stage_errors,
+        EerSchema::default,
+        || translate(&db, &restructured.ric),
+    );
 
     stats.counters = engine.counters();
 
@@ -252,6 +349,7 @@ pub fn run_with_q(
         warnings,
         provenance: Vec::new(),
         stats,
+        stage_errors,
     }
 }
 

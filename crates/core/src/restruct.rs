@@ -26,7 +26,7 @@ use dbre_relational::attr::{AttrId, AttrSet};
 use dbre_relational::database::Database;
 use dbre_relational::deps::{Fd, Ind, IndSide};
 use dbre_relational::schema::{QualAttrs, RelId, Relation};
-use dbre_relational::Attribute;
+use dbre_relational::{Attribute, DbreError, RelationalError};
 
 /// Result of Restruct.
 #[derive(Debug, Clone, Default)]
@@ -50,15 +50,84 @@ pub struct Restructured {
     pub log: Vec<DecisionRecord>,
 }
 
+/// Checks a `(relation, attribute set)` reference against the schema.
+fn check_qual(db: &Database, rel: RelId, attrs: &AttrSet) -> Result<(), RelationalError> {
+    if rel.index() >= db.schema.len() {
+        return Err(RelationalError::UnknownRelation(format!(
+            "#{}",
+            rel.index()
+        )));
+    }
+    let relation = db.schema.relation(rel);
+    for a in attrs.iter() {
+        if a.index() >= relation.arity() {
+            return Err(RelationalError::UnknownAttribute {
+                relation: relation.name.clone(),
+                attribute: format!("#{}", a.index()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates the elicited `F`, `H` and `IND` against the schema before
+/// Restruct mutates anything: all relation and attribute ids in range,
+/// FD left-hand sides and hidden attribute sets non-empty, IND sides
+/// of equal arity. A caller feeding hand-built dependencies gets a
+/// typed error instead of an index panic halfway through a rewrite.
+fn validate_inputs(
+    db: &Database,
+    fds: &[Fd],
+    hidden: &[QualAttrs],
+    inds: &[Ind],
+) -> Result<(), RelationalError> {
+    for fd in fds {
+        check_qual(db, fd.rel, &fd.lhs)?;
+        check_qual(db, fd.rel, &fd.rhs)?;
+        if fd.lhs.is_empty() {
+            return Err(RelationalError::EmptyAttrList {
+                relation: db.schema.relation(fd.rel).name.clone(),
+            });
+        }
+    }
+    for h in hidden {
+        check_qual(db, h.rel, &h.attrs)?;
+        if h.attrs.is_empty() {
+            return Err(RelationalError::EmptyAttrList {
+                relation: db.schema.relation(h.rel).name.clone(),
+            });
+        }
+    }
+    for ind in inds {
+        for side in [&ind.lhs, &ind.rhs] {
+            check_qual(db, side.rel, &side.attr_set())?;
+        }
+        if ind.lhs.attrs.len() != ind.rhs.attrs.len() {
+            return Err(RelationalError::IndArityMismatch {
+                lhs: ind.lhs.attrs.len(),
+                rhs: ind.rhs.attrs.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Runs Restruct. Mutates `db` in place: adds the new relations,
 /// removes split-off attributes, extends `K`.
+///
+/// Fallible: malformed inputs (out-of-range ids, empty attribute sets,
+/// mismatched IND arity) are rejected upfront with a typed error,
+/// before any mutation. `db` is only modified on the `Ok` path and by
+/// oracle panics unwinding mid-rewrite (the pipeline catches those at
+/// the stage boundary).
 pub fn restruct(
     db: &mut Database,
     fds: &[Fd],
     hidden: &[QualAttrs],
     inds: &[Ind],
     oracle: &mut dyn Oracle,
-) -> Restructured {
+) -> Result<Restructured, DbreError> {
+    validate_inputs(db, fds, hidden, inds)?;
     let mut out = Restructured {
         inds: inds.to_vec(),
         ..Default::default()
@@ -92,12 +161,7 @@ pub fn restruct(
         ));
 
         let table = db.table(h.rel).distinct_subtable(&attr_ids);
-        let rel_p = db
-            .add_relation_with_table(
-                Relation::new(name, attrs).expect("source attribute names are unique"),
-                table,
-            )
-            .expect("unique_name guarantees a free name");
+        let rel_p = db.add_relation_with_table(Relation::new(name, attrs)?, table)?;
         let p_attrs: Vec<AttrId> = (0..attr_ids.len() as u16).map(AttrId).collect();
         db.constraints
             .add_key(rel_p, AttrSet::from_iter_ids(p_attrs.iter().copied()));
@@ -106,13 +170,10 @@ pub fn restruct(
         // Replace occurrences of R_i[A_i] in IND, then add the linking
         // IND (which must itself stay untouched).
         replace_side(&mut out.inds, h.rel, &attr_ids, rel_p, &p_attrs);
-        out.inds.push(
-            Ind::new(
-                IndSide::new(h.rel, attr_ids.clone()),
-                IndSide::new(rel_p, p_attrs),
-            )
-            .expect("matching arity by construction"),
-        );
+        out.inds.push(Ind::new(
+            IndSide::new(h.rel, attr_ids.clone()),
+            IndSide::new(rel_p, p_attrs),
+        )?);
     }
 
     // ---- Phase 2: FD splitting ----
@@ -154,13 +215,8 @@ pub fn restruct(
         // the structure then "no longer matches the database
         // extension". We repair by keeping, per key value, the most
         // frequent right-hand side (g3-style minimal change).
-        let table = fd_repaired_subtable(db.table(fd.rel), &a_ids, &b_ids);
-        let rel_p = db
-            .add_relation_with_table(
-                Relation::new(name, attrs).expect("source attribute names are unique"),
-                table,
-            )
-            .expect("unique_name guarantees a free name");
+        let table = fd_repaired_subtable(db.table(fd.rel), &a_ids, &b_ids)?;
+        let rel_p = db.add_relation_with_table(Relation::new(name, attrs)?, table)?;
         // Key of the new relation: its A_i prefix.
         let p_a: Vec<AttrId> = (0..a_ids.len() as u16).map(AttrId).collect();
         let p_b: Vec<AttrId> = (a_ids.len() as u16..all_ids.len() as u16)
@@ -179,17 +235,14 @@ pub fn restruct(
         // Rewrite IND references, then add the linking IND.
         replace_side(&mut out.inds, fd.rel, &a_ids, rel_p, &p_a);
         replace_side(&mut out.inds, fd.rel, &b_ids, rel_p, &p_b);
-        out.inds.push(
-            Ind::new(
-                IndSide::new(fd.rel, a_ids.clone()),
-                IndSide::new(rel_p, p_a),
-            )
-            .expect("matching arity by construction"),
-        );
+        out.inds.push(Ind::new(
+            IndSide::new(fd.rel, a_ids.clone()),
+            IndSide::new(rel_p, p_a),
+        )?);
     }
 
     // ---- Phase 3: physical attribute removal + remapping ----
-    apply_removals(db, &pending_removals, &mut out);
+    apply_removals(db, &pending_removals, &mut out)?;
 
     db.constraints.normalize();
 
@@ -201,7 +254,7 @@ pub fn restruct(
         .cloned()
         .collect();
 
-    out
+    Ok(out)
 }
 
 /// Builds the extension of an FD-split relation `R_p(A B)`: one tuple
@@ -212,7 +265,7 @@ fn fd_repaired_subtable(
     table: &dbre_relational::Table,
     a_ids: &[AttrId],
     b_ids: &[AttrId],
-) -> dbre_relational::Table {
+) -> Result<dbre_relational::Table, DbreError> {
     use std::collections::HashMap;
     type Row = Vec<dbre_relational::Value>;
     // key -> (first-seen order, rhs -> (count, first index))
@@ -234,15 +287,18 @@ fn fd_repaired_subtable(
     let mut out = dbre_relational::Table::new(a_ids.len() + b_ids.len());
     for key in order {
         let rhss = &groups[&key];
-        let best = rhss
+        // Every group received at least one RHS when it was created.
+        let Some(best) = rhss
             .iter()
             .min_by_key(|(_, (count, first))| (std::cmp::Reverse(*count), *first))
-            .expect("group is non-empty by construction");
+        else {
+            continue;
+        };
         let mut row = key.clone();
         row.extend(best.0.iter().cloned());
-        out.push_row(row).expect("arity fixed by construction");
+        out.push_row(row)?;
     }
-    out
+    Ok(out)
 }
 
 /// Redirects IND sides from `(rel, attrs)` to `(new_rel, new_attrs)`.
@@ -272,6 +328,9 @@ fn replace_side(
                     .attrs
                     .iter()
                     .map(|a| {
+                        // The subset check above guarantees every side
+                        // attribute occurs in `attrs`.
+                        #[allow(clippy::expect_used)]
                         let pos = attrs
                             .iter()
                             .position(|x| x == a)
@@ -291,7 +350,11 @@ fn replace_side(
 /// attribute indices. IND sides that still reference a removed
 /// attribute are dropped with a warning — they straddled a split the
 /// elicited dependencies did not anticipate.
-fn apply_removals(db: &mut Database, removals: &[(RelId, AttrSet)], out: &mut Restructured) {
+fn apply_removals(
+    db: &mut Database,
+    removals: &[(RelId, AttrSet)],
+    out: &mut Restructured,
+) -> Result<(), DbreError> {
     use std::collections::HashMap;
     // Merge removals per relation.
     let mut per_rel: HashMap<RelId, AttrSet> = HashMap::new();
@@ -315,13 +378,9 @@ fn apply_removals(db: &mut Database, removals: &[(RelId, AttrSet)], out: &mut Re
         // Table first (drop_columns matches the relation header).
         let removed_ids: Vec<AttrId> = removed.iter().collect();
         let new_table = db.table(*rel).drop_columns(&removed_ids);
-        let new_relation =
-            Relation::new(relation.name.clone(), kept).expect("kept names stay unique");
-        db.schema
-            .replace_relation(*rel, new_relation)
-            .expect("name unchanged");
-        db.replace_table(*rel, new_table)
-            .expect("column count matches by construction");
+        let new_relation = Relation::new(relation.name.clone(), kept)?;
+        db.schema.replace_relation(*rel, new_relation)?;
+        db.replace_table(*rel, new_table)?;
 
         // Keys and not-nulls.
         db.constraints.keys.retain_mut(|k| {
@@ -370,6 +429,7 @@ fn apply_removals(db: &mut Database, removals: &[(RelId, AttrSet)], out: &mut Re
         });
         out.inds = inds;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -452,7 +512,7 @@ mod tests {
         let (mut db, dept, _) = db();
         let h = QualAttrs::new(dept, AttrSet::from_indices([1u16]));
         let mut oracle = ScriptedOracle::new().name("hidden:Department.{emp}", "Employee");
-        let out = restruct(&mut db, &[], &[h], &[], &mut oracle);
+        let out = restruct(&mut db, &[], &[h], &[], &mut oracle).unwrap();
         assert_eq!(out.hidden_relations.len(), 1);
         let employee = db.rel("Employee").unwrap();
         assert_eq!(db.table(employee).len(), 2); // distinct emps {1, 2}
@@ -476,7 +536,7 @@ mod tests {
         // Existing IND Department[emp] << Assignment[emp].
         let existing = Ind::unary(dept, AttrId(1), assign, AttrId(0));
         let mut oracle = ScriptedOracle::new().name("hidden:Assignment.{emp}", "Employee");
-        let out = restruct(&mut db, &[], &[h], &[existing], &mut oracle);
+        let out = restruct(&mut db, &[], &[h], &[existing], &mut oracle).unwrap();
         let rendered: Vec<String> = out.inds.iter().map(|i| i.render(&db.schema)).collect();
         assert!(rendered.contains(&"Department[emp] << Employee[emp]".to_string()));
         assert!(rendered.contains(&"Assignment[emp] << Employee[emp]".to_string()));
@@ -493,7 +553,7 @@ mod tests {
             AttrSet::from_indices([2u16, 4u16]),
         );
         let mut oracle = ScriptedOracle::new().name("fd:Department: emp -> skill, proj", "Manager");
-        let out = restruct(&mut db, &[fd], &[], &[], &mut oracle);
+        let out = restruct(&mut db, &[fd], &[], &[], &mut oracle).unwrap();
         assert_eq!(out.fd_relations.len(), 1);
         // Department lost skill and proj.
         let dept_rel = db.schema.relation(dept);
@@ -549,7 +609,7 @@ mod tests {
         let mut oracle = ScriptedOracle::new()
             .name("fd:Assignment: proj -> project-name", "Project")
             .name("fd:Department: emp -> skill, proj", "Manager");
-        let out = restruct(&mut db, &fds, &[], &[existing], &mut oracle);
+        let out = restruct(&mut db, &fds, &[], &[existing], &mut oracle).unwrap();
         let rendered: Vec<String> = out.inds.iter().map(|i| i.render(&db.schema)).collect();
         assert!(
             rendered.contains(&"Manager[proj] << Project[proj]".to_string()),
@@ -571,7 +631,7 @@ mod tests {
         let keyed = Ind::unary(assign, AttrId(1), dept, AttrId(0));
         // Department[emp] << Assignment[emp] — Assignment.emp not a key.
         let unkeyed = Ind::unary(dept, AttrId(1), assign, AttrId(0));
-        let out = restruct(&mut db, &[], &[], &[keyed, unkeyed], &mut DenyOracle);
+        let out = restruct(&mut db, &[], &[], &[keyed, unkeyed], &mut DenyOracle).unwrap();
         assert_eq!(out.inds.len(), 2);
         assert_eq!(out.ric.len(), 1);
         assert_eq!(
@@ -584,7 +644,7 @@ mod tests {
     fn default_names_used_without_script() {
         let (mut db, dept, _) = db();
         let h = QualAttrs::new(dept, AttrSet::from_indices([1u16]));
-        let out = restruct(&mut db, &[], &[h], &[], &mut DenyOracle);
+        let out = restruct(&mut db, &[], &[h], &[], &mut DenyOracle).unwrap();
         let name = &db.schema.relation(out.hidden_relations[0]).name;
         assert_eq!(name, "Department_emp");
     }
@@ -603,7 +663,7 @@ mod tests {
             AttrSet::from_indices([1u16]),
             AttrSet::from_indices([2u16, 4u16]),
         );
-        let out = restruct(&mut db, &[fd], &[], &[straddle], &mut DenyOracle);
+        let out = restruct(&mut db, &[fd], &[], &[straddle], &mut DenyOracle).unwrap();
         assert!(!out.warnings.is_empty());
         assert_eq!(out.inds.len(), 1); // only the linking IND survives
     }

@@ -20,9 +20,34 @@ use dbre_relational::attr::AttrSet;
 use dbre_relational::database::Database;
 use dbre_relational::deps::Ind;
 use dbre_relational::schema::RelId;
+use dbre_relational::{DbreError, RelationalError};
 
 /// Runs Translate on a (restructured) database and its RIC set.
-pub fn translate(db: &Database, ric: &[Ind]) -> EerSchema {
+///
+/// The RIC set is validated against the schema first: an inclusion
+/// dependency referencing an out-of-range relation or attribute id
+/// yields a typed error instead of an index panic during
+/// classification.
+pub fn translate(db: &Database, ric: &[Ind]) -> Result<EerSchema, DbreError> {
+    for ind in ric {
+        for side in [&ind.lhs, &ind.rhs] {
+            if side.rel.index() >= db.schema.len() {
+                return Err(
+                    RelationalError::UnknownRelation(format!("#{}", side.rel.index())).into(),
+                );
+            }
+            let relation = db.schema.relation(side.rel);
+            for a in &side.attrs {
+                if a.index() >= relation.arity() {
+                    return Err(RelationalError::UnknownAttribute {
+                        relation: relation.name.clone(),
+                        attribute: format!("#{}", a.index()),
+                    }
+                    .into());
+                }
+            }
+        }
+    }
     let mut out = EerSchema::default();
 
     // Group RICs by source relation.
@@ -209,7 +234,7 @@ pub fn translate(db: &Database, ric: &[Ind]) -> EerSchema {
     }
 
     collapse_isa_cycles(&mut out);
-    out
+    Ok(out)
 }
 
 /// Cyclic-IND treatment (left open by the paper's sketch): is-a links
@@ -395,7 +420,7 @@ mod tests {
     #[test]
     fn paper_figure_1_structure() {
         let (db, ric) = restructured_db();
-        let eer = translate(&db, &ric);
+        let eer = translate(&db, &ric).unwrap();
 
         // Assignment: ternary many-to-many relationship with attr date.
         let assign = eer.relationship("Assignment").expect("Assignment diamond");
@@ -452,7 +477,7 @@ mod tests {
             .unwrap();
         db.constraints.add_key(rel, AttrSet::from_indices([0u16]));
         db.constraints.normalize();
-        let eer = translate(&db, &[]);
+        let eer = translate(&db, &[]).unwrap();
         let e = eer.entity("Lone").unwrap();
         assert!(!e.weak);
         assert_eq!(e.key, vec!["k"]);
@@ -481,7 +506,7 @@ mod tests {
         db.constraints.add_key(base, AttrSet::from_indices([0u16]));
         db.constraints.normalize();
         let ric = vec![Ind::unary(hist, AttrId(0), base, AttrId(0))];
-        let eer = translate(&db, &ric);
+        let eer = translate(&db, &ric).unwrap();
         let h = eer.entity("History").unwrap();
         assert!(h.weak);
         assert_eq!(h.owners, vec!["Base"]);
@@ -503,7 +528,7 @@ mod tests {
         db.constraints.add_key(mgr, AttrSet::from_indices([0u16]));
         db.constraints.normalize();
         let ric = vec![Ind::unary(dept, AttrId(1), mgr, AttrId(0))];
-        let eer = translate(&db, &ric);
+        let eer = translate(&db, &ric).unwrap();
         let r = eer.relationship("Department-Manager").unwrap();
         assert_eq!(r.kind, RelationshipKind::Binary);
         assert_eq!(r.participants[0].via, vec!["mgr"]);
@@ -526,7 +551,7 @@ mod tests {
         db.constraints.add_key(sup, AttrSet::from_indices([0u16]));
         db.constraints.normalize();
         let ric = vec![Ind::unary(sub, AttrId(0), sup, AttrId(0))];
-        let eer = translate(&db, &ric);
+        let eer = translate(&db, &ric).unwrap();
         assert!(eer.has_isa("Sub", "Sup"));
         assert!(eer.relationships.is_empty());
         assert!(!eer.entity("Sub").unwrap().weak);
@@ -558,7 +583,7 @@ mod tests {
             Ind::unary(client, AttrId(0), cust, AttrId(0)),
             Ind::unary(cust, AttrId(0), client, AttrId(0)),
         ];
-        let eer = translate(&db, &ric);
+        let eer = translate(&db, &ric).unwrap();
         assert!(eer.isa.is_empty(), "no circular is-a links");
         assert_eq!(eer.equivalences.len(), 1);
         let mut g = eer.equivalences[0].clone();
@@ -590,7 +615,7 @@ mod tests {
             // External specialization into the cycle.
             Ind::unary(rels[3], AttrId(0), rels[0], AttrId(0)),
         ];
-        let eer = translate(&db, &ric);
+        let eer = translate(&db, &ric).unwrap();
         assert_eq!(eer.equivalences.len(), 1);
         assert_eq!(eer.equivalences[0].len(), 3);
         assert_eq!(eer.isa.len(), 1);
@@ -617,7 +642,7 @@ mod tests {
             Ind::unary(a, AttrId(1), b, AttrId(0)),
             Ind::unary(a, AttrId(2), b, AttrId(0)),
         ];
-        let eer = translate(&db, &ric);
+        let eer = translate(&db, &ric).unwrap();
         assert_eq!(eer.relationships.len(), 1);
     }
 }

@@ -3,6 +3,10 @@
 //! naive columnar primitives and the generated-SQL backend, and cache
 //! invalidation must never serve stale counts across mutations.
 
+// Test-support helpers outside #[test] fns; panicking on fixture
+// failure is test behaviour.
+#![allow(clippy::unwrap_used)]
+
 use dbre_core::sql_counts::join_stats_via_sql;
 use dbre_relational::attr::{AttrId, AttrSet};
 use dbre_relational::counting::{join_stats, EquiJoin};

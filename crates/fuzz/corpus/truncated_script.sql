@@ -1,0 +1,3 @@
+CREATE TABLE Customer (cid INT UNIQUE, cname VARCHAR(30), zip INT);
+CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30), amount INT);
+INSERT INTO Customer VALUES (1, 'ann',

@@ -1,0 +1,169 @@
+//! Seeded fault injectors for the panic-freedom harness.
+//!
+//! Everything here is deterministic in a `u64` seed (SplitMix64, the
+//! same generator the vendored proptest shim uses), so any failing
+//! case reported by the property tests can be replayed exactly by
+//! feeding the printed seed back into these constructors. The
+//! injectors produce the three classes of hostile input the pipeline
+//! must survive:
+//!
+//! * **corrupted CSV** — BOMs, duplicate headers, ragged rows, stray
+//!   quotes, values that do not fit the declared domain;
+//! * **truncated / spliced SQL programs** — scripts cut at an
+//!   arbitrary character boundary, optionally with garbage appended;
+//! * **out-of-range `Q`** — equi-joins referencing relations and
+//!   attributes that do not exist, with mismatched side arities and
+//!   empty attribute lists, built as raw struct literals so they skip
+//!   every checked constructor.
+//!
+//! The oracle side of fault injection lives in
+//! [`dbre_core::ChaosOracle`].
+
+use dbre_relational::attr::AttrId;
+use dbre_relational::counting::EquiJoin;
+use dbre_relational::database::Database;
+use dbre_relational::deps::IndSide;
+use dbre_relational::schema::RelId;
+
+/// SplitMix64 — small, seedable, good enough for fault injection.
+#[derive(Debug, Clone)]
+pub struct Splitmix(pub u64);
+
+impl Splitmix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn chance(&mut self, one_in: u64) -> bool {
+        self.below(one_in) == 0
+    }
+}
+
+/// A well-formed base script the SQL corruptor mutilates: two related
+/// tables with keys, a denormalized copy attribute and a few rows.
+pub const BASE_SCRIPT: &str = "\
+CREATE TABLE Customer (cid INT UNIQUE, cname VARCHAR(30), zip INT);
+CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30), amount INT);
+INSERT INTO Customer VALUES (1, 'ann', 10), (2, 'bob', 20), (3, 'cyd', 10);
+INSERT INTO Orders VALUES (10, 1, 'ann', 5), (11, 1, 'ann', 7), (12, 2, 'bob', 3);
+";
+
+/// A well-formed application program for `Q` extraction.
+pub const BASE_PROGRAM: &str = "SELECT cname FROM Orders o, Customer c WHERE o.cust = c.cid;";
+
+/// Truncates `script` at a seed-chosen char boundary and, with some
+/// probability, splices garbage where the cut happened.
+pub fn truncate_sql(seed: u64, script: &str) -> String {
+    let mut rng = Splitmix(seed);
+    let cut_chars = rng.below(script.chars().count() as u64 + 1) as usize;
+    let mut out: String = script.chars().take(cut_chars).collect();
+    if rng.chance(3) {
+        let garbage = [
+            "SELEC",
+            "'unterminated",
+            "((((",
+            "FROM FROM",
+            "\u{1F4A5}",
+            ";;;",
+        ];
+        out.push_str(garbage[rng.below(garbage.len() as u64) as usize]);
+    }
+    out
+}
+
+/// Produces a corrupted CSV text for a 4-column relation
+/// (`id INT, name TEXT, when DATE, score FLOAT`), with seed-chosen
+/// faults: a leading BOM (benign), duplicated or unknown header
+/// columns, ragged or over-long rows, stray quotes and ill-typed
+/// values.
+pub fn corrupt_csv(seed: u64) -> String {
+    let mut rng = Splitmix(seed);
+    let mut out = String::new();
+    if rng.chance(3) {
+        out.push('\u{feff}');
+    }
+    // Header: shuffle in faults.
+    let header: &[&str] = match rng.below(5) {
+        0 => &["id", "id", "when", "score"],         // duplicate
+        1 => &["id", "name", "ghost", "score"],      // unknown column
+        2 => &["id", "name", "when"],                // missing column
+        3 => &["id", "name", "when", "score", "id"], // extra + duplicate
+        _ => &["id", "name", "when", "score"],       // well-formed
+    };
+    out.push_str(&header.join(","));
+    out.push('\n');
+    let rows = rng.below(6);
+    for _ in 0..rows {
+        let row: String = match rng.below(6) {
+            0 => "1,alice,1990-01-02,2.5".into(),          // fine
+            1 => "2,bob".into(),                           // ragged
+            2 => "3,eve,1990-01-02,2.5,extra".into(),      // over-long
+            3 => "not-an-int,x,також-не-дата,nan?".into(), // ill-typed
+            4 => "4,\"unterminated,1990-01-02,0.5".into(), // bad quote
+            _ => format!("{},t\"t,,", rng.below(100)),     // stray quote
+        };
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds a `Q` of `n` joins over `db`, deliberately mixing valid
+/// joins with out-of-range relation ids, out-of-range attribute ids,
+/// empty attribute lists and mismatched side arities. Uses struct
+/// literals so no checked constructor can reject them early.
+pub fn hostile_q(seed: u64, db: &Database, n: usize) -> Vec<EquiJoin> {
+    let mut rng = Splitmix(seed ^ 0xDEAD_BEEF);
+    let rels = db.schema.len() as u64;
+    let side = |rng: &mut Splitmix| -> IndSide {
+        let rel = RelId(rng.below(rels + 2) as u32); // may be out of range
+        let arity = db
+            .schema
+            .iter()
+            .nth(rel.index())
+            .map(|(_, r)| r.arity())
+            .unwrap_or(3) as u64;
+        let k = rng.below(3); // 0..=2 attrs; 0 = empty list
+        let attrs = (0..k)
+            .map(|_| AttrId(rng.below(arity + 2) as u16)) // may be out of range
+            .collect();
+        IndSide { rel, attrs }
+    };
+    (0..n)
+        .map(|_| EquiJoin {
+            left: side(&mut rng),
+            right: side(&mut rng),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injectors_are_deterministic() {
+        assert_eq!(corrupt_csv(42), corrupt_csv(42));
+        assert_eq!(truncate_sql(7, BASE_SCRIPT), truncate_sql(7, BASE_SCRIPT));
+        let db = Database::new();
+        assert_eq!(hostile_q(9, &db, 4), hostile_q(9, &db, 4));
+    }
+
+    #[test]
+    fn truncation_covers_the_full_range() {
+        // Some seed yields the empty script, some seed the full one.
+        let lens: Vec<usize> = (0..200)
+            .map(|s| truncate_sql(s, BASE_SCRIPT).len())
+            .collect();
+        assert!(lens.contains(&0));
+        assert!(lens.iter().any(|&l| l >= BASE_SCRIPT.len()));
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic replay of the checked-in regression corpus: inputs
+//! that once provoked (or are crafted to provoke) the failure classes
+//! the degradation contract covers. Unlike the seeded property tests,
+//! these cases are frozen files under `corpus/`, so a regression in
+//! any error path fails with a readable diff instead of a seed.
+
+// Test-support helpers outside #[test] fns; panicking on fixture
+// failure is test behaviour.
+#![allow(clippy::expect_used)]
+
+use dbre_core::{run_with_q, ChaosOracle, PipelineOptions};
+use dbre_fuzz::hostile_q;
+use dbre_relational::csv::{import_csv, CsvError};
+use dbre_relational::database::Database;
+use dbre_relational::schema::Relation;
+use dbre_relational::value::Domain;
+use dbre_sql::Catalog;
+
+const DUP_HEADER: &str = include_str!("../corpus/dup_header.csv");
+const BOM_RAGGED: &str = include_str!("../corpus/bom_then_ragged_row.csv");
+const TRUNCATED_SCRIPT: &str = include_str!("../corpus/truncated_script.sql");
+const CHAOS_SEEDS: &str = include_str!("../corpus/chaos_seeds.txt");
+
+fn scratch_db() -> (Database, dbre_relational::schema::RelId) {
+    let mut db = Database::new();
+    let rel = db
+        .add_relation(Relation::of(
+            "T",
+            &[
+                ("id", Domain::Int),
+                ("name", Domain::Text),
+                ("when", Domain::Date),
+                ("score", Domain::Float),
+            ],
+        ))
+        .expect("fresh schema");
+    (db, rel)
+}
+
+#[test]
+fn corpus_duplicate_header_is_rejected() {
+    let (mut db, rel) = scratch_db();
+    let err = import_csv(&mut db, rel, DUP_HEADER).expect_err("duplicate header must error");
+    let CsvError::Schema(msg) = err else {
+        panic!("expected schema error, got {err:?}")
+    };
+    assert!(msg.contains("duplicate header column `id`"), "{msg}");
+}
+
+#[test]
+fn corpus_bom_is_stripped_then_ragged_row_is_located() {
+    let (mut db, rel) = scratch_db();
+    let err = import_csv(&mut db, rel, BOM_RAGGED).expect_err("ragged row must error");
+    // The BOM itself must NOT be the failure: the error points at the
+    // short row on line 3, naming the relation.
+    let CsvError::Malformed { line, message } = err else {
+        panic!("expected malformed error, got {err:?}")
+    };
+    assert_eq!(line, 3);
+    assert!(message.contains("relation `T`"), "{message}");
+}
+
+#[test]
+fn corpus_truncated_script_is_a_typed_sql_error() {
+    let mut cat = Catalog::new();
+    let err = cat
+        .load_script(TRUNCATED_SCRIPT)
+        .expect_err("truncated script must error");
+    // Renders without panicking and is non-empty.
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn corpus_chaos_seeds_replay_cleanly() {
+    for line in CHAOS_SEEDS.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let seed: u64 = line.parse().expect("corpus seeds are integers");
+        let mut cat = Catalog::new();
+        cat.load_script(dbre_fuzz::BASE_SCRIPT)
+            .expect("base script parses");
+        let db = cat.into_database();
+        let q = hostile_q(seed, &db, 4);
+        let mut oracle = ChaosOracle::with_abort(seed, 0.5);
+        let result = run_with_q(db, &q, &mut oracle, &PipelineOptions::default());
+        // Whatever the oracle did, the result must be coherent: each
+        // stage error typed and mirrored as a degradation warning.
+        for se in &result.stage_errors {
+            assert!(
+                result.warnings.iter().any(|w| w.contains(se.stage)),
+                "seed {seed}: {se} not mirrored"
+            );
+        }
+    }
+}

@@ -31,6 +31,9 @@ enum Sym {
 pub fn is_lossless_join(universe: &AttrSet, fragments: &[AttrSet], fds: &[Fd]) -> bool {
     let attrs: Vec<AttrId> = universe.iter().collect();
     let col_of = |a: AttrId| -> usize {
+        // Callers pass fragments/FDs projected from `universe`, so the
+        // position lookup cannot miss; a violation is a caller bug.
+        #[allow(clippy::expect_used)]
         attrs
             .iter()
             .position(|x| *x == a)

@@ -35,6 +35,9 @@ impl EquiJoin {
     /// extractor guarantees equal arity by construction). Use
     /// [`EquiJoin::try_new`] for joins from untrusted callers.
     pub fn new(left: IndSide, right: IndSide) -> Self {
+        // A panicking builder by contract (see the doc comment);
+        // untrusted input goes through `try_new`.
+        #[allow(clippy::expect_used)]
         Self::try_new(left, right).expect("equi-join sides must pair attributes positionally")
     }
 
@@ -49,6 +52,44 @@ impl EquiJoin {
             });
         }
         Ok(EquiJoin { left, right })
+    }
+
+    /// Validates the join against a concrete database: equal side
+    /// arity, in-range relation ids, non-empty attribute lists,
+    /// in-range attribute ids. Callers assembling `Q` by hand (struct
+    /// literals bypass [`EquiJoin::try_new`]) are checked here before
+    /// any counting indexes a table.
+    pub fn validate(&self, db: &Database) -> Result<(), crate::RelationalError> {
+        use crate::RelationalError;
+        if self.left.attrs.len() != self.right.attrs.len() {
+            return Err(RelationalError::IndArityMismatch {
+                lhs: self.left.attrs.len(),
+                rhs: self.right.attrs.len(),
+            });
+        }
+        for side in [&self.left, &self.right] {
+            if side.rel.index() >= db.schema.len() {
+                return Err(RelationalError::UnknownRelation(format!(
+                    "#{}",
+                    side.rel.index()
+                )));
+            }
+            let relation = db.schema.relation(side.rel);
+            if side.attrs.is_empty() {
+                return Err(RelationalError::EmptyAttrList {
+                    relation: relation.name.clone(),
+                });
+            }
+            for attr in &side.attrs {
+                if attr.index() >= relation.arity() {
+                    return Err(RelationalError::UnknownAttribute {
+                        relation: relation.name.clone(),
+                        attribute: format!("#{}", attr.index()),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// A canonical form with the lexicographically smaller side first,

@@ -137,6 +137,10 @@ fn parse_records(text: &str) -> Result<Vec<Vec<Option<String>>>, CsvError> {
 /// relation's attributes (any order); values are coerced per the
 /// declared domains; unquoted-empty fields become NULL.
 pub fn import_csv(db: &mut Database, rel: RelId, text: &str) -> Result<usize, CsvError> {
+    // Tolerate a leading UTF-8 byte-order mark (Excel and Windows
+    // exports routinely prepend one); without this the first header
+    // column would never resolve.
+    let text = text.strip_prefix('\u{feff}').unwrap_or(text);
     let records = parse_records(text)?;
     let Some(header) = records.first() else {
         return Ok(0);
@@ -153,6 +157,15 @@ pub fn import_csv(db: &mut Database, rel: RelId, text: &str) -> Result<usize, Cs
                 relation.name
             ))
         })?;
+        // A duplicate header would silently overwrite the column it
+        // collides with (both names map to the same AttrId, so the
+        // arity check below cannot catch it).
+        if mapping.contains(&id) {
+            return Err(CsvError::Schema(format!(
+                "duplicate header column `{name}` for relation `{}`",
+                relation.name
+            )));
+        }
         mapping.push(id);
     }
     if mapping.len() != relation.arity() {
@@ -169,7 +182,12 @@ pub fn import_csv(db: &mut Database, rel: RelId, text: &str) -> Result<usize, Cs
         if record.len() != mapping.len() {
             return Err(CsvError::Malformed {
                 line: line_no + 1,
-                message: format!("expected {} fields, found {}", mapping.len(), record.len()),
+                message: format!(
+                    "expected {} fields for relation `{}`, found {}",
+                    mapping.len(),
+                    relation.name,
+                    record.len()
+                ),
             });
         }
         let mut row = vec![Value::Null; relation.arity()];
@@ -338,6 +356,48 @@ mod tests {
         )
         .unwrap();
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn leading_bom_is_stripped() {
+        let (mut db, rel) = db();
+        let n = import_csv(
+            &mut db,
+            rel,
+            "\u{feff}id,name,when,score\n1,a,1990-01-01,0.5\n",
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.table(rel).cell(0, AttrId(0)), &Value::Int(1));
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        let (mut db, rel) = db();
+        let err = import_csv(&mut db, rel, "id,id,when,score\n1,2,,\n").unwrap_err();
+        let CsvError::Schema(msg) = err else {
+            panic!("expected schema error, got {err:?}")
+        };
+        assert!(msg.contains("duplicate header column `id`"), "{msg}");
+        assert!(msg.contains('T'), "{msg}");
+        // Nothing was inserted.
+        assert_eq!(db.table(rel).len(), 0);
+    }
+
+    #[test]
+    fn arity_mismatch_names_line_and_relation() {
+        let (mut db, rel) = db();
+        let err = import_csv(
+            &mut db,
+            rel,
+            "id,name,when,score\n1,a,1990-01-01,0.5\n2,b\n",
+        )
+        .unwrap_err();
+        let CsvError::Malformed { line, message } = err else {
+            panic!("expected malformed error, got {err:?}")
+        };
+        assert_eq!(line, 3);
+        assert!(message.contains("relation `T`"), "{message}");
     }
 
     #[test]

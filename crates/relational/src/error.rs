@@ -65,6 +65,12 @@ pub enum RelationalError {
         /// Right side length.
         rhs: usize,
     },
+    /// An attribute list that must be non-empty (a join side, an FD
+    /// left-hand side) was empty.
+    EmptyAttrList {
+        /// The relation the empty list was projected from.
+        relation: String,
+    },
 }
 
 impl fmt::Display for RelationalError {
@@ -132,11 +138,84 @@ impl fmt::Display for RelationalError {
                     "inclusion dependency sides have different arity ({lhs} vs {rhs})"
                 )
             }
+            RelationalError::EmptyAttrList { relation } => {
+                write!(f, "empty attribute list on relation `{relation}`")
+            }
         }
     }
 }
 
 impl std::error::Error for RelationalError {}
+
+/// Unified error taxonomy for the whole reverse-engineering pipeline.
+///
+/// Every layer converts its local error into this type at the crate
+/// boundary: `RelationalError` and [`crate::csv::CsvError`] convert
+/// here directly, `dbre-sql`'s `SqlError` converts via a `From` impl
+/// in that crate (the orphan rule places it next to `SqlError`), and
+/// the interactive pipeline wraps oracle aborts and caught panics so a
+/// degraded run can report *typed* stage failures instead of
+/// unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbreError {
+    /// Schema or constraint violation from the relational substrate.
+    Relational(RelationalError),
+    /// CSV import failure (extension loading).
+    Csv(crate::csv::CsvError),
+    /// SQL lexing/parsing/semantic failure, already rendered. The
+    /// typed `SqlError` lives in `dbre-sql`, which depends on this
+    /// crate; it converts into this variant at its boundary.
+    Sql(String),
+    /// Equi-join extraction failure from an application source.
+    Extract(String),
+    /// The expert aborted the interactive session mid-dialogue.
+    OracleAbort(String),
+    /// A pipeline stage panicked; the unwind was caught at the stage
+    /// boundary and demoted to this typed error.
+    Panic {
+        /// The stage that panicked (e.g. `"restruct"`).
+        stage: String,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+}
+
+impl fmt::Display for DbreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbreError::Relational(e) => write!(f, "{e}"),
+            DbreError::Csv(e) => write!(f, "{e}"),
+            DbreError::Sql(m) => write!(f, "SQL error: {m}"),
+            DbreError::Extract(m) => write!(f, "extraction error: {m}"),
+            DbreError::OracleAbort(m) => write!(f, "oracle aborted the session: {m}"),
+            DbreError::Panic { stage, message } => {
+                write!(f, "stage `{stage}` panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbreError::Relational(e) => Some(e),
+            DbreError::Csv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationalError> for DbreError {
+    fn from(e: RelationalError) -> Self {
+        DbreError::Relational(e)
+    }
+}
+
+impl From<crate::csv::CsvError> for DbreError {
+    fn from(e: crate::csv::CsvError) -> Self {
+        DbreError::Csv(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

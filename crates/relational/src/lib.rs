@@ -45,9 +45,10 @@ pub mod value;
 
 pub use attr::{AttrId, AttrSet, Attribute};
 pub use counting::{join_stats, EquiJoin, JoinStats};
+pub use csv::CsvError;
 pub use database::Database;
 pub use deps::{Constraints, Dependencies, Fd, Ind, IndSide, Key};
-pub use error::RelationalError;
+pub use error::{DbreError, RelationalError};
 pub use par::par_map;
 pub use partitions::StrippedPartition;
 pub use schema::{QualAttrs, RelId, Relation, Schema};

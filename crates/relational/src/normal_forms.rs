@@ -102,6 +102,9 @@ fn first_3nf_violation(rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Option<Fd>
         if !fd.lhs.is_subset(universe) || !fd.rhs.is_subset(universe) {
             continue;
         }
+        // `minimal_cover` emits one RHS attribute per FD by
+        // construction, so the iterator is never empty.
+        #[allow(clippy::expect_used)]
         let a = fd
             .rhs
             .iter()
@@ -127,6 +130,9 @@ fn first_bcnf_violation(_rel: RelId, universe: &AttrSet, fds: &[Fd]) -> Option<F
         if !fd.lhs.is_subset(universe) || !fd.rhs.is_subset(universe) {
             continue;
         }
+        // `minimal_cover` emits one RHS attribute per FD by
+        // construction, so the iterator is never empty.
+        #[allow(clippy::expect_used)]
         let a = fd
             .rhs
             .iter()

@@ -52,6 +52,10 @@ where
             });
         }
     });
+    // `chunks`/`chunks_mut` with the same chunk size pair every item
+    // with exactly one slot, and `scope` joins all threads before this
+    // line runs, so every slot has been written.
+    #[allow(clippy::expect_used)]
     results
         .into_iter()
         .map(|r| r.expect("every chunk slot is filled by its thread"))

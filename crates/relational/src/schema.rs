@@ -60,6 +60,10 @@ impl Relation {
     /// Builder from `(name, domain)` pairs; panics on duplicates —
     /// intended for literals in tests and examples.
     pub fn of(name: &str, cols: &[(&str, Domain)]) -> Self {
+        // A panicking builder by contract (see the doc comment): it
+        // exists for hand-written literals where a duplicate name is a
+        // typo, not a runtime condition.
+        #[allow(clippy::expect_used)]
         Relation::new(
             name,
             cols.iter().map(|(n, d)| Attribute::new(*n, *d)).collect(),

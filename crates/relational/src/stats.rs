@@ -39,6 +39,24 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+/// Acquires a read guard, recovering from poisoning.
+///
+/// Cache entries are inserted fully formed (a single `insert` of a
+/// complete `Tagged` value), so a thread that panicked while holding a
+/// guard cannot have left a torn entry behind; recovering the lock is
+/// always safe and keeps a degraded pipeline stage from cascading into
+/// every later cache lookup.
+fn read_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write twin of [`read_recover`]; same invariant.
+fn write_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A cache entry tagged with the table generation it was built from.
 struct Tagged<T> {
     gen: u64,
@@ -106,12 +124,7 @@ impl StatsEngine {
     /// shared out of the cache.
     pub fn projection(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<HashSet<ProjKey>> {
         let gen = db.generation(rel);
-        if let Some(entry) = self
-            .projections
-            .read()
-            .expect("stats lock")
-            .get(&(rel, attrs.to_vec()))
-        {
+        if let Some(entry) = read_recover(&self.projections).get(&(rel, attrs.to_vec())) {
             if entry.gen == gen {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(&entry.value);
@@ -122,7 +135,7 @@ impl StatsEngine {
         self.rows_scanned
             .fetch_add(table.len() as u64, Ordering::Relaxed);
         let value = Arc::new(table.distinct_projection(attrs));
-        self.projections.write().expect("stats lock").insert(
+        write_recover(&self.projections).insert(
             (rel, attrs.to_vec()),
             Tagged {
                 gen,
@@ -143,7 +156,7 @@ impl StatsEngine {
     pub fn join_stats(&self, db: &Database, join: &EquiJoin) -> JoinStats {
         let left_gen = db.generation(join.left.rel);
         let right_gen = db.generation(join.right.rel);
-        if let Some(entry) = self.joins.read().expect("stats lock").get(join) {
+        if let Some(entry) = read_recover(&self.joins).get(join) {
             if entry.left_gen == left_gen && entry.right_gen == right_gen {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return entry.stats;
@@ -165,7 +178,7 @@ impl StatsEngine {
             n_right: right.len(),
             n_join,
         };
-        self.joins.write().expect("stats lock").insert(
+        write_recover(&self.joins).insert(
             join.clone(),
             TaggedJoin {
                 left_gen,
@@ -192,7 +205,7 @@ impl StatsEngine {
     ) -> Arc<StrippedPartition> {
         let gen = db.generation(rel);
         let key = (rel, attrs.to_vec());
-        if let Some(entry) = self.partitions.read().expect("stats lock").get(&key) {
+        if let Some(entry) = read_recover(&self.partitions).get(&key) {
             if entry.gen == gen {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(&entry.value);
@@ -218,7 +231,7 @@ impl StatsEngine {
                 Arc::new(p)
             }
         };
-        self.partitions.write().expect("stats lock").insert(
+        write_recover(&self.partitions).insert(
             key,
             Tagged {
                 gen,
@@ -234,7 +247,7 @@ impl StatsEngine {
     fn groups(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<Vec<Vec<usize>>> {
         let gen = db.generation(rel);
         let key = (rel, attrs.to_vec());
-        if let Some(entry) = self.lhs_groups.read().expect("stats lock").get(&key) {
+        if let Some(entry) = read_recover(&self.lhs_groups).get(&key) {
             if entry.gen == gen {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(&entry.value);
@@ -254,7 +267,7 @@ impl StatsEngine {
         let mut groups: Vec<Vec<usize>> = map.into_values().filter(|g| g.len() >= 2).collect();
         groups.sort();
         let value = Arc::new(groups);
-        self.lhs_groups.write().expect("stats lock").insert(
+        write_recover(&self.lhs_groups).insert(
             key,
             Tagged {
                 gen,

@@ -166,6 +166,9 @@ impl Table {
             }
             let key = self.project_row(i, attrs);
             if seen.insert(key.clone()) {
+                // `project_row(attrs)` yields exactly `attrs.len()`
+                // values and `out` was built with that arity.
+                #[allow(clippy::expect_used)]
                 out.push_row(key).expect("arity fixed by construction");
             }
         }

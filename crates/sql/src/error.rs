@@ -68,5 +68,16 @@ impl From<RelationalError> for SqlError {
     }
 }
 
+impl From<SqlError> for dbre_relational::DbreError {
+    fn from(e: SqlError) -> Self {
+        match e {
+            // Preserve the typed relational error instead of flattening
+            // it into a rendered string.
+            SqlError::Relational(r) => dbre_relational::DbreError::Relational(r),
+            other => dbre_relational::DbreError::Sql(other.to_string()),
+        }
+    }
+}
+
 /// Result alias for the crate.
 pub type SqlResult<T> = Result<T, SqlError>;

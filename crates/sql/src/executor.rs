@@ -627,11 +627,13 @@ fn sum_values(vals: &[Value]) -> SqlResult<Value> {
     }
     if vals.iter().all(|v| matches!(v, Value::Int(_))) {
         let mut total: i64 = 0;
+        // The all() guard above admits only Value::Int here.
         for v in vals {
-            let Value::Int(i) = v else { unreachable!() };
-            total = total
-                .checked_add(*i)
-                .ok_or_else(|| SqlError::semantic("SUM overflow"))?;
+            if let Value::Int(i) = v {
+                total = total
+                    .checked_add(*i)
+                    .ok_or_else(|| SqlError::semantic("SUM overflow"))?;
+            }
         }
         return Ok(Value::Int(total));
     }

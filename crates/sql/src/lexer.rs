@@ -257,7 +257,9 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii digits");
+        // Only ASCII digit/sign/dot bytes were bumped, so the slice
+        // is valid UTF-8; lossy conversion is borrowed and free.
+        let text = String::from_utf8_lossy(&self.src[start..self.i]);
         if is_float {
             let v: f64 = text
                 .parse()
@@ -296,9 +298,10 @@ impl<'a> Lexer<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.i]).expect("ascii word");
+        // Only ASCII identifier bytes were bumped (see the loop above).
+        let text = String::from_utf8_lossy(&self.src[start..self.i]);
         // Words containing `-` can never be keywords.
-        match Keyword::from_word(text) {
+        match Keyword::from_word(&text) {
             Some(kw) if !text.contains('-') => self.push(Tok::Kw(kw), pos),
             _ => self.push(Tok::Ident(text.to_string()), pos),
         }

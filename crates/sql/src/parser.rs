@@ -337,8 +337,9 @@ impl Parser {
             }
             Tok::Kw(Keyword::Date) if matches!(self.peek2(), Tok::Str(_)) => {
                 self.bump();
-                let Tok::Str(s) = self.bump() else {
-                    unreachable!()
+                let s = match self.bump() {
+                    Tok::Str(s) => s,
+                    _ => return Err(self.unexpected("a string literal")),
                 };
                 let d = Date::parse(&s).ok_or_else(|| SqlError::Parse {
                     pos: self.pos(),
