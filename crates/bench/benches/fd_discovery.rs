@@ -6,8 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbre_bench::scenario;
 use dbre_core::rhs_discovery::RhsOptions;
 use dbre_mine::tane::tane;
-use dbre_mine::{check_hash, check_partition};
-use dbre_relational::AttrId;
+use dbre_mine::{check_hash, check_partition, StrippedPartition};
+use dbre_relational::encode::{partition1_col, ColumnDict};
+use dbre_relational::{AttrId, AttrSet, Fd, StatsEngine};
 use dbre_synth::TruthOracle;
 use std::hint::black_box;
 
@@ -60,15 +61,63 @@ fn bench_fd(c: &mut Criterion) {
     let s = scenario(4, 20_000, 7);
     let (rel, _) = s.db.schema.iter().next().expect("non-empty scenario");
     let table = s.db.table(rel);
-    let arity = table.arity().min(2) as u16;
-    if arity == 2 {
+    if table.arity() >= 2 {
         group.bench_function("fd_check_hash_20k", |b| {
             b.iter(|| black_box(check_hash(table, &[AttrId(0)], &[AttrId(1)])))
         });
         group.bench_function("fd_check_partition_20k", |b| {
             b.iter(|| black_box(check_partition(table, &[AttrId(0)], &[AttrId(1)])))
         });
+        // Cold RHS-Discovery batch (`a0 → b` for every other column):
+        // the reference rescans per probe; the cold engine builds the
+        // LHS dictionary and grouping once and serves the batch.
+        group.bench_function("fd_check_batch_cold_reference_20k", |b| {
+            b.iter(|| {
+                for i in 1..table.arity() {
+                    black_box(check_hash(table, &[AttrId(0)], &[AttrId(i as u16)]));
+                }
+            })
+        });
+        group.bench_function("fd_check_batch_cold_encoded_20k", |b| {
+            b.iter(|| {
+                let engine = StatsEngine::new();
+                for i in 1..table.arity() {
+                    let fd = Fd::new(
+                        rel,
+                        AttrSet::from_indices([0u16]),
+                        AttrSet::from_indices([i as u16]),
+                    );
+                    black_box(engine.fd_holds(&s.db, &fd));
+                }
+            })
+        });
     }
+
+    // Cold level-1 partition seeding (what TANE and key discovery do
+    // first): Value-based reference vs one dictionary pass + code
+    // bucketing.
+    let s = scenario(8, 10_000, 42);
+    group.bench_function("unary_partitions_cold_reference_r10000", |b| {
+        b.iter(|| {
+            for (rel, relation) in s.db.schema.iter() {
+                let table = s.db.table(rel);
+                for i in 0..relation.arity() {
+                    black_box(StrippedPartition::for_attribute(table, AttrId(i as u16)));
+                }
+            }
+        })
+    });
+    group.bench_function("unary_partitions_cold_encoded_r10000", |b| {
+        b.iter(|| {
+            for (rel, relation) in s.db.schema.iter() {
+                let table = s.db.table(rel);
+                for i in 0..relation.arity() {
+                    let col = ColumnDict::build(table.column(AttrId(i as u16)));
+                    black_box(partition1_col(&col));
+                }
+            }
+        })
+    });
     group.finish();
 }
 

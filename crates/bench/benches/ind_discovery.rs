@@ -9,6 +9,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbre_bench::scenario;
 use dbre_mine::spider::{spider, SpiderConfig};
+use dbre_relational::counting::join_stats;
+use dbre_relational::StatsEngine;
 use dbre_synth::TruthOracle;
 use std::hint::black_box;
 
@@ -23,6 +25,34 @@ fn bench_ind(c: &mut Criterion) {
             &dbre_extract::ExtractConfig::default(),
         )
         .q();
+
+        // Cold ‖·‖ counting for the whole Q, Value-based reference vs
+        // the dictionary-encoded engine path (a fresh engine per
+        // iteration: every probe is a cache miss, dictionary builds
+        // included).
+        group.bench_with_input(
+            BenchmarkId::new("join_stats_cold_reference", format!("e{entities}_r{rows}")),
+            &(&s, &q),
+            |b, (s, q)| {
+                b.iter(|| {
+                    for join in q.iter() {
+                        black_box(join_stats(&s.db, join));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("join_stats_cold_encoded", format!("e{entities}_r{rows}")),
+            &(&s, &q),
+            |b, (s, q)| {
+                b.iter(|| {
+                    let engine = StatsEngine::new();
+                    for join in q.iter() {
+                        black_box(engine.join_stats(&s.db, join));
+                    }
+                })
+            },
+        );
 
         group.bench_with_input(
             BenchmarkId::new("paper_query_guided", format!("e{entities}_r{rows}")),

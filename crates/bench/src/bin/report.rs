@@ -73,6 +73,9 @@ fn main() {
     if want("x8") {
         x8();
     }
+    if want("xb") {
+        xb();
+    }
 }
 
 fn header(id: &str, title: &str) {
@@ -647,6 +650,184 @@ fn x8() {
     }
     println!("(a repeated navigation costs one hash lookup instead of a table rescan;");
     println!(" the pipeline shares one engine across IND/RHS discovery and key inference)");
+}
+
+/// XB: machine-readable cold-kernel benchmark — Value-based reference
+/// vs dictionary-encoded kernels — written to `BENCH_report.json` at
+/// the repository root (per-bench median ns + engine cache counters).
+fn xb() {
+    use dbre_mine::{check_hash, StrippedPartition};
+    use dbre_relational::encode::{partition1_col, ColumnDict};
+    use dbre_relational::{AttrId, AttrSet, Fd, StatsEngine};
+
+    header(
+        "XB",
+        "cold kernels, reference vs encoded -> BENCH_report.json",
+    );
+
+    /// Median of `samples` timed runs, in nanoseconds.
+    fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+        let mut times: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_nanos() as f64
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        times[times.len() / 2]
+    }
+
+    let samples = 7;
+    let mut benches: Vec<(String, f64)> = Vec::new();
+
+    for &(entities, rows) in &[(8usize, 1000usize), (8, 10_000), (8, 50_000)] {
+        let s = scenario(entities, rows, 42);
+        let q = dbre_extract::extract_programs(
+            &s.db.schema,
+            &s.programs,
+            &dbre_extract::ExtractConfig::default(),
+        )
+        .q();
+        let tag = format!("e{entities}_r{rows}");
+
+        // Cold ‖·‖ counting over the whole Q.
+        benches.push((
+            format!("ind_discovery/join_stats_cold_reference/{tag}"),
+            median_ns(samples, || {
+                for join in &q {
+                    std::hint::black_box(join_stats(&s.db, join));
+                }
+            }),
+        ));
+        benches.push((
+            format!("ind_discovery/join_stats_cold_encoded/{tag}"),
+            median_ns(samples, || {
+                let engine = StatsEngine::new();
+                for join in &q {
+                    std::hint::black_box(engine.join_stats(&s.db, join));
+                }
+            }),
+        ));
+
+        // Cold level-1 partition seeding (TANE / key discovery).
+        benches.push((
+            format!("fd_discovery/unary_partitions_cold_reference/{tag}"),
+            median_ns(samples, || {
+                for (rel, relation) in s.db.schema.iter() {
+                    let table = s.db.table(rel);
+                    for i in 0..relation.arity() {
+                        std::hint::black_box(StrippedPartition::for_attribute(
+                            table,
+                            AttrId(i as u16),
+                        ));
+                    }
+                }
+            }),
+        ));
+        benches.push((
+            format!("fd_discovery/unary_partitions_cold_encoded/{tag}"),
+            median_ns(samples, || {
+                for (rel, relation) in s.db.schema.iter() {
+                    let table = s.db.table(rel);
+                    for i in 0..relation.arity() {
+                        let col = ColumnDict::build(table.column(AttrId(i as u16)));
+                        std::hint::black_box(partition1_col(&col));
+                    }
+                }
+            }),
+        ));
+
+        // Cold RHS-Discovery probes: `a0 → b` for every other column —
+        // the batch shape of §6.2.2, where probes share one LHS. The
+        // reference rescans and regroups the table per probe; the cold
+        // engine builds the LHS dictionary and grouping once per
+        // relation and serves the rest of the batch from cache.
+        benches.push((
+            format!("fd_discovery/fd_check_cold_reference/{tag}"),
+            median_ns(samples, || {
+                for (rel, relation) in s.db.schema.iter() {
+                    let table = s.db.table(rel);
+                    for i in 1..relation.arity() {
+                        std::hint::black_box(check_hash(table, &[AttrId(0)], &[AttrId(i as u16)]));
+                    }
+                }
+            }),
+        ));
+        benches.push((
+            format!("fd_discovery/fd_check_cold_encoded/{tag}"),
+            median_ns(samples, || {
+                let engine = StatsEngine::new();
+                for (rel, relation) in s.db.schema.iter() {
+                    for i in 1..relation.arity() {
+                        let fd = Fd::new(
+                            rel,
+                            AttrSet::from_indices([0u16]),
+                            AttrSet::from_indices([i as u16]),
+                        );
+                        std::hint::black_box(engine.fd_holds(&s.db, &fd));
+                    }
+                }
+            }),
+        ));
+    }
+
+    // Cache counters from one warm engine pass (8 entities, 10k rows).
+    let s = scenario(8, 10_000, 42);
+    let q = dbre_extract::extract_programs(
+        &s.db.schema,
+        &s.programs,
+        &dbre_extract::ExtractConfig::default(),
+    )
+    .q();
+    let engine = dbre_relational::StatsEngine::new();
+    for _ in 0..2 {
+        for join in &q {
+            std::hint::black_box(engine.join_stats(&s.db, join));
+        }
+    }
+    let counters = engine.counters();
+
+    // Render (hand-rolled JSON: the workspace carries no serde).
+    let mut json = String::from("{\n  \"experiment\": \"xb\",\n  \"unit\": \"ns\",\n");
+    json.push_str("  \"benches\": [\n");
+    for (i, (id, ns)) in benches.iter().enumerate() {
+        let sep = if i + 1 == benches.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"id\": \"{id}\", \"median_ns\": {ns:.0} }}{sep}\n"
+        ));
+    }
+    json.push_str("  ],\n  \"speedups\": [\n");
+    let pairs: Vec<(String, f64)> = benches
+        .iter()
+        .filter(|(id, _)| id.contains("_reference/"))
+        .filter_map(|(id, ref_ns)| {
+            let enc_id = id.replace("_reference/", "_encoded/");
+            benches
+                .iter()
+                .find(|(other, _)| *other == enc_id)
+                .map(|(_, enc_ns)| (enc_id, ref_ns / enc_ns.max(1.0)))
+        })
+        .collect();
+    for (i, (id, ratio)) in pairs.iter().enumerate() {
+        let sep = if i + 1 == pairs.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"id\": \"{id}\", \"reference_over_encoded\": {ratio:.2} }}{sep}\n"
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"cache_counters\": {{ \"hits\": {}, \"misses\": {}, \"rows_scanned\": {} }}\n}}\n",
+        counters.cache_hits, counters.cache_misses, counters.rows_scanned
+    ));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+    for (id, ratio) in &pairs {
+        println!("  {id:<60} encoded is {ratio:.2}x faster than reference");
+    }
 }
 
 fn indent(text: &str) -> String {

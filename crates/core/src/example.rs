@@ -198,12 +198,13 @@ pub fn paper_q(db: &Database) -> Vec<EquiJoin> {
         let (r, ids) = db.resolve(rel, &[attr]).expect("fixture names are valid");
         IndSide::new(r, ids)
     };
+    let join = |l: IndSide, r: IndSide| EquiJoin::try_new(l, r).expect("paper Q sides are unary");
     vec![
-        EquiJoin::new(side("HEmployee", "no"), side("Person", "id")),
-        EquiJoin::new(side("Department", "emp"), side("HEmployee", "no")),
-        EquiJoin::new(side("Assignment", "emp"), side("HEmployee", "no")),
-        EquiJoin::new(side("Assignment", "dep"), side("Department", "dep")),
-        EquiJoin::new(side("Department", "proj"), side("Assignment", "proj")),
+        join(side("HEmployee", "no"), side("Person", "id")),
+        join(side("Department", "emp"), side("HEmployee", "no")),
+        join(side("Assignment", "emp"), side("HEmployee", "no")),
+        join(side("Assignment", "dep"), side("Department", "dep")),
+        join(side("Department", "proj"), side("Assignment", "proj")),
     ]
 }
 

@@ -273,7 +273,8 @@ mod tests {
         for v in 3..=8 {
             db.insert(r, vec![Value::Int(v)]).unwrap();
         }
-        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
         (db, join)
     }
 
@@ -292,7 +293,8 @@ mod tests {
         for v in 1..=5 {
             db.insert(r, vec![Value::Int(v)]).unwrap();
         }
-        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
         let out = ind_discovery(&mut db, &[join], &mut DenyOracle).unwrap();
         assert_eq!(out.inds.len(), 1);
         assert_eq!(out.inds[0].render(&db.schema), "L[x] << R[y]");
@@ -312,7 +314,8 @@ mod tests {
             db.insert(l, vec![Value::Int(v)]).unwrap();
             db.insert(r, vec![Value::Int(v)]).unwrap();
         }
-        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
         let out = ind_discovery(&mut db, &[join], &mut DenyOracle).unwrap();
         assert_eq!(out.inds.len(), 2);
     }
@@ -328,7 +331,8 @@ mod tests {
             .unwrap();
         db.insert(l, vec![Value::Int(1)]).unwrap();
         db.insert(r, vec![Value::Int(2)]).unwrap();
-        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
         let out = ind_discovery(&mut db, &[join], &mut DenyOracle).unwrap();
         assert!(out.inds.is_empty());
         assert_eq!(out.empty_intersections.len(), 1);
@@ -422,7 +426,8 @@ mod tests {
             .unwrap();
         db.insert(l, vec![Value::Int(1)]).unwrap();
         db.insert(r, vec![Value::Int(1)]).unwrap();
-        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
         let out = ind_discovery(&mut db, &[join.clone(), join], &mut DenyOracle).unwrap();
         assert_eq!(out.inds.len(), 2); // both directions, once each
     }

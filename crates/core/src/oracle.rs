@@ -477,10 +477,11 @@ mod tests {
     }
 
     fn join(db: &Database) -> EquiJoin {
-        EquiJoin::new(
+        EquiJoin::try_new(
             IndSide::single(db.rel("A").unwrap(), AttrId(0)),
             IndSide::single(db.rel("B").unwrap(), AttrId(0)),
         )
+        .unwrap()
     }
 
     #[test]

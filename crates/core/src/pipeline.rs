@@ -446,7 +446,8 @@ mod tests {
         let evidence = result.evidence_for(&result.q[0]);
         assert_eq!(evidence, vec!["report"]);
         // Unknown joins yield no evidence (and no panic).
-        let flipped = EquiJoin::new(result.q[0].right.clone(), result.q[0].left.clone());
+        let flipped =
+            EquiJoin::try_new(result.q[0].right.clone(), result.q[0].left.clone()).unwrap();
         assert_eq!(result.evidence_for(&flipped), vec!["report"]);
     }
 
@@ -518,10 +519,11 @@ mod tests {
             left: IndSide::new(orders, vec![]),
             right: IndSide::new(customer, vec![]),
         };
-        let good = EquiJoin::new(
+        let good = EquiJoin::try_new(
             IndSide::single(orders, AttrId(1)),
             IndSide::single(customer, AttrId(0)),
-        );
+        )
+        .unwrap();
         let mut oracle = AutoOracle::default();
         let result = run_with_q(
             db,

@@ -149,7 +149,7 @@ mod tests {
         let db = cat.into_database();
         let (a, a_ids) = db.resolve("A", &["x", "y"]).unwrap();
         let (b, b_ids) = db.resolve("B", &["u", "v"]).unwrap();
-        let join = EquiJoin::new(IndSide::new(a, a_ids), IndSide::new(b, b_ids));
+        let join = EquiJoin::try_new(IndSide::new(a, a_ids), IndSide::new(b, b_ids)).unwrap();
         let direct = join_stats(&db, &join);
         let via_sql = join_stats_via_sql(&db, &join).unwrap();
         assert_eq!(direct, via_sql);

@@ -57,15 +57,17 @@ fn three_backends_agree_on_null_bearing_database() {
     );
 
     // Single-attribute join on (L.a, R.c).
-    let join1 = EquiJoin::new(
+    let join1 = EquiJoin::try_new(
         IndSide::new(l, vec![AttrId(0)]),
         IndSide::new(r, vec![AttrId(0)]),
-    );
+    )
+    .unwrap();
     // Two-attribute join on (L.a,L.b) vs (R.c,R.d).
-    let join2 = EquiJoin::new(
+    let join2 = EquiJoin::try_new(
         IndSide::new(l, vec![AttrId(0), AttrId(1)]),
         IndSide::new(r, vec![AttrId(0), AttrId(1)]),
-    );
+    )
+    .unwrap();
 
     let engine = StatsEngine::new();
     for join in [&join1, &join2] {
@@ -91,10 +93,11 @@ fn three_backends_agree_on_null_bearing_database() {
 
     // All-NULL column: COUNT(DISTINCT) is 0 under SQL semantics.
     let (db2, l2, r2) = null_db(&[(-1, 1), (-1, 2)], &[(-1, 1)]);
-    let join_null = EquiJoin::new(
+    let join_null = EquiJoin::try_new(
         IndSide::new(l2, vec![AttrId(0)]),
         IndSide::new(r2, vec![AttrId(0)]),
-    );
+    )
+    .unwrap();
     let engine2 = StatsEngine::new();
     let naive = join_stats(&db2, &join_null);
     assert_eq!((naive.n_left, naive.n_right, naive.n_join), (0, 0, 0));

@@ -57,11 +57,11 @@ proptest! {
         let (db, l, r) = two_relations(&left_rows, &right_rows);
         let engine = StatsEngine::new();
         let joins = [
-            EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0))),
-            EquiJoin::new(
+            EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0))).unwrap(),
+            EquiJoin::try_new(
                 IndSide::new(l, vec![AttrId(0), AttrId(1)]),
                 IndSide::new(r, vec![AttrId(0), AttrId(1)]),
-            ),
+            ).unwrap(),
         ];
         for join in &joins {
             let naive = join_stats(&db, join);
@@ -110,7 +110,7 @@ proptest! {
     ) {
         let (mut db, l, r) = two_relations(&left_rows, &right_rows);
         let engine = StatsEngine::new();
-        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0))).unwrap();
         let fd = Fd::new(r, AttrSet::from_indices([0u16]), AttrSet::from_indices([1u16]));
 
         // Warm every cache family.

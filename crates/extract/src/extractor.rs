@@ -225,20 +225,25 @@ fn extract_query(
         if l_rel == r_rel && l_attrs == r_attrs {
             continue; // R[X] ⋈ R[X]: trivially satisfied, no navigation
         }
-        let join = EquiJoin::new(
+        // The sides are zipped from `attr_pairs`, so their arities are
+        // equal by construction; `try_new` keeps the ingestion path
+        // panic-free regardless (a malformed pair is dropped, not fatal).
+        if let Ok(join) = EquiJoin::try_new(
             IndSide::new(l_rel, l_attrs.clone()),
             IndSide::new(r_rel, r_attrs.clone()),
-        );
-        acc.add(join, provenance);
+        ) {
+            acc.add(join, provenance);
+        }
         if cfg.emit_unary_projections && attr_pairs.len() > 1 {
             for (la, ra) in &attr_pairs {
                 if l_rel == r_rel && la == ra {
                     continue;
                 }
-                acc.add(
-                    EquiJoin::new(IndSide::single(l_rel, *la), IndSide::single(r_rel, *ra)),
-                    provenance,
-                );
+                if let Ok(join) =
+                    EquiJoin::try_new(IndSide::single(l_rel, *la), IndSide::single(r_rel, *ra))
+                {
+                    acc.add(join, provenance);
+                }
             }
         }
     }

@@ -9,7 +9,10 @@
 //!   semantics: tuples with NULL on the LHS are skipped, like
 //!   `Database::fd_holds`);
 //! * [`check_partition`] — stripped-partition refinement (NULL = NULL
-//!   mining convention).
+//!   mining convention);
+//! * [`check_encoded`] — the dictionary-encoded kernel
+//!   ([`DictTable::fd_holds`]), same SQL semantics as [`check_hash`]
+//!   but grouping on integer codes instead of cloned `Value` tuples.
 //!
 //! [`violations`] additionally reports *how badly* an FD fails — the
 //! `g3` counter backing approximate dependencies in [`crate::approx`].
@@ -18,32 +21,48 @@ use crate::partitions::fd_holds_partition;
 use dbre_relational::attr::AttrId;
 use dbre_relational::database::Database;
 use dbre_relational::deps::Fd;
+use dbre_relational::encode::DictTable;
 use dbre_relational::stats::StatsEngine;
 use dbre_relational::table::Table;
 use dbre_relational::value::Value;
 use std::collections::HashMap;
 
-/// Hash-based FD check with SQL NULL semantics.
+/// Hash-based FD check with SQL NULL semantics (the `Value`-level
+/// reference implementation; column slices hoisted out of the row
+/// loop).
 pub fn check_hash(table: &Table, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
-    let mut map: HashMap<Vec<Value>, Vec<Value>> = HashMap::with_capacity(table.len());
-    for i in 0..table.len() {
-        if table.row_has_null(i, lhs) {
-            continue;
+    let lhs_cols: Vec<&[Value]> = lhs.iter().map(|a| table.column(*a)).collect();
+    let rhs_cols: Vec<&[Value]> = rhs.iter().map(|a| table.column(*a)).collect();
+    let mut map: HashMap<Vec<Value>, usize> = HashMap::new();
+    'rows: for i in 0..table.len() {
+        let mut key = Vec::with_capacity(lhs_cols.len());
+        for c in &lhs_cols {
+            let v = &c[i];
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push(v.clone());
         }
-        let key = table.project_row(i, lhs);
-        let val = table.project_row(i, rhs);
         match map.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
-                if e.get() != &val {
+                let first = *e.get();
+                if rhs_cols.iter().any(|c| c[i] != c[first]) {
                     return false;
                 }
             }
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(val);
+                e.insert(i);
             }
         }
     }
     true
+}
+
+/// Dictionary-encoded FD check: same SQL NULL semantics and answer as
+/// [`check_hash`], grouping on dense integer codes. Build the
+/// [`DictTable`] once and amortize it over a batch of candidate FDs.
+pub fn check_encoded(dict: &DictTable, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
+    dict.fd_holds(lhs, rhs)
 }
 
 /// Partition-based FD check (mining NULL convention; agrees with
@@ -65,15 +84,21 @@ pub fn check_cached(db: &Database, fd: &Fd, engine: &StatsEngine) -> bool {
 /// NULL-LHS tuples never violate).
 pub fn violations(table: &Table, lhs: &[AttrId], rhs: &[AttrId]) -> usize {
     // Group rows by LHS; within each group, keep the plurality RHS.
+    let lhs_cols: Vec<&[Value]> = lhs.iter().map(|a| table.column(*a)).collect();
+    let rhs_cols: Vec<&[Value]> = rhs.iter().map(|a| table.column(*a)).collect();
     let mut groups: HashMap<Vec<Value>, HashMap<Vec<Value>, usize>> = HashMap::new();
     let mut considered = 0usize;
-    for i in 0..table.len() {
-        if table.row_has_null(i, lhs) {
-            continue;
+    'rows: for i in 0..table.len() {
+        let mut key = Vec::with_capacity(lhs_cols.len());
+        for c in &lhs_cols {
+            let v = &c[i];
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push(v.clone());
         }
         considered += 1;
-        let key = table.project_row(i, lhs);
-        let val = table.project_row(i, rhs);
+        let val: Vec<Value> = rhs_cols.iter().map(|c| c[i].clone()).collect();
         *groups.entry(key).or_default().entry(val).or_insert(0) += 1;
     }
     let kept: usize = groups
@@ -115,6 +140,37 @@ mod tests {
                 check_partition(&t, &[a(0)], &[a(1)]),
                 "case {rows:?}"
             );
+        }
+    }
+
+    #[test]
+    fn encoded_agrees_with_hash_including_nulls() {
+        let cases: Vec<Table> = vec![
+            table(&[(1, 1), (2, 2)]),
+            table(&[(1, 1), (1, 2)]),
+            table(&[(1, 1), (1, 1), (2, 3)]),
+            table(&[]),
+            Table::from_rows(
+                2,
+                vec![
+                    vec![Value::Null, Value::Int(1)],
+                    vec![Value::Null, Value::Int(2)],
+                    vec![Value::Int(1), Value::Null],
+                    vec![Value::Int(1), Value::Null],
+                    vec![Value::Int(1), Value::Int(3)],
+                ],
+            )
+            .unwrap(),
+        ];
+        for t in &cases {
+            let dict = DictTable::build(t);
+            for (lhs, rhs) in [(vec![a(0)], vec![a(1)]), (vec![a(1)], vec![a(0)])] {
+                assert_eq!(
+                    check_encoded(&dict, &lhs, &rhs),
+                    check_hash(t, &lhs, &rhs),
+                    "lhs {lhs:?} on {t:?}"
+                );
+            }
         }
     }
 

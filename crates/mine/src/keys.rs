@@ -16,6 +16,7 @@
 use crate::partitions::StrippedPartition;
 use dbre_relational::attr::{AttrId, AttrSet};
 use dbre_relational::database::Database;
+use dbre_relational::encode::DictTable;
 use dbre_relational::par::par_map;
 use dbre_relational::schema::RelId;
 use dbre_relational::stats::StatsEngine;
@@ -41,9 +42,12 @@ pub struct KeyResult {
 /// `max_width` columns (`None` = full lattice). Columns containing
 /// NULL are excluded from key membership.
 pub fn discover_keys(table: &Table, max_width: Option<usize>) -> KeyResult {
+    // One encode pass; the dictionary is shared read-only across the
+    // parallel unary-partition workers, which then only bucket codes.
+    let dict = DictTable::build(table);
     discover_keys_seeded(table, max_width, |eligible| {
         let attrs: Vec<AttrId> = eligible.iter().map(|&i| AttrId(i)).collect();
-        par_map(&attrs, |&a| StrippedPartition::for_attribute(table, a))
+        par_map(&attrs, |&a| dict.partition1(a))
     })
 }
 

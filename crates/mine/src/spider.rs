@@ -18,9 +18,9 @@
 use dbre_relational::attr::AttrId;
 use dbre_relational::database::Database;
 use dbre_relational::deps::Ind;
+use dbre_relational::encode::DictTable;
 use dbre_relational::schema::RelId;
 use dbre_relational::value::{Domain, Value};
-use std::collections::BTreeSet;
 
 /// Work counters for the comparison benchmarks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,16 +82,14 @@ pub fn spider(db: &Database, cfg: &SpiderConfig) -> SpiderResult {
     }
     let mut cols: Vec<Col> = Vec::new();
     for (rel, relation) in db.schema.iter() {
-        let table = db.table(rel);
+        // One dictionary pass per table: the distinct non-NULL values
+        // come out deduplicated, so only `cardinality` values are
+        // cloned and sorted (instead of a tree insert per row).
+        let dict = DictTable::build(db.table(rel));
         for i in 0..relation.arity() {
             let attr = AttrId(i as u16);
-            let mut set: BTreeSet<Value> = BTreeSet::new();
-            for v in table.column(attr) {
-                if !v.is_null() {
-                    set.insert(v.clone());
-                }
-            }
-            let values: Vec<Value> = set.into_iter().collect();
+            let mut values: Vec<Value> = dict.column(attr).distinct_values().to_vec();
+            values.sort_unstable();
             cols.push(Col {
                 rel,
                 attr,

@@ -31,9 +31,13 @@ pub struct EquiJoin {
 }
 
 impl EquiJoin {
-    /// Creates an equi-join; panics if the sides differ in arity (the
-    /// extractor guarantees equal arity by construction). Use
-    /// [`EquiJoin::try_new`] for joins from untrusted callers.
+    /// Creates an equi-join; panics if the sides differ in arity. Use
+    /// [`EquiJoin::try_new`] instead — no constructor on the `Q`
+    /// ingestion path should be able to panic on malformed input.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on arity mismatch; use EquiJoin::try_new"
+    )]
     pub fn new(left: IndSide, right: IndSide) -> Self {
         // A panicking builder by contract (see the doc comment);
         // untrusted input goes through `try_new`.
@@ -207,7 +211,8 @@ mod tests {
         for &v in right_vals {
             db.insert(r, vec![Value::Int(v)]).unwrap();
         }
-        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
         (db, join)
     }
 
@@ -278,7 +283,8 @@ mod tests {
         db.insert(r, vec![Value::Null]).unwrap();
         db.insert(l, vec![Value::Int(7)]).unwrap();
         db.insert(r, vec![Value::Int(7)]).unwrap();
-        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
         let s = join_stats(&db, &join);
         assert_eq!(
             s,
@@ -293,7 +299,7 @@ mod tests {
     #[test]
     fn canonical_orders_sides() {
         let (_, join) = db_with(&[], &[]);
-        let flipped = EquiJoin::new(join.right.clone(), join.left.clone());
+        let flipped = EquiJoin::try_new(join.right.clone(), join.left.clone()).unwrap();
         assert_eq!(join.canonical(), flipped.canonical());
     }
 
@@ -322,6 +328,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "positionally")]
+    #[allow(deprecated)] // pins the deprecated constructor's panic contract
     fn mismatched_arity_panics() {
         let mut db = Database::new();
         let l = db

@@ -135,14 +135,20 @@ impl Database {
             let table = self.table(key.rel);
             let relation = self.schema.relation(key.rel);
             let attrs: Vec<_> = key.attrs.iter().collect();
+            let cols: Vec<&[Value]> = attrs.iter().map(|a| table.column(*a)).collect();
             let mut seen = HashSet::with_capacity(table.len());
-            for i in 0..table.len() {
+            'rows: for i in 0..table.len() {
                 // Key attributes are not-null by normalization; a null
                 // here is caught by the not-null check below, so skip.
-                if table.row_has_null(i, &attrs) {
-                    continue;
+                let mut proj = Vec::with_capacity(cols.len());
+                for c in &cols {
+                    let v = &c[i];
+                    if v.is_null() {
+                        continue 'rows;
+                    }
+                    proj.push(v.clone());
                 }
-                if !seen.insert(table.project_row(i, &attrs)) {
+                if !seen.insert(proj) {
                     return Err(RelationalError::KeyViolation {
                         relation: relation.name.clone(),
                         key: relation.render_set(&key.attrs),
@@ -171,22 +177,28 @@ impl Database {
         let table = self.table(fd.rel);
         let lhs: Vec<_> = fd.lhs.iter().collect();
         let rhs: Vec<_> = fd.rhs.iter().collect();
-        let mut map: std::collections::HashMap<Vec<Value>, Vec<Value>> =
-            std::collections::HashMap::with_capacity(table.len());
-        for i in 0..table.len() {
-            if table.row_has_null(i, &lhs) {
-                continue;
+        let lhs_cols: Vec<&[Value]> = lhs.iter().map(|a| table.column(*a)).collect();
+        let rhs_cols: Vec<&[Value]> = rhs.iter().map(|a| table.column(*a)).collect();
+        let mut map: std::collections::HashMap<Vec<Value>, usize> =
+            std::collections::HashMap::new();
+        'rows: for i in 0..table.len() {
+            let mut key = Vec::with_capacity(lhs_cols.len());
+            for c in &lhs_cols {
+                let v = &c[i];
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(v.clone());
             }
-            let key = table.project_row(i, &lhs);
-            let val = table.project_row(i, &rhs);
             match map.entry(key) {
                 std::collections::hash_map::Entry::Occupied(e) => {
-                    if e.get() != &val {
+                    let first = *e.get();
+                    if rhs_cols.iter().any(|c| c[i] != c[first]) {
                         return false;
                     }
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(val);
+                    e.insert(i);
                 }
             }
         }
@@ -198,11 +210,22 @@ impl Database {
     pub fn ind_holds(&self, ind: &Ind) -> bool {
         let right = self.table(ind.rhs.rel).distinct_projection(&ind.rhs.attrs);
         let left_table = self.table(ind.lhs.rel);
-        for i in 0..left_table.len() {
-            if left_table.row_has_null(i, &ind.lhs.attrs) {
-                continue;
+        let cols: Vec<&[Value]> = ind
+            .lhs
+            .attrs
+            .iter()
+            .map(|a| left_table.column(*a))
+            .collect();
+        'rows: for i in 0..left_table.len() {
+            let mut proj = Vec::with_capacity(cols.len());
+            for c in &cols {
+                let v = &c[i];
+                if v.is_null() {
+                    continue 'rows;
+                }
+                proj.push(v.clone());
             }
-            if !right.contains(&left_table.project_row(i, &ind.lhs.attrs)) {
+            if !right.contains(&proj) {
                 return false;
             }
         }

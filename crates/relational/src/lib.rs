@@ -31,7 +31,9 @@ pub mod counting;
 pub mod csv;
 pub mod database;
 pub mod deps;
+pub mod encode;
 pub mod error;
+pub mod fasthash;
 pub mod fd_theory;
 pub mod ind_theory;
 pub mod normal_forms;
@@ -48,7 +50,9 @@ pub use counting::{join_stats, EquiJoin, JoinStats};
 pub use csv::CsvError;
 pub use database::Database;
 pub use deps::{Constraints, Dependencies, Fd, Ind, IndSide, Key};
+pub use encode::{ColumnDict, DictTable, EncodedSet};
 pub use error::{DbreError, RelationalError};
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use par::par_map;
 pub use partitions::StrippedPartition;
 pub use schema::{QualAttrs, RelId, Relation, Schema};

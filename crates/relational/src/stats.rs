@@ -17,9 +17,23 @@
 //! table's generation moves past the tag and the entry is rebuilt on
 //! next use.
 //!
+//! Since PR 3 the engine runs on dictionary-encoded columns: each
+//! *column* a probe touches is interned once per table generation into
+//! a [`crate::encode::ColumnDict`] (cached per `(relation, attribute)`
+//! like every other family), and the counting, partitioning, grouping,
+//! and join kernels operate on dense `u32` codes instead of cloning
+//! `Value` tuples per row. Encoding lazily per column matters on the
+//! paper's workloads: a query set `Q` joins a handful of key columns
+//! of wide denormalized relations, so encoding whole tables up front
+//! would dominate the cold path the encoding is meant to speed up. The
+//! `Value`-based primitives in [`crate::counting`] /
+//! [`crate::partitions`] remain as the reference implementations the
+//! differential tests compare against.
+//!
 //! Interior mutability (`RwLock` caches, atomic counters) keeps the
 //! whole API on `&self`, so one engine can be shared by the parallel
-//! workers of [`crate::par::par_map`] without cloning caches.
+//! workers of [`crate::par::par_map`] without cloning caches; the
+//! encoded tables are immutable and shared read-only via `Arc`.
 //!
 //! NULL semantics are preserved exactly per entry point: projections
 //! drop NULL-containing rows (SQL `COUNT(DISTINCT …)`), [`StatsEngine::fd_holds`]
@@ -32,6 +46,10 @@ use crate::attr::AttrId;
 use crate::counting::{EquiJoin, JoinStats};
 use crate::database::Database;
 use crate::deps::{Fd, Ind};
+use crate::encode::{
+    decode_set_cols, distinct_codes_cols, intersect_count, lhs_groups_cols, partition1_col,
+    ColumnDict, DictTable, EncodedSet,
+};
 use crate::partitions::StrippedPartition;
 use crate::schema::RelId;
 use crate::table::ProjKey;
@@ -105,6 +123,13 @@ type AttrCache<T> = RwLock<HashMap<(RelId, Vec<AttrId>), Tagged<T>>>;
 /// one engine per pipeline run.
 #[derive(Default)]
 pub struct StatsEngine {
+    /// Per-column dictionary encodings — the substrate every other
+    /// cache family is built from (see [`crate::encode`]). Keyed per
+    /// `(relation, attribute)` so a probe touching two columns of a
+    /// wide table pays for exactly those two builds.
+    columns: RwLock<HashMap<(RelId, AttrId), Tagged<ColumnDict>>>,
+    /// Encoded distinct-code sets per `(rel, attrs)`.
+    encoded: AttrCache<EncodedSet>,
     projections: AttrCache<HashSet<ProjKey>>,
     partitions: AttrCache<StrippedPartition>,
     lhs_groups: AttrCache<Vec<Vec<usize>>>,
@@ -120,8 +145,104 @@ impl StatsEngine {
         StatsEngine::default()
     }
 
-    /// The distinct projection `π_{attrs}(rel)` (NULL rows dropped),
-    /// shared out of the cache.
+    /// The dictionary encoding of one column of `rel`, built once per
+    /// table generation and shared out of the cache. This is the
+    /// substrate for every encoded kernel (see [`crate::encode`]); the
+    /// returned `Arc` is safe to share read-only across parallel
+    /// workers.
+    pub fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Arc<ColumnDict> {
+        let gen = db.generation(rel);
+        let key = (rel, attr);
+        if let Some(entry) = read_recover(&self.columns).get(&key) {
+            if entry.gen == gen {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.value);
+            }
+        }
+        let table = db.table(rel);
+        let value = Arc::new(ColumnDict::build(table.column(attr)));
+        // Unlike the per-probe cache families, column keys are shared
+        // *across* concurrent probes (two parallel join probes can hit
+        // the same column), so re-check under the write lock: if a
+        // concurrent prober beat us, adopt its entry as a hit and drop
+        // ours. Counters then match the sequential schedule exactly —
+        // one miss per cold column — keeping the `parallel` feature's
+        // byte-identical-output guarantee. Building before locking
+        // wastes the loser's pass but never serializes distinct
+        // columns.
+        let mut columns = write_recover(&self.columns);
+        if let Some(entry) = columns.get(&key) {
+            if entry.gen == gen {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.value);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.rows_scanned
+            .fetch_add(table.len() as u64, Ordering::Relaxed);
+        columns.insert(
+            key,
+            Tagged {
+                gen,
+                value: Arc::clone(&value),
+            },
+        );
+        value
+    }
+
+    /// The cached column dictionaries of `attrs`, in order (repeats
+    /// allowed — each repeat is a cache hit).
+    fn attr_dicts(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Vec<Arc<ColumnDict>> {
+        attrs
+            .iter()
+            .map(|a| self.column_dict(db, rel, *a))
+            .collect()
+    }
+
+    /// The dictionary encoding of `rel`'s *whole* table, assembled
+    /// from the per-column cache (cheap `Arc` clones for already-warm
+    /// columns). Whole-table consumers — CSV import prewarming, batch
+    /// FD checks via `check_encoded` — use this; statistic probes go
+    /// through the per-column kernels and never force untouched
+    /// columns to encode.
+    pub fn dict(&self, db: &Database, rel: RelId) -> Arc<DictTable> {
+        let table = db.table(rel);
+        let columns = (0..table.arity())
+            .map(|i| self.column_dict(db, rel, AttrId(i as u16)))
+            .collect();
+        Arc::new(DictTable::from_columns(columns, table.len()))
+    }
+
+    /// The distinct non-NULL projected code tuples `π_{attrs}(rel)` in
+    /// encoded form, shared out of the cache.
+    fn encoded_set(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<EncodedSet> {
+        let gen = db.generation(rel);
+        if let Some(entry) = read_recover(&self.encoded).get(&(rel, attrs.to_vec())) {
+            if entry.gen == gen {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.value);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let dicts = self.attr_dicts(db, rel, attrs);
+        let cols: Vec<&ColumnDict> = dicts.iter().map(Arc::as_ref).collect();
+        let rows = db.table(rel).len();
+        self.rows_scanned.fetch_add(rows as u64, Ordering::Relaxed);
+        let value = Arc::new(distinct_codes_cols(&cols, rows));
+        write_recover(&self.encoded).insert(
+            (rel, attrs.to_vec()),
+            Tagged {
+                gen,
+                value: Arc::clone(&value),
+            },
+        );
+        value
+    }
+
+    /// The distinct projection `π_{attrs}(rel)` (NULL rows dropped) as
+    /// decoded `Value` tuples, shared out of the cache. Kept for
+    /// consumers that need the actual values (e.g. materializing a
+    /// conceptualized intersection); counting paths stay encoded.
     pub fn projection(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<HashSet<ProjKey>> {
         let gen = db.generation(rel);
         if let Some(entry) = read_recover(&self.projections).get(&(rel, attrs.to_vec())) {
@@ -131,10 +252,10 @@ impl StatsEngine {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let table = db.table(rel);
-        self.rows_scanned
-            .fetch_add(table.len() as u64, Ordering::Relaxed);
-        let value = Arc::new(table.distinct_projection(attrs));
+        let set = self.encoded_set(db, rel, attrs);
+        let dicts = self.attr_dicts(db, rel, attrs);
+        let cols: Vec<&ColumnDict> = dicts.iter().map(Arc::as_ref).collect();
+        let value = Arc::new(decode_set_cols(&cols, &set));
         write_recover(&self.projections).insert(
             (rel, attrs.to_vec()),
             Tagged {
@@ -145,9 +266,10 @@ impl StatsEngine {
         value
     }
 
-    /// `‖rel[attrs]‖` — the paper's cardinality query.
+    /// `‖rel[attrs]‖` — the paper's cardinality query. Unary counts
+    /// are `O(1)` off the dictionary after the encode pass.
     pub fn count_distinct(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> usize {
-        self.projection(db, rel, attrs).len()
+        self.encoded_set(db, rel, attrs).len()
     }
 
     /// The three IND-Discovery cardinalities for `join`, memoized at
@@ -163,16 +285,15 @@ impl StatsEngine {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let left = self.projection(db, join.left.rel, &join.left.attrs);
-        let right = self.projection(db, join.right.rel, &join.right.attrs);
-        let (small, large) = if left.len() <= right.len() {
-            (&left, &right)
-        } else {
-            (&right, &left)
-        };
+        let ldicts = self.attr_dicts(db, join.left.rel, &join.left.attrs);
+        let rdicts = self.attr_dicts(db, join.right.rel, &join.right.attrs);
+        let left = self.encoded_set(db, join.left.rel, &join.left.attrs);
+        let right = self.encoded_set(db, join.right.rel, &join.right.attrs);
         self.rows_scanned
-            .fetch_add(small.len() as u64, Ordering::Relaxed);
-        let n_join = small.iter().filter(|k| large.contains(*k)).count();
+            .fetch_add(left.len().min(right.len()) as u64, Ordering::Relaxed);
+        let lcols: Vec<&ColumnDict> = ldicts.iter().map(Arc::as_ref).collect();
+        let rcols: Vec<&ColumnDict> = rdicts.iter().map(Arc::as_ref).collect();
+        let n_join = intersect_count(&lcols, &left, &rcols, &right);
         let stats = JoinStats {
             n_left: left.len(),
             n_right: right.len(),
@@ -214,10 +335,16 @@ impl StatsEngine {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let table = db.table(rel);
         let value = match attrs {
-            [] | [_] => {
+            [] => {
                 self.rows_scanned
                     .fetch_add(table.len() as u64, Ordering::Relaxed);
-                Arc::new(StrippedPartition::for_attrs(table, attrs))
+                Arc::new(StrippedPartition::single_class(table.len()))
+            }
+            [a] => {
+                // Array-bucket build over the code domain — no hashing.
+                self.rows_scanned
+                    .fetch_add(table.len() as u64, Ordering::Relaxed);
+                Arc::new(partition1_col(&self.column_dict(db, rel, *a)))
             }
             [first, rest @ ..] => {
                 // Chain products of cached unary partitions; each
@@ -254,19 +381,11 @@ impl StatsEngine {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let table = db.table(rel);
-        self.rows_scanned
-            .fetch_add(table.len() as u64, Ordering::Relaxed);
-        let mut map: HashMap<ProjKey, Vec<usize>> = HashMap::with_capacity(table.len());
-        for i in 0..table.len() {
-            if table.row_has_null(i, attrs) {
-                continue;
-            }
-            map.entry(table.project_row(i, attrs)).or_default().push(i);
-        }
-        let mut groups: Vec<Vec<usize>> = map.into_values().filter(|g| g.len() >= 2).collect();
-        groups.sort();
-        let value = Arc::new(groups);
+        let dicts = self.attr_dicts(db, rel, attrs);
+        let cols: Vec<&ColumnDict> = dicts.iter().map(Arc::as_ref).collect();
+        let rows = db.table(rel).len();
+        self.rows_scanned.fetch_add(rows as u64, Ordering::Relaxed);
+        let value = Arc::new(lhs_groups_cols(&cols, rows));
         write_recover(&self.lhs_groups).insert(
             key,
             Tagged {
@@ -285,14 +404,24 @@ impl StatsEngine {
         let lhs: Vec<AttrId> = fd.lhs.iter().collect();
         let rhs: Vec<AttrId> = fd.rhs.iter().collect();
         let groups = self.groups(db, fd.rel, &lhs);
+        if groups.is_empty() {
+            // Key-like LHS: no group of agreeing rows, so no pair can
+            // disagree on the RHS.
+            return true;
+        }
+        // The RHS comparison is structural equality on the raw columns
+        // (hoisted out of the loop): only the grouped rows are touched,
+        // so interning whole RHS columns into codes would cost a full
+        // table pass per probe just to cheapen these few comparisons.
         let table = db.table(fd.rel);
+        let rcols: Vec<&[crate::value::Value]> = rhs.iter().map(|a| table.column(*a)).collect();
         for group in groups.iter() {
             self.rows_scanned
                 .fetch_add(group.len() as u64, Ordering::Relaxed);
-            let first = table.project_row(group[0], &rhs);
+            let first = group[0];
             if group[1..]
                 .iter()
-                .any(|&i| table.project_row(i, &rhs) != first)
+                .any(|&i| rcols.iter().any(|c| c[i] != c[first]))
             {
                 return false;
             }
@@ -303,14 +432,18 @@ impl StatsEngine {
     /// Does `ind` hold in the extension? Same answer as
     /// [`Database::ind_holds`], via cached distinct projections.
     pub fn ind_holds(&self, db: &Database, ind: &Ind) -> bool {
-        let left = self.projection(db, ind.lhs.rel, &ind.lhs.attrs);
-        let right = self.projection(db, ind.rhs.rel, &ind.rhs.attrs);
+        let left = self.encoded_set(db, ind.lhs.rel, &ind.lhs.attrs);
+        let right = self.encoded_set(db, ind.rhs.rel, &ind.rhs.attrs);
         if left.len() > right.len() {
             return false;
         }
         self.rows_scanned
             .fetch_add(left.len() as u64, Ordering::Relaxed);
-        left.iter().all(|k| right.contains(k))
+        let ldicts = self.attr_dicts(db, ind.lhs.rel, &ind.lhs.attrs);
+        let rdicts = self.attr_dicts(db, ind.rhs.rel, &ind.rhs.attrs);
+        let lcols: Vec<&ColumnDict> = ldicts.iter().map(Arc::as_ref).collect();
+        let rcols: Vec<&ColumnDict> = rdicts.iter().map(Arc::as_ref).collect();
+        intersect_count(&lcols, &left, &rcols, &right) == left.len()
     }
 
     /// A snapshot of the observability counters.
@@ -359,7 +492,8 @@ mod tests {
     #[test]
     fn join_stats_matches_naive_and_hits_cache() {
         let (db, l, r) = two_table_db();
-        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
         let engine = StatsEngine::new();
         let first = engine.join_stats(&db, &join);
         assert_eq!(first, join_stats(&db, &join));
@@ -377,7 +511,8 @@ mod tests {
     #[test]
     fn insert_invalidates_served_counts() {
         let (mut db, l, r) = two_table_db();
-        let join = EquiJoin::new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)));
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
         let engine = StatsEngine::new();
         let before = engine.join_stats(&db, &join);
         db.insert(r, vec![Value::Int(4)]).unwrap();

@@ -117,16 +117,33 @@ impl Table {
         attrs.iter().any(|a| self.columns[a.index()][i].is_null())
     }
 
+    /// The column slices of `attrs`, resolved once so row loops don't
+    /// re-walk the `attr → column` lookup per row.
+    fn column_slices(&self, attrs: &[AttrId]) -> Vec<&[Value]> {
+        attrs.iter().map(|a| self.column(*a)).collect()
+    }
+
     /// The set of *distinct, fully non-null* projections `π_Y(r)` — SQL
     /// `SELECT DISTINCT Y` with rows containing NULL in `Y` dropped,
     /// matching the paper's `‖r[Y]‖` (`COUNT (DISTINCT Y)`).
+    ///
+    /// This is the reference implementation; hot paths use the
+    /// dictionary-encoded kernels in [`crate::encode`]. The set grows
+    /// organically — pre-sizing to the row count over-allocates badly
+    /// on low-cardinality columns.
     pub fn distinct_projection(&self, attrs: &[AttrId]) -> HashSet<ProjKey> {
-        let mut set = HashSet::with_capacity(self.rows.min(1 << 16));
-        for i in 0..self.rows {
-            if self.row_has_null(i, attrs) {
-                continue;
+        let cols = self.column_slices(attrs);
+        let mut set = HashSet::new();
+        'rows: for i in 0..self.rows {
+            let mut key = Vec::with_capacity(cols.len());
+            for c in &cols {
+                let v = &c[i];
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(v.clone());
             }
-            set.insert(self.project_row(i, attrs));
+            set.insert(key);
         }
         set
     }
@@ -158,16 +175,21 @@ impl Table {
     /// on `attrs`, in first-seen order. Used when Restruct materializes
     /// a new relation `R_p(A_i B_i)` out of an FD `A_i → B_i`.
     pub fn distinct_subtable(&self, attrs: &[AttrId]) -> Table {
+        let cols = self.column_slices(attrs);
         let mut seen: HashSet<ProjKey> = HashSet::new();
         let mut out = Table::new(attrs.len());
-        for i in 0..self.rows {
-            if self.row_has_null(i, attrs) {
-                continue;
+        'rows: for i in 0..self.rows {
+            let mut key = Vec::with_capacity(cols.len());
+            for c in &cols {
+                let v = &c[i];
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(v.clone());
             }
-            let key = self.project_row(i, attrs);
             if seen.insert(key.clone()) {
-                // `project_row(attrs)` yields exactly `attrs.len()`
-                // values and `out` was built with that arity.
+                // The key holds exactly `attrs.len()` values and `out`
+                // was built with that arity.
                 #[allow(clippy::expect_used)]
                 out.push_row(key).expect("arity fixed by construction");
             }

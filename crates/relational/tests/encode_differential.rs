@@ -1,0 +1,259 @@
+//! Differential proptests: the dictionary-encoded kernels of
+//! [`dbre_relational::encode`] must agree *exactly* with the Value-based
+//! reference implementations in `table.rs` / `partitions.rs` /
+//! `counting.rs` — on every generated table, including NULL-heavy and
+//! NaN-bearing columns, under both NULL conventions (SQL skip-NULL for
+//! counts / FD checks / LHS groups, NULL = NULL for partitions).
+//!
+//! The same file gates the default and `parallel` builds (CI runs both
+//! feature sets), so the encoded path is pinned to the reference
+//! byte-for-byte regardless of how the engine schedules work.
+
+// Test-support helpers outside #[test] fns; panicking on fixture
+// failure is test behaviour.
+#![allow(clippy::expect_used)]
+
+use std::collections::{HashMap, HashSet};
+
+use dbre_relational::attr::AttrId;
+use dbre_relational::counting::{join_stats, EquiJoin};
+use dbre_relational::database::Database;
+use dbre_relational::deps::IndSide;
+use dbre_relational::encode::{join_stats_encoded, DictTable};
+use dbre_relational::partitions::StrippedPartition;
+use dbre_relational::schema::Relation;
+use dbre_relational::stats::StatsEngine;
+use dbre_relational::table::Table;
+use dbre_relational::value::{Domain, Value};
+use proptest::prelude::*;
+
+// ---- generators -----------------------------------------------------
+
+/// A small value pool engineered for collisions: repeated ints and
+/// strings, NULLs, and a NaN (which must intern to a single code via
+/// the total-order bit key, i.e. NaN = NaN for grouping). Entries are
+/// repeated to bias the draw (the vendored `prop_oneof!` is uniform).
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..4).prop_map(Value::Int),
+        (0i64..4).prop_map(Value::Int),
+        (0i64..4).prop_map(Value::Int),
+        Just(Value::Null),
+        Just(Value::Null),
+        Just(Value::str("a")),
+        Just(Value::str("b")),
+        Just(Value::float(f64::NAN)),
+        Just(Value::float(0.5)),
+        Just(Value::float(-0.0)),
+    ]
+}
+
+/// Raw rows at the maximum arity; callers truncate to the drawn arity.
+fn raw_rows(max_arity: usize) -> impl Strategy<Value = Vec<Vec<Value>>> {
+    prop::collection::vec(prop::collection::vec(value(), max_arity), 0..40)
+}
+
+fn make_table(arity: usize, rows: Vec<Vec<Value>>) -> Table {
+    let rows = rows.into_iter().map(|mut r| {
+        r.truncate(arity);
+        r
+    });
+    Table::from_rows(arity, rows).expect("rows match arity")
+}
+
+/// `(table, attrs)` where `attrs` indexes the table's columns —
+/// possibly empty, possibly with repeats (projection lists from query
+/// text can repeat a column).
+fn table_and_attrs() -> impl Strategy<Value = (Table, Vec<AttrId>)> {
+    (1usize..5, raw_rows(4), prop::collection::vec(0u16..4, 0..4)).prop_map(
+        |(arity, rows, attrs)| {
+            let attrs = attrs
+                .into_iter()
+                .map(|i| AttrId(i % arity as u16))
+                .collect();
+            (make_table(arity, rows), attrs)
+        },
+    )
+}
+
+/// Two tables plus equal-arity attribute lists for a cross-table join.
+#[allow(clippy::type_complexity)]
+fn join_case() -> impl Strategy<Value = (Table, Vec<AttrId>, Table, Vec<AttrId>)> {
+    (
+        1usize..4,
+        1usize..4,
+        raw_rows(3),
+        raw_rows(3),
+        prop::collection::vec((0u16..3, 0u16..3), 1..3),
+    )
+        .prop_map(|(la, ra, lrows, rrows, pairs)| {
+            let lattrs = pairs.iter().map(|&(l, _)| AttrId(l % la as u16)).collect();
+            let rattrs = pairs.iter().map(|&(_, r)| AttrId(r % ra as u16)).collect();
+            (make_table(la, lrows), lattrs, make_table(ra, rrows), rattrs)
+        })
+}
+
+/// Wraps a table in a single-relation database (`add_relation_with_table`
+/// skips domain validation, so mixed-type proptest columns are fine).
+fn db_of(t: &Table) -> (Database, dbre_relational::schema::RelId) {
+    let mut db = Database::new();
+    let cols: Vec<(String, Domain)> = (0..t.arity())
+        .map(|i| (format!("c{i}"), Domain::Int))
+        .collect();
+    let named: Vec<(&str, Domain)> = cols.iter().map(|(n, d)| (n.as_str(), *d)).collect();
+    let rel = db
+        .add_relation_with_table(Relation::of("T", &named), t.clone())
+        .expect("arity matches");
+    (db, rel)
+}
+
+// ---- Value-based naive references (independent of encode.rs) --------
+
+/// SQL-convention FD check: rows with a NULL among the LHS are skipped;
+/// surviving LHS groups must agree structurally on the RHS projection
+/// (structural equality: Null = Null, NaN = NaN by bit key).
+fn naive_fd_holds(t: &Table, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
+    let mut first: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+    for i in 0..t.len() {
+        let key = t.project_row(i, lhs);
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        let val = t.project_row(i, rhs);
+        match first.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != val {
+                    return false;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(val);
+            }
+        }
+    }
+    true
+}
+
+/// SQL-convention LHS groups: row-index groups of size ≥ 2 agreeing on
+/// `attrs`, NULL-bearing rows skipped, groups ascending and sorted.
+fn naive_lhs_groups(t: &Table, attrs: &[AttrId]) -> Vec<Vec<usize>> {
+    let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for i in 0..t.len() {
+        let key = t.project_row(i, attrs);
+        if !attrs.is_empty() && key.iter().any(Value::is_null) {
+            continue;
+        }
+        map.entry(key).or_default().push(i);
+    }
+    let mut groups: Vec<Vec<usize>> = map.into_values().filter(|g| g.len() >= 2).collect();
+    groups.sort();
+    groups
+}
+
+// ---- properties -----------------------------------------------------
+
+proptest! {
+    /// `‖π_attrs‖`: encoded count = reference count (SQL skip-NULL).
+    #[test]
+    fn counts_agree(case in table_and_attrs()) {
+        let (t, attrs) = case;
+        let d = DictTable::build(&t);
+        prop_assert_eq!(d.count_distinct(&attrs), t.count_distinct(&attrs));
+    }
+
+    /// Decoding the encoded distinct set recovers the reference
+    /// projection exactly (same tuples, not just the same count).
+    #[test]
+    fn distinct_sets_agree(case in table_and_attrs()) {
+        let (t, attrs) = case;
+        let d = DictTable::build(&t);
+        let encoded: HashSet<_> = d.decode_set(&attrs, &d.distinct_codes(&attrs));
+        prop_assert_eq!(encoded, t.distinct_projection(&attrs));
+    }
+
+    /// Stripped partitions (NULL = NULL convention) are byte-identical
+    /// to the Value-based constructors, unary and multi-attribute.
+    #[test]
+    fn partitions_agree(case in table_and_attrs()) {
+        let (t, attrs) = case;
+        let d = DictTable::build(&t);
+        if let [a] = attrs.as_slice() {
+            prop_assert_eq!(d.partition1(*a), StrippedPartition::for_attribute(&t, *a));
+        }
+        prop_assert_eq!(d.partition(&attrs), StrippedPartition::for_attrs(&t, &attrs));
+    }
+
+    /// FD checks (SQL convention) match an independent naive oracle.
+    #[test]
+    fn fd_holds_agrees(
+        case in table_and_attrs(),
+        rhs_seed in prop::collection::vec(0u16..4, 1..3),
+    ) {
+        let (t, lhs) = case;
+        let rhs: Vec<AttrId> = rhs_seed
+            .into_iter()
+            .map(|i| AttrId(i % t.arity() as u16))
+            .collect();
+        let d = DictTable::build(&t);
+        prop_assert_eq!(d.fd_holds(&lhs, &rhs), naive_fd_holds(&t, &lhs, &rhs));
+    }
+
+    /// LHS groups (SQL convention) match the naive oracle exactly,
+    /// including group membership and ordering.
+    #[test]
+    fn lhs_groups_agree(case in table_and_attrs()) {
+        let (t, attrs) = case;
+        let d = DictTable::build(&t);
+        prop_assert_eq!(d.lhs_groups(&attrs), naive_lhs_groups(&t, &attrs));
+    }
+
+    /// Cross-table join stats: code translation gives the same three
+    /// cardinalities as the Value-based set intersection.
+    #[test]
+    fn join_stats_agree(case in join_case()) {
+        let (lt, lattrs, rt, rattrs) = case;
+        let (ld, rd) = (DictTable::build(&lt), DictTable::build(&rt));
+        let encoded = join_stats_encoded(&ld, &lattrs, &rd, &rattrs);
+
+        let mut db = Database::new();
+        let mk = |n: usize| -> Vec<(String, Domain)> {
+            (0..n).map(|i| (format!("c{i}"), Domain::Int)).collect()
+        };
+        let lcols = mk(lt.arity());
+        let rcols = mk(rt.arity());
+        let l = db
+            .add_relation_with_table(
+                Relation::of("L", &lcols.iter().map(|(n, d)| (n.as_str(), *d)).collect::<Vec<_>>()),
+                lt,
+            )
+            .expect("arity matches");
+        let r = db
+            .add_relation_with_table(
+                Relation::of("R", &rcols.iter().map(|(n, d)| (n.as_str(), *d)).collect::<Vec<_>>()),
+                rt,
+            )
+            .expect("arity matches");
+        let join = EquiJoin::try_new(IndSide::new(l, lattrs), IndSide::new(r, rattrs))
+            .expect("equal arity by construction");
+        prop_assert_eq!(encoded, join_stats(&db, &join));
+    }
+
+    /// The cached engine (dict-backed since PR 3) agrees with the
+    /// references through its public API — covering the generation-
+    /// tagged dictionary cache and, under `--features parallel`, the
+    /// shared read-only dictionary access from worker threads.
+    #[test]
+    fn engine_agrees_with_references(case in table_and_attrs()) {
+        let (t, attrs) = case;
+        let (db, rel) = db_of(&t);
+        let engine = StatsEngine::new();
+        // Twice: miss path, then hit path, must both agree.
+        for _ in 0..2 {
+            prop_assert_eq!(engine.count_distinct(&db, rel, &attrs), t.count_distinct(&attrs));
+            prop_assert_eq!(
+                (*engine.partition_for_attrs(&db, rel, &attrs)).clone(),
+                StrippedPartition::for_attrs(&t, &attrs)
+            );
+        }
+    }
+}

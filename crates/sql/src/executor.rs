@@ -980,10 +980,11 @@ mod tests {
         .unwrap();
         let person = d.rel("Person").unwrap();
         let emp = d.rel("HEmployee").unwrap();
-        let join = dbre_relational::EquiJoin::new(
+        let join = dbre_relational::EquiJoin::try_new(
             dbre_relational::IndSide::single(person, AttrId(0)),
             dbre_relational::IndSide::single(emp, AttrId(0)),
-        );
+        )
+        .unwrap();
         let stats = dbre_relational::join_stats(&d, &join);
         assert_eq!(via_sql, stats.n_join);
     }

@@ -101,10 +101,10 @@ proptest! {
             .unwrap();
         let l = db.rel("L").unwrap();
         let r = db.rel("R").unwrap();
-        let join = dbre_relational::EquiJoin::new(
+        let join = dbre_relational::EquiJoin::try_new(
             dbre_relational::IndSide::single(l, dbre_relational::AttrId(0)),
             dbre_relational::IndSide::single(r, dbre_relational::AttrId(0)),
-        );
+        ).unwrap();
         let stats = dbre_relational::join_stats(&db, &join);
         prop_assert_eq!(via_sql, stats.n_join);
 

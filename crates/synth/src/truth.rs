@@ -162,7 +162,7 @@ mod tests {
         let rcols: Vec<&str> = spec.right.1.iter().map(String::as_str).collect();
         let (lrel, lids) = db.resolve(&spec.left.0, &lcols).unwrap();
         let (rrel, rids) = db.resolve(&spec.right.0, &rcols).unwrap();
-        let join = EquiJoin::new(IndSide::new(lrel, lids), IndSide::new(rrel, rids));
+        let join = EquiJoin::try_new(IndSide::new(lrel, lids), IndSide::new(rrel, rids)).unwrap();
         let ctx = NeiContext {
             db: &db,
             join: &join,
@@ -174,7 +174,7 @@ mod tests {
         };
         assert_eq!(oracle.resolve_nei(&ctx), NeiDecision::ForceLeftInRight);
         // Flipped join forces the other way.
-        let flipped = EquiJoin::new(join.right.clone(), join.left.clone());
+        let flipped = EquiJoin::try_new(join.right.clone(), join.left.clone()).unwrap();
         let ctx = NeiContext {
             db: &db,
             join: &flipped,
@@ -194,9 +194,10 @@ mod tests {
         // Join two arbitrary value attributes — not a navigation.
         let names: Vec<String> = db.schema.iter().map(|(_, r)| r.name.clone()).collect();
         let rel0 = db.rel(&names[0]).unwrap();
-        let join = EquiJoin::new(IndSide::single(rel0, dbre_relational::AttrId(0)), {
+        let join = EquiJoin::try_new(IndSide::single(rel0, dbre_relational::AttrId(0)), {
             IndSide::single(rel0, dbre_relational::AttrId(0))
-        });
+        })
+        .unwrap();
         let ctx = NeiContext {
             db: &db,
             join: &join,
