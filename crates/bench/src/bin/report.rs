@@ -772,6 +772,40 @@ fn xb() {
         ));
     }
 
+    // Per-backend end-to-end pipeline rows: the same run_with_q served
+    // by each CountBackend through the one counting seam (small
+    // extension — the SQL backend executes every ‖·‖ probe as a real
+    // statement through the tuple-at-a-time executor).
+    let mut backend_rows: Vec<(&'static str, f64)> = Vec::new();
+    {
+        let s = scenario(8, 1000, 42);
+        let q = dbre_extract::extract_programs(
+            &s.db.schema,
+            &s.programs,
+            &dbre_extract::ExtractConfig::default(),
+        )
+        .q();
+        for choice in [
+            dbre_core::BackendChoice::Reference,
+            dbre_core::BackendChoice::Encoded,
+            dbre_core::BackendChoice::Sql,
+        ] {
+            let opts = PipelineOptions {
+                backend: choice,
+                ..Default::default()
+            };
+            let ns = median_ns(samples, || {
+                let mut oracle = AutoOracle::default();
+                std::hint::black_box(dbre_core::run_with_q(s.db.clone(), &q, &mut oracle, &opts));
+            });
+            benches.push((
+                format!("pipeline/run_with_q_{}/e8_r1000", choice.name()),
+                ns,
+            ));
+            backend_rows.push((choice.name(), ns));
+        }
+    }
+
     // Cache counters from one warm engine pass (8 entities, 10k rows).
     let s = scenario(8, 10_000, 42);
     let q = dbre_extract::extract_programs(
@@ -815,6 +849,13 @@ fn xb() {
             "    {{ \"id\": \"{id}\", \"reference_over_encoded\": {ratio:.2} }}{sep}\n"
         ));
     }
+    json.push_str("  ],\n  \"backends\": [\n");
+    for (i, (name, ns)) in backend_rows.iter().enumerate() {
+        let sep = if i + 1 == backend_rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"backend\": \"{name}\", \"pipeline_median_ns\": {ns:.0} }}{sep}\n"
+        ));
+    }
     json.push_str(&format!(
         "  ],\n  \"cache_counters\": {{ \"hits\": {}, \"misses\": {}, \"rows_scanned\": {} }}\n}}\n",
         counters.cache_hits, counters.cache_misses, counters.rows_scanned
@@ -827,6 +868,10 @@ fn xb() {
     }
     for (id, ratio) in &pairs {
         println!("  {id:<60} encoded is {ratio:.2}x faster than reference");
+    }
+    println!("\n  full pipeline (8 entities, 1000 rows), one seam, three backends:");
+    for (name, ns) in &backend_rows {
+        println!("  --backend {name:<10} {:>9.2} ms", ns / 1e6);
     }
 }
 

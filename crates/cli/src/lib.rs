@@ -6,8 +6,8 @@
 //! ```text
 //! dbre reverse --schema schema.sql [--data data.sql]
 //!              [--csv Table=rows.csv]... [--programs file|dir]...
-//!              [--oracle auto|deny] [--infer-keys]
-//!              [--dot out.dot] [--quiet]
+//!              [--oracle auto|deny] [--backend reference|encoded|sql]
+//!              [--infer-keys] [--dot out.dot] [--quiet]
 //! dbre extract --schema schema.sql [--programs file|dir]...
 //! dbre example
 //! ```
@@ -50,6 +50,8 @@ pub struct ReverseArgs {
     pub programs: Vec<PathBuf>,
     /// `auto` (default) or `deny`.
     pub oracle: String,
+    /// Counting backend: `encoded` (default), `reference`, or `sql`.
+    pub backend: String,
     /// Infer missing keys from the extension.
     pub infer_keys: bool,
     /// Write the EER diagram as DOT here.
@@ -74,7 +76,8 @@ dbre — reverse engineering of denormalized relational databases (ICDE'96)
 USAGE:
   dbre reverse --schema DDL.sql [--data INSERTS.sql]
                [--csv Table=rows.csv]... [--programs FILE|DIR]...
-               [--oracle auto|deny] [--infer-keys] [--dot OUT.dot] [--quiet]
+               [--oracle auto|deny] [--backend reference|encoded|sql]
+               [--infer-keys] [--dot OUT.dot] [--quiet]
   dbre extract --schema DDL.sql [--programs FILE|DIR]...
   dbre example
   dbre help
@@ -89,6 +92,7 @@ pub fn parse_args(args: &[String]) -> Command {
         Some(cmd @ ("reverse" | "extract")) => {
             let mut reverse = ReverseArgs {
                 oracle: "auto".into(),
+                backend: String::new(),
                 ..Default::default()
             };
             let mut schema_seen = false;
@@ -119,6 +123,15 @@ pub fn parse_args(args: &[String]) -> Command {
                                 return Err(format!("--oracle must be auto or deny, got `{v}`"));
                             }
                             reverse.oracle = v;
+                        }
+                        "--backend" => {
+                            let v = value("--backend")?;
+                            if dbre_core::BackendChoice::parse(&v).is_none() {
+                                return Err(format!(
+                                    "--backend must be reference, encoded or sql, got `{v}`"
+                                ));
+                            }
+                            reverse.backend = v;
                         }
                         "--infer-keys" => reverse.infer_keys = true,
                         "--dot" => reverse.dot = Some(PathBuf::from(value("--dot")?)),
@@ -255,10 +268,13 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         Command::Reverse(args) => {
             let db = load_database(args)?;
             let programs = load_programs(&args.programs)?;
-            let options = PipelineOptions {
+            let mut options = PipelineOptions {
                 infer_missing_keys: args.infer_keys,
                 ..Default::default()
             };
+            if let Some(choice) = dbre_core::BackendChoice::parse(&args.backend) {
+                options.backend = choice;
+            }
             let mut auto;
             let mut deny;
             let oracle: &mut dyn Oracle = if args.oracle == "deny" {
@@ -320,8 +336,8 @@ fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> S
     let c = &result.stats.counters;
     let _ = writeln!(
         out,
-        "counting engine: {} cache hits, {} misses, {} rows scanned",
-        c.cache_hits, c.cache_misses, c.rows_scanned
+        "counting engine: backend `{}`, {} cache hits, {} misses, {} rows scanned",
+        result.stats.backend, c.cache_hits, c.cache_misses, c.rows_scanned
     );
     for (stage, t) in &result.stats.stage_timings {
         let _ = writeln!(out, "{stage:<14} {:>9.3} ms", t.as_secs_f64() * 1e3);
@@ -355,6 +371,8 @@ mod tests {
             "progs/",
             "--oracle",
             "deny",
+            "--backend",
+            "reference",
             "--infer-keys",
             "--dot",
             "out.dot",
@@ -367,6 +385,7 @@ mod tests {
         assert_eq!(a.data, Some(PathBuf::from("rows.sql")));
         assert_eq!(a.csv, vec![("Person".into(), PathBuf::from("p.csv"))]);
         assert_eq!(a.oracle, "deny");
+        assert_eq!(a.backend, "reference");
         assert!(a.infer_keys);
         assert!(a.quiet);
     }
@@ -390,6 +409,10 @@ mod tests {
             Command::Help(Some(_))
         ));
         assert!(matches!(
+            parse_args(&s(&["reverse", "--schema", "x", "--backend", "postgres"])),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
             parse_args(&s(&["frobnicate"])),
             Command::Help(Some(_))
         ));
@@ -403,8 +426,48 @@ mod tests {
         assert!(out.contains("Manager[proj] << Project[proj]"));
         assert!(out.contains("Assignment [relationship]"));
         assert!(out.contains("# Pipeline statistics"));
-        assert!(out.contains("counting engine:"));
+        assert!(out.contains("counting engine: backend `"));
         assert!(out.contains("ind-discovery"));
+    }
+
+    #[test]
+    fn reverse_honors_backend_flag() {
+        let dir = std::env::temp_dir().join(format!("dbre_cli_backend_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("schema.sql"),
+            "CREATE TABLE Customer (cid INT UNIQUE, cname VARCHAR(30));
+             CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30));
+             INSERT INTO Customer VALUES (1, 'ann'), (2, 'bob');
+             INSERT INTO Orders VALUES (10, 1, 'ann'), (11, 2, 'bob');",
+        )
+        .unwrap();
+        let mut outputs = Vec::new();
+        for backend in ["reference", "encoded", "sql"] {
+            let cmd = parse_args(&s(&[
+                "reverse",
+                "--schema",
+                dir.join("schema.sql").to_str().unwrap(),
+                "--backend",
+                backend,
+                "--quiet",
+            ]));
+            let out = run(&cmd).unwrap();
+            assert!(
+                out.contains(&format!("counting engine: backend `{backend}`")),
+                "{out}"
+            );
+            // The backend must not change what is discovered: strip
+            // the statistics block before comparing.
+            let findings = out
+                .split("# Pipeline statistics")
+                .next()
+                .unwrap()
+                .to_string();
+            outputs.push(findings);
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::oracle::{
     DecisionRecord, NamingContext, NeiContext, NeiDecision, NewRelationReason, Oracle,
 };
 use dbre_relational::attr::{AttrId, AttrSet};
+use dbre_relational::backend::CountBackend;
 use dbre_relational::counting::{EquiJoin, JoinStats};
 use dbre_relational::database::Database;
 use dbre_relational::deps::{Ind, IndSide};
@@ -86,7 +87,7 @@ pub fn ind_discovery_with_stats(
     db: &mut Database,
     q: &[EquiJoin],
     oracle: &mut dyn Oracle,
-    engine: &StatsEngine,
+    engine: &dyn CountBackend,
 ) -> Result<IndDiscovery, DbreError> {
     for join in q {
         join.validate(db)?;
@@ -175,7 +176,7 @@ fn conceptualize_intersection(
     db: &mut Database,
     join: &EquiJoin,
     oracle: &mut dyn Oracle,
-    engine: &StatsEngine,
+    engine: &dyn CountBackend,
 ) -> Result<RelId, DbreError> {
     let left_rel = db.schema.relation(join.left.rel);
     let right_rel = db.schema.relation(join.right.rel);

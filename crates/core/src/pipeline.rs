@@ -15,23 +15,22 @@
 //! Every expert interaction is recorded in one merged audit log.
 
 use crate::eer::EerSchema;
-use crate::ind_discovery::{ind_discovery_with_stats, IndDiscovery};
-use crate::lhs_discovery::{lhs_discovery, LhsDiscovery};
-use crate::oracle::{DecisionRecord, Oracle, OracleAbort};
-use crate::restruct::{restruct, Restructured};
-use crate::rhs_discovery::{rhs_discovery_with_stats, RhsDiscovery, RhsOptions};
-use crate::translate::translate;
+use crate::ind_discovery::IndDiscovery;
+use crate::lhs_discovery::LhsDiscovery;
+use crate::oracle::{DecisionRecord, Oracle};
+use crate::restruct::Restructured;
+use crate::rhs_discovery::{RhsDiscovery, RhsOptions};
+use crate::session::{stages, BackendChoice, DbreSession};
 use dbre_extract::{extract_programs, ExtractConfig, ProgramSource};
 use dbre_relational::counting::EquiJoin;
 use dbre_relational::database::Database;
-use dbre_relational::stats::{StatsCounters, StatsEngine};
+use dbre_relational::stats::StatsCounters;
 use dbre_relational::DbreError;
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PipelineOptions {
     /// Equi-join extraction options.
     pub extract: ExtractConfig,
@@ -42,6 +41,22 @@ pub struct PipelineOptions {
     /// beyond the paper's §4 assumption that `K` is always available).
     /// The inferred key's width is bounded to 3 columns.
     pub infer_missing_keys: bool,
+    /// Which counting backend serves the `‖·‖` probes.
+    pub backend: BackendChoice,
+}
+
+impl Default for PipelineOptions {
+    /// Defaults honor the `DBRE_BACKEND` environment variable (see
+    /// [`BackendChoice::from_env`]) so an entire test suite can be
+    /// re-run over a different backend without code changes.
+    fn default() -> Self {
+        PipelineOptions {
+            extract: ExtractConfig::default(),
+            rhs: RhsOptions::default(),
+            infer_missing_keys: false,
+            backend: BackendChoice::from_env(),
+        }
+    }
 }
 
 /// Instrumentation for one pipeline run: wall-clock per stage plus the
@@ -53,6 +68,9 @@ pub struct PipelineStats {
     /// Counting-engine observability: cache hits/misses and rows
     /// scanned across all `‖·‖` / FD / partition queries of the run.
     pub counters: StatsCounters,
+    /// Name of the counting backend that served the run
+    /// ([`BackendChoice::name`]).
+    pub backend: &'static str,
 }
 
 impl PipelineStats {
@@ -161,57 +179,6 @@ pub fn run_with_programs(
     result
 }
 
-/// Validates one caller-supplied join against the schema; `Err` is the
-/// warning to record.
-fn validate_join(db: &Database, join: &EquiJoin) -> Result<(), String> {
-    join.validate(db)
-        .map_err(|e| format!("skipping malformed join: {e}"))
-}
-
-/// Renders a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&'static str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        String::from("non-string panic payload")
-    }
-}
-
-/// Runs one pipeline stage with graceful degradation: a typed error
-/// *or a panic* inside `f` is demoted to a warning plus a
-/// [`StageError`], and the stage's output is replaced by `fallback()`
-/// so the remaining stages still run over whatever survived. An
-/// [`OracleAbort`] unwind is recognized and surfaces as the typed
-/// [`DbreError::OracleAbort`].
-fn run_stage<T>(
-    stage: &'static str,
-    stats: &mut PipelineStats,
-    warnings: &mut Vec<String>,
-    stage_errors: &mut Vec<StageError>,
-    fallback: impl FnOnce() -> T,
-    f: impl FnOnce() -> Result<T, DbreError>,
-) -> T {
-    let t = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(f));
-    stats.stage_timings.push((stage, t.elapsed()));
-    let error = match outcome {
-        Ok(Ok(v)) => return v,
-        Ok(Err(e)) => e,
-        Err(payload) => match payload.downcast::<OracleAbort>() {
-            Ok(abort) => DbreError::OracleAbort(abort.0),
-            Err(payload) => DbreError::Panic {
-                stage: stage.to_string(),
-                message: panic_message(payload.as_ref()),
-            },
-        },
-    };
-    warnings.push(format!("stage `{stage}` degraded: {error}"));
-    stage_errors.push(StageError { stage, error });
-    fallback()
-}
-
 /// Runs the pipeline from a prepared set `Q`.
 ///
 /// Malformed elements of `Q` — mismatched side arity, out-of-bounds
@@ -221,136 +188,25 @@ fn run_stage<T>(
 ///
 /// The run itself is infallible: a stage that returns a typed error
 /// or panics (including an expert aborting the session, modeled as an
-/// [`OracleAbort`] unwind) is *degraded* — its output is replaced by
-/// the empty default, the failure is recorded in
+/// [`OracleAbort`](crate::oracle::OracleAbort) unwind) is *degraded* —
+/// its output is left at the empty default, the failure is recorded in
 /// [`PipelineResult::stage_errors`] and mirrored as a warning, and
-/// the remaining stages run over whatever survived. The audit log and
-/// the pre-restruct snapshot stay coherent with the stages that did
-/// complete.
+/// the remaining stages run over whatever survived
+/// ([`DbreSession::run_stage`] is the single containment site). The
+/// audit log and the pre-restruct snapshot stay coherent with the
+/// stages that did complete.
 pub fn run_with_q(
-    mut db: Database,
+    db: Database,
     q: &[EquiJoin],
     oracle: &mut dyn Oracle,
     options: &PipelineOptions,
 ) -> PipelineResult {
-    let mut log = Vec::new();
-    let mut warnings = Vec::new();
-    let mut stage_errors = Vec::new();
-    let mut stats = PipelineStats::default();
-    let engine = StatsEngine::new();
-
-    let q: Vec<EquiJoin> = q
-        .iter()
-        .filter(|join| match validate_join(&db, join) {
-            Ok(()) => true,
-            Err(w) => {
-                warnings.push(w);
-                false
-            }
-        })
-        .cloned()
-        .collect();
-
-    if options.infer_missing_keys {
-        let inferred = run_stage(
-            "key-inference",
-            &mut stats,
-            &mut warnings,
-            &mut stage_errors,
-            Vec::new,
-            || {
-                Ok(dbre_mine::infer_missing_keys_with_stats(
-                    &mut db,
-                    Some(3),
-                    &engine,
-                ))
-            },
-        );
-        for (rel, key) in inferred {
-            let relation = db.schema.relation(rel);
-            log.push(DecisionRecord::new(
-                "Key inference",
-                relation.name.clone(),
-                format!("inferred key {{{}}}", relation.render_set(&key)),
-            ));
-        }
+    let mut session = DbreSession::new(db, oracle, options.clone());
+    session.admit_q(q);
+    for stage in stages(&session.options) {
+        session.run_stage(stage.as_ref());
     }
-
-    let ind = run_stage(
-        "ind-discovery",
-        &mut stats,
-        &mut warnings,
-        &mut stage_errors,
-        IndDiscovery::default,
-        || ind_discovery_with_stats(&mut db, &q, &mut *oracle, &engine),
-    );
-
-    let lhs = run_stage(
-        "lhs-discovery",
-        &mut stats,
-        &mut warnings,
-        &mut stage_errors,
-        LhsDiscovery::default,
-        || Ok(lhs_discovery(&db, &ind.inds, &ind.new_relations)),
-    );
-
-    let rhs = run_stage(
-        "rhs-discovery",
-        &mut stats,
-        &mut warnings,
-        &mut stage_errors,
-        RhsDiscovery::default,
-        || {
-            Ok(rhs_discovery_with_stats(
-                &db,
-                &lhs,
-                &mut *oracle,
-                &options.rhs,
-                &engine,
-            ))
-        },
-    );
-
-    let db_before = db.clone();
-    let restructured = run_stage(
-        "restruct",
-        &mut stats,
-        &mut warnings,
-        &mut stage_errors,
-        Restructured::default,
-        || restruct(&mut db, &rhs.fds, &rhs.hidden, &ind.inds, &mut *oracle),
-    );
-
-    let eer = run_stage(
-        "translate",
-        &mut stats,
-        &mut warnings,
-        &mut stage_errors,
-        EerSchema::default,
-        || translate(&db, &restructured.ric),
-    );
-
-    stats.counters = engine.counters();
-
-    log.extend(ind.log.iter().cloned());
-    log.extend(rhs.log.iter().cloned());
-    log.extend(restructured.log.iter().cloned());
-
-    PipelineResult {
-        q,
-        ind,
-        lhs,
-        rhs,
-        restructured,
-        eer,
-        db,
-        db_before,
-        log,
-        warnings,
-        provenance: Vec::new(),
-        stats,
-        stage_errors,
-    }
+    session.into_result()
 }
 
 #[cfg(test)]
@@ -564,6 +420,68 @@ mod tests {
         );
         assert!(result.stats.counters.rows_scanned > 0);
         assert!(result.stats.total() >= result.stats.stage_timings[0].1);
+        assert_eq!(
+            result.stats.backend,
+            PipelineOptions::default().backend.name(),
+            "the run reports the backend that served it"
+        );
+    }
+
+    #[test]
+    fn log_order_matches_stage_execution_order() {
+        // All DecisionRecords flow through DbreSession::record, so the
+        // merged log must be grouped by stage, in execution order:
+        // key inference, then IND-Discovery, then RHS-Discovery, then
+        // Restruct (LHS-Discovery and Translate never record).
+        let mut cat = Catalog::new();
+        cat.load_script(
+            "CREATE TABLE Customer (cid INT, cname VARCHAR(30));
+             CREATE TABLE Orders (oid INT, cust INT, cname VARCHAR(30));
+             INSERT INTO Customer VALUES (1, 'ann'), (2, 'bob'), (3, 'cid');
+             INSERT INTO Orders VALUES (10, 1, 'ann'), (11, 1, 'ann'), (12, 2, 'bob');",
+        )
+        .unwrap();
+        let db = cat.into_database();
+        let programs = vec![ProgramSource::sql(
+            "report",
+            "SELECT cname FROM Orders o, Customer c WHERE o.cust = c.cid;",
+        )];
+        let mut oracle = AutoOracle::default();
+        let opts = PipelineOptions {
+            infer_missing_keys: true,
+            ..Default::default()
+        };
+        let result = run_with_programs(db, &programs, &mut oracle, &opts);
+        assert!(result.is_complete(), "{:?}", result.stage_errors);
+
+        let rank = |step: &str| -> usize {
+            if step == "Key inference" {
+                0
+            } else if step.starts_with("IND-Discovery") {
+                1
+            } else if step.starts_with("RHS-Discovery") {
+                2
+            } else if step.starts_with("Restruct") {
+                3
+            } else {
+                panic!("unexpected audit step {step:?}")
+            }
+        };
+        let ranks: Vec<usize> = result.log.iter().map(|r| rank(&r.step)).collect();
+        assert!(
+            ranks.windows(2).all(|w| w[0] <= w[1]),
+            "log interleaves stages: {:?}",
+            result
+                .log
+                .iter()
+                .map(|r| r.step.as_str())
+                .collect::<Vec<_>>()
+        );
+        let distinct: std::collections::BTreeSet<usize> = ranks.iter().copied().collect();
+        assert!(
+            distinct.len() >= 3,
+            "expected records from at least three stages, got {distinct:?}"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::lhs_discovery::LhsDiscovery;
 use crate::oracle::{DecisionRecord, FdContext, HiddenContext, Oracle};
 use dbre_relational::attr::{AttrId, AttrSet};
+use dbre_relational::backend::CountBackend;
 use dbre_relational::database::Database;
 use dbre_relational::deps::Fd;
 use dbre_relational::par::par_map;
@@ -85,7 +86,7 @@ pub fn rhs_discovery_with_stats(
     input: &LhsDiscovery,
     oracle: &mut dyn Oracle,
     options: &RhsOptions,
-    engine: &StatsEngine,
+    engine: &dyn CountBackend,
 ) -> RhsDiscovery {
     let mut out = RhsDiscovery {
         hidden: input.hidden.clone(),

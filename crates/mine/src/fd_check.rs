@@ -19,10 +19,10 @@
 
 use crate::partitions::fd_holds_partition;
 use dbre_relational::attr::AttrId;
+use dbre_relational::backend::CountBackend;
 use dbre_relational::database::Database;
 use dbre_relational::deps::Fd;
 use dbre_relational::encode::DictTable;
-use dbre_relational::stats::StatsEngine;
 use dbre_relational::table::Table;
 use dbre_relational::value::Value;
 use std::collections::HashMap;
@@ -71,12 +71,14 @@ pub fn check_partition(table: &Table, lhs: &[AttrId], rhs: &[AttrId]) -> bool {
     fd_holds_partition(table, lhs, rhs)
 }
 
-/// Engine-backed FD check: same SQL NULL semantics and same answer as
-/// [`check_hash`], but the LHS row grouping is memoized in `engine`,
-/// so a batch of tests sharing one LHS (the shape RHS-Discovery
-/// produces) groups once and only rescans the grouped rows.
-pub fn check_cached(db: &Database, fd: &Fd, engine: &StatsEngine) -> bool {
-    engine.fd_holds(db, fd)
+/// Backend-served FD check: same SQL NULL semantics and same answer
+/// as [`check_hash`], served through the counting seam. Pass a
+/// [`StatsEngine`](dbre_relational::stats::StatsEngine) (which itself
+/// implements the trait) and the LHS row grouping is memoized, so a
+/// batch of tests sharing one LHS (the shape RHS-Discovery produces)
+/// groups once and only rescans the grouped rows.
+pub fn check_cached(db: &Database, fd: &Fd, backend: &dyn CountBackend) -> bool {
+    backend.fd_holds(db, fd)
 }
 
 /// `g3`-style violation count: the minimum number of tuples to delete

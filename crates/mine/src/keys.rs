@@ -15,6 +15,7 @@
 
 use crate::partitions::StrippedPartition;
 use dbre_relational::attr::{AttrId, AttrSet};
+use dbre_relational::backend::CountBackend;
 use dbre_relational::database::Database;
 use dbre_relational::encode::DictTable;
 use dbre_relational::par::par_map;
@@ -51,19 +52,20 @@ pub fn discover_keys(table: &Table, max_width: Option<usize>) -> KeyResult {
     })
 }
 
-/// [`discover_keys`] with the unary seed partitions served from (and
-/// cached into) `engine`, built concurrently under `--features
-/// parallel`.
+/// [`discover_keys`] with the unary seed partitions served through
+/// the counting seam (pass a
+/// [`StatsEngine`] and they are additionally cached), built
+/// concurrently under `--features parallel`.
 pub fn discover_keys_with_stats(
     db: &Database,
     rel: RelId,
     max_width: Option<usize>,
-    engine: &StatsEngine,
+    backend: &dyn CountBackend,
 ) -> KeyResult {
     let table = db.table(rel);
     discover_keys_seeded(table, max_width, |eligible| {
         let attrs: Vec<AttrId> = eligible.iter().map(|&i| AttrId(i)).collect();
-        par_map(&attrs, |&a| (*engine.partition(db, rel, a)).clone())
+        par_map(&attrs, |&a| (*backend.partition1(db, rel, a)).clone())
     })
 }
 
@@ -154,13 +156,14 @@ pub fn infer_missing_keys(db: &mut Database, max_width: Option<usize>) -> Vec<(R
     infer_missing_keys_with_stats(db, max_width, &StatsEngine::new())
 }
 
-/// [`infer_missing_keys`] with unary partitions memoized in `engine`
-/// (key registration touches only the dictionary, never the tables, so
+/// [`infer_missing_keys`] with unary partitions served through the
+/// counting seam — memoized when `backend` is a [`StatsEngine`] (key
+/// registration touches only the dictionary, never the tables, so
 /// previously cached entries stay valid).
 pub fn infer_missing_keys_with_stats(
     db: &mut Database,
     max_width: Option<usize>,
-    engine: &StatsEngine,
+    backend: &dyn CountBackend,
 ) -> Vec<(RelId, AttrSet)> {
     let mut inferred = Vec::new();
     let rels: Vec<RelId> = db.schema.iter().map(|(r, _)| r).collect();
@@ -168,7 +171,7 @@ pub fn infer_missing_keys_with_stats(
         if db.constraints.primary_key(rel).is_some() {
             continue;
         }
-        let result = discover_keys_with_stats(db, rel, max_width, engine);
+        let result = discover_keys_with_stats(db, rel, max_width, backend);
         if let Some(best) = result.keys.iter().min_by_key(|k| (k.len(), mask_of(k))) {
             db.constraints.add_key(rel, best.clone());
             inferred.push((rel, best.clone()));

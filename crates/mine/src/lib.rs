@@ -34,5 +34,5 @@ pub use keys::{
 };
 pub use mind::{maximal, mind, mind_with_stats, MindResult, MindStats};
 pub use partitions::StrippedPartition;
-pub use spider::{spider, SpiderConfig, SpiderResult, SpiderStats};
+pub use spider::{spider, spider_with_stats, SpiderConfig, SpiderResult, SpiderStats};
 pub use tane::{tane, TaneResult, TaneStats};

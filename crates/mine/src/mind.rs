@@ -14,6 +14,7 @@
 
 use crate::spider::{spider, SpiderConfig};
 use dbre_relational::attr::AttrId;
+use dbre_relational::backend::CountBackend;
 use dbre_relational::database::Database;
 use dbre_relational::deps::{Ind, IndSide};
 use dbre_relational::par::par_map;
@@ -49,16 +50,17 @@ pub fn mind(db: &Database, cfg: &SpiderConfig, max_arity: usize) -> MindResult {
     mind_with_stats(db, cfg, max_arity, &StatsEngine::new())
 }
 
-/// [`mind`] with candidate validation served from `engine`: every
-/// `r[X] ⊆ s[Y]` test reuses the memoized distinct projections, and the
-/// validations of one level run through [`par_map`] (concurrent under
-/// `--features parallel`, identical output either way since candidate
-/// generation stays sequential and order-preserving).
+/// [`mind`] with candidate validation served through the counting
+/// seam: pass a [`StatsEngine`] and every `r[X] ⊆ s[Y]` test reuses
+/// the memoized distinct projections. The validations of one level run
+/// through [`par_map`] (concurrent under `--features parallel`,
+/// identical output either way since candidate generation stays
+/// sequential and order-preserving).
 pub fn mind_with_stats(
     db: &Database,
     cfg: &SpiderConfig,
     max_arity: usize,
-    engine: &StatsEngine,
+    backend: &dyn CountBackend,
 ) -> MindResult {
     let unary = spider(db, cfg);
     let mut stats = MindStats {
@@ -95,7 +97,7 @@ pub fn mind_with_stats(
         }
         stats.candidates += cands.len();
         stats.validated += cands.len();
-        let holds = par_map(&cands, |cand| engine.ind_holds(db, cand));
+        let holds = par_map(&cands, |cand| backend.ind_holds(db, cand));
         let next: Vec<Ind> = cands
             .into_iter()
             .zip(holds)

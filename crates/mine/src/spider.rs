@@ -16,6 +16,7 @@
 //! programs actually join.
 
 use dbre_relational::attr::AttrId;
+use dbre_relational::backend::CountBackend;
 use dbre_relational::database::Database;
 use dbre_relational::deps::Ind;
 use dbre_relational::encode::DictTable;
@@ -71,15 +72,17 @@ impl Default for SpiderConfig {
     }
 }
 
+/// One attribute's sorted distinct values, feeding the merge sweep.
+struct Col {
+    rel: RelId,
+    attr: AttrId,
+    domain: Domain,
+    values: Vec<Value>,
+}
+
 /// Runs exhaustive unary IND discovery over the whole database.
 pub fn spider(db: &Database, cfg: &SpiderConfig) -> SpiderResult {
     // Collect (relation, attribute, domain, sorted distinct values).
-    struct Col {
-        rel: RelId,
-        attr: AttrId,
-        domain: Domain,
-        values: Vec<Value>,
-    }
     let mut cols: Vec<Col> = Vec::new();
     for (rel, relation) in db.schema.iter() {
         // One dictionary pass per table: the distinct non-NULL values
@@ -98,6 +101,44 @@ pub fn spider(db: &Database, cfg: &SpiderConfig) -> SpiderResult {
             });
         }
     }
+    sweep(cols, cfg)
+}
+
+/// [`spider`] with the per-attribute distinct value sets served
+/// through the counting seam — memoized (and shared with the rest of
+/// a run) when `backend` is a
+/// [`StatsEngine`](dbre_relational::stats::StatsEngine). Same result
+/// as [`spider`] on the same database.
+pub fn spider_with_stats(
+    db: &Database,
+    cfg: &SpiderConfig,
+    backend: &dyn CountBackend,
+) -> SpiderResult {
+    let mut cols: Vec<Col> = Vec::new();
+    for (rel, relation) in db.schema.iter() {
+        for i in 0..relation.arity() {
+            let attr = AttrId(i as u16);
+            let projection = backend.projection(db, rel, &[attr]);
+            let mut values: Vec<Value> = projection
+                .iter()
+                .map(|key| key[0].clone())
+                .filter(|v| !v.is_null())
+                .collect();
+            values.sort_unstable();
+            cols.push(Col {
+                rel,
+                attr,
+                domain: relation.attribute(attr).domain,
+                values,
+            });
+        }
+    }
+    sweep(cols, cfg)
+}
+
+/// The k-way merge sweep shared by [`spider`] and
+/// [`spider_with_stats`].
+fn sweep(mut cols: Vec<Col>, cfg: &SpiderConfig) -> SpiderResult {
     if cfg.skip_empty {
         cols.retain(|c| !c.values.is_empty());
     }
@@ -245,6 +286,22 @@ mod tests {
         let r = spider(&d, &SpiderConfig::default());
         for ind in &r.inds {
             assert!(d.ind_holds(ind), "spider reported a false IND: {ind}");
+        }
+    }
+
+    #[test]
+    fn spider_with_stats_matches_spider() {
+        use dbre_relational::backend::{EncodedBackend, ReferenceBackend};
+        use dbre_relational::stats::StatsEngine;
+        let d = db();
+        let direct = spider(&d, &SpiderConfig::default());
+        let encoded = EncodedBackend::new();
+        let engine = StatsEngine::new();
+        let backends: Vec<&dyn CountBackend> = vec![&ReferenceBackend, &encoded, &engine];
+        for backend in backends {
+            let seamed = spider_with_stats(&d, &SpiderConfig::default(), backend);
+            assert_eq!(seamed.inds, direct.inds, "backend {}", backend.name());
+            assert_eq!(seamed.stats, direct.stats, "backend {}", backend.name());
         }
     }
 

@@ -31,20 +31,6 @@ pub struct EquiJoin {
 }
 
 impl EquiJoin {
-    /// Creates an equi-join; panics if the sides differ in arity. Use
-    /// [`EquiJoin::try_new`] instead — no constructor on the `Q`
-    /// ingestion path should be able to panic on malformed input.
-    #[deprecated(
-        since = "0.1.0",
-        note = "panics on arity mismatch; use EquiJoin::try_new"
-    )]
-    pub fn new(left: IndSide, right: IndSide) -> Self {
-        // A panicking builder by contract (see the doc comment);
-        // untrusted input goes through `try_new`.
-        #[allow(clippy::expect_used)]
-        Self::try_new(left, right).expect("equi-join sides must pair attributes positionally")
-    }
-
     /// Fallible constructor: errors (instead of panicking) when the
     /// sides differ in arity, so public APIs accepting caller-supplied
     /// `Q` can reject malformed joins gracefully.
@@ -323,23 +309,6 @@ mod tests {
         ));
         assert!(
             EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0))).is_ok()
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "positionally")]
-    #[allow(deprecated)] // pins the deprecated constructor's panic contract
-    fn mismatched_arity_panics() {
-        let mut db = Database::new();
-        let l = db
-            .add_relation(Relation::of("L", &[("a", Domain::Int), ("b", Domain::Int)]))
-            .unwrap();
-        let r = db
-            .add_relation(Relation::of("R", &[("c", Domain::Int)]))
-            .unwrap();
-        EquiJoin::new(
-            IndSide::new(l, vec![AttrId(0), AttrId(1)]),
-            IndSide::single(r, AttrId(0)),
         );
     }
 }

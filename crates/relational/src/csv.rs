@@ -211,11 +211,11 @@ pub fn import_csv(db: &mut Database, rel: RelId, text: &str) -> Result<usize, Cs
     Ok(inserted)
 }
 
-/// [`import_csv`] plus an immediate dictionary-encode pass: the fresh
-/// extension is interned into `engine`'s cache
-/// ([`crate::stats::StatsEngine::dict`]) while it is still hot, so the
-/// first statistics query after an import doesn't pay the encode
-/// build. Purely an optimization — the cache invalidates itself if the
+/// [`import_csv`] plus an immediate prewarm pass: the fresh extension
+/// is interned into `engine`'s caches
+/// ([`crate::stats::StatsEngine::prewarm`]) while it is still hot, so
+/// the first statistics query after an import doesn't pay the build.
+/// Purely an optimization — the caches invalidate themselves if the
 /// table mutates again.
 pub fn import_csv_with_stats(
     db: &mut Database,
@@ -224,7 +224,7 @@ pub fn import_csv_with_stats(
     engine: &crate::stats::StatsEngine,
 ) -> Result<usize, CsvError> {
     let inserted = import_csv(db, rel, text)?;
-    engine.dict(db, rel);
+    engine.prewarm(db, rel);
     Ok(inserted)
 }
 

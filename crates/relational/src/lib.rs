@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod attr;
+pub mod backend;
 pub mod chase;
 pub mod counting;
 pub mod csv;
@@ -46,6 +47,7 @@ pub mod table;
 pub mod value;
 
 pub use attr::{AttrId, AttrSet, Attribute};
+pub use backend::{CountBackend, EncodedBackend, ReferenceBackend};
 pub use counting::{join_stats, EquiJoin, JoinStats};
 pub use csv::CsvError;
 pub use database::Database;

@@ -1,55 +1,53 @@
-//! The memoized `‖·‖` counting engine.
+//! The memoized `‖·‖` counting engine — a generation-tagged decorator
+//! over any [`CountBackend`].
 //!
 //! Every step of the paper's method is driven by a handful of
 //! extension statistics: distinct projections (`‖r[X]‖`, §2) for the
 //! three IND-Discovery cardinalities, grouped LHS classes for the
 //! `A → b` extension tests of RHS-Discovery (§6.2.2), and stripped
-//! partitions for the mining baselines. The naive primitives in
-//! [`crate::counting`] and [`crate::partitions`] rescan the table on
-//! every call; a pipeline asks for the same projection dozens of times
-//! (each join of `Q` twice, every candidate FD once per oracle round).
+//! partitions for the mining baselines. A pipeline asks for the same
+//! projection dozens of times (each join of `Q` twice, every candidate
+//! FD once per oracle round), so recomputation — whatever backend
+//! computes it — is the dominant waste.
 //!
-//! [`StatsEngine`] memoizes these per `(relation, attribute-list)`,
-//! tagged with the owning table's generation counter
+//! [`StatsEngine`] memoizes *results* per `(relation, attribute-list)`
+//! key, tagged with the owning table's generation counter
 //! ([`Database::generation`]), so conceptualization in IND-Discovery
 //! and attribute drops in Restruct — both of which mutate the
 //! database — can never cause a stale count to be served: a mutated
 //! table's generation moves past the tag and the entry is rebuilt on
-//! next use.
-//!
-//! Since PR 3 the engine runs on dictionary-encoded columns: each
-//! *column* a probe touches is interned once per table generation into
-//! a [`crate::encode::ColumnDict`] (cached per `(relation, attribute)`
-//! like every other family), and the counting, partitioning, grouping,
-//! and join kernels operate on dense `u32` codes instead of cloning
-//! `Value` tuples per row. Encoding lazily per column matters on the
-//! paper's workloads: a query set `Q` joins a handful of key columns
-//! of wide denormalized relations, so encoding whole tables up front
-//! would dominate the cold path the encoding is meant to speed up. The
-//! `Value`-based primitives in [`crate::counting`] /
-//! [`crate::partitions`] remain as the reference implementations the
-//! differential tests compare against.
+//! next use. *How* a missing entry is built is delegated to the
+//! wrapped [`CountBackend`] ([`ReferenceBackend`] scans, the default
+//! [`EncodedBackend`] runs integer-code kernels over its own
+//! generation-tagged dictionary cache, `dbre-sql`'s `SqlBackend`
+//! executes generated SQL), which is what makes the engine one seam:
+//! the pipeline, the miners, and the benches see identical semantics
+//! and identical caching regardless of the backend underneath.
 //!
 //! Interior mutability (`RwLock` caches, atomic counters) keeps the
 //! whole API on `&self`, so one engine can be shared by the parallel
-//! workers of [`crate::par::par_map`] without cloning caches; the
-//! encoded tables are immutable and shared read-only via `Arc`.
+//! workers of [`crate::par::par_map`] without cloning caches. Cache
+//! entries racing between workers are resolved by re-checking under
+//! the write lock and *adopting* a concurrent winner's entry as a hit,
+//! so the hit/miss counters match the sequential schedule.
 //!
-//! NULL semantics are preserved exactly per entry point: projections
-//! drop NULL-containing rows (SQL `COUNT(DISTINCT …)`), [`StatsEngine::fd_holds`]
-//! skips NULL-LHS rows (SQL, matching [`Database::fd_holds`]), while
-//! [`StatsEngine::partition_for_attrs`] keeps the mining convention
-//! (NULL = NULL) of [`crate::partitions`]. The two families are cached
-//! separately and never conflated.
+//! NULL semantics are the backend contract (see [`CountBackend`]):
+//! projections drop NULL-containing rows (SQL `COUNT(DISTINCT …)`),
+//! [`StatsEngine::fd_holds`] skips NULL-LHS rows (SQL, matching
+//! [`Database::fd_holds`]), while [`StatsEngine::partition_for_attrs`]
+//! keeps the mining convention (NULL = NULL) of [`crate::partitions`].
+//! The two families are cached separately and never conflated.
+//!
+//! The engine itself implements [`CountBackend`], so anything written
+//! against the seam — the miners, the differential suites — can take
+//! either a raw backend or a memoizing engine through the same
+//! `&dyn CountBackend` parameter.
 
 use crate::attr::AttrId;
+use crate::backend::{read_recover, write_recover, CountBackend, EncodedBackend, Tagged};
 use crate::counting::{EquiJoin, JoinStats};
 use crate::database::Database;
 use crate::deps::{Fd, Ind};
-use crate::encode::{
-    decode_set_cols, distinct_codes_cols, intersect_count, lhs_groups_cols, partition1_col,
-    ColumnDict, DictTable, EncodedSet,
-};
 use crate::partitions::StrippedPartition;
 use crate::schema::RelId;
 use crate::table::ProjKey;
@@ -57,38 +55,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-/// Acquires a read guard, recovering from poisoning.
-///
-/// Cache entries are inserted fully formed (a single `insert` of a
-/// complete `Tagged` value), so a thread that panicked while holding a
-/// guard cannot have left a torn entry behind; recovering the lock is
-/// always safe and keeps a degraded pipeline stage from cascading into
-/// every later cache lookup.
-fn read_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    lock.read()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// Write twin of [`read_recover`]; same invariant.
-fn write_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    lock.write()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// A cache entry tagged with the table generation it was built from.
-struct Tagged<T> {
-    gen: u64,
-    value: Arc<T>,
-}
-
-impl<T> Clone for Tagged<T> {
-    fn clone(&self) -> Self {
-        Tagged {
-            gen: self.gen,
-            value: Arc::clone(&self.value),
-        }
-    }
-}
+#[cfg(doc)]
+use crate::backend::ReferenceBackend;
 
 /// Cached [`JoinStats`], valid while both side tables keep their
 /// generations.
@@ -114,22 +82,19 @@ pub struct StatsCounters {
 type AttrCache<T> = RwLock<HashMap<(RelId, Vec<AttrId>), Tagged<T>>>;
 
 /// Memoized distinct-projection / partition / FD-group statistics over
-/// one [`Database`] (see the module docs).
+/// one [`Database`], decorating a [`CountBackend`] (see the module
+/// docs).
 ///
 /// The engine must only be queried with the database it has been
 /// serving — generations identify *versions of one table*, not table
 /// contents, so feeding a different `Database` value whose tables
 /// happen to share generation numbers would alias cache keys. Create
 /// one engine per pipeline run.
-#[derive(Default)]
 pub struct StatsEngine {
-    /// Per-column dictionary encodings — the substrate every other
-    /// cache family is built from (see [`crate::encode`]). Keyed per
-    /// `(relation, attribute)` so a probe touching two columns of a
-    /// wide table pays for exactly those two builds.
-    columns: RwLock<HashMap<(RelId, AttrId), Tagged<ColumnDict>>>,
-    /// Encoded distinct-code sets per `(rel, attrs)`.
-    encoded: AttrCache<EncodedSet>,
+    /// The counting implementation cache misses are delegated to.
+    backend: Box<dyn CountBackend>,
+    /// Memoized `‖rel[attrs]‖` counts.
+    counts: AttrCache<usize>,
     projections: AttrCache<HashSet<ProjKey>>,
     partitions: AttrCache<StrippedPartition>,
     lhs_groups: AttrCache<Vec<Vec<usize>>>,
@@ -139,48 +104,81 @@ pub struct StatsEngine {
     rows_scanned: AtomicU64,
 }
 
+impl Default for StatsEngine {
+    fn default() -> Self {
+        StatsEngine::new()
+    }
+}
+
 impl StatsEngine {
-    /// An engine with empty caches and zeroed counters.
+    /// An engine over the default [`EncodedBackend`], with empty
+    /// caches and zeroed counters.
     pub fn new() -> Self {
-        StatsEngine::default()
+        StatsEngine::with_backend(Box::new(EncodedBackend::new()))
     }
 
-    /// The dictionary encoding of one column of `rel`, built once per
-    /// table generation and shared out of the cache. This is the
-    /// substrate for every encoded kernel (see [`crate::encode`]); the
-    /// returned `Arc` is safe to share read-only across parallel
-    /// workers.
-    pub fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Arc<ColumnDict> {
-        let gen = db.generation(rel);
-        let key = (rel, attr);
-        if let Some(entry) = read_recover(&self.columns).get(&key) {
+    /// An engine decorating `backend` with generation-tagged result
+    /// caches.
+    pub fn with_backend(backend: Box<dyn CountBackend>) -> Self {
+        StatsEngine {
+            backend,
+            counts: RwLock::default(),
+            projections: RwLock::default(),
+            partitions: RwLock::default(),
+            lhs_groups: RwLock::default(),
+            joins: RwLock::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rows_scanned: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend's name (`"reference"`, `"encoded"`,
+    /// `"sql"`, …).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Serves `cache[key]` when its tag matches `gen`, otherwise runs
+    /// `build` and inserts. `build` returns the value plus the rows
+    /// scanned to produce it (charged to the counters on a miss only).
+    ///
+    /// Cache keys can be shared across concurrent probes (parallel FD
+    /// checks share an LHS, parallel joins share a side), so after
+    /// building the entry is re-checked under the write lock: if a
+    /// concurrent prober beat us, its entry is adopted as a *hit* and
+    /// ours dropped. Counters then match the sequential schedule
+    /// exactly — one miss per cold key — keeping the `parallel`
+    /// feature's byte-identical-output guarantee. Building before
+    /// locking wastes the loser's pass but never serializes distinct
+    /// keys.
+    fn cached<K, T>(
+        &self,
+        cache: &RwLock<HashMap<K, Tagged<T>>>,
+        key: K,
+        gen: u64,
+        build: impl FnOnce() -> (Arc<T>, u64),
+    ) -> Arc<T>
+    where
+        K: std::hash::Hash + Eq,
+    {
+        if let Some(entry) = read_recover(cache).get(&key) {
             if entry.gen == gen {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(&entry.value);
             }
         }
-        let table = db.table(rel);
-        let value = Arc::new(ColumnDict::build(table.column(attr)));
-        // Unlike the per-probe cache families, column keys are shared
-        // *across* concurrent probes (two parallel join probes can hit
-        // the same column), so re-check under the write lock: if a
-        // concurrent prober beat us, adopt its entry as a hit and drop
-        // ours. Counters then match the sequential schedule exactly —
-        // one miss per cold column — keeping the `parallel` feature's
-        // byte-identical-output guarantee. Building before locking
-        // wastes the loser's pass but never serializes distinct
-        // columns.
-        let mut columns = write_recover(&self.columns);
-        if let Some(entry) = columns.get(&key) {
+        let (value, rows) = build();
+        let mut guard = write_recover(cache);
+        if let Some(entry) = guard.get(&key) {
             if entry.gen == gen {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(&entry.value);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.rows_scanned
-            .fetch_add(table.len() as u64, Ordering::Relaxed);
-        columns.insert(
+        self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
+        guard.insert(
             key,
             Tagged {
                 gen,
@@ -190,91 +188,34 @@ impl StatsEngine {
         value
     }
 
-    /// The cached column dictionaries of `attrs`, in order (repeats
-    /// allowed — each repeat is a cache hit).
-    fn attr_dicts(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Vec<Arc<ColumnDict>> {
-        attrs
-            .iter()
-            .map(|a| self.column_dict(db, rel, *a))
-            .collect()
-    }
-
-    /// The dictionary encoding of `rel`'s *whole* table, assembled
-    /// from the per-column cache (cheap `Arc` clones for already-warm
-    /// columns). Whole-table consumers — CSV import prewarming, batch
-    /// FD checks via `check_encoded` — use this; statistic probes go
-    /// through the per-column kernels and never force untouched
-    /// columns to encode.
-    pub fn dict(&self, db: &Database, rel: RelId) -> Arc<DictTable> {
-        let table = db.table(rel);
-        let columns = (0..table.arity())
-            .map(|i| self.column_dict(db, rel, AttrId(i as u16)))
-            .collect();
-        Arc::new(DictTable::from_columns(columns, table.len()))
-    }
-
-    /// The distinct non-NULL projected code tuples `π_{attrs}(rel)` in
-    /// encoded form, shared out of the cache.
-    fn encoded_set(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<EncodedSet> {
+    /// `‖rel[attrs]‖` — the paper's cardinality query, memoized.
+    pub fn count_distinct(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> usize {
         let gen = db.generation(rel);
-        if let Some(entry) = read_recover(&self.encoded).get(&(rel, attrs.to_vec())) {
-            if entry.gen == gen {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&entry.value);
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let dicts = self.attr_dicts(db, rel, attrs);
-        let cols: Vec<&ColumnDict> = dicts.iter().map(Arc::as_ref).collect();
-        let rows = db.table(rel).len();
-        self.rows_scanned.fetch_add(rows as u64, Ordering::Relaxed);
-        let value = Arc::new(distinct_codes_cols(&cols, rows));
-        write_recover(&self.encoded).insert(
-            (rel, attrs.to_vec()),
-            Tagged {
-                gen,
-                value: Arc::clone(&value),
-            },
-        );
-        value
+        *self.cached(&self.counts, (rel, attrs.to_vec()), gen, || {
+            (
+                Arc::new(self.backend.count_distinct(db, rel, attrs)),
+                db.table(rel).len() as u64,
+            )
+        })
     }
 
     /// The distinct projection `π_{attrs}(rel)` (NULL rows dropped) as
-    /// decoded `Value` tuples, shared out of the cache. Kept for
-    /// consumers that need the actual values (e.g. materializing a
-    /// conceptualized intersection); counting paths stay encoded.
+    /// `Value` tuples, shared out of the cache. Kept for consumers
+    /// that need the actual values (e.g. materializing a
+    /// conceptualized intersection); counting paths stay on
+    /// [`StatsEngine::count_distinct`].
     pub fn projection(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<HashSet<ProjKey>> {
         let gen = db.generation(rel);
-        if let Some(entry) = read_recover(&self.projections).get(&(rel, attrs.to_vec())) {
-            if entry.gen == gen {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&entry.value);
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let set = self.encoded_set(db, rel, attrs);
-        let dicts = self.attr_dicts(db, rel, attrs);
-        let cols: Vec<&ColumnDict> = dicts.iter().map(Arc::as_ref).collect();
-        let value = Arc::new(decode_set_cols(&cols, &set));
-        write_recover(&self.projections).insert(
-            (rel, attrs.to_vec()),
-            Tagged {
-                gen,
-                value: Arc::clone(&value),
-            },
-        );
-        value
+        self.cached(&self.projections, (rel, attrs.to_vec()), gen, || {
+            (
+                self.backend.projection(db, rel, attrs),
+                db.table(rel).len() as u64,
+            )
+        })
     }
 
-    /// `‖rel[attrs]‖` — the paper's cardinality query. Unary counts
-    /// are `O(1)` off the dictionary after the encode pass.
-    pub fn count_distinct(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> usize {
-        self.encoded_set(db, rel, attrs).len()
-    }
-
-    /// The three IND-Discovery cardinalities for `join`, memoized at
-    /// two levels: the full [`JoinStats`] per join, and the two side
-    /// projections (shared with every other join touching them).
+    /// The three IND-Discovery cardinalities for `join`, memoized per
+    /// join and valid while both side tables keep their generations.
     pub fn join_stats(&self, db: &Database, join: &EquiJoin) -> JoinStats {
         let left_gen = db.generation(join.left.rel);
         let right_gen = db.generation(join.right.rel);
@@ -284,22 +225,18 @@ impl StatsEngine {
                 return entry.stats;
             }
         }
+        let stats = self.backend.join_stats(db, join);
+        let mut joins = write_recover(&self.joins);
+        if let Some(entry) = joins.get(join) {
+            if entry.left_gen == left_gen && entry.right_gen == right_gen {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return entry.stats;
+            }
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let ldicts = self.attr_dicts(db, join.left.rel, &join.left.attrs);
-        let rdicts = self.attr_dicts(db, join.right.rel, &join.right.attrs);
-        let left = self.encoded_set(db, join.left.rel, &join.left.attrs);
-        let right = self.encoded_set(db, join.right.rel, &join.right.attrs);
         self.rows_scanned
-            .fetch_add(left.len().min(right.len()) as u64, Ordering::Relaxed);
-        let lcols: Vec<&ColumnDict> = ldicts.iter().map(Arc::as_ref).collect();
-        let rcols: Vec<&ColumnDict> = rdicts.iter().map(Arc::as_ref).collect();
-        let n_join = intersect_count(&lcols, &left, &rcols, &right);
-        let stats = JoinStats {
-            n_left: left.len(),
-            n_right: right.len(),
-            n_join,
-        };
-        write_recover(&self.joins).insert(
+            .fetch_add(stats.n_left.min(stats.n_right) as u64, Ordering::Relaxed);
+        joins.insert(
             join.clone(),
             TaggedJoin {
                 left_gen,
@@ -317,7 +254,7 @@ impl StatsEngine {
     }
 
     /// The stripped partition `π_{attrs}`, built by products of cached
-    /// unary partitions and itself cached.
+    /// unary partitions (each from the backend) and itself cached.
     pub fn partition_for_attrs(
         &self,
         db: &Database,
@@ -325,75 +262,46 @@ impl StatsEngine {
         attrs: &[AttrId],
     ) -> Arc<StrippedPartition> {
         let gen = db.generation(rel);
-        let key = (rel, attrs.to_vec());
-        if let Some(entry) = read_recover(&self.partitions).get(&key) {
-            if entry.gen == gen {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&entry.value);
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let table = db.table(rel);
-        let value = match attrs {
-            [] => {
-                self.rows_scanned
-                    .fetch_add(table.len() as u64, Ordering::Relaxed);
-                Arc::new(StrippedPartition::single_class(table.len()))
-            }
-            [a] => {
-                // Array-bucket build over the code domain — no hashing.
-                self.rows_scanned
-                    .fetch_add(table.len() as u64, Ordering::Relaxed);
-                Arc::new(partition1_col(&self.column_dict(db, rel, *a)))
-            }
-            [first, rest @ ..] => {
-                // Chain products of cached unary partitions; each
-                // product touches at most the surviving class rows.
-                let mut p = (*self.partition(db, rel, *first)).clone();
-                for a in rest {
-                    self.rows_scanned
-                        .fetch_add(p.error() as u64, Ordering::Relaxed);
-                    p = p.product(&self.partition(db, rel, *a));
+        self.cached(
+            &self.partitions,
+            (rel, attrs.to_vec()),
+            gen,
+            || match attrs {
+                [] => (
+                    Arc::new(StrippedPartition::single_class(db.table(rel).len())),
+                    db.table(rel).len() as u64,
+                ),
+                [a] => (
+                    self.backend.partition1(db, rel, *a),
+                    db.table(rel).len() as u64,
+                ),
+                [first, rest @ ..] => {
+                    // Chain products of cached unary partitions; each
+                    // product touches at most the surviving class rows.
+                    let mut rows = 0u64;
+                    let mut p = (*self.partition(db, rel, *first)).clone();
+                    for a in rest {
+                        rows += p.error() as u64;
+                        p = p.product(&self.partition(db, rel, *a));
+                    }
+                    (Arc::new(p), rows)
                 }
-                Arc::new(p)
-            }
-        };
-        write_recover(&self.partitions).insert(
-            key,
-            Tagged {
-                gen,
-                value: Arc::clone(&value),
             },
-        );
-        value
+        )
     }
 
     /// Row-index groups (size ≥ 2) agreeing on `attrs` under **SQL
     /// semantics** — rows with a NULL in `attrs` are skipped, exactly
-    /// like [`Database::fd_holds`]. Deterministically ordered.
-    fn groups(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<Vec<Vec<usize>>> {
+    /// like [`Database::fd_holds`]. Deterministically ordered, shared
+    /// out of the cache.
+    pub fn lhs_groups(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<Vec<Vec<usize>>> {
         let gen = db.generation(rel);
-        let key = (rel, attrs.to_vec());
-        if let Some(entry) = read_recover(&self.lhs_groups).get(&key) {
-            if entry.gen == gen {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&entry.value);
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let dicts = self.attr_dicts(db, rel, attrs);
-        let cols: Vec<&ColumnDict> = dicts.iter().map(Arc::as_ref).collect();
-        let rows = db.table(rel).len();
-        self.rows_scanned.fetch_add(rows as u64, Ordering::Relaxed);
-        let value = Arc::new(lhs_groups_cols(&cols, rows));
-        write_recover(&self.lhs_groups).insert(
-            key,
-            Tagged {
-                gen,
-                value: Arc::clone(&value),
-            },
-        );
-        value
+        self.cached(&self.lhs_groups, (rel, attrs.to_vec()), gen, || {
+            (
+                self.backend.lhs_groups(db, rel, attrs),
+                db.table(rel).len() as u64,
+            )
+        })
     }
 
     /// Does `fd` hold in the extension? Same SQL NULL semantics and
@@ -403,7 +311,7 @@ impl StatsEngine {
     pub fn fd_holds(&self, db: &Database, fd: &Fd) -> bool {
         let lhs: Vec<AttrId> = fd.lhs.iter().collect();
         let rhs: Vec<AttrId> = fd.rhs.iter().collect();
-        let groups = self.groups(db, fd.rel, &lhs);
+        let groups = self.lhs_groups(db, fd.rel, &lhs);
         if groups.is_empty() {
             // Key-like LHS: no group of agreeing rows, so no pair can
             // disagree on the RHS.
@@ -430,20 +338,29 @@ impl StatsEngine {
     }
 
     /// Does `ind` hold in the extension? Same answer as
-    /// [`Database::ind_holds`], via cached distinct projections.
+    /// [`Database::ind_holds`], served through the memoized join
+    /// statistics (an inclusion is a join whose intersection has the
+    /// full left cardinality).
     pub fn ind_holds(&self, db: &Database, ind: &Ind) -> bool {
-        let left = self.encoded_set(db, ind.lhs.rel, &ind.lhs.attrs);
-        let right = self.encoded_set(db, ind.rhs.rel, &ind.rhs.attrs);
-        if left.len() > right.len() {
-            return false;
+        // An Ind guarantees equal side arity, so the struct literal
+        // cannot violate the EquiJoin invariant.
+        let join = EquiJoin {
+            left: ind.lhs.clone(),
+            right: ind.rhs.clone(),
+        };
+        let s = self.join_stats(db, &join);
+        s.n_join == s.n_left
+    }
+
+    /// Prewarms `rel`: lets the backend build its internal structures
+    /// while the rows are hot (e.g. right after a CSV import) and
+    /// primes the unary count cache, so the first statistics query
+    /// after an import is a cache hit instead of a rebuild.
+    pub fn prewarm(&self, db: &Database, rel: RelId) {
+        self.backend.prewarm(db, rel);
+        for i in 0..db.table(rel).arity() {
+            self.count_distinct(db, rel, &[AttrId(i as u16)]);
         }
-        self.rows_scanned
-            .fetch_add(left.len() as u64, Ordering::Relaxed);
-        let ldicts = self.attr_dicts(db, ind.lhs.rel, &ind.lhs.attrs);
-        let rdicts = self.attr_dicts(db, ind.rhs.rel, &ind.rhs.attrs);
-        let lcols: Vec<&ColumnDict> = ldicts.iter().map(Arc::as_ref).collect();
-        let rcols: Vec<&ColumnDict> = rdicts.iter().map(Arc::as_ref).collect();
-        intersect_count(&lcols, &left, &rcols, &right) == left.len()
     }
 
     /// A snapshot of the observability counters.
@@ -463,10 +380,52 @@ impl StatsEngine {
     }
 }
 
+/// The memoizing engine is itself a backend: consumers written against
+/// the seam (`&dyn CountBackend`) can be handed a raw backend or a
+/// caching engine interchangeably.
+impl CountBackend for StatsEngine {
+    fn name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    fn count_distinct(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> usize {
+        StatsEngine::count_distinct(self, db, rel, attrs)
+    }
+
+    fn join_stats(&self, db: &Database, join: &EquiJoin) -> JoinStats {
+        StatsEngine::join_stats(self, db, join)
+    }
+
+    fn lhs_groups(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<Vec<Vec<usize>>> {
+        StatsEngine::lhs_groups(self, db, rel, attrs)
+    }
+
+    fn projection(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<HashSet<ProjKey>> {
+        StatsEngine::projection(self, db, rel, attrs)
+    }
+
+    fn fd_holds(&self, db: &Database, fd: &Fd) -> bool {
+        StatsEngine::fd_holds(self, db, fd)
+    }
+
+    fn ind_holds(&self, db: &Database, ind: &Ind) -> bool {
+        StatsEngine::ind_holds(self, db, ind)
+    }
+
+    fn partition1(&self, db: &Database, rel: RelId, attr: AttrId) -> Arc<StrippedPartition> {
+        StatsEngine::partition(self, db, rel, attr)
+    }
+
+    fn prewarm(&self, db: &Database, rel: RelId) {
+        StatsEngine::prewarm(self, db, rel);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::attr::AttrSet;
+    use crate::backend::ReferenceBackend;
     use crate::counting::join_stats;
     use crate::deps::IndSide;
     use crate::schema::Relation;
@@ -489,23 +448,33 @@ mod tests {
         (db, l, r)
     }
 
+    /// Engines over every in-crate backend (the cross-crate SQL
+    /// backend joins this matrix in the `dbre-sql` differential).
+    fn engines() -> Vec<StatsEngine> {
+        vec![
+            StatsEngine::with_backend(Box::new(ReferenceBackend)),
+            StatsEngine::with_backend(Box::new(EncodedBackend::new())),
+        ]
+    }
+
     #[test]
     fn join_stats_matches_naive_and_hits_cache() {
         let (db, l, r) = two_table_db();
         let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
             .unwrap();
-        let engine = StatsEngine::new();
-        let first = engine.join_stats(&db, &join);
-        assert_eq!(first, join_stats(&db, &join));
-        let misses_after_first = engine.counters().cache_misses;
-        let second = engine.join_stats(&db, &join);
-        assert_eq!(second, first);
-        let c = engine.counters();
-        assert_eq!(
-            c.cache_misses, misses_after_first,
-            "second call must not rebuild"
-        );
-        assert!(c.cache_hits >= 1);
+        for engine in engines() {
+            let first = engine.join_stats(&db, &join);
+            assert_eq!(first, join_stats(&db, &join), "{}", engine.backend_name());
+            let misses_after_first = engine.counters().cache_misses;
+            let second = engine.join_stats(&db, &join);
+            assert_eq!(second, first);
+            let c = engine.counters();
+            assert_eq!(
+                c.cache_misses, misses_after_first,
+                "second call must not rebuild"
+            );
+            assert!(c.cache_hits >= 1);
+        }
     }
 
     #[test]
@@ -551,16 +520,20 @@ mod tests {
         ] {
             db.insert(t, row).unwrap();
         }
-        let engine = StatsEngine::new();
         let fd = Fd::new(
             t,
             AttrSet::from_indices([0u16]),
             AttrSet::from_indices([1u16]),
         );
-        // NULL-LHS rows are skipped under SQL semantics, so x → y holds.
-        assert!(engine.fd_holds(&db, &fd));
-        assert_eq!(engine.fd_holds(&db, &fd), db.fd_holds(&fd));
+        for engine in engines() {
+            // NULL-LHS rows are skipped under SQL semantics, so x → y
+            // holds.
+            assert!(engine.fd_holds(&db, &fd), "{}", engine.backend_name());
+            assert_eq!(engine.fd_holds(&db, &fd), db.fd_holds(&fd));
+        }
         // Break it and confirm the engine notices (generation bump).
+        let engine = StatsEngine::new();
+        assert!(engine.fd_holds(&db, &fd));
         db.insert(t, vec![Value::Int(1), Value::Int(99)]).unwrap();
         assert!(!engine.fd_holds(&db, &fd));
         assert_eq!(engine.fd_holds(&db, &fd), db.fd_holds(&fd));
@@ -569,26 +542,47 @@ mod tests {
     #[test]
     fn ind_holds_agrees_with_database() {
         let (db, l, r) = two_table_db();
-        let engine = StatsEngine::new();
-        for (lhs, rhs) in [(l, r), (r, l)] {
-            let ind = Ind::unary(lhs, AttrId(0), rhs, AttrId(0));
-            assert_eq!(engine.ind_holds(&db, &ind), db.ind_holds(&ind), "{ind}");
+        for engine in engines() {
+            for (lhs, rhs) in [(l, r), (r, l)] {
+                let ind = Ind::unary(lhs, AttrId(0), rhs, AttrId(0));
+                assert_eq!(engine.ind_holds(&db, &ind), db.ind_holds(&ind), "{ind}");
+            }
         }
     }
 
     #[test]
     fn partitions_match_direct_construction() {
         let (db, l, _) = two_table_db();
+        for engine in engines() {
+            let direct = StrippedPartition::for_attrs(db.table(l), &[AttrId(0), AttrId(1)]);
+            let cached = engine.partition_for_attrs(&db, l, &[AttrId(0), AttrId(1)]);
+            assert_eq!(*cached, direct, "{}", engine.backend_name());
+            // Unary partitions were cached along the way.
+            let before = engine.counters();
+            engine.partition(&db, l, AttrId(0));
+            let after = engine.counters();
+            assert_eq!(after.cache_misses, before.cache_misses);
+            assert_eq!(after.cache_hits, before.cache_hits + 1);
+        }
+    }
+
+    #[test]
+    fn engine_is_a_backend_itself() {
+        let (db, l, r) = two_table_db();
         let engine = StatsEngine::new();
-        let direct = StrippedPartition::for_attrs(db.table(l), &[AttrId(0), AttrId(1)]);
-        let cached = engine.partition_for_attrs(&db, l, &[AttrId(0), AttrId(1)]);
-        assert_eq!(*cached, direct);
-        // Unary partitions were cached along the way.
-        let before = engine.counters();
-        engine.partition(&db, l, AttrId(0));
-        let after = engine.counters();
-        assert_eq!(after.cache_misses, before.cache_misses);
-        assert_eq!(after.cache_hits, before.cache_hits + 1);
+        let seam: &dyn CountBackend = &engine;
+        assert_eq!(seam.name(), "encoded");
+        assert_eq!(
+            seam.count_distinct(&db, l, &[AttrId(0)]),
+            db.table(l).count_distinct(&[AttrId(0)])
+        );
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
+        assert_eq!(seam.join_stats(&db, &join), join_stats(&db, &join));
+        // Probes through the trait land in the same caches.
+        assert!(engine.counters().cache_misses > 0);
+        seam.count_distinct(&db, l, &[AttrId(0)]);
+        assert!(engine.counters().cache_hits > 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use std::collections::{HashMap, HashSet};
 
 use dbre_relational::attr::AttrId;
+use dbre_relational::backend::{EncodedBackend, ReferenceBackend};
 use dbre_relational::counting::{join_stats, EquiJoin};
 use dbre_relational::database::Database;
 use dbre_relational::deps::IndSide;
@@ -238,22 +239,58 @@ proptest! {
         prop_assert_eq!(encoded, join_stats(&db, &join));
     }
 
-    /// The cached engine (dict-backed since PR 3) agrees with the
-    /// references through its public API — covering the generation-
-    /// tagged dictionary cache and, under `--features parallel`, the
+    /// The memoizing engine agrees with the references through its
+    /// public API over *every in-crate backend* (reference scans and
+    /// the dictionary-encoded kernels; the SQL backend joins the
+    /// matrix in `dbre-sql`'s `backend_differential`) — covering the
+    /// generation-tagged caches and, under `--features parallel`, the
     /// shared read-only dictionary access from worker threads.
     #[test]
-    fn engine_agrees_with_references(case in table_and_attrs()) {
+    fn engine_agrees_with_references(
+        case in table_and_attrs(),
+        rhs_seed in prop::collection::vec(0u16..4, 1..3),
+    ) {
         let (t, attrs) = case;
+        let rhs: Vec<AttrId> = rhs_seed
+            .into_iter()
+            .map(|i| AttrId(i % t.arity() as u16))
+            .collect();
         let (db, rel) = db_of(&t);
-        let engine = StatsEngine::new();
-        // Twice: miss path, then hit path, must both agree.
-        for _ in 0..2 {
-            prop_assert_eq!(engine.count_distinct(&db, rel, &attrs), t.count_distinct(&attrs));
-            prop_assert_eq!(
-                (*engine.partition_for_attrs(&db, rel, &attrs)).clone(),
-                StrippedPartition::for_attrs(&t, &attrs)
-            );
+        let engines = [
+            StatsEngine::with_backend(Box::new(ReferenceBackend)),
+            StatsEngine::with_backend(Box::new(EncodedBackend::new())),
+        ];
+        for engine in engines {
+            // Twice: miss path, then hit path, must both agree.
+            for _ in 0..2 {
+                prop_assert_eq!(
+                    engine.count_distinct(&db, rel, &attrs),
+                    t.count_distinct(&attrs),
+                    "backend {}", engine.backend_name()
+                );
+                prop_assert_eq!(
+                    (*engine.partition_for_attrs(&db, rel, &attrs)).clone(),
+                    StrippedPartition::for_attrs(&t, &attrs),
+                    "backend {}", engine.backend_name()
+                );
+                prop_assert_eq!(
+                    (*engine.lhs_groups(&db, rel, &attrs)).clone(),
+                    naive_lhs_groups(&t, &attrs),
+                    "backend {}", engine.backend_name()
+                );
+                if !attrs.is_empty() {
+                    let fd = dbre_relational::deps::Fd {
+                        rel,
+                        lhs: attrs.iter().copied().collect(),
+                        rhs: rhs.iter().copied().collect(),
+                    };
+                    prop_assert_eq!(
+                        engine.fd_holds(&db, &fd),
+                        naive_fd_holds(&t, &attrs, &rhs),
+                        "backend {}", engine.backend_name()
+                    );
+                }
+            }
         }
     }
 }

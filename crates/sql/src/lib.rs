@@ -18,6 +18,7 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod counts;
 pub mod error;
 pub mod executor;
 pub mod lexer;
@@ -26,6 +27,7 @@ pub mod token;
 
 pub use ast::{ColumnRef, Expr, Query, Select, Statement};
 pub use catalog::Catalog;
+pub use counts::{count_join_sql, count_side_sql, join_stats_via_sql, SqlBackend};
 pub use error::{SqlError, SqlResult};
 pub use executor::{execute_query, run_sql, ResultSet};
 pub use parser::{parse_query, parse_script, parse_statement};
