@@ -25,7 +25,12 @@ use dbre_synth::{corrupt, evaluate, CorruptionConfig, DenormConfig, TruthOracle}
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    // `--check` (consumed before experiment filtering) makes XB gate
+    // the sql backend's pipeline median against the encoded backend's —
+    // the CI bench-smoke leg fails when the batch executor regresses.
+    let check = args.iter().any(|a| a == "--check");
+    args.retain(|a| a != "--check");
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
 
     if want("e1") {
@@ -74,7 +79,10 @@ fn main() {
         x8();
     }
     if want("xb") {
-        xb();
+        xb(check);
+    } else if check {
+        eprintln!("--check has no effect without the xb experiment");
+        std::process::exit(2);
     }
 }
 
@@ -655,7 +663,11 @@ fn x8() {
 /// XB: machine-readable cold-kernel benchmark — Value-based reference
 /// vs dictionary-encoded kernels — written to `BENCH_report.json` at
 /// the repository root (per-bench median ns + engine cache counters).
-fn xb() {
+///
+/// With `check`, exits nonzero if the sql backend's end-to-end pipeline
+/// median exceeds 2x the encoded backend's (8 entities, 1k rows): the
+/// CI guard that the batch executor keeps carrying the SQL path.
+fn xb(check: bool) {
     use dbre_mine::{check_hash, StrippedPartition};
     use dbre_relational::encode::{partition1_col, ColumnDict};
     use dbre_relational::{AttrId, AttrSet, Fd, StatsEngine};
@@ -775,7 +787,8 @@ fn xb() {
     // Per-backend end-to-end pipeline rows: the same run_with_q served
     // by each CountBackend through the one counting seam (small
     // extension — the SQL backend executes every ‖·‖ probe as a real
-    // statement through the tuple-at-a-time executor).
+    // statement, lowered by the batch executor onto the encoded
+    // kernels, with the tuple interpreter as its fallback).
     let mut backend_rows: Vec<(&'static str, f64)> = Vec::new();
     {
         let s = scenario(8, 1000, 42);
@@ -872,6 +885,28 @@ fn xb() {
     println!("\n  full pipeline (8 entities, 1000 rows), one seam, three backends:");
     for (name, ns) in &backend_rows {
         println!("  --backend {name:<10} {:>9.2} ms", ns / 1e6);
+    }
+
+    if check {
+        let of = |name: &str| {
+            backend_rows
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, ns)| ns)
+                .unwrap_or(f64::NAN)
+        };
+        let (sql, encoded) = (of("sql"), of("encoded"));
+        let ratio = sql / encoded;
+        println!("\n  check: sql/encoded pipeline ratio = {ratio:.2}x (budget 2.00x)");
+        // NaN (missing backend row) must fail the check too.
+        if ratio.is_nan() || ratio > 2.0 {
+            eprintln!(
+                "FAIL: sql backend pipeline median {:.2} ms exceeds 2x encoded {:.2} ms",
+                sql / 1e6,
+                encoded / 1e6
+            );
+            std::process::exit(1);
+        }
     }
 }
 

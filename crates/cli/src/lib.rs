@@ -332,6 +332,18 @@ fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> S
     for w in &result.warnings {
         let _ = writeln!(out, "warning: {w}");
     }
+    let x = &result.stats.backend_exec;
+    if x.fallback_failures > 0 {
+        // A probe that failed to execute was silently served by the
+        // reference fallback — the counts are right, but the backend
+        // under test was not the one answering. Degraded-stage loud.
+        let _ = writeln!(
+            out,
+            "warning: backend `{}` degraded: {} probe(s) failed to execute and fell \
+             back to the reference computation",
+            result.stats.backend, x.fallback_failures
+        );
+    }
     let _ = writeln!(out, "\n# Pipeline statistics\n");
     let c = &result.stats.counters;
     let _ = writeln!(
@@ -339,6 +351,13 @@ fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> S
         "counting engine: backend `{}`, {} cache hits, {} misses, {} rows scanned",
         result.stats.backend, c.cache_hits, c.cache_misses, c.rows_scanned
     );
+    if x.batch_ops + x.tuple_fallback_ops > 0 {
+        let _ = writeln!(
+            out,
+            "sql executor: {} batch ops, {} tuple fallbacks",
+            x.batch_ops, x.tuple_fallback_ops
+        );
+    }
     for (stage, t) in &result.stats.stage_timings {
         let _ = writeln!(out, "{stage:<14} {:>9.3} ms", t.as_secs_f64() * 1e3);
     }

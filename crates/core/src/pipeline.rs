@@ -25,6 +25,7 @@ use dbre_extract::{extract_programs, ExtractConfig, ProgramSource};
 use dbre_relational::counting::EquiJoin;
 use dbre_relational::database::Database;
 use dbre_relational::stats::StatsCounters;
+use dbre_relational::BackendExecStats;
 use dbre_relational::DbreError;
 use std::fmt;
 use std::time::Duration;
@@ -71,6 +72,12 @@ pub struct PipelineStats {
     /// Name of the counting backend that served the run
     /// ([`BackendChoice::name`]).
     pub backend: &'static str,
+    /// Execution-strategy counters from the backend: batch-executor
+    /// operator batches vs tuple-interpreter fallbacks, and — crucially
+    /// — how many probes failed outright and were silently served by
+    /// the reference fallback. Nonzero failures surface as a CLI
+    /// warning; all-zero for single-strategy backends.
+    pub backend_exec: BackendExecStats,
 }
 
 impl PipelineStats {

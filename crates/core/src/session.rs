@@ -224,6 +224,7 @@ impl<'o> DbreSession<'o> {
     /// the engine counters.
     pub fn into_result(mut self) -> PipelineResult {
         self.stats.counters = self.engine.counters();
+        self.stats.backend_exec = self.engine.exec_stats();
         PipelineResult {
             q: self.q,
             ind: self.ind,

@@ -1,0 +1,6 @@
+-- A legacy column name with an embedded double quote: `wei"rd`.
+-- SQL-92 escapes it by doubling inside a delimited identifier; the
+-- generated counting statements must render it the same way or they
+-- fail to parse and the probe silently falls back to the reference.
+CREATE TABLE Legacy ("wei""rd" INT, "all""quotes""" INT, plain INT);
+INSERT INTO Legacy VALUES (1, 1, 10), (1, 2, 20), (2, 2, 10), (NULL, NULL, 30);

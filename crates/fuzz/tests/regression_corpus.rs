@@ -20,6 +20,7 @@ const DUP_HEADER: &str = include_str!("../corpus/dup_header.csv");
 const BOM_RAGGED: &str = include_str!("../corpus/bom_then_ragged_row.csv");
 const TRUNCATED_SCRIPT: &str = include_str!("../corpus/truncated_script.sql");
 const CHAOS_SEEDS: &str = include_str!("../corpus/chaos_seeds.txt");
+const QUOTED_IDENT_ESCAPE: &str = include_str!("../corpus/quoted_ident_escape.sql");
 
 fn scratch_db() -> (Database, dbre_relational::schema::RelId) {
     let mut db = Database::new();
@@ -68,6 +69,32 @@ fn corpus_truncated_script_is_a_typed_sql_error() {
         .expect_err("truncated script must error");
     // Renders without panicking and is non-empty.
     assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn corpus_quoted_identifier_escapes_round_trip() {
+    use dbre_relational::backend::{CountBackend, ReferenceBackend};
+    let mut cat = Catalog::new();
+    cat.load_script(QUOTED_IDENT_ESCAPE)
+        .expect("escaped-quote identifiers lex and parse");
+    let db = cat.into_database();
+    let (rel, ids) = db
+        .resolve("Legacy", &["wei\"rd", "all\"quotes\""])
+        .expect("columns resolve under their raw names");
+    // The generated COUNT(DISTINCT …) must execute — a failed probe
+    // would silently serve the reference answer and bump `failures`.
+    let backend = dbre_sql::SqlBackend::new();
+    for attrs in [&ids[..1], &ids[..]] {
+        assert_eq!(
+            backend.count_distinct(&db, rel, attrs),
+            ReferenceBackend.count_distinct(&db, rel, attrs)
+        );
+    }
+    assert_eq!(
+        backend.failures(),
+        0,
+        "quoted identifiers with embedded quotes must execute as SQL"
+    );
 }
 
 #[test]

@@ -82,6 +82,27 @@ impl<T> Clone for Tagged<T> {
 /// Generation-tagged cache keyed by a projection `(rel, attrs)`.
 type ProjectionCache<T> = RwLock<HashMap<(RelId, Vec<AttrId>), Tagged<T>>>;
 
+/// Execution counters a backend may expose about *how* it served its
+/// probes — all zero for backends with a single execution strategy.
+///
+/// The SQL backend populates all three: `fallback_failures` counts
+/// generated statements that failed to execute and were silently
+/// served by the reference semantics (a healthy backend keeps this at
+/// zero — the pipeline surfaces it as a warning), while `batch_ops` /
+/// `tuple_fallback_ops` record how many executor operators ran on the
+/// columnar batch path versus the tuple-at-a-time interpreter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendExecStats {
+    /// Probes whose native execution failed and were served by a
+    /// reference fallback instead. Zero on a healthy backend.
+    pub fallback_failures: u64,
+    /// Executor operators served by the columnar batch path.
+    pub batch_ops: u64,
+    /// Executor operators served by the tuple-at-a-time fallback
+    /// interpreter.
+    pub tuple_fallback_ops: u64,
+}
+
 /// One implementation of the paper's `‖·‖` counting primitive and the
 /// extension tests built on it.
 ///
@@ -177,6 +198,23 @@ pub trait CountBackend: Send + Sync {
     /// internal structures eagerly. Results must be unaffected.
     fn prewarm(&self, db: &Database, rel: RelId) {
         let _ = (db, rel);
+    }
+
+    /// The backend's dictionary encoding of one column, when it
+    /// maintains one — the dict-access seam the batch SQL executor
+    /// scans through, so it pulls codes from the same
+    /// generation-tagged cache as every counting probe instead of
+    /// re-interning columns. Backends without an encoding return
+    /// `None` and consumers build their own dictionary.
+    fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnDict>> {
+        let _ = (db, rel, attr);
+        None
+    }
+
+    /// A snapshot of the backend's [`BackendExecStats`]. Defaults to
+    /// all-zero for backends with a single execution strategy.
+    fn exec_stats(&self) -> BackendExecStats {
+        BackendExecStats::default()
     }
 }
 
@@ -400,6 +438,10 @@ impl CountBackend for EncodedBackend {
         // Interning every column while the rows are hot is exactly
         // assembling the whole-table dictionary.
         self.dict(db, rel);
+    }
+
+    fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnDict>> {
+        Some(EncodedBackend::column_dict(self, db, rel, attr))
     }
 }
 

@@ -658,11 +658,14 @@ fn strip(groups: impl IntoIterator<Item = Vec<usize>>, rows: usize) -> StrippedP
     StrippedPartition { classes, rows }
 }
 
-/// Per-position code translation `left code → right code` (0 when the
-/// left value does not occur on the right). Codes are column-local, so
-/// cross-table probes go through this table instead of re-hashing
+/// Per-position code translation `left code → right code`
+/// ([`NULL_CODE`] when the left value does not occur on the right —
+/// callers must treat a zero result as "no match", never as NULL
+/// equality). Codes are column-local, so cross-table probes — the
+/// intersection kernel here, and the batch SQL executor's hash-join
+/// probes in `dbre-sql` — go through this table instead of re-hashing
 /// `Value`s per tuple.
-fn translation(left: &ColumnDict, right: &ColumnDict) -> Vec<u32> {
+pub fn code_translation(left: &ColumnDict, right: &ColumnDict) -> Vec<u32> {
     let mut t = vec![NULL_CODE; left.cardinality() + 1];
     for (i, v) in left.distinct_values().iter().enumerate() {
         t[i + 1] = right.code_of(v);
@@ -708,9 +711,9 @@ pub fn intersect_count(
                         .count()
                 };
             if ls.len() <= rs.len() {
-                translated_probe(ls, translation(la, ra), translation(lb, rb), rs)
+                translated_probe(ls, code_translation(la, ra), code_translation(lb, rb), rs)
             } else {
-                translated_probe(rs, translation(ra, la), translation(rb, lb), ls)
+                translated_probe(rs, code_translation(ra, la), code_translation(rb, lb), ls)
             }
         }
         (_, _, EncodedSet::Wide(ls), EncodedSet::Wide(rs)) if lcols.len() == rcols.len() => {
@@ -735,14 +738,14 @@ pub fn intersect_count(
                 let xlats = lcols
                     .iter()
                     .zip(rcols)
-                    .map(|(l, r)| translation(l, r))
+                    .map(|(l, r)| code_translation(l, r))
                     .collect();
                 probe_wide(ls, xlats, rs)
             } else {
                 let xlats = lcols
                     .iter()
                     .zip(rcols)
-                    .map(|(l, r)| translation(r, l))
+                    .map(|(l, r)| code_translation(r, l))
                     .collect();
                 probe_wide(rs, xlats, ls)
             }

@@ -47,7 +47,7 @@ pub mod table;
 pub mod value;
 
 pub use attr::{AttrId, AttrSet, Attribute};
-pub use backend::{CountBackend, EncodedBackend, ReferenceBackend};
+pub use backend::{BackendExecStats, CountBackend, EncodedBackend, ReferenceBackend};
 pub use counting::{join_stats, EquiJoin, JoinStats};
 pub use csv::CsvError;
 pub use database::Database;

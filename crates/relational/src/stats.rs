@@ -44,10 +44,13 @@
 //! `&dyn CountBackend` parameter.
 
 use crate::attr::AttrId;
-use crate::backend::{read_recover, write_recover, CountBackend, EncodedBackend, Tagged};
+use crate::backend::{
+    read_recover, write_recover, BackendExecStats, CountBackend, EncodedBackend, Tagged,
+};
 use crate::counting::{EquiJoin, JoinStats};
 use crate::database::Database;
 use crate::deps::{Fd, Ind};
+use crate::encode::ColumnDict;
 use crate::partitions::StrippedPartition;
 use crate::schema::RelId;
 use crate::table::ProjKey;
@@ -378,6 +381,13 @@ impl StatsEngine {
         self.misses.store(0, Ordering::Relaxed);
         self.rows_scanned.store(0, Ordering::Relaxed);
     }
+
+    /// The inner backend's execution counters ([`BackendExecStats`]) —
+    /// the decorator adds nothing of its own, so a nonzero
+    /// `fallback_failures` here is always the backend confessing.
+    pub fn exec_stats(&self) -> BackendExecStats {
+        self.backend.exec_stats()
+    }
 }
 
 /// The memoizing engine is itself a backend: consumers written against
@@ -418,6 +428,14 @@ impl CountBackend for StatsEngine {
 
     fn prewarm(&self, db: &Database, rel: RelId) {
         StatsEngine::prewarm(self, db, rel);
+    }
+
+    fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnDict>> {
+        self.backend.column_dict(db, rel, attr)
+    }
+
+    fn exec_stats(&self) -> BackendExecStats {
+        StatsEngine::exec_stats(self)
     }
 }
 

@@ -21,21 +21,27 @@
 //! would post-process fetched rows.
 
 use dbre_relational::attr::AttrId;
-use dbre_relational::backend::{CountBackend, ReferenceBackend};
+use dbre_relational::backend::{BackendExecStats, CountBackend, EncodedBackend, ReferenceBackend};
 use dbre_relational::counting::{EquiJoin, JoinStats};
 use dbre_relational::database::Database;
 use dbre_relational::deps::IndSide;
+use dbre_relational::encode::ColumnDict;
 use dbre_relational::schema::RelId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::batch::{execute_query_batch, BatchReport};
+use crate::executor::{execute_query, ResultSet};
 use crate::{run_sql, SqlResult};
 
 /// Renders an identifier for the generated SQL. Hyphenated legacy
 /// names (`project-name`) must be double-quoted: left bare in an
 /// expression they read as subtraction (`project - name`), silently
 /// changing the counted value wherever both operands happen to resolve.
-/// Anything not lexable as a plain identifier is double-quoted too.
+/// Anything not lexable as a plain identifier is double-quoted too,
+/// with embedded double quotes escaped by doubling (SQL-92) so a name
+/// containing `"` round-trips through the lexer instead of producing
+/// an unparseable statement.
 pub fn ident(name: &str) -> String {
     let plain = name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && name
@@ -45,7 +51,7 @@ pub fn ident(name: &str) -> String {
     if plain {
         name.to_string()
     } else {
-        format!("\"{name}\"")
+        format!("\"{}\"", name.replace('"', "\"\""))
     }
 }
 
@@ -105,16 +111,38 @@ pub fn join_stats_via_sql(db: &Database, join: &EquiJoin) -> SqlResult<JoinStats
 /// `SELECT COUNT(DISTINCT …)` through this crate's executor, the way a
 /// DBRE tool would interrogate a live legacy DBMS.
 ///
+/// Statements execute on the batch path
+/// ([`crate::batch::execute_query_batch`]) backed by an owned
+/// [`EncodedBackend`] — the probe shapes lower straight onto the
+/// dictionary-code kernels, so the dictionaries built for one probe
+/// serve every later probe touching the same columns. Queries the
+/// batch model cannot express run through the tuple interpreter;
+/// [`SqlBackend::exec_stats`] reports how often each path served.
+///
 /// The backend trait is infallible by design (counting cannot fail on
 /// a well-formed schema); if a generated statement nevertheless fails
 /// to execute, the probe falls back to the reference computation and
 /// the failure is counted in [`SqlBackend::failures`] — the
 /// differential tests assert that counter stays at zero, so a quoting
 /// or generation bug cannot hide behind the fallback.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct SqlBackend {
     reference: ReferenceBackend,
+    /// Dictionary caches + counting kernels behind the batch executor.
+    encoded: EncodedBackend,
     failures: AtomicU64,
+    batch_ops: AtomicU64,
+    tuple_ops: AtomicU64,
+}
+
+impl std::fmt::Debug for SqlBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SqlBackend")
+            .field("failures", &self.failures)
+            .field("batch_ops", &self.batch_ops)
+            .field("tuple_ops", &self.tuple_ops)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SqlBackend {
@@ -129,17 +157,55 @@ impl SqlBackend {
         self.failures.load(Ordering::Relaxed)
     }
 
+    /// Executes one generated statement: batch path first, whole-query
+    /// tuple interpretation when the shape (or an execution error)
+    /// falls outside the batch model. Each path's use is counted.
+    fn run_probe(&self, db: &Database, sql: &str) -> SqlResult<ResultSet> {
+        let query = crate::parser::parse_query(sql)?;
+        let mut report = BatchReport::default();
+        let batch = execute_query_batch(db, &self.encoded, &query, &mut report);
+        self.batch_ops
+            .fetch_add(report.batch_ops, Ordering::Relaxed);
+        self.tuple_ops
+            .fetch_add(report.fallback_ops, Ordering::Relaxed);
+        if let Ok(Some(rs)) = batch {
+            return Ok(rs);
+        }
+        self.tuple_ops.fetch_add(1, Ordering::Relaxed);
+        execute_query(db, &query)
+    }
+
     /// `‖rel[attrs]‖` via SQL, falling back to the reference scan (and
     /// counting the failure) if the statement does not execute.
     fn count_side(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> usize {
         let side = IndSide::new(rel, attrs.to_vec());
-        match run_sql(db, &count_side_sql(db, &side)).and_then(|rs| rs.count()) {
+        match self
+            .run_probe(db, &count_side_sql(db, &side))
+            .and_then(|rs| rs.count())
+        {
             Ok(n) => n,
             Err(_) => {
                 self.failures.fetch_add(1, Ordering::Relaxed);
                 self.reference.count_distinct(db, rel, attrs)
             }
         }
+    }
+
+    /// The three IND-Discovery cardinalities via generated SQL on the
+    /// batch path.
+    fn join_stats_probe(&self, db: &Database, join: &EquiJoin) -> SqlResult<JoinStats> {
+        let n_left = self
+            .run_probe(db, &count_side_sql(db, &join.left))?
+            .count()?;
+        let n_right = self
+            .run_probe(db, &count_side_sql(db, &join.right))?
+            .count()?;
+        let n_join = self.run_probe(db, &count_join_sql(db, join))?.count()?;
+        Ok(JoinStats {
+            n_left,
+            n_right,
+            n_join,
+        })
     }
 }
 
@@ -160,7 +226,7 @@ impl CountBackend for SqlBackend {
     }
 
     fn join_stats(&self, db: &Database, join: &EquiJoin) -> JoinStats {
-        match join_stats_via_sql(db, join) {
+        match self.join_stats_probe(db, join) {
             Ok(stats) => stats,
             Err(_) => {
                 self.failures.fetch_add(1, Ordering::Relaxed);
@@ -176,6 +242,18 @@ impl CountBackend for SqlBackend {
         // post-processing fetched rows.
         self.reference.lhs_groups(db, rel, attrs)
     }
+
+    fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnDict>> {
+        Some(EncodedBackend::column_dict(&self.encoded, db, rel, attr))
+    }
+
+    fn exec_stats(&self) -> BackendExecStats {
+        BackendExecStats {
+            fallback_failures: self.failures.load(Ordering::Relaxed),
+            batch_ops: self.batch_ops.load(Ordering::Relaxed),
+            tuple_fallback_ops: self.tuple_ops.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +266,9 @@ mod tests {
         assert_eq!(ident("3col"), "\"3col\"");
         assert_eq!(ident("plain_name-2"), "\"plain_name-2\"");
         assert_eq!(ident("plain_name2"), "plain_name2");
+        // Embedded quotes are escaped by doubling, not passed through.
+        assert_eq!(ident("wei\"rd"), "\"wei\"\"rd\"");
+        assert_eq!(ident("\""), "\"\"\"\"");
     }
 
     #[test]

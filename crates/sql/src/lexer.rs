@@ -221,7 +221,16 @@ impl<'a> Lexer<'a> {
         loop {
             match self.bump() {
                 None => return Err(self.err("unterminated delimited identifier")),
-                Some(b'"') => break,
+                Some(b'"') => {
+                    // `""` inside a delimited identifier is an escaped
+                    // quote (SQL-92), mirroring `''` in string literals.
+                    if self.peek() == Some(b'"') {
+                        self.bump();
+                        s.push('"');
+                    } else {
+                        break;
+                    }
+                }
                 Some(c) => s.push(char::from(c)),
             }
         }
@@ -419,6 +428,23 @@ mod tests {
             ]
         );
         assert!(tokenize("\"\"").is_err());
+    }
+
+    #[test]
+    fn delimited_identifier_quote_escape() {
+        // `""` inside a delimited identifier is one literal quote.
+        assert_eq!(
+            toks("\"wei\"\"rd\""),
+            vec![Tok::Ident("wei\"rd".into()), Tok::Eof]
+        );
+        // An identifier that is nothing but a quote.
+        assert_eq!(toks("\"\"\"\""), vec![Tok::Ident("\"".into()), Tok::Eof]);
+        // Trailing escaped quote, then a real close.
+        assert_eq!(toks("\"x\"\"\""), vec![Tok::Ident("x\"".into()), Tok::Eof]);
+        // The empty identifier stays rejected; an unterminated escape is
+        // unterminated, not empty.
+        assert!(tokenize("\"\"").is_err());
+        assert!(tokenize("\"a\"\"").is_err());
     }
 
     #[test]
