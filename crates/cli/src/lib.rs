@@ -6,8 +6,8 @@
 //! ```text
 //! dbre reverse --schema schema.sql [--data data.sql]
 //!              [--csv Table=rows.csv]... [--programs file|dir]...
-//!              [--oracle auto|deny] [--backend reference|encoded|sql]
-//!              [--infer-keys] [--dot out.dot] [--quiet]
+//!              [--oracle auto|deny] [--backend reference|encoded|sql|paged]
+//!              [--page-cache MIB] [--infer-keys] [--dot out.dot] [--quiet]
 //! dbre extract --schema schema.sql [--programs file|dir]...
 //! dbre example
 //! ```
@@ -50,8 +50,12 @@ pub struct ReverseArgs {
     pub programs: Vec<PathBuf>,
     /// `auto` (default) or `deny`.
     pub oracle: String,
-    /// Counting backend: `encoded` (default), `reference`, or `sql`.
+    /// Counting backend: `encoded` (default), `reference`, `sql`, or
+    /// `paged`.
     pub backend: String,
+    /// Buffer-pool capacity in MiB for `--backend paged`
+    /// (default 64).
+    pub page_cache: Option<usize>,
     /// Infer missing keys from the extension.
     pub infer_keys: bool,
     /// Write the EER diagram as DOT here.
@@ -76,8 +80,8 @@ dbre — reverse engineering of denormalized relational databases (ICDE'96)
 USAGE:
   dbre reverse --schema DDL.sql [--data INSERTS.sql]
                [--csv Table=rows.csv]... [--programs FILE|DIR]...
-               [--oracle auto|deny] [--backend reference|encoded|sql]
-               [--infer-keys] [--dot OUT.dot] [--quiet]
+               [--oracle auto|deny] [--backend reference|encoded|sql|paged]
+               [--page-cache MIB] [--infer-keys] [--dot OUT.dot] [--quiet]
   dbre extract --schema DDL.sql [--programs FILE|DIR]...
   dbre example
   dbre help
@@ -128,10 +132,18 @@ pub fn parse_args(args: &[String]) -> Command {
                             let v = value("--backend")?;
                             if dbre_core::BackendChoice::parse(&v).is_none() {
                                 return Err(format!(
-                                    "--backend must be reference, encoded or sql, got `{v}`"
+                                    "--backend must be reference, encoded, sql or paged, got `{v}`"
                                 ));
                             }
                             reverse.backend = v;
+                        }
+                        "--page-cache" => {
+                            let v = value("--page-cache")?;
+                            let mib: usize =
+                                v.parse().ok().filter(|m| *m > 0).ok_or_else(|| {
+                                    format!("--page-cache expects a positive MiB count, got `{v}`")
+                                })?;
+                            reverse.page_cache = Some(mib);
                         }
                         "--infer-keys" => reverse.infer_keys = true,
                         "--dot" => reverse.dot = Some(PathBuf::from(value("--dot")?)),
@@ -275,6 +287,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             if let Some(choice) = dbre_core::BackendChoice::parse(&args.backend) {
                 options.backend = choice;
             }
+            options.page_cache = args.page_cache.map(|mib| mib * 1024 * 1024);
             let mut auto;
             let mut deny;
             let oracle: &mut dyn Oracle = if args.oracle == "deny" {
@@ -358,6 +371,17 @@ fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> S
             x.batch_ops, x.tuple_fallback_ops
         );
     }
+    let p = &result.stats.page_cache;
+    // Unary counts are served straight from dictionary metadata, so a
+    // tiny paged run can legitimately finish without touching a page —
+    // still print the line whenever the paged backend ran.
+    if result.stats.backend == "paged" || p.hits + p.misses > 0 {
+        let _ = writeln!(
+            out,
+            "page cache: {} hits, {} misses, {} evictions",
+            p.hits, p.misses, p.evictions
+        );
+    }
     for (stage, t) in &result.stats.stage_timings {
         let _ = writeln!(out, "{stage:<14} {:>9.3} ms", t.as_secs_f64() * 1e3);
     }
@@ -432,6 +456,14 @@ mod tests {
             Command::Help(Some(_))
         ));
         assert!(matches!(
+            parse_args(&s(&["reverse", "--schema", "x", "--page-cache", "0"])),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["reverse", "--schema", "x", "--page-cache", "lots"])),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
             parse_args(&s(&["frobnicate"])),
             Command::Help(Some(_))
         ));
@@ -462,20 +494,29 @@ mod tests {
         )
         .unwrap();
         let mut outputs = Vec::new();
-        for backend in ["reference", "encoded", "sql"] {
-            let cmd = parse_args(&s(&[
+        for backend in ["reference", "encoded", "sql", "paged"] {
+            let mut argv = s(&[
                 "reverse",
                 "--schema",
                 dir.join("schema.sql").to_str().unwrap(),
                 "--backend",
                 backend,
                 "--quiet",
-            ]));
+            ]);
+            if backend == "paged" {
+                // Exercise the pool-capacity flag on the run that has
+                // a pool to size.
+                argv.extend(s(&["--page-cache", "1"]));
+            }
+            let cmd = parse_args(&argv);
             let out = run(&cmd).unwrap();
             assert!(
                 out.contains(&format!("counting engine: backend `{backend}`")),
                 "{out}"
             );
+            if backend == "paged" {
+                assert!(out.contains("page cache: "), "paged stats line: {out}");
+            }
             // The backend must not change what is discovered: strip
             // the statistics block before comparing.
             let findings = out

@@ -27,6 +27,7 @@ use dbre_relational::database::Database;
 use dbre_relational::stats::StatsCounters;
 use dbre_relational::BackendExecStats;
 use dbre_relational::DbreError;
+use dbre_relational::PageCacheStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -44,6 +45,10 @@ pub struct PipelineOptions {
     pub infer_missing_keys: bool,
     /// Which counting backend serves the `‖·‖` probes.
     pub backend: BackendChoice,
+    /// Buffer-pool capacity in bytes for the paged backend
+    /// (`--page-cache` on the CLI; `None` = the 64 MiB default).
+    /// Ignored by the in-memory backends.
+    pub page_cache: Option<usize>,
 }
 
 impl Default for PipelineOptions {
@@ -56,6 +61,7 @@ impl Default for PipelineOptions {
             rhs: RhsOptions::default(),
             infer_missing_keys: false,
             backend: BackendChoice::from_env(),
+            page_cache: None,
         }
     }
 }
@@ -78,6 +84,10 @@ pub struct PipelineStats {
     /// the reference fallback. Nonzero failures surface as a CLI
     /// warning; all-zero for single-strategy backends.
     pub backend_exec: BackendExecStats,
+    /// Buffer-pool counters from the paged backend: page hits, misses
+    /// and LRU evictions across the run. All-zero for the in-memory
+    /// backends.
+    pub page_cache: PageCacheStats,
 }
 
 impl PipelineStats {

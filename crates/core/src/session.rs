@@ -27,6 +27,7 @@ use crate::translate::translate;
 use dbre_relational::backend::{EncodedBackend, ReferenceBackend};
 use dbre_relational::counting::EquiJoin;
 use dbre_relational::database::Database;
+use dbre_relational::pages::PagedBackend;
 use dbre_relational::stats::StatsEngine;
 use dbre_relational::DbreError;
 use dbre_sql::SqlBackend;
@@ -35,11 +36,13 @@ use std::time::Instant;
 
 /// Which counting backend serves the `‖·‖` probes of a run.
 ///
-/// All three are differentially tested against each other; they differ
-/// only in speed and in *how* they compute (the SQL backend executes
-/// real `SELECT COUNT(DISTINCT …)` statements, demonstrating the
-/// paper's §2 remark that the function "can be computed in any
-/// SQL-like language").
+/// All four are differentially tested against each other; they differ
+/// only in speed, memory footprint and *how* they compute (the SQL
+/// backend executes real `SELECT COUNT(DISTINCT …)` statements,
+/// demonstrating the paper's §2 remark that the function "can be
+/// computed in any SQL-like language"; the paged backend streams
+/// dictionary codes from disk pages so the extension need not fit in
+/// RAM).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendChoice {
     /// Value-based reference scans: the executable specification.
@@ -49,16 +52,20 @@ pub enum BackendChoice {
     Encoded,
     /// Generated SQL through the `dbre-sql` executor (fidelity path).
     Sql,
+    /// Out-of-core paged columnar store: encoded kernels streaming
+    /// over spilled code pages through an LRU buffer pool.
+    Paged,
 }
 
 impl BackendChoice {
     /// Parses a CLI / environment spelling (`reference`, `encoded`,
-    /// `sql`).
+    /// `sql`, `paged`).
     pub fn parse(s: &str) -> Option<BackendChoice> {
         match s {
             "reference" => Some(BackendChoice::Reference),
             "encoded" => Some(BackendChoice::Encoded),
             "sql" => Some(BackendChoice::Sql),
+            "paged" => Some(BackendChoice::Paged),
             _ => None,
         }
     }
@@ -79,15 +86,31 @@ impl BackendChoice {
             BackendChoice::Reference => "reference",
             BackendChoice::Encoded => "encoded",
             BackendChoice::Sql => "sql",
+            BackendChoice::Paged => "paged",
         }
     }
 
-    /// Builds a fresh memoizing engine over the chosen backend.
+    /// Builds a fresh memoizing engine over the chosen backend with
+    /// default sizing.
     pub fn engine(self) -> StatsEngine {
+        self.engine_sized(None)
+    }
+
+    /// Like [`BackendChoice::engine`], but with an explicit buffer-pool
+    /// capacity in bytes for the paged backend (`None` = its 64 MiB
+    /// default). The in-memory backends ignore the capacity.
+    pub fn engine_sized(self, page_cache_bytes: Option<usize>) -> StatsEngine {
         match self {
             BackendChoice::Reference => StatsEngine::with_backend(Box::new(ReferenceBackend)),
             BackendChoice::Encoded => StatsEngine::with_backend(Box::new(EncodedBackend::new())),
             BackendChoice::Sql => StatsEngine::with_backend(Box::new(SqlBackend::new())),
+            BackendChoice::Paged => {
+                let backend = match page_cache_bytes {
+                    Some(bytes) => PagedBackend::with_capacity_bytes(bytes),
+                    None => PagedBackend::new(),
+                };
+                StatsEngine::with_backend(Box::new(backend))
+            }
         }
     }
 }
@@ -141,7 +164,7 @@ impl<'o> DbreSession<'o> {
     /// Builds a session around `db` with the engine selected by
     /// `options.backend`.
     pub fn new(db: Database, oracle: &'o mut dyn Oracle, options: PipelineOptions) -> Self {
-        let engine = options.backend.engine();
+        let engine = options.backend.engine_sized(options.page_cache);
         let stats = PipelineStats {
             backend: engine.backend_name(),
             ..Default::default()
@@ -225,6 +248,7 @@ impl<'o> DbreSession<'o> {
     pub fn into_result(mut self) -> PipelineResult {
         self.stats.counters = self.engine.counters();
         self.stats.backend_exec = self.engine.exec_stats();
+        self.stats.page_cache = self.engine.page_stats();
         PipelineResult {
             q: self.q,
             ind: self.ind,
@@ -415,6 +439,7 @@ mod tests {
             BackendChoice::Reference,
             BackendChoice::Encoded,
             BackendChoice::Sql,
+            BackendChoice::Paged,
         ] {
             assert_eq!(BackendChoice::parse(choice.name()), Some(choice));
             assert_eq!(choice.engine().backend_name(), choice.name());

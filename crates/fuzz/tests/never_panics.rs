@@ -70,6 +70,7 @@ fn assert_coherent(result: &PipelineResult) {
             | DbreError::Csv(_)
             | DbreError::Sql(_)
             | DbreError::Extract(_)
+            | DbreError::Page(_)
             | DbreError::OracleAbort(_) => {}
             DbreError::Panic { stage, .. } => {
                 panic!("stage `{stage}` leaked a raw panic: {rendered}")

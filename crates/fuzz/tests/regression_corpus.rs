@@ -21,6 +21,7 @@ const BOM_RAGGED: &str = include_str!("../corpus/bom_then_ragged_row.csv");
 const TRUNCATED_SCRIPT: &str = include_str!("../corpus/truncated_script.sql");
 const CHAOS_SEEDS: &str = include_str!("../corpus/chaos_seeds.txt");
 const QUOTED_IDENT_ESCAPE: &str = include_str!("../corpus/quoted_ident_escape.sql");
+const TRUNCATED_PAGE: &[u8] = include_bytes!("../corpus/truncated_page.colpage");
 
 fn scratch_db() -> (Database, dbre_relational::schema::RelId) {
     let mut db = Database::new();
@@ -95,6 +96,60 @@ fn corpus_quoted_identifier_escapes_round_trip() {
         0,
         "quoted identifiers with embedded quotes must execute as SQL"
     );
+}
+
+#[test]
+fn corpus_corrupt_page_file_is_a_typed_error_never_a_panic() {
+    use dbre_relational::error::DbreError;
+    use dbre_relational::pages::{PageError, PageFile, HEADER_BYTES, PAGE_BYTES};
+
+    let dir = std::env::temp_dir();
+    let write = |name: &str, bytes: &[u8]| {
+        let path = dir.join(format!("dbre-fuzz-{}-{name}", std::process::id()));
+        std::fs::write(&path, bytes).expect("corpus temp file writes");
+        path
+    };
+
+    // The corpus bytes: a well-formed header promising one 64 KiB page
+    // of 100 codes, followed by 128 bytes of data. Opening must fail
+    // with the typed truncation error, not read past EOF.
+    let truncated = write("truncated.colpage", TRUNCATED_PAGE);
+    let err = PageFile::open(&truncated).expect_err("truncated page file must not open");
+    let PageError::Truncated { expected, actual } = err else {
+        panic!("expected Truncated, got {err:?}")
+    };
+    assert_eq!(expected, (HEADER_BYTES + PAGE_BYTES) as u64);
+    assert_eq!(actual, TRUNCATED_PAGE.len() as u64);
+    // The paged store's errors surface through the one workspace error
+    // type, so pipeline callers degrade instead of unwinding.
+    let typed: DbreError = PageError::Truncated { expected, actual }.into();
+    assert!(typed.to_string().contains("paged store error"), "{typed}");
+
+    // Same bytes with a flipped magic: rejected before any field read.
+    let mut bad_magic = TRUNCATED_PAGE.to_vec();
+    bad_magic[0] ^= 0xFF;
+    let path = write("badmagic.colpage", &bad_magic);
+    assert!(matches!(
+        PageFile::open(&path).expect_err("bad magic must not open"),
+        PageError::BadMagic
+    ));
+
+    // Pad the corpus bytes to the promised physical length: the file
+    // now opens, but its header checksum (deliberately zero — FNV-1a
+    // of real data is never zero) no longer matches the page stream.
+    let mut padded = TRUNCATED_PAGE.to_vec();
+    padded.resize(HEADER_BYTES + PAGE_BYTES, 0);
+    let path = write("badsum.colpage", &padded);
+    let file = PageFile::open(&path).expect("padded file opens");
+    assert!(matches!(
+        file.verify_checksum()
+            .expect_err("zero checksum must not verify"),
+        PageError::Checksum { .. }
+    ));
+
+    for name in ["truncated.colpage", "badmagic.colpage", "badsum.colpage"] {
+        let _ = std::fs::remove_file(dir.join(format!("dbre-fuzz-{}-{name}", std::process::id())));
+    }
 }
 
 #[test]

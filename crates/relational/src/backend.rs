@@ -32,6 +32,7 @@
 //! these exactly — the differential proptests enforce it.
 
 use crate::attr::AttrId;
+use crate::bufpool::PageCacheStats;
 use crate::counting::{join_stats, EquiJoin, JoinStats};
 use crate::database::Database;
 use crate::deps::{Fd, Ind};
@@ -46,22 +47,57 @@ use crate::value::Value;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, RwLock};
 
-/// Acquires a read guard, recovering from poisoning.
+/// What a cache shard does when its lock is recovered from poisoning:
+/// discard everything it holds. Dropping a cache is always sound (the
+/// next probe rebuilds from the extension) — serving it is not, see
+/// [`read_recover`].
+pub(crate) trait PoisonReset {
+    /// Discards the shard's contents.
+    fn reset(&mut self);
+}
+
+impl<K, V, S> PoisonReset for HashMap<K, V, S> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+}
+
+/// Acquires a read guard, recovering from poisoning by *clearing the
+/// shard first*.
 ///
-/// Cache entries are inserted fully formed (a single `insert` of a
-/// complete [`Tagged`] value), so a thread that panicked while holding
-/// a guard cannot have left a torn entry behind; recovering the lock
-/// is always safe and keeps a degraded pipeline stage from cascading
-/// into every later cache lookup.
-pub(crate) fn read_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+/// A poisoned lock means a writer panicked while holding the guard.
+/// Individual inserts here are single `HashMap::insert` calls of
+/// fully-formed values, so a torn *entry* is impossible — but the
+/// panicking thread may still have inserted a value computed from a
+/// state that itself panicked halfway (a probe that blew up after
+/// caching an intermediate), and a recovered reader would then serve
+/// that entry forever. Discarding the shard on recovery costs one
+/// cache refill and removes the possibility; `clear_poison` is called
+/// so later lookups don't re-purge a healthy cache.
+pub(crate) fn read_recover<T: PoisonReset>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    if let Ok(guard) = lock.read() {
+        return guard;
+    }
+    // Escalate to a write to purge, then retake the read lock.
+    drop(write_recover(lock));
     lock.read()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Write twin of [`read_recover`]; same invariant.
-pub(crate) fn write_recover<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    lock.write()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Write twin of [`read_recover`]: same purge-on-poison contract,
+/// applied directly to the write guard.
+pub(crate) fn write_recover<T: PoisonReset>(
+    lock: &RwLock<T>,
+) -> std::sync::RwLockWriteGuard<'_, T> {
+    match lock.write() {
+        Ok(guard) => guard,
+        Err(poison) => {
+            let mut guard = poison.into_inner();
+            guard.reset();
+            lock.clear_poison();
+            guard
+        }
+    }
 }
 
 /// A cache entry tagged with the table generation it was built from.
@@ -216,12 +252,22 @@ pub trait CountBackend: Send + Sync {
     fn exec_stats(&self) -> BackendExecStats {
         BackendExecStats::default()
     }
+
+    /// A snapshot of the backend's page-cache counters
+    /// ([`crate::bufpool::PageCacheStats`]). All-zero for fully
+    /// in-memory backends; the paged backend reports its buffer
+    /// pool's hits, misses and evictions here, and the pipeline
+    /// snapshots them into its run statistics.
+    fn page_stats(&self) -> PageCacheStats {
+        PageCacheStats::default()
+    }
 }
 
 /// Shared `Value`-level implementation of the LHS-group contract (see
 /// [`CountBackend::lhs_groups`]); also the oracle the differential
-/// tests compare against.
-fn lhs_groups_reference(db: &Database, rel: RelId, attrs: &[AttrId]) -> Vec<Vec<usize>> {
+/// tests compare against, and the fallback the paged backend degrades
+/// to on a spill-file failure.
+pub(crate) fn lhs_groups_reference(db: &Database, rel: RelId, attrs: &[AttrId]) -> Vec<Vec<usize>> {
     let table = db.table(rel);
     let mut map: HashMap<ProjKey, Vec<usize>> = HashMap::new();
     'rows: for i in 0..table.len() {
@@ -514,6 +560,41 @@ mod tests {
         assert_eq!(encoded.count_distinct(&db, l, &[AttrId(0)]), 4);
         db.insert(l, vec![Value::Int(99), Value::Int(1)]).unwrap();
         assert_eq!(encoded.count_distinct(&db, l, &[AttrId(0)]), 5);
+    }
+
+    /// A thread that panics while holding a cache write guard poisons
+    /// the lock — recovery must *discard* whatever the panicking
+    /// thread wrote, never serve it. The thread here deliberately
+    /// plants a bogus entry (an impossible cardinality) before
+    /// panicking; if recovery merely took `into_inner`, the next probe
+    /// would report 999.
+    #[test]
+    fn poisoned_cache_is_cleared_not_served() {
+        let (db, l, _) = sample_db();
+        let encoded = EncodedBackend::new();
+        assert_eq!(encoded.count_distinct(&db, l, &[AttrId(0)]), 4);
+        let gen = db.generation(l);
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let mut guard = encoded.encoded.write().unwrap();
+                guard.insert(
+                    (l, vec![AttrId(0)]),
+                    Tagged {
+                        gen,
+                        value: Arc::new(EncodedSet::Unary { card: 999 }),
+                    },
+                );
+                panic!("poison the encoded-set cache");
+            });
+            assert!(handle.join().is_err(), "the planting thread must panic");
+        });
+        assert!(encoded.encoded.is_poisoned(), "lock must be poisoned");
+        // Recovery path: the shard is purged, the probe recomputes.
+        assert_eq!(encoded.count_distinct(&db, l, &[AttrId(0)]), 4);
+        assert!(
+            !encoded.encoded.is_poisoned(),
+            "recovery must clear the poison flag so later probes see a healthy cache"
+        );
     }
 
     /// Prewarming builds every column dictionary but changes no answer.

@@ -165,6 +165,37 @@ impl ColumnDict {
     pub fn distinct_values(&self) -> &[Value] {
         &self.values
     }
+
+    /// A codes-free copy: the decode/encode tables and the NULL count
+    /// survive, the per-row code vector is dropped. This is the
+    /// resident half of the paged store ([`crate::pages`]) — every
+    /// kernel that reads only `cardinality` / `code_of` /
+    /// `distinct_values` / `value_of` (notably [`code_translation`],
+    /// [`intersect_count`] and [`decode_set_cols`]) works on a slim
+    /// dictionary unchanged, while per-row codes stream from disk.
+    /// `rows()` reports 0 on the copy; the paged column tracks the
+    /// true row count itself.
+    pub fn slim(&self) -> ColumnDict {
+        ColumnDict {
+            codes: Vec::new(),
+            values: self.values.clone(),
+            index: self.index.clone(),
+            nulls: self.nulls,
+        }
+    }
+
+    /// Rebuilds a full dictionary from this (slim) one plus a per-row
+    /// code vector — the paged store's rehydration path for consumers
+    /// that need random access to codes (the batch SQL executor's
+    /// `column_dict()` seam).
+    pub fn rehydrate(&self, codes: Vec<u32>) -> ColumnDict {
+        ColumnDict {
+            codes,
+            values: self.values.clone(),
+            index: self.index.clone(),
+            nulls: self.nulls,
+        }
+    }
 }
 
 /// The set of distinct, fully non-NULL projected code tuples of one

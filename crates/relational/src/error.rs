@@ -168,6 +168,9 @@ pub enum DbreError {
     Sql(String),
     /// Equi-join extraction failure from an application source.
     Extract(String),
+    /// Paged-store failure: a spill file is truncated, corrupt or
+    /// unreadable (see [`crate::pages::PageError`]).
+    Page(crate::pages::PageError),
     /// The expert aborted the interactive session mid-dialogue.
     OracleAbort(String),
     /// A pipeline stage panicked; the unwind was caught at the stage
@@ -187,6 +190,7 @@ impl fmt::Display for DbreError {
             DbreError::Csv(e) => write!(f, "{e}"),
             DbreError::Sql(m) => write!(f, "SQL error: {m}"),
             DbreError::Extract(m) => write!(f, "extraction error: {m}"),
+            DbreError::Page(e) => write!(f, "paged store error: {e}"),
             DbreError::OracleAbort(m) => write!(f, "oracle aborted the session: {m}"),
             DbreError::Panic { stage, message } => {
                 write!(f, "stage `{stage}` panicked: {message}")
@@ -200,6 +204,7 @@ impl std::error::Error for DbreError {
         match self {
             DbreError::Relational(e) => Some(e),
             DbreError::Csv(e) => Some(e),
+            DbreError::Page(e) => Some(e),
             _ => None,
         }
     }
@@ -214,6 +219,12 @@ impl From<RelationalError> for DbreError {
 impl From<crate::csv::CsvError> for DbreError {
     fn from(e: crate::csv::CsvError) -> Self {
         DbreError::Csv(e)
+    }
+}
+
+impl From<crate::pages::PageError> for DbreError {
+    fn from(e: crate::pages::PageError) -> Self {
+        DbreError::Page(e)
     }
 }
 

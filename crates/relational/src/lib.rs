@@ -27,6 +27,7 @@
 
 pub mod attr;
 pub mod backend;
+pub mod bufpool;
 pub mod chase;
 pub mod counting;
 pub mod csv;
@@ -38,6 +39,7 @@ pub mod fasthash;
 pub mod fd_theory;
 pub mod ind_theory;
 pub mod normal_forms;
+pub mod pages;
 pub mod par;
 pub mod partitions;
 pub mod schema;
@@ -48,6 +50,7 @@ pub mod value;
 
 pub use attr::{AttrId, AttrSet, Attribute};
 pub use backend::{BackendExecStats, CountBackend, EncodedBackend, ReferenceBackend};
+pub use bufpool::{BufferPool, PageCacheStats};
 pub use counting::{join_stats, EquiJoin, JoinStats};
 pub use csv::CsvError;
 pub use database::Database;
@@ -55,6 +58,7 @@ pub use deps::{Constraints, Dependencies, Fd, Ind, IndSide, Key};
 pub use encode::{ColumnDict, DictTable, EncodedSet};
 pub use error::{DbreError, RelationalError};
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use pages::{PageError, PagedBackend};
 pub use par::par_map;
 pub use partitions::StrippedPartition;
 pub use schema::{QualAttrs, RelId, Relation, Schema};

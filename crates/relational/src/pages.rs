@@ -1,0 +1,1087 @@
+//! The paged columnar store: dictionary codes on disk, counting
+//! kernels streaming over fixed-size pages.
+//!
+//! The in-memory backends cap the extension at what fits in RAM; the
+//! paper's target — 100M-row legacy databases — does not. This module
+//! keeps each encoded column's per-row `u32` codes (NULL = 0, exactly
+//! the [`crate::encode::ColumnDict`] code space) in a spill file of
+//! fixed [`PAGE_BYTES`] pages behind a small header, while the
+//! *dictionary* halves (decode table, encode index, NULL count) stay
+//! resident as a codes-free [`ColumnDict::slim`] copy. Every counting
+//! kernel the pipeline needs — `count_distinct`, `join_stats`,
+//! `lhs_groups`, counting-sort partitions — re-runs the PR 3 encoded
+//! kernels page slice by page slice through a shared LRU
+//! [`BufferPool`], so the resident working set is bounded by the pool
+//! capacity, not the extension size.
+//!
+//! Cross-column kernels that never touch per-row codes —
+//! [`crate::encode::intersect_count`], [`crate::encode::code_translation`],
+//! [`crate::encode::decode_set_cols`] — are reused *unchanged* on the
+//! slim dictionaries; only the row-scan loops needed paged twins.
+//!
+//! [`PagedBackend`] packages the store as the fourth
+//! `BackendChoice`: spill-on-encode from the same generation-tagged
+//! dictionary build the encoded backend performs, invalidation by
+//! eviction ([`BufferPool::evict_file`]) when a table mutates, and a
+//! reference fallback (counted in
+//! [`BackendExecStats::fallback_failures`]) if a spill file ever
+//! fails — an I/O error degrades a probe to the slow path, never to a
+//! wrong answer or a panic.
+
+use crate::attr::AttrId;
+use crate::backend::{lhs_groups_reference, read_recover, write_recover, Tagged};
+use crate::backend::{BackendExecStats, CountBackend};
+use crate::bufpool::{BufferPool, PageCacheStats, PageKey};
+use crate::counting::{join_stats, EquiJoin, JoinStats};
+use crate::database::Database;
+use crate::encode::{decode_set_cols, intersect_count, ColumnDict, EncodedSet, NULL_CODE};
+use crate::fasthash::{FxHashMap, FxHashSet};
+use crate::partitions::StrippedPartition;
+use crate::schema::RelId;
+use crate::table::ProjKey;
+use std::collections::{HashMap, HashSet};
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Size of one on-disk code page in bytes (64 KiB).
+pub const PAGE_BYTES: usize = 64 * 1024;
+/// Codes per page (`PAGE_BYTES / 4`).
+pub const PAGE_CODES: usize = PAGE_BYTES / 4;
+/// Spill-file magic: format name + version.
+const MAGIC: &[u8; 8] = b"DBREPG01";
+/// Header bytes: magic, page size (u32), page count (u32), rows
+/// (u64), FNV-1a checksum of the valid code stream (u64). All LE.
+pub const HEADER_BYTES: usize = 32;
+
+/// Typed failures of the paged store. Everything I/O-shaped carries a
+/// rendered message (`std::io::Error` is neither `Clone` nor `Eq`,
+/// which the [`crate::error::DbreError`] taxonomy requires).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageError {
+    /// Underlying filesystem failure, rendered.
+    Io(String),
+    /// The file does not start with the spill-file magic.
+    BadMagic,
+    /// The header parsed but declares an impossible layout (e.g. a
+    /// foreign page size).
+    BadHeader(String),
+    /// The file is shorter than its header claims.
+    Truncated {
+        /// Bytes the header implies.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The code stream does not hash to the header checksum.
+    Checksum {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes on disk.
+        actual: u64,
+    },
+    /// A page number past the end of the file was requested.
+    PageOutOfBounds {
+        /// Requested page.
+        page: u32,
+        /// Pages in the file.
+        pages: u32,
+    },
+}
+
+impl std::fmt::Display for PageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageError::Io(m) => write!(f, "page file I/O error: {m}"),
+            PageError::BadMagic => write!(f, "not a DBRE page file (bad magic)"),
+            PageError::BadHeader(m) => write!(f, "bad page file header: {m}"),
+            PageError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "page file truncated: {actual} bytes, header claims {expected}"
+                )
+            }
+            PageError::Checksum { expected, actual } => {
+                write!(
+                    f,
+                    "page file checksum mismatch: header {expected:#018x}, data {actual:#018x}"
+                )
+            }
+            PageError::PageOutOfBounds { page, pages } => {
+                write!(f, "page {page} out of bounds (file has {pages} pages)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+fn io_err(e: std::io::Error) -> PageError {
+    PageError::Io(e.to_string())
+}
+
+/// FNV-1a over a code stream — cheap, dependency-free, good enough to
+/// catch truncation-with-padding and bit rot in a spill file.
+fn fnv1a64(mut hash: u64, codes: &[u32]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for c in codes {
+        for b in c.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Process-unique spill-file ids; a rebuilt column gets a fresh id,
+/// so the buffer pool can never serve pages of a dead generation.
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One column's codes spilled to disk: a header plus fixed-size pages
+/// of little-endian `u32` codes, the last page zero-padded. Owned
+/// files (created by [`PageFile::spill`]) are deleted on drop; files
+/// opened from a path ([`PageFile::open`]) are left in place.
+#[derive(Debug)]
+pub struct PageFile {
+    path: PathBuf,
+    id: u64,
+    pages: u32,
+    rows: u64,
+    checksum: u64,
+    handle: Mutex<File>,
+    owned: bool,
+}
+
+impl PageFile {
+    /// Writes `codes` to a fresh spill file in the system temp
+    /// directory and reopens it for reading.
+    pub fn spill(codes: &[u32]) -> Result<PageFile, PageError> {
+        let id = NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("dbre-pages-{}-{}.col", std::process::id(), id));
+        let pages = codes.len().div_ceil(PAGE_CODES) as u32;
+        let checksum = fnv1a64(FNV_OFFSET, codes);
+        {
+            let mut w = BufWriter::new(File::create(&path).map_err(io_err)?);
+            let mut header = [0u8; HEADER_BYTES];
+            header[0..8].copy_from_slice(MAGIC);
+            header[8..12].copy_from_slice(&(PAGE_BYTES as u32).to_le_bytes());
+            header[12..16].copy_from_slice(&pages.to_le_bytes());
+            header[16..24].copy_from_slice(&(codes.len() as u64).to_le_bytes());
+            header[24..32].copy_from_slice(&checksum.to_le_bytes());
+            w.write_all(&header).map_err(io_err)?;
+            let mut buf = vec![0u8; PAGE_BYTES];
+            for chunk in codes.chunks(PAGE_CODES) {
+                buf.iter_mut().for_each(|b| *b = 0);
+                for (dst, c) in buf.chunks_exact_mut(4).zip(chunk) {
+                    dst.copy_from_slice(&c.to_le_bytes());
+                }
+                w.write_all(&buf).map_err(io_err)?;
+            }
+            w.flush().map_err(io_err)?;
+        }
+        let handle = File::open(&path).map_err(io_err)?;
+        Ok(PageFile {
+            path,
+            id,
+            pages,
+            rows: codes.len() as u64,
+            checksum,
+            handle: Mutex::new(handle),
+            owned: true,
+        })
+    }
+
+    /// Opens an existing spill file, validating magic, header layout
+    /// and physical length (a truncated file fails here, not on a
+    /// later page read). The file is *not* deleted on drop.
+    pub fn open(path: &Path) -> Result<PageFile, PageError> {
+        let mut f = File::open(path).map_err(io_err)?;
+        let mut header = [0u8; HEADER_BYTES];
+        f.read_exact(&mut header).map_err(|_| {
+            let actual = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            PageError::Truncated {
+                expected: HEADER_BYTES as u64,
+                actual,
+            }
+        })?;
+        if &header[0..8] != MAGIC {
+            return Err(PageError::BadMagic);
+        }
+        let page_bytes = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        if page_bytes as usize != PAGE_BYTES {
+            return Err(PageError::BadHeader(format!(
+                "page size {page_bytes}, this build uses {PAGE_BYTES}"
+            )));
+        }
+        let pages = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+        let mut rows8 = [0u8; 8];
+        rows8.copy_from_slice(&header[16..24]);
+        let rows = u64::from_le_bytes(rows8);
+        let mut sum8 = [0u8; 8];
+        sum8.copy_from_slice(&header[24..32]);
+        let checksum = u64::from_le_bytes(sum8);
+        if rows.div_ceil(PAGE_CODES as u64) != u64::from(pages) {
+            return Err(PageError::BadHeader(format!(
+                "{rows} rows do not fit {pages} pages"
+            )));
+        }
+        let expected = HEADER_BYTES as u64 + u64::from(pages) * PAGE_BYTES as u64;
+        let actual = f.metadata().map_err(io_err)?.len();
+        if actual < expected {
+            return Err(PageError::Truncated { expected, actual });
+        }
+        Ok(PageFile {
+            path: path.to_path_buf(),
+            id: NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed),
+            pages,
+            rows,
+            checksum,
+            handle: Mutex::new(f),
+            owned: false,
+        })
+    }
+
+    /// The process-unique id pages of this file are keyed under in
+    /// the buffer pool.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Pages in the file.
+    pub fn pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// Rows (valid codes) the file holds.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// The on-disk location (mostly for tests and diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads one page, trimmed to its valid codes (the tail page's
+    /// zero padding never escapes — padding would be indistinguishable
+    /// from NULLs).
+    pub fn read_page(&self, page: u32) -> Result<Vec<u32>, PageError> {
+        if page >= self.pages {
+            return Err(PageError::PageOutOfBounds {
+                page,
+                pages: self.pages,
+            });
+        }
+        let valid =
+            (self.rows - u64::from(page) * PAGE_CODES as u64).min(PAGE_CODES as u64) as usize;
+        let mut buf = vec![0u8; valid * 4];
+        {
+            let mut f = match self.handle.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            f.seek(SeekFrom::Start(
+                HEADER_BYTES as u64 + u64::from(page) * PAGE_BYTES as u64,
+            ))
+            .map_err(io_err)?;
+            f.read_exact(&mut buf).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    PageError::Truncated {
+                        expected: HEADER_BYTES as u64 + u64::from(self.pages) * PAGE_BYTES as u64,
+                        actual: 0,
+                    }
+                } else {
+                    io_err(e)
+                }
+            })?;
+        }
+        Ok(buf
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect())
+    }
+
+    /// Streams every page and compares the code stream against the
+    /// header checksum — the integrity check for files of unknown
+    /// provenance (crash recovery, the fuzz corpus).
+    pub fn verify_checksum(&self) -> Result<(), PageError> {
+        let mut hash = FNV_OFFSET;
+        for p in 0..self.pages {
+            hash = fnv1a64(hash, &self.read_page(p)?);
+        }
+        if hash != self.checksum {
+            return Err(PageError::Checksum {
+                expected: self.checksum,
+                actual: hash,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PageFile {
+    fn drop(&mut self) {
+        if self.owned {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// One column of the paged store: the resident slim dictionary plus
+/// the spilled code pages.
+#[derive(Debug)]
+pub struct PagedColumn {
+    /// Codes-free dictionary ([`ColumnDict::slim`]): decode/encode
+    /// tables and NULL count, no per-row vector.
+    dict: Arc<ColumnDict>,
+    rows: usize,
+    file: PageFile,
+}
+
+impl PagedColumn {
+    /// Spills a fully built dictionary's codes to disk and keeps only
+    /// the slim half resident.
+    pub fn from_dict(full: &ColumnDict) -> Result<PagedColumn, PageError> {
+        let file = PageFile::spill(full.codes())?;
+        Ok(PagedColumn {
+            dict: Arc::new(full.slim()),
+            rows: full.rows(),
+            file,
+        })
+    }
+
+    /// The resident slim dictionary.
+    pub fn dict(&self) -> &Arc<ColumnDict> {
+        &self.dict
+    }
+
+    /// Rows the column encodes.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The spill file.
+    pub fn file(&self) -> &PageFile {
+        &self.file
+    }
+
+    /// One page of codes through the pool.
+    pub fn page(&self, pool: &BufferPool, page: u32) -> Result<Arc<Vec<u32>>, PageError> {
+        pool.get_or_load(
+            PageKey {
+                file: self.file.id,
+                page,
+            },
+            || self.file.read_page(page),
+        )
+    }
+
+    /// Rehydrates the full per-row code vector by streaming every
+    /// page — the bridge for consumers that need random access
+    /// (`column_dict()` for the batch SQL executor).
+    pub fn read_all_codes(&self, pool: &BufferPool) -> Result<Vec<u32>, PageError> {
+        let mut codes = Vec::with_capacity(self.rows);
+        for p in 0..self.file.pages {
+            codes.extend_from_slice(&self.page(pool, p)?);
+        }
+        Ok(codes)
+    }
+}
+
+/// Streams the columns' pages in lockstep: `f(base_row, slices)` is
+/// called once per page with each column's codes for that page. All
+/// columns must encode the same row count (same table). Holding the
+/// `Arc`s across the callback keeps the data alive even if the pool
+/// evicts the entry mid-iteration, so a capacity-1 pool is slow but
+/// never wrong.
+fn stream_pages<F>(
+    cols: &[&PagedColumn],
+    rows: usize,
+    pool: &BufferPool,
+    mut f: F,
+) -> Result<(), PageError>
+where
+    F: FnMut(usize, &[&[u32]]),
+{
+    debug_assert!(cols.iter().all(|c| c.rows == rows));
+    let pages = rows.div_ceil(PAGE_CODES);
+    for p in 0..pages {
+        let owned: Vec<Arc<Vec<u32>>> = cols
+            .iter()
+            .map(|c| c.page(pool, p as u32))
+            .collect::<Result<_, _>>()?;
+        let slices: Vec<&[u32]> = owned.iter().map(|a| a.as_slice()).collect();
+        f(p * PAGE_CODES, &slices);
+    }
+    Ok(())
+}
+
+#[inline]
+fn pack2(hi: u32, lo: u32) -> u64 {
+    (u64::from(hi) << 32) | u64::from(lo)
+}
+
+/// Paged twin of [`crate::encode::distinct_codes_cols`]: the distinct
+/// non-NULL projected code tuples, streamed page by page.
+pub fn distinct_codes_paged(
+    cols: &[&PagedColumn],
+    rows: usize,
+    pool: &BufferPool,
+) -> Result<EncodedSet, PageError> {
+    match cols {
+        [] => {
+            let mut s: FxHashSet<Box<[u32]>> = FxHashSet::default();
+            if rows > 0 {
+                s.insert(Box::from([]));
+            }
+            Ok(EncodedSet::Wide(s))
+        }
+        [c] => Ok(EncodedSet::Unary {
+            card: c.dict.cardinality() as u32,
+        }),
+        [ca, cb] => {
+            let cap = (ca.dict.cardinality() as u64 * cb.dict.cardinality() as u64).min(rows as u64)
+                as usize;
+            let mut set: FxHashSet<u64> =
+                FxHashSet::with_capacity_and_hasher(cap, Default::default());
+            stream_pages(cols, rows, pool, |_, slices| {
+                for (&x, &y) in slices[0].iter().zip(slices[1]) {
+                    if x != NULL_CODE && y != NULL_CODE {
+                        set.insert(pack2(x, y));
+                    }
+                }
+            })?;
+            Ok(EncodedSet::Packed(set))
+        }
+        _ => {
+            let mut set: FxHashSet<Box<[u32]>> = FxHashSet::default();
+            let mut scratch: Vec<u32> = vec![0; cols.len()];
+            stream_pages(cols, rows, pool, |_, slices| {
+                'rows: for i in 0..slices[0].len() {
+                    for (s, c) in scratch.iter_mut().zip(slices) {
+                        let code = c[i];
+                        if code == NULL_CODE {
+                            continue 'rows;
+                        }
+                        *s = code;
+                    }
+                    if !set.contains(scratch.as_slice()) {
+                        set.insert(scratch.clone().into_boxed_slice());
+                    }
+                }
+            })?;
+            Ok(EncodedSet::Wide(set))
+        }
+    }
+}
+
+/// Paged twin of [`crate::encode::count_distinct_cols`], including
+/// the dense-bitset pair fast path.
+pub fn count_distinct_paged(
+    cols: &[&PagedColumn],
+    rows: usize,
+    pool: &BufferPool,
+) -> Result<usize, PageError> {
+    match cols {
+        [c] => Ok(c.dict.cardinality()),
+        [ca, cb] => {
+            let domain = ca.dict.cardinality() as u64 * cb.dict.cardinality() as u64;
+            const BITSET_MAX: u64 = 1 << 22;
+            if domain > 0 && domain <= BITSET_MAX {
+                let width = cb.dict.cardinality() as u64;
+                let mut bits = vec![0u64; (domain as usize).div_ceil(64)];
+                let mut count = 0usize;
+                stream_pages(cols, rows, pool, |_, slices| {
+                    for (&x, &y) in slices[0].iter().zip(slices[1]) {
+                        if x == NULL_CODE || y == NULL_CODE {
+                            continue;
+                        }
+                        let idx = (u64::from(x) - 1) * width + (u64::from(y) - 1);
+                        let (w, m) = ((idx / 64) as usize, 1u64 << (idx % 64));
+                        if bits[w] & m == 0 {
+                            bits[w] |= m;
+                            count += 1;
+                        }
+                    }
+                })?;
+                Ok(count)
+            } else {
+                Ok(distinct_codes_paged(cols, rows, pool)?.len())
+            }
+        }
+        _ => Ok(distinct_codes_paged(cols, rows, pool)?.len()),
+    }
+}
+
+/// Paged twin of [`crate::encode::lhs_groups_cols`]: SQL-semantics
+/// row groups (size ≥ 2), page base offsets restoring global row ids.
+pub fn lhs_groups_paged(
+    cols: &[&PagedColumn],
+    rows: usize,
+    pool: &BufferPool,
+) -> Result<Vec<Vec<usize>>, PageError> {
+    match cols {
+        [] => Ok(if rows >= 2 {
+            vec![(0..rows).collect()]
+        } else {
+            Vec::new()
+        }),
+        [col] => {
+            // Two streaming passes, same counting-sort shape as the
+            // in-memory kernel: sizes first so singletons never
+            // allocate, then fill.
+            let domain = col.dict.cardinality() + 1;
+            let mut counts: Vec<u32> = vec![0; domain];
+            stream_pages(cols, rows, pool, |_, slices| {
+                for &c in slices[0] {
+                    if c != NULL_CODE {
+                        counts[c as usize] += 1;
+                    }
+                }
+            })?;
+            let mut slots: Vec<u32> = vec![u32::MAX; domain];
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for (c, &n) in counts.iter().enumerate() {
+                if n >= 2 {
+                    slots[c] = groups.len() as u32;
+                    groups.push(Vec::with_capacity(n as usize));
+                }
+            }
+            stream_pages(cols, rows, pool, |base, slices| {
+                for (i, &c) in slices[0].iter().enumerate() {
+                    let s = slots[c as usize];
+                    if c != NULL_CODE && s != u32::MAX {
+                        groups[s as usize].push(base + i);
+                    }
+                }
+            })?;
+            groups.sort();
+            Ok(groups)
+        }
+        [_, _] => {
+            let mut map: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+            stream_pages(cols, rows, pool, |base, slices| {
+                for (i, (&x, &y)) in slices[0].iter().zip(slices[1]).enumerate() {
+                    if x != NULL_CODE && y != NULL_CODE {
+                        map.entry(pack2(x, y)).or_default().push(base + i);
+                    }
+                }
+            })?;
+            let mut groups: Vec<Vec<usize>> = map.into_values().filter(|g| g.len() >= 2).collect();
+            groups.sort();
+            Ok(groups)
+        }
+        _ => {
+            let mut map: FxHashMap<Box<[u32]>, Vec<usize>> = FxHashMap::default();
+            let mut scratch: Vec<u32> = vec![0; cols.len()];
+            stream_pages(cols, rows, pool, |base, slices| {
+                'rows: for i in 0..slices[0].len() {
+                    for (s, c) in scratch.iter_mut().zip(slices) {
+                        let code = c[i];
+                        if code == NULL_CODE {
+                            continue 'rows;
+                        }
+                        *s = code;
+                    }
+                    if let Some(g) = map.get_mut(scratch.as_slice()) {
+                        g.push(base + i);
+                    } else {
+                        map.insert(scratch.clone().into_boxed_slice(), vec![base + i]);
+                    }
+                }
+            })?;
+            let mut groups: Vec<Vec<usize>> = map.into_values().filter(|g| g.len() >= 2).collect();
+            groups.sort();
+            Ok(groups)
+        }
+    }
+}
+
+/// Paged twin of [`crate::encode::partition1_col`]: the unary
+/// stripped partition (mining convention, NULL = NULL) in two
+/// counting-sort streaming passes.
+pub fn partition1_paged(
+    col: &PagedColumn,
+    pool: &BufferPool,
+) -> Result<StrippedPartition, PageError> {
+    let domain = col.dict.cardinality() + 1;
+    let mut counts: Vec<u32> = vec![0; domain];
+    let cols = [col];
+    stream_pages(&cols, col.rows, pool, |_, slices| {
+        for &c in slices[0] {
+            counts[c as usize] += 1;
+        }
+    })?;
+    let mut slots: Vec<u32> = vec![u32::MAX; domain];
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for (c, &n) in counts.iter().enumerate() {
+        if n >= 2 {
+            slots[c] = classes.len() as u32;
+            classes.push(Vec::with_capacity(n as usize));
+        }
+    }
+    stream_pages(&cols, col.rows, pool, |base, slices| {
+        for (i, &c) in slices[0].iter().enumerate() {
+            let s = slots[c as usize];
+            if s != u32::MAX {
+                classes[s as usize].push(base + i);
+            }
+        }
+    })?;
+    classes.sort();
+    Ok(StrippedPartition {
+        classes,
+        rows: col.rows,
+    })
+}
+
+/// The out-of-core counting backend: encoded kernels streaming over
+/// spilled code pages through a capacity-bounded [`BufferPool`].
+///
+/// Column encoding happens exactly as in the encoded backend (one
+/// interning pass per column per table generation), but the per-row
+/// codes are spilled to a page file immediately and only the slim
+/// dictionary stays resident. A table mutation (generation bump)
+/// replaces the spill file and purges its pages from the pool; a
+/// spill or read failure degrades the probe to the `Value`-based
+/// reference semantics and increments
+/// [`BackendExecStats::fallback_failures`].
+pub struct PagedBackend {
+    pool: Arc<BufferPool>,
+    columns: RwLock<HashMap<(RelId, AttrId), Tagged<PagedColumn>>>,
+    /// Rehydrated full dictionaries for the `column_dict()` seam —
+    /// built on demand by streaming every page, then cached per
+    /// generation like any other derived structure.
+    hydrated: RwLock<HashMap<(RelId, AttrId), Tagged<ColumnDict>>>,
+    fallbacks: AtomicU64,
+}
+
+impl Default for PagedBackend {
+    fn default() -> Self {
+        PagedBackend::new()
+    }
+}
+
+impl PagedBackend {
+    /// A paged backend with the default 64 MiB buffer pool.
+    pub fn new() -> Self {
+        PagedBackend::with_pool(Arc::new(BufferPool::default()))
+    }
+
+    /// A paged backend whose pool holds at most `bytes` of page data.
+    pub fn with_capacity_bytes(bytes: usize) -> Self {
+        PagedBackend::with_pool(Arc::new(BufferPool::with_capacity_bytes(bytes)))
+    }
+
+    /// A paged backend over an explicit (possibly shared) pool.
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
+        PagedBackend {
+            pool,
+            columns: RwLock::new(HashMap::new()),
+            hydrated: RwLock::new(HashMap::new()),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The backend's buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The paged encoding of one column, spilled once per table
+    /// generation. A stale entry's pages are purged from the pool
+    /// before the replacement is adopted (invalidation by eviction).
+    pub fn paged_column(
+        &self,
+        db: &Database,
+        rel: RelId,
+        attr: AttrId,
+    ) -> Result<Arc<PagedColumn>, PageError> {
+        let gen = db.generation(rel);
+        let key = (rel, attr);
+        if let Some(entry) = read_recover(&self.columns).get(&key) {
+            if entry.gen == gen {
+                return Ok(Arc::clone(&entry.value));
+            }
+        }
+        let full = ColumnDict::build(db.table(rel).column(attr));
+        let value = Arc::new(PagedColumn::from_dict(&full)?);
+        drop(full);
+        let mut columns = write_recover(&self.columns);
+        if let Some(entry) = columns.get(&key) {
+            if entry.gen == gen {
+                return Ok(Arc::clone(&entry.value));
+            }
+        }
+        if let Some(stale) = columns.insert(
+            key,
+            Tagged {
+                gen,
+                value: Arc::clone(&value),
+            },
+        ) {
+            self.pool.evict_file(stale.value.file.id);
+        }
+        Ok(value)
+    }
+
+    fn attr_columns(
+        &self,
+        db: &Database,
+        rel: RelId,
+        attrs: &[AttrId],
+    ) -> Result<Vec<Arc<PagedColumn>>, PageError> {
+        attrs
+            .iter()
+            .map(|a| self.paged_column(db, rel, *a))
+            .collect()
+    }
+
+    fn note_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl CountBackend for PagedBackend {
+    fn name(&self) -> &'static str {
+        "paged"
+    }
+
+    fn count_distinct(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> usize {
+        let rows = db.table(rel).len();
+        let probe = self.attr_columns(db, rel, attrs).and_then(|cols| {
+            let refs: Vec<&PagedColumn> = cols.iter().map(Arc::as_ref).collect();
+            count_distinct_paged(&refs, rows, &self.pool)
+        });
+        match probe {
+            Ok(n) => n,
+            Err(_) => {
+                self.note_fallback();
+                db.table(rel).count_distinct(attrs)
+            }
+        }
+    }
+
+    fn join_stats(&self, db: &Database, join: &EquiJoin) -> JoinStats {
+        let probe = (|| -> Result<JoinStats, PageError> {
+            let lrows = db.table(join.left.rel).len();
+            let rrows = db.table(join.right.rel).len();
+            let lcols = self.attr_columns(db, join.left.rel, &join.left.attrs)?;
+            let rcols = self.attr_columns(db, join.right.rel, &join.right.attrs)?;
+            let lrefs: Vec<&PagedColumn> = lcols.iter().map(Arc::as_ref).collect();
+            let rrefs: Vec<&PagedColumn> = rcols.iter().map(Arc::as_ref).collect();
+            let lset = distinct_codes_paged(&lrefs, lrows, &self.pool)?;
+            let rset = distinct_codes_paged(&rrefs, rrows, &self.pool)?;
+            // The intersection kernel reads only dictionary lookups
+            // (`code_translation`, `code_of`), never per-row codes, so
+            // the slim dictionaries drive it unchanged.
+            let ldicts: Vec<&ColumnDict> = lcols.iter().map(|c| c.dict.as_ref()).collect();
+            let rdicts: Vec<&ColumnDict> = rcols.iter().map(|c| c.dict.as_ref()).collect();
+            let n_join = intersect_count(&ldicts, &lset, &rdicts, &rset);
+            Ok(JoinStats {
+                n_left: lset.len(),
+                n_right: rset.len(),
+                n_join,
+            })
+        })();
+        match probe {
+            Ok(s) => s,
+            Err(_) => {
+                self.note_fallback();
+                join_stats(db, join)
+            }
+        }
+    }
+
+    fn lhs_groups(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<Vec<Vec<usize>>> {
+        let rows = db.table(rel).len();
+        let probe = self.attr_columns(db, rel, attrs).and_then(|cols| {
+            let refs: Vec<&PagedColumn> = cols.iter().map(Arc::as_ref).collect();
+            lhs_groups_paged(&refs, rows, &self.pool)
+        });
+        match probe {
+            Ok(groups) => Arc::new(groups),
+            Err(_) => {
+                self.note_fallback();
+                Arc::new(lhs_groups_reference(db, rel, attrs))
+            }
+        }
+    }
+
+    fn projection(&self, db: &Database, rel: RelId, attrs: &[AttrId]) -> Arc<HashSet<ProjKey>> {
+        let rows = db.table(rel).len();
+        let probe = self.attr_columns(db, rel, attrs).and_then(|cols| {
+            let refs: Vec<&PagedColumn> = cols.iter().map(Arc::as_ref).collect();
+            let set = distinct_codes_paged(&refs, rows, &self.pool)?;
+            // Decoding touches only the decode tables of the slim
+            // dictionaries.
+            let dicts: Vec<&ColumnDict> = cols.iter().map(|c| c.dict.as_ref()).collect();
+            Ok(decode_set_cols(&dicts, &set))
+        });
+        match probe {
+            Ok(set) => Arc::new(set),
+            Err(_) => {
+                self.note_fallback();
+                Arc::new(db.table(rel).distinct_projection(attrs))
+            }
+        }
+    }
+
+    fn partition1(&self, db: &Database, rel: RelId, attr: AttrId) -> Arc<StrippedPartition> {
+        let probe = self
+            .paged_column(db, rel, attr)
+            .and_then(|col| partition1_paged(&col, &self.pool));
+        match probe {
+            Ok(p) => Arc::new(p),
+            Err(_) => {
+                self.note_fallback();
+                Arc::new(StrippedPartition::for_attribute(db.table(rel), attr))
+            }
+        }
+    }
+
+    fn prewarm(&self, db: &Database, rel: RelId) {
+        // Spill every column while the rows are hot; a failed spill is
+        // retried (and fallback-counted) by whichever probe needs it.
+        let arity = db.table(rel).arity();
+        for i in 0..arity {
+            let _ = self.paged_column(db, rel, AttrId(i as u16));
+        }
+    }
+
+    fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnDict>> {
+        let gen = db.generation(rel);
+        let key = (rel, attr);
+        if let Some(entry) = read_recover(&self.hydrated).get(&key) {
+            if entry.gen == gen {
+                return Some(Arc::clone(&entry.value));
+            }
+        }
+        let col = self.paged_column(db, rel, attr).ok()?;
+        let codes = match col.read_all_codes(&self.pool) {
+            Ok(c) => c,
+            Err(_) => {
+                self.note_fallback();
+                return None;
+            }
+        };
+        let value = Arc::new(col.dict.rehydrate(codes));
+        let mut hydrated = write_recover(&self.hydrated);
+        if let Some(entry) = hydrated.get(&key) {
+            if entry.gen == gen {
+                return Some(Arc::clone(&entry.value));
+            }
+        }
+        hydrated.insert(
+            key,
+            Tagged {
+                gen,
+                value: Arc::clone(&value),
+            },
+        );
+        Some(value)
+    }
+
+    fn exec_stats(&self) -> BackendExecStats {
+        BackendExecStats {
+            fallback_failures: self.fallbacks.load(Ordering::Relaxed),
+            ..BackendExecStats::default()
+        }
+    }
+
+    fn page_stats(&self) -> PageCacheStats {
+        self.pool.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{EncodedBackend, ReferenceBackend};
+    use crate::deps::IndSide;
+    use crate::schema::Relation;
+    use crate::value::{Domain, Value};
+
+    fn sample_db() -> (Database, RelId, RelId) {
+        let mut db = Database::new();
+        let l = db
+            .add_relation(Relation::of("L", &[("a", Domain::Int), ("b", Domain::Int)]))
+            .unwrap();
+        let r = db
+            .add_relation(Relation::of("R", &[("c", Domain::Int)]))
+            .unwrap();
+        for (a, b) in [(1, 10), (1, 10), (2, 20), (3, 20), (4, 30)] {
+            db.insert(l, vec![Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        db.insert(l, vec![Value::Null, Value::Int(40)]).unwrap();
+        for c in [1, 2, 3, 9] {
+            db.insert(r, vec![Value::Int(c)]).unwrap();
+        }
+        (db, l, r)
+    }
+
+    #[test]
+    fn page_file_round_trips_codes() {
+        let codes: Vec<u32> = (0..PAGE_CODES as u32 * 2 + 17).map(|i| i % 977).collect();
+        let f = PageFile::spill(&codes).unwrap();
+        assert_eq!(f.pages(), 3);
+        assert_eq!(f.rows(), codes.len() as u64);
+        let mut back = Vec::new();
+        for p in 0..f.pages() {
+            back.extend_from_slice(&f.read_page(p).unwrap());
+        }
+        assert_eq!(back, codes);
+        f.verify_checksum().unwrap();
+        assert!(matches!(
+            f.read_page(3),
+            Err(PageError::PageOutOfBounds { page: 3, pages: 3 })
+        ));
+    }
+
+    #[test]
+    fn spill_file_is_deleted_on_drop() {
+        let f = PageFile::spill(&[1, 2, 3]).unwrap();
+        let path = f.path().to_path_buf();
+        assert!(path.exists());
+        drop(f);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn open_rejects_truncation_magic_and_checksum() {
+        let codes: Vec<u32> = (0..PAGE_CODES as u32 + 5).collect();
+        let f = PageFile::spill(&codes).unwrap();
+        let bytes = std::fs::read(f.path()).unwrap();
+        let dir = std::env::temp_dir();
+        let stamp = std::process::id();
+
+        // Truncated mid-page.
+        let t = dir.join(format!("dbre-test-trunc-{stamp}.col"));
+        std::fs::write(&t, &bytes[..bytes.len() - PAGE_BYTES / 2]).unwrap();
+        assert!(matches!(
+            PageFile::open(&t),
+            Err(PageError::Truncated { .. })
+        ));
+
+        // Foreign magic.
+        let m = dir.join(format!("dbre-test-magic-{stamp}.col"));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        std::fs::write(&m, &bad).unwrap();
+        assert!(matches!(PageFile::open(&m), Err(PageError::BadMagic)));
+
+        // Flipped code bytes: header parses, checksum catches it.
+        let c = dir.join(format!("dbre-test-sum-{stamp}.col"));
+        let mut bad = bytes.clone();
+        bad[HEADER_BYTES + 8] ^= 0xff;
+        std::fs::write(&c, &bad).unwrap();
+        let opened = PageFile::open(&c).unwrap();
+        assert!(matches!(
+            opened.verify_checksum(),
+            Err(PageError::Checksum { .. })
+        ));
+
+        for p in [t, m, c] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn paged_backend_matches_reference_and_encoded() {
+        let (db, l, r) = sample_db();
+        let reference = ReferenceBackend;
+        let encoded = EncodedBackend::new();
+        // One page worth of pool is enough for correctness.
+        let paged = PagedBackend::with_capacity_bytes(PAGE_BYTES);
+        let join = EquiJoin::try_new(IndSide::single(l, AttrId(0)), IndSide::single(r, AttrId(0)))
+            .unwrap();
+        for attrs in [vec![AttrId(0)], vec![AttrId(0), AttrId(1)]] {
+            assert_eq!(
+                paged.count_distinct(&db, l, &attrs),
+                reference.count_distinct(&db, l, &attrs)
+            );
+            assert_eq!(
+                *paged.lhs_groups(&db, l, &attrs),
+                *reference.lhs_groups(&db, l, &attrs)
+            );
+            assert_eq!(
+                *paged.projection(&db, l, &attrs),
+                *reference.projection(&db, l, &attrs)
+            );
+        }
+        assert_eq!(paged.join_stats(&db, &join), encoded.join_stats(&db, &join));
+        assert_eq!(
+            *paged.partition1(&db, l, AttrId(1)),
+            *reference.partition1(&db, l, AttrId(1))
+        );
+        assert_eq!(paged.exec_stats().fallback_failures, 0);
+        let stats = paged.page_stats();
+        assert!(stats.hits + stats.misses > 0, "probes must touch the pool");
+    }
+
+    #[test]
+    fn mutation_invalidates_and_purges_pages() {
+        let (mut db, l, _) = sample_db();
+        let paged = PagedBackend::new();
+        assert_eq!(paged.count_distinct(&db, l, &[AttrId(0)]), 4);
+        let old_file = paged.paged_column(&db, l, AttrId(0)).unwrap().file().id();
+        db.insert(l, vec![Value::Int(99), Value::Int(1)]).unwrap();
+        assert_eq!(paged.count_distinct(&db, l, &[AttrId(0)]), 5);
+        let new_file = paged.paged_column(&db, l, AttrId(0)).unwrap().file().id();
+        assert_ne!(old_file, new_file, "mutation must respill the column");
+    }
+
+    #[test]
+    fn column_dict_rehydrates_full_codes() {
+        let (db, l, _) = sample_db();
+        let paged = PagedBackend::new();
+        let dict = CountBackend::column_dict(&paged, &db, l, AttrId(0)).unwrap();
+        let direct = ColumnDict::build(db.table(l).column(AttrId(0)));
+        assert_eq!(dict.codes(), direct.codes());
+        assert_eq!(dict.cardinality(), direct.cardinality());
+        assert_eq!(dict.null_count(), direct.null_count());
+    }
+
+    #[test]
+    fn multi_page_columns_stream_correctly() {
+        // Enough rows for several pages, with NULLs and duplicates.
+        let mut db = Database::new();
+        let rel = db
+            .add_relation(Relation::of("T", &[("x", Domain::Int), ("y", Domain::Int)]))
+            .unwrap();
+        let rows = PAGE_CODES * 2 + 123;
+        for i in 0..rows {
+            let x = if i % 97 == 0 {
+                Value::Null
+            } else {
+                Value::Int((i % 1009) as i64)
+            };
+            db.insert(rel, vec![x, Value::Int((i % 31) as i64)])
+                .unwrap();
+        }
+        let reference = ReferenceBackend;
+        let paged = PagedBackend::with_capacity_bytes(PAGE_BYTES); // 1-page pool: constant churn
+        for attrs in [vec![AttrId(0)], vec![AttrId(1)], vec![AttrId(0), AttrId(1)]] {
+            assert_eq!(
+                paged.count_distinct(&db, rel, &attrs),
+                reference.count_distinct(&db, rel, &attrs),
+                "{attrs:?}"
+            );
+        }
+        assert_eq!(
+            *paged.lhs_groups(&db, rel, &[AttrId(1)]),
+            *reference.lhs_groups(&db, rel, &[AttrId(1)])
+        );
+        assert_eq!(
+            *paged.partition1(&db, rel, AttrId(0)),
+            *reference.partition1(&db, rel, AttrId(0))
+        );
+        assert!(paged.page_stats().evictions > 0, "1-page pool must churn");
+        assert_eq!(paged.exec_stats().fallback_failures, 0);
+    }
+}

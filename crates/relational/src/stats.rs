@@ -388,6 +388,13 @@ impl StatsEngine {
     pub fn exec_stats(&self) -> BackendExecStats {
         self.backend.exec_stats()
     }
+
+    /// The inner backend's page-cache counters
+    /// ([`crate::bufpool::PageCacheStats`]) — all-zero unless the
+    /// paged backend is underneath.
+    pub fn page_stats(&self) -> crate::bufpool::PageCacheStats {
+        self.backend.page_stats()
+    }
 }
 
 /// The memoizing engine is itself a backend: consumers written against
@@ -436,6 +443,10 @@ impl CountBackend for StatsEngine {
 
     fn exec_stats(&self) -> BackendExecStats {
         StatsEngine::exec_stats(self)
+    }
+
+    fn page_stats(&self) -> crate::bufpool::PageCacheStats {
+        StatsEngine::page_stats(self)
     }
 }
 

@@ -666,7 +666,7 @@ fn batch_select(
             return Ok(Some(out));
         }
     }
-    exec_plan(db, backend, &plan, report).map(Some)
+    exec_plan(db, backend, &plan, report)
 }
 
 /// A one-row count result.
@@ -731,12 +731,24 @@ fn lower_set_algebraic(
 }
 
 /// Tier two: batched scan / hash-join enumeration feeding the sink.
+/// Returns `Ok(None)` when the plan cannot be executed safely in the
+/// batch model — the caller falls back to the tuple interpreter.
 fn exec_plan(
     db: &Database,
     backend: &dyn CountBackend,
     plan: &Plan<'_>,
     report: &mut BatchReport,
-) -> SqlResult<SelectOut> {
+) -> SqlResult<Option<SelectOut>> {
+    // Defense in depth for the u32 row-id model: `lower()` refuses
+    // oversized tables at plan time, but the selection loop and the
+    // join bucket builds below all push `row as u32`. Re-check the
+    // captured row counts so a plan that arrives oversized (a future
+    // lowering path that forgets the guard) aborts cleanly to the
+    // tuple path instead of silently truncating row ids.
+    if plan.tables.iter().any(|t| t.rows > u32::MAX as usize) {
+        return Ok(None);
+    }
+
     let dict_of = |tbl: usize, attr: AttrId| -> Arc<ColumnDict> {
         let t = &plan.tables[tbl];
         backend
@@ -824,7 +836,7 @@ fn exec_plan(
         join_plan(db, plan, &dict_of, &masks, &mut bindings, &mut sink, report)?;
     }
 
-    Ok(match sink {
+    Ok(Some(match sink {
         Sink::CountStar(n) => scalar(plan, n),
         Sink::CountDistinct { set, .. } => scalar(plan, set.len()),
         Sink::Project { cols, rows, .. } => SelectOut::Coded(CodedRows {
@@ -832,7 +844,7 @@ fn exec_plan(
             dicts: cols.into_iter().map(|(_, d)| d).collect(),
             rows,
         }),
-    })
+    }))
 }
 
 /// The two-table path: build code buckets over table 1 (its masks
@@ -1018,6 +1030,29 @@ mod tests {
             &db,
             "SELECT COUNT(DISTINCT x.x, x.y) FROM A x, B y WHERE x.x = y.u AND x.y = y.v",
         );
+    }
+
+    #[test]
+    fn oversized_tables_abort_to_tuple_path_instead_of_truncating() {
+        let db = db();
+        // A join shape whose execution would hit both the selection
+        // loop and the hash-join bucket `row as u32` casts.
+        let q = parse_query("SELECT COUNT(DISTINCT x.y) FROM A x, B y WHERE x.x = y.u").unwrap();
+        let mut plan = lower(&db, &q.body).expect("plan lowers");
+        // Mock a table too large for the u32 row-id model. `lower()`
+        // refuses such tables up front; this exercises the exec_plan
+        // defense-in-depth guard directly.
+        plan.tables[0].rows = u32::MAX as usize + 2;
+        let mut report = BatchReport::default();
+        let out = exec_plan(&db, &ReferenceBackend, &plan, &mut report).unwrap();
+        assert!(out.is_none(), "oversized plan must abort, not truncate");
+
+        // Single-table shape: same guard covers the selection loop.
+        let q = parse_query("SELECT COUNT(*) FROM A x WHERE x.x = 1").unwrap();
+        let mut plan = lower(&db, &q.body).expect("plan lowers");
+        plan.tables[0].rows = u32::MAX as usize + 2;
+        let out = exec_plan(&db, &ReferenceBackend, &plan, &mut report).unwrap();
+        assert!(out.is_none(), "oversized plan must abort, not truncate");
     }
 
     #[test]

@@ -1,8 +1,8 @@
-//! Three-way backend differential suite: [`ReferenceBackend`],
-//! [`EncodedBackend`], and [`SqlBackend`] must agree *exactly* on
-//! every probe of the counting seam — `‖·‖` counts, join stats, FD
-//! checks, LHS row groups — over generated tables biased toward
-//! collisions, NULLs, and NaN.
+//! Four-way backend differential suite: [`ReferenceBackend`],
+//! [`EncodedBackend`], [`PagedBackend`], and [`SqlBackend`] must agree
+//! *exactly* on every probe of the counting seam — `‖·‖` counts, join
+//! stats, FD checks, LHS row groups — over generated tables biased
+//! toward collisions, NULLs, and NaN.
 //!
 //! This is the paper's §2 interchangeability claim ("this function can
 //! be computed in any SQL-like language") as a tested property: the
@@ -11,18 +11,22 @@
 //! property, so a quoting or generation bug cannot hide behind the
 //! reference fallback. The same file gates the default and `parallel`
 //! builds, and a CI leg re-runs the whole core pipeline suite with
-//! `DBRE_BACKEND=sql` on top (the suite here always covers all three
+//! `DBRE_BACKEND=sql` on top (the suite here always covers all four
 //! backends regardless of that variable).
 
 // Test-support helpers outside #[test] fns; panicking on fixture
 // failure is test behaviour.
 #![allow(clippy::expect_used)]
 
+use std::sync::Arc;
+
 use dbre_relational::attr::AttrId;
 use dbre_relational::backend::{CountBackend, EncodedBackend, ReferenceBackend};
+use dbre_relational::bufpool::BufferPool;
 use dbre_relational::counting::EquiJoin;
 use dbre_relational::database::Database;
 use dbre_relational::deps::{Fd, IndSide};
+use dbre_relational::pages::PagedBackend;
 use dbre_relational::schema::{RelId, Relation};
 use dbre_relational::table::Table;
 use dbre_relational::value::{Domain, Value};
@@ -110,17 +114,26 @@ fn db_of(tables: &[&Table]) -> (Database, Vec<RelId>) {
     (db, rels)
 }
 
-/// The matrix under test. Boxed so the three concrete types share one
-/// loop; the SQL backend is returned separately for its failure probe.
+/// The matrix under test. Boxed so the concrete types share one loop;
+/// the SQL backend is returned separately for its failure probe. The
+/// paged backend runs with a deliberately tiny pool (one page) so every
+/// property also exercises eviction and re-fault paths; correctness
+/// must not depend on residency.
 fn backends() -> (Vec<Box<dyn CountBackend>>, SqlBackend) {
     (
-        vec![Box::new(ReferenceBackend), Box::new(EncodedBackend::new())],
+        vec![
+            Box::new(ReferenceBackend),
+            Box::new(EncodedBackend::new()),
+            Box::new(PagedBackend::with_pool(Arc::new(
+                BufferPool::with_capacity_pages(1),
+            ))),
+        ],
         SqlBackend::new(),
     )
 }
 
 proptest! {
-    /// `‖r[attrs]‖` agrees across all three backends.
+    /// `‖r[attrs]‖` agrees across all four backends.
     #[test]
     fn counts_agree(case in table_and_attrs()) {
         let (t, attrs) = case;
@@ -206,6 +219,39 @@ proptest! {
             prop_assert_eq!(&b.lhs_groups(&db, rel, &attrs), &expected, "backend {}", b.name());
         }
         prop_assert_eq!(&sql.lhs_groups(&db, rel, &attrs), &expected, "backend sql");
+    }
+
+    /// The paged backend agrees with the reference at *any* buffer-pool
+    /// capacity, down to a single resident page: the streaming kernels
+    /// hold page `Arc`s while they work, so eviction pressure can slow
+    /// a probe but never change its answer, and no probe may silently
+    /// degrade to the reference fallback.
+    #[test]
+    fn paged_backend_agrees_at_any_pool_capacity(
+        case in table_and_attrs(),
+        capacity_pages in 1usize..6,
+    ) {
+        let (t, attrs) = case;
+        let (db, rels) = db_of(&[&t]);
+        let rel = rels[0];
+        let paged = PagedBackend::with_pool(Arc::new(
+            BufferPool::with_capacity_pages(capacity_pages),
+        ));
+        paged.prewarm(&db, rel);
+        prop_assert_eq!(
+            paged.count_distinct(&db, rel, &attrs),
+            ReferenceBackend.count_distinct(&db, rel, &attrs),
+            "count_distinct at {} pages", capacity_pages
+        );
+        prop_assert_eq!(
+            paged.lhs_groups(&db, rel, &attrs),
+            ReferenceBackend.lhs_groups(&db, rel, &attrs),
+            "lhs_groups at {} pages", capacity_pages
+        );
+        prop_assert_eq!(
+            paged.exec_stats().fallback_failures, 0,
+            "paged probes must stream, not fall back"
+        );
     }
 }
 
