@@ -858,6 +858,109 @@ fn xb(check: bool) {
         paged_scale = Some((encoded_ms, paged_ms, agree, paged.stats.page_cache));
     }
 
+    // Ingest throughput: the same synthetic CSV through both ingest
+    // paths, down to spill pages (median of 3, rows/sec). The
+    // streaming path never materializes a Table; the materialized
+    // path imports rows then encodes and spills each column.
+    let ingest_rows: usize = if check { 20_000 } else { 200_000 };
+    let csv_path = std::env::temp_dir().join(format!("dbre-xb-ingest-{}.csv", std::process::id()));
+    write_synth_csv(&csv_path, ingest_rows).expect("write ingest CSV");
+    let streaming_ns = median_ns(3, || {
+        let (mut db, rel) = ingest_db();
+        std::hint::black_box(
+            dbre_relational::csv::import_csv_spilled(&mut db, rel, &csv_path, None)
+                .expect("streaming ingest"),
+        );
+    });
+    let materialized_ns = median_ns(3, || {
+        let (mut db, rel) = ingest_db();
+        let text = std::fs::read_to_string(&csv_path).expect("read ingest CSV");
+        dbre_relational::csv::import_csv(&mut db, rel, &text).expect("materialized import");
+        for i in 0..3u16 {
+            let dict = ColumnDict::build(db.table(rel).column(AttrId(i)));
+            std::hint::black_box(
+                dbre_relational::pages::PageFile::spill(dict.codes()).expect("spill"),
+            );
+        }
+    });
+    std::fs::remove_file(&csv_path).ok();
+    let rows_per_s = |ns: f64| ingest_rows as f64 / (ns / 1e9);
+    let ingest = (
+        ingest_rows,
+        rows_per_s(streaming_ns),
+        rows_per_s(materialized_ns),
+    );
+
+    // Out-of-core scaling: a 10M-row CSV streamed straight to spill
+    // pages (the table never exists in memory), then paged kernels
+    // probed over the adopted columns through the default 64 MiB
+    // pool. One sample; skipped under --check.
+    let mut out_of_core_10m: Option<(usize, f64, f64, dbre_relational::PageCacheStats)> = None;
+    if !check {
+        use dbre_relational::backend::CountBackend;
+        let rows = 10_000_000usize;
+        let path = std::env::temp_dir().join(format!("dbre-xb-10m-{}.csv", std::process::id()));
+        write_synth_csv(&path, rows).expect("write 10M CSV");
+        let (mut db, rel) = ingest_db();
+        let t0 = Instant::now();
+        let table = dbre_relational::csv::import_csv_spilled(&mut db, rel, &path, None)
+            .expect("10M streaming ingest");
+        let ingest_s = t0.elapsed().as_secs_f64();
+        std::fs::remove_file(&path).ok();
+        let backend = dbre_relational::PagedBackend::new();
+        backend.adopt_spilled(&db, rel, &table);
+        let fd = Fd::new(
+            rel,
+            AttrSet::from_indices([1u16]),
+            AttrSet::from_indices([2u16]),
+        );
+        let t0 = Instant::now();
+        std::hint::black_box(backend.count_distinct(&db, rel, &[AttrId(0), AttrId(1)]));
+        std::hint::black_box(backend.fd_holds(&db, &fd));
+        let probe_ms = t0.elapsed().as_secs_f64() * 1e3;
+        out_of_core_10m = Some((rows, ingest_s, probe_ms, backend.page_stats()));
+    }
+
+    // Serial vs chunk-parallel paged scan over one page-resident
+    // spilled extension — only measurable when the kernels are built
+    // with the `parallel` feature. Skipped under --check.
+    #[allow(unused_mut)]
+    let mut paged_parallel: Option<(usize, usize, f64, f64)> = None;
+    #[cfg(feature = "parallel")]
+    if !check {
+        use dbre_relational::backend::CountBackend;
+        let rows = 2_000_000usize;
+        let path = std::env::temp_dir().join(format!("dbre-xb-par-{}.csv", std::process::id()));
+        write_synth_csv(&path, rows).expect("write parallel-scan CSV");
+        let (mut db, rel) = ingest_db();
+        let table = dbre_relational::csv::import_csv_spilled(&mut db, rel, &path, None)
+            .expect("parallel-scan ingest");
+        std::fs::remove_file(&path).ok();
+        let backend = dbre_relational::PagedBackend::new();
+        backend.adopt_spilled(&db, rel, &table);
+        let fd = Fd::new(
+            rel,
+            AttrSet::from_indices([1u16]),
+            AttrSet::from_indices([2u16]),
+        );
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2);
+        // Warm the pool so both variants scan resident pages.
+        std::env::set_var("DBRE_PAGED_THREADS", "1");
+        std::hint::black_box(backend.fd_holds(&db, &fd));
+        let serial_ns = median_ns(3, || {
+            std::hint::black_box(backend.fd_holds(&db, &fd));
+        });
+        std::env::set_var("DBRE_PAGED_THREADS", threads.to_string());
+        let parallel_ns = median_ns(3, || {
+            std::hint::black_box(backend.fd_holds(&db, &fd));
+        });
+        std::env::remove_var("DBRE_PAGED_THREADS");
+        paged_parallel = Some((rows, threads, serial_ns / 1e6, parallel_ns / 1e6));
+    }
+
     // Cache counters from one warm engine pass (8 entities, 10k rows).
     let s = scenario(8, 10_000, 42);
     let q = dbre_extract::extract_programs(
@@ -922,6 +1025,25 @@ fn xb(check: bool) {
         ));
     }
     json.push_str(&format!(
+        "  \"ingest\": {{ \"rows\": {}, \"streaming_rows_per_s\": {:.0}, \
+         \"materialized_rows_per_s\": {:.0} }},\n",
+        ingest.0, ingest.1, ingest.2
+    ));
+    if let Some((rows, ingest_s, probe_ms, pc)) = &out_of_core_10m {
+        json.push_str(&format!(
+            "  \"out_of_core_10m\": {{ \"rows\": {rows}, \"ingest_s\": {ingest_s:.1}, \
+             \"probe_ms\": {probe_ms:.0}, \"page_hits\": {}, \"page_misses\": {}, \
+             \"page_evictions\": {} }},\n",
+            pc.hits, pc.misses, pc.evictions
+        ));
+    }
+    if let Some((rows, threads, serial_ms, parallel_ms)) = &paged_parallel {
+        json.push_str(&format!(
+            "  \"paged_parallel\": {{ \"rows\": {rows}, \"threads\": {threads}, \
+             \"serial_ms\": {serial_ms:.2}, \"parallel_ms\": {parallel_ms:.2} }},\n"
+        ));
+    }
+    json.push_str(&format!(
         "  \"cache_counters\": {{ \"hits\": {}, \"misses\": {}, \"rows_scanned\": {} }}\n}}\n",
         counters.cache_hits, counters.cache_misses, counters.rows_scanned
     ));
@@ -954,6 +1076,28 @@ fn xb(check: bool) {
             if *agree { "yes" } else { "NO — INVESTIGATE" }
         );
     }
+    println!(
+        "\n  ingest to spill pages ({} rows, median of 3):",
+        ingest.0
+    );
+    println!("  streaming     {:>12.0} rows/s", ingest.1);
+    println!("  materialized  {:>12.0} rows/s", ingest.2);
+    if let Some((rows, ingest_s, probe_ms, pc)) = &out_of_core_10m {
+        println!("\n  out-of-core ingest ({rows} rows, streamed straight to spill, 1 sample):");
+        println!("  ingest        {ingest_s:>9.1} s");
+        println!(
+            "  paged probes  {probe_ms:>9.0} ms   ({} hits, {} misses, {} evictions)",
+            pc.hits, pc.misses, pc.evictions
+        );
+    }
+    if let Some((rows, threads, serial_ms, parallel_ms)) = &paged_parallel {
+        println!("\n  page-parallel fd_holds scan ({rows} rows, warm pool):");
+        println!("  1 thread      {serial_ms:>9.2} ms");
+        println!(
+            "  {threads} threads     {parallel_ms:>9.2} ms   ({:.2}x)",
+            serial_ms / parallel_ms.max(1e-9)
+        );
+    }
 
     if check {
         let of = |name: &str| {
@@ -984,36 +1128,103 @@ fn xb(check: bool) {
                 ));
             })
         };
-        let mut best = f64::NAN;
-        for attempt in 1..=3 {
-            let (sql, encoded) = if attempt == 1 {
-                (of("sql"), of("encoded"))
-            } else {
-                (
-                    remeasure(dbre_core::BackendChoice::Sql),
-                    remeasure(dbre_core::BackendChoice::Encoded),
-                )
-            };
-            let ratio = sql / encoded;
-            println!(
-                "\n  check attempt {attempt}: sql/encoded pipeline ratio = {ratio:.2}x \
-                 (budget 2.00x; sql {:.2} ms, encoded {:.2} ms)",
-                sql / 1e6,
-                encoded / 1e6
-            );
-            // NaN (missing backend row) never becomes the best ratio.
-            if !ratio.is_nan() && (best.is_nan() || ratio < best) {
-                best = ratio;
+        let gate = |name: &str, choice: dbre_core::BackendChoice, budget: f64| {
+            let mut best = f64::NAN;
+            for attempt in 1..=3 {
+                let (numer, encoded) = if attempt == 1 {
+                    (of(name), of("encoded"))
+                } else {
+                    (
+                        remeasure(choice),
+                        remeasure(dbre_core::BackendChoice::Encoded),
+                    )
+                };
+                let ratio = numer / encoded;
+                println!(
+                    "\n  check attempt {attempt}: {name}/encoded pipeline ratio = {ratio:.2}x \
+                     (budget {budget:.2}x; {name} {:.2} ms, encoded {:.2} ms)",
+                    numer / 1e6,
+                    encoded / 1e6
+                );
+                // NaN (missing backend row) never becomes the best ratio.
+                if !ratio.is_nan() && (best.is_nan() || ratio < best) {
+                    best = ratio;
+                }
+                if ratio <= budget {
+                    break;
+                }
             }
-            if ratio <= 2.0 {
-                break;
+            if best.is_nan() || best > budget {
+                eprintln!(
+                    "FAIL: {name} backend pipeline median exceeds {budget}x encoded \
+                     in all attempts"
+                );
+                std::process::exit(1);
             }
-        }
-        if best.is_nan() || best > 2.0 {
-            eprintln!("FAIL: sql backend pipeline median exceeds 2x encoded in all attempts");
+        };
+        gate("sql", dbre_core::BackendChoice::Sql, 2.0);
+        gate("paged", dbre_core::BackendChoice::Paged, 1.1);
+
+        // The persistent spill cache must make a warm rerun skip the
+        // encode entirely: the cold ingest commits an entry (a miss),
+        // the rerun on unchanged input is served from it (a hit).
+        let dir = std::env::temp_dir().join(format!("dbre-xb-spillcheck-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create spill-check dir");
+        let csv = dir.join("rows.csv");
+        write_synth_csv(&csv, 5_000).expect("write spill-check CSV");
+        let cache = dir.join("cache");
+        let cold = {
+            let (mut db, rel) = ingest_db();
+            dbre_relational::csv::import_csv_spilled(&mut db, rel, &csv, Some(&cache))
+                .expect("cold spill-check ingest")
+        };
+        let warm = {
+            let (mut db, rel) = ingest_db();
+            dbre_relational::csv::import_csv_spilled(&mut db, rel, &csv, Some(&cache))
+                .expect("warm spill-check ingest")
+        };
+        println!(
+            "\n  spill cache check: cold from_cache={}, warm from_cache={}",
+            cold.from_cache(),
+            warm.from_cache()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        if cold.from_cache() || !warm.from_cache() {
+            eprintln!("FAIL: warm --spill-dir rerun must skip the encode (cold miss, warm hit)");
             std::process::exit(1);
         }
     }
+}
+
+/// Writes the synthetic three-column CSV used by the ingest and
+/// out-of-core measurements: `id` unique, `grp` a 1000-way group,
+/// `val` a 50k-value payload functionally determined by `grp`.
+fn write_synth_csv(path: &std::path::Path, rows: usize) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "id,grp,val")?;
+    for i in 0..rows {
+        writeln!(w, "{},{},{}", i, i % 1000, (i % 1000) * 7)?;
+    }
+    w.flush()
+}
+
+/// A one-relation scratch database matching `write_synth_csv`.
+fn ingest_db() -> (dbre_relational::Database, dbre_relational::RelId) {
+    use dbre_relational::{Database, Domain, Relation};
+    let mut db = Database::new();
+    let rel = db
+        .add_relation(Relation::of(
+            "Ingest",
+            &[
+                ("id", Domain::Int),
+                ("grp", Domain::Int),
+                ("val", Domain::Int),
+            ],
+        ))
+        .expect("add Ingest relation");
+    (db, rel)
 }
 
 fn indent(text: &str) -> String {

@@ -7,7 +7,8 @@
 //! dbre reverse --schema schema.sql [--data data.sql]
 //!              [--csv Table=rows.csv]... [--programs file|dir]...
 //!              [--oracle auto|deny] [--backend reference|encoded|sql|paged]
-//!              [--page-cache MIB] [--infer-keys] [--dot out.dot] [--quiet]
+//!              [--page-cache MIB] [--spill-dir DIR] [--infer-keys]
+//!              [--dot out.dot] [--quiet]
 //! dbre extract --schema schema.sql [--programs file|dir]...
 //! dbre example
 //! ```
@@ -56,6 +57,12 @@ pub struct ReverseArgs {
     /// Buffer-pool capacity in MiB for `--backend paged`
     /// (default 64).
     pub page_cache: Option<usize>,
+    /// Persistent spill-cache directory: `--csv` extensions stream
+    /// straight to checksummed spill files under this directory (keyed
+    /// by schema fingerprint + content hash) instead of materializing,
+    /// and a rerun on unchanged inputs skips the encode entirely.
+    /// Implies the paged backend.
+    pub spill_dir: Option<PathBuf>,
     /// Infer missing keys from the extension.
     pub infer_keys: bool,
     /// Write the EER diagram as DOT here.
@@ -81,7 +88,8 @@ USAGE:
   dbre reverse --schema DDL.sql [--data INSERTS.sql]
                [--csv Table=rows.csv]... [--programs FILE|DIR]...
                [--oracle auto|deny] [--backend reference|encoded|sql|paged]
-               [--page-cache MIB] [--infer-keys] [--dot OUT.dot] [--quiet]
+               [--page-cache MIB] [--spill-dir DIR] [--infer-keys]
+               [--dot OUT.dot] [--quiet]
   dbre extract --schema DDL.sql [--programs FILE|DIR]...
   dbre example
   dbre help
@@ -144,6 +152,9 @@ pub fn parse_args(args: &[String]) -> Command {
                                     format!("--page-cache expects a positive MiB count, got `{v}`")
                                 })?;
                             reverse.page_cache = Some(mib);
+                        }
+                        "--spill-dir" => {
+                            reverse.spill_dir = Some(PathBuf::from(value("--spill-dir")?));
                         }
                         "--infer-keys" => reverse.infer_keys = true,
                         "--dot" => reverse.dot = Some(PathBuf::from(value("--dot")?)),
@@ -210,6 +221,27 @@ fn read_program(path: &Path) -> Result<ProgramSource, String> {
 
 /// Builds the database from the reverse-command inputs.
 pub fn load_database(args: &ReverseArgs) -> Result<dbre_relational::Database, String> {
+    Ok(load_inputs(args)?.0)
+}
+
+/// Streamed extensions produced by [`load_inputs`], destined for
+/// [`PipelineOptions::spilled`].
+pub type SpilledInputs = Vec<(
+    dbre_relational::RelId,
+    std::sync::Arc<dbre_relational::SpilledTable>,
+)>;
+
+/// Builds the database plus any streamed extensions.
+///
+/// Without `--spill-dir` every `--csv` extension materializes through
+/// [`import_csv`] as before and the second element is empty. With it,
+/// each extension streams straight to checksummed spill files under
+/// the cache directory (reruns on unchanged inputs load the committed
+/// entry instead of re-encoding) and is validated against the
+/// dictionary via [`dbre_relational::spill::validate_spilled`].
+pub fn load_inputs(
+    args: &ReverseArgs,
+) -> Result<(dbre_relational::Database, SpilledInputs), String> {
     let ddl = std::fs::read_to_string(&args.schema)
         .map_err(|e| format!("cannot read {}: {e}", args.schema.display()))?;
     let mut catalog = Catalog::new();
@@ -224,17 +256,34 @@ pub fn load_database(args: &ReverseArgs) -> Result<dbre_relational::Database, St
             .map_err(|e| format!("{}: {e}", data.display()))?;
     }
     let mut db = catalog.into_database();
+    let mut spilled: SpilledInputs = Vec::new();
     for (table, path) in &args.csv {
         let rel = db
             .rel(table)
             .map_err(|_| format!("--csv names unknown table `{table}`"))?;
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        import_csv(&mut db, rel, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if let Some(dir) = &args.spill_dir {
+            let t = dbre_relational::csv::import_csv_spilled(&mut db, rel, path, Some(dir))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            spilled.push((rel, std::sync::Arc::new(t)));
+        } else {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            import_csv(&mut db, rel, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+        }
     }
+    // Materialized tables check against the dictionary as always;
+    // streamed ones go through the spilled twin (NULL counts from the
+    // dictionaries, key uniqueness from the paged kernels).
     db.validate_dictionary()
         .map_err(|e| format!("extension violates the dictionary: {e}"))?;
-    Ok(db)
+    if !spilled.is_empty() {
+        let pool = dbre_relational::BufferPool::default();
+        for (rel, t) in &spilled {
+            dbre_relational::spill::validate_spilled(&db, *rel, t, &pool)
+                .map_err(|e| format!("extension violates the dictionary: {e}"))?;
+        }
+    }
+    Ok((db, spilled))
 }
 
 /// Runs a parsed command, returning the text to print (and optionally
@@ -278,7 +327,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             Ok(out)
         }
         Command::Reverse(args) => {
-            let db = load_database(args)?;
+            let (db, spilled) = load_inputs(args)?;
             let programs = load_programs(&args.programs)?;
             let mut options = PipelineOptions {
                 infer_missing_keys: args.infer_keys,
@@ -286,7 +335,12 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             };
             if let Some(choice) = dbre_core::BackendChoice::parse(&args.backend) {
                 options.backend = choice;
+            } else if !spilled.is_empty() {
+                // `--spill-dir` without an explicit `--backend` means
+                // paged — streamed extensions only exist there.
+                options.backend = dbre_core::BackendChoice::Paged;
             }
+            options.spilled = spilled;
             options.page_cache = args.page_cache.map(|mib| mib * 1024 * 1024);
             let mut auto;
             let mut deny;
@@ -382,6 +436,12 @@ fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> S
             p.hits, p.misses, p.evictions
         );
     }
+    let sc = &result.stats.spill_cache;
+    if sc.hits + sc.misses > 0 {
+        // A hit means the table loaded from a committed `--spill-dir`
+        // entry without re-encoding its source.
+        let _ = writeln!(out, "spill cache: {} hits, {} misses", sc.hits, sc.misses);
+    }
     for (stage, t) in &result.stats.stage_timings {
         let _ = writeln!(out, "{stage:<14} {:>9.3} ms", t.as_secs_f64() * 1e3);
     }
@@ -416,6 +476,8 @@ mod tests {
             "deny",
             "--backend",
             "reference",
+            "--spill-dir",
+            "cache/",
             "--infer-keys",
             "--dot",
             "out.dot",
@@ -429,6 +491,7 @@ mod tests {
         assert_eq!(a.csv, vec![("Person".into(), PathBuf::from("p.csv"))]);
         assert_eq!(a.oracle, "deny");
         assert_eq!(a.backend, "reference");
+        assert_eq!(a.spill_dir, Some(PathBuf::from("cache/")));
         assert!(a.infer_keys);
         assert!(a.quiet);
     }
@@ -461,6 +524,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_args(&s(&["reverse", "--schema", "x", "--page-cache", "lots"])),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["reverse", "--schema", "x", "--spill-dir"])),
             Command::Help(Some(_))
         ));
         assert!(matches!(
@@ -570,6 +637,66 @@ mod tests {
         assert!(out.contains("Orders: cust -> cname"));
         let dot_text = std::fs::read_to_string(&dot).unwrap();
         assert!(dot_text.starts_with("digraph eer {"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_dir_streams_reruns_warm_and_matches_materialized() {
+        let dir = std::env::temp_dir().join(format!("dbre_cli_spill_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("schema.sql"),
+            "CREATE TABLE Customer (cid INT UNIQUE, cname VARCHAR(30));
+             CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30));",
+        )
+        .unwrap();
+        std::fs::write(dir.join("customer.csv"), "cid,cname\n1,ann\n2,bob\n").unwrap();
+        std::fs::write(
+            dir.join("orders.csv"),
+            "oid,cust,cname\n10,1,ann\n11,1,ann\n12,2,bob\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("report.sql"),
+            "SELECT cname FROM Orders o, Customer c WHERE o.cust = c.cid;",
+        )
+        .unwrap();
+        let argv = |spill: bool| {
+            let mut v = s(&[
+                "reverse",
+                "--schema",
+                dir.join("schema.sql").to_str().unwrap(),
+                "--csv",
+                &format!("Customer={}", dir.join("customer.csv").display()),
+                "--csv",
+                &format!("Orders={}", dir.join("orders.csv").display()),
+                "--programs",
+                dir.join("report.sql").to_str().unwrap(),
+                "--quiet",
+            ]);
+            if spill {
+                v.extend(s(&["--spill-dir", dir.join("cache").to_str().unwrap()]));
+            }
+            v
+        };
+        let findings = |out: &str| {
+            out.split("# Pipeline statistics")
+                .next()
+                .unwrap()
+                .to_string()
+        };
+
+        let materialized = run(&parse_args(&argv(false))).unwrap();
+        let cold = run(&parse_args(&argv(true))).unwrap();
+        assert!(cold.contains("counting engine: backend `paged`"), "{cold}");
+        assert!(cold.contains("spill cache: 0 hits, 2 misses"), "{cold}");
+        // Warm rerun: both tables load from the committed entries.
+        let warm = run(&parse_args(&argv(true))).unwrap();
+        assert!(warm.contains("spill cache: 2 hits, 0 misses"), "{warm}");
+        // Same discoveries regardless of the ingest path.
+        assert_eq!(findings(&cold), findings(&warm));
+        assert_eq!(findings(&cold), findings(&materialized));
+        assert!(cold.contains("Orders: cust -> cname"), "{cold}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -28,7 +28,11 @@ use dbre_relational::stats::StatsCounters;
 use dbre_relational::BackendExecStats;
 use dbre_relational::DbreError;
 use dbre_relational::PageCacheStats;
+use dbre_relational::RelId;
+use dbre_relational::SpillCacheStats;
+use dbre_relational::SpilledTable;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Pipeline configuration.
@@ -49,6 +53,13 @@ pub struct PipelineOptions {
     /// (`--page-cache` on the CLI; `None` = the 64 MiB default).
     /// Ignored by the in-memory backends.
     pub page_cache: Option<usize>,
+    /// Streamed-ingest tables (`import_csv_spilled`): spilled code
+    /// pages adopted by the paged backend at session construction, for
+    /// relations whose [`Database`] extension is a *streamed
+    /// extension* (row count known, no in-memory values). Non-empty
+    /// `spilled` forces the paged backend regardless of `backend` —
+    /// no other backend can answer for pages-only extensions.
+    pub spilled: Vec<(RelId, Arc<SpilledTable>)>,
 }
 
 impl Default for PipelineOptions {
@@ -62,6 +73,7 @@ impl Default for PipelineOptions {
             infer_missing_keys: false,
             backend: BackendChoice::from_env(),
             page_cache: None,
+            spilled: Vec::new(),
         }
     }
 }
@@ -88,6 +100,10 @@ pub struct PipelineStats {
     /// and LRU evictions across the run. All-zero for the in-memory
     /// backends.
     pub page_cache: PageCacheStats,
+    /// Persistent spill-cache counters from streamed ingest: tables
+    /// adopted from a warm `--spill-dir` entry (encode skipped) vs
+    /// tables encoded from source. All-zero when nothing streamed.
+    pub spill_cache: SpillCacheStats,
 }
 
 impl PipelineStats {
@@ -499,6 +515,115 @@ mod tests {
             distinct.len() >= 3,
             "expected records from at least three stages, got {distinct:?}"
         );
+    }
+
+    #[test]
+    fn streamed_pipeline_matches_materialized() {
+        use dbre_relational::bufpool::BufferPool;
+        use dbre_relational::csv::{export_csv, import_csv_spilled};
+        use dbre_relational::spill::validate_spilled;
+
+        // Materialized baseline over the paged backend.
+        let (db, programs) = legacy();
+        let extraction =
+            dbre_extract::extract_programs(&db.schema, &programs, &ExtractConfig::default());
+        let q = extraction.q();
+        let paged_opts = PipelineOptions {
+            backend: BackendChoice::Paged,
+            ..Default::default()
+        };
+        let mut o1 = AutoOracle::default();
+        let baseline = run_with_q(db, &q, &mut o1, &paged_opts);
+        assert!(baseline.is_complete(), "{:?}", baseline.stage_errors);
+
+        // Same extension, streamed: export each table to CSV, rebuild
+        // the schema empty, ingest via the spilled path.
+        let (src, _) = legacy();
+        let mut streamed_db = Database::new();
+        for (_, relation) in src.schema.iter() {
+            streamed_db.add_relation(relation.clone()).unwrap();
+        }
+        streamed_db.constraints = src.constraints.clone();
+        let tmp = std::env::temp_dir();
+        let mut spilled = Vec::new();
+        let pool = BufferPool::default();
+        for (rel, relation) in src.schema.iter() {
+            let csv = export_csv(&src, rel);
+            let path = tmp.join(format!(
+                "dbre-streamed-e2e-{}-{}.csv",
+                std::process::id(),
+                relation.name
+            ));
+            std::fs::write(&path, csv).unwrap();
+            let srel = streamed_db.rel(&relation.name).unwrap();
+            let table = import_csv_spilled(&mut streamed_db, srel, &path, None).unwrap();
+            assert!(!streamed_db.table(srel).is_materialized());
+            validate_spilled(&streamed_db, srel, &table, &pool).unwrap();
+            spilled.push((srel, Arc::new(table)));
+            let _ = std::fs::remove_file(path);
+        }
+        let opts = PipelineOptions {
+            backend: BackendChoice::Paged,
+            spilled,
+            ..Default::default()
+        };
+        let mut o2 = AutoOracle::default();
+        let result = run_with_q(streamed_db, &q, &mut o2, &opts);
+        assert!(result.is_complete(), "{:?}", result.stage_errors);
+
+        // Identical discovery and restructuring output.
+        assert_eq!(baseline.ind.inds, result.ind.inds);
+        assert_eq!(baseline.rhs.fds, result.rhs.fds);
+        assert_eq!(baseline.eer, result.eer);
+        // Restruct hydrated the streamed tables before rewriting.
+        for (rel, _) in result.db.schema.iter() {
+            assert!(result.db.table(rel).is_materialized());
+        }
+        assert_eq!(
+            result.db.table(result.db.rel("Orders").unwrap()),
+            baseline.db.table(baseline.db.rel("Orders").unwrap()),
+        );
+        // No silent reference fallbacks on the streamed run.
+        assert_eq!(result.stats.backend_exec.fallback_failures, 0);
+    }
+
+    #[test]
+    fn spilled_with_wrong_backend_is_overridden_with_a_warning() {
+        use dbre_relational::csv::import_csv_spilled;
+
+        let (src, _) = legacy();
+        let mut db = Database::new();
+        for (_, relation) in src.schema.iter() {
+            db.add_relation(relation.clone()).unwrap();
+        }
+        let rel = db.rel("Customer").unwrap();
+        let path =
+            std::env::temp_dir().join(format!("dbre-streamed-override-{}.csv", std::process::id()));
+        std::fs::write(
+            &path,
+            dbre_relational::csv::export_csv(&src, src.rel("Customer").unwrap()),
+        )
+        .unwrap();
+        let table = import_csv_spilled(&mut db, rel, &path, None).unwrap();
+        let _ = std::fs::remove_file(path);
+
+        let opts = PipelineOptions {
+            backend: BackendChoice::Encoded,
+            spilled: vec![(rel, Arc::new(table))],
+            ..Default::default()
+        };
+        let mut oracle = AutoOracle::default();
+        let result = run_with_q(db, &[], &mut oracle, &opts);
+        assert_eq!(result.stats.backend, "paged", "paged backend forced");
+        assert!(
+            result
+                .warnings
+                .iter()
+                .any(|w| w.contains("require the paged backend")),
+            "{:?}",
+            result.warnings
+        );
+        assert!(result.is_complete(), "{:?}", result.stage_errors);
     }
 
     #[test]

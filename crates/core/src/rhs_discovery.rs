@@ -73,6 +73,31 @@ pub fn rhs_discovery(
     rhs_discovery_with_stats(db, input, oracle, options, &StatsEngine::new())
 }
 
+/// `g3` error of a failing FD, safe for streamed extensions.
+///
+/// Materialized tables go through the raw-column scan in
+/// [`dbre_mine::fd_error_db`]. A streamed extension has empty raw
+/// columns, so its error is computed over the backend-served
+/// dictionary codes instead — same number, no hydration. A streamed
+/// table whose backend cannot serve a dictionary is a wiring bug
+/// (adoption installs the pages before discovery runs), so that case
+/// fails loudly rather than inventing an error value.
+fn fd_error_for(db: &Database, fd: &Fd, engine: &dyn CountBackend) -> f64 {
+    if db.table(fd.rel).is_materialized() {
+        return dbre_mine::fd_error_db(db, fd);
+    }
+    let dict_of = |a: AttrId| {
+        engine.column_dict(db, fd.rel, a).unwrap_or_else(|| {
+            panic!("streamed extension must have backend-served column dictionaries")
+        })
+    };
+    let lhs: Vec<_> = fd.lhs.iter().map(dict_of).collect();
+    let rhs: Vec<_> = fd.rhs.iter().map(dict_of).collect();
+    let lhs_codes: Vec<&[u32]> = lhs.iter().map(|d| d.codes()).collect();
+    let rhs_codes: Vec<&[u32]> = rhs.iter().map(|d| d.codes()).collect();
+    dbre_mine::fd_error_coded(&lhs_codes, &rhs_codes, db.table(fd.rel).len())
+}
+
 /// Runs RHS-Discovery with `A → b` extension tests memoized in
 /// `engine`.
 ///
@@ -134,7 +159,7 @@ pub fn rhs_discovery_with_stats(
             if holds {
                 b.insert(cand_attr);
             } else {
-                let error = dbre_mine::fd_error_db(db, fd);
+                let error = fd_error_for(db, fd, engine);
                 let enforced = oracle.enforce_fd(&FdContext { db, fd, error });
                 out.log.push(DecisionRecord::new(
                     "RHS-Discovery/enforce",

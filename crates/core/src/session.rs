@@ -164,7 +164,29 @@ impl<'o> DbreSession<'o> {
     /// Builds a session around `db` with the engine selected by
     /// `options.backend`.
     pub fn new(db: Database, oracle: &'o mut dyn Oracle, options: PipelineOptions) -> Self {
-        let engine = options.backend.engine_sized(options.page_cache);
+        let mut warnings = Vec::new();
+        let engine = if options.spilled.is_empty() {
+            options.backend.engine_sized(options.page_cache)
+        } else {
+            // Streamed extensions exist only as spilled pages — no
+            // in-memory backend can answer for them, so the paged
+            // backend is forced and the adopted columns are installed
+            // before any probe runs.
+            if options.backend != BackendChoice::Paged {
+                warnings.push(format!(
+                    "streamed-ingest tables require the paged backend; overriding `{}`",
+                    options.backend.name()
+                ));
+            }
+            let backend = match options.page_cache {
+                Some(bytes) => PagedBackend::with_capacity_bytes(bytes),
+                None => PagedBackend::new(),
+            };
+            for (rel, table) in &options.spilled {
+                backend.adopt_spilled(&db, *rel, table);
+            }
+            StatsEngine::with_backend(Box::new(backend))
+        };
         let stats = PipelineStats {
             backend: engine.backend_name(),
             ..Default::default()
@@ -182,7 +204,7 @@ impl<'o> DbreSession<'o> {
             eer: EerSchema::default(),
             db_before: Database::new(),
             log: Vec::new(),
-            warnings: Vec::new(),
+            warnings,
             stage_errors: Vec::new(),
             stats,
         }
@@ -249,6 +271,7 @@ impl<'o> DbreSession<'o> {
         self.stats.counters = self.engine.counters();
         self.stats.backend_exec = self.engine.exec_stats();
         self.stats.page_cache = self.engine.page_stats();
+        self.stats.spill_cache = self.engine.spill_stats();
         PipelineResult {
             q: self.q,
             ind: self.ind,
@@ -389,6 +412,7 @@ impl Stage for RestructStage {
     }
 
     fn run(&self, s: &mut DbreSession<'_>) -> Result<(), DbreError> {
+        hydrate_streamed(s)?;
         s.db_before = s.db.clone();
         let out = restruct(
             &mut s.db,
@@ -401,6 +425,46 @@ impl Stage for RestructStage {
         s.restructured = out;
         Ok(())
     }
+}
+
+/// Restruct rewrites extensions through raw value columns
+/// (`drop_columns`, `distinct_subtable`), so streamed extensions must
+/// come back to memory first. The discovery stages before this point
+/// ran entirely over the spilled pages; only the final rewrite pays
+/// for materialization, and it decodes from the already-encoded pages
+/// (dictionary codes → values) rather than re-parsing any source.
+/// Hydration failure is a typed stage error — never a silent
+/// empty-column rewrite.
+fn hydrate_streamed(s: &mut DbreSession<'_>) -> Result<(), DbreError> {
+    use dbre_relational::attr::AttrId;
+    use dbre_relational::backend::CountBackend;
+    use dbre_relational::pages::PageError;
+    use dbre_relational::value::Value;
+
+    let rels: Vec<_> = s.db.schema.iter().map(|(rel, _)| rel).collect();
+    for rel in rels {
+        if s.db.table(rel).is_materialized() {
+            continue;
+        }
+        let arity = s.db.schema.relation(rel).arity();
+        for i in 0..arity {
+            let attr = AttrId(i as u16);
+            let dict = s.engine.column_dict(&s.db, rel, attr).ok_or_else(|| {
+                DbreError::Page(PageError::Io(format!(
+                    "cannot hydrate streamed column `{}` of `{}` for restructuring",
+                    s.db.schema.relation(rel).attr_name(attr),
+                    s.db.schema.relation(rel).name,
+                )))
+            })?;
+            let values: Vec<Value> = dict
+                .codes()
+                .iter()
+                .map(|&c| dict.value_of(c).cloned().unwrap_or(Value::Null))
+                .collect();
+            s.db.hydrate_column(rel, attr, values);
+        }
+    }
+    Ok(())
 }
 
 /// §7 Translate: the restructured schema as an EER diagram.

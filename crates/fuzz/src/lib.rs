@@ -116,6 +116,58 @@ pub fn corrupt_csv(seed: u64) -> String {
     out
 }
 
+/// Produces a *well-formed* but hostile CSV text for the same
+/// 4-column relation as [`corrupt_csv`] (`id INT, name TEXT,
+/// when DATE, score FLOAT`): every row parses, but the text leans on
+/// the cases a streaming parser is most likely to fumble — an
+/// optional BOM, CRLF and LF line endings mixed per row, NULL-heavy
+/// columns (empty fields), quoted fields holding commas, escaped
+/// quotes, line breaks and multi-byte unicode. Differential tests
+/// feed this to both CSV ingest paths and demand identical output.
+pub fn streaming_csv(seed: u64) -> String {
+    let mut rng = Splitmix(seed ^ 0x5EED_CAFE);
+    let mut out = String::new();
+    if rng.chance(3) {
+        out.push('\u{feff}');
+    }
+    out.push_str("id,\"name\",when,score\n");
+    let rows = rng.below(120);
+    for _ in 0..rows {
+        let id = match rng.below(4) {
+            0 => String::new(), // NULL-heavy
+            _ => format!("{}", rng.below(50)),
+        };
+        let name = match rng.below(8) {
+            0 => String::new(),
+            1 => "\"comma, inside\"".into(),
+            2 => "\"escaped \"\" quote\"".into(),
+            3 => "\"line\nbreak\"".into(),
+            4 => "багатобайтовий-😀".into(),
+            5 => format!("\"{}\"", "x".repeat(rng.below(40) as usize)),
+            6 => " padded ".into(),
+            _ => format!("n{}", rng.below(1000)),
+        };
+        let when = match rng.below(3) {
+            0 => String::new(),
+            _ => format!(
+                "19{:02}-{:02}-{:02}",
+                rng.below(100),
+                rng.below(12) + 1,
+                rng.below(28) + 1
+            ),
+        };
+        let score = match rng.below(5) {
+            0 => String::new(),
+            1 => "-0.0".into(),
+            2 => format!("{}e{}", rng.below(9), rng.below(20)),
+            _ => format!("{}.{}", rng.below(100), rng.below(100)),
+        };
+        out.push_str(&format!("{id},{name},{when},{score}"));
+        out.push_str(if rng.chance(4) { "\r\n" } else { "\n" });
+    }
+    out
+}
+
 /// Builds a `Q` of `n` joins over `db`, deliberately mixing valid
 /// joins with out-of-range relation ids, out-of-range attribute ids,
 /// empty attribute lists and mismatched side arities. Uses struct

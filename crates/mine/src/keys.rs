@@ -46,7 +46,8 @@ pub fn discover_keys(table: &Table, max_width: Option<usize>) -> KeyResult {
     // One encode pass; the dictionary is shared read-only across the
     // parallel unary-partition workers, which then only bucket codes.
     let dict = DictTable::build(table);
-    discover_keys_seeded(table, max_width, |eligible| {
+    let eligible = eligible_columns_raw(table);
+    discover_keys_seeded(table.arity(), eligible, max_width, |eligible| {
         let attrs: Vec<AttrId> = eligible.iter().map(|&i| AttrId(i)).collect();
         par_map(&attrs, |&a| dict.partition1(a))
     })
@@ -63,32 +64,51 @@ pub fn discover_keys_with_stats(
     backend: &dyn CountBackend,
 ) -> KeyResult {
     let table = db.table(rel);
-    discover_keys_seeded(table, max_width, |eligible| {
+    // A streamed extension has empty raw columns — scanning them would
+    // declare every column NULL-free. Read NULL-freeness off the
+    // backend-served dictionaries instead (they count NULLs exactly).
+    let eligible = if table.is_materialized() {
+        eligible_columns_raw(table)
+    } else {
+        (0..table.arity() as u16)
+            .filter(|&i| {
+                backend
+                    .column_dict(db, rel, AttrId(i))
+                    .map(|d| d.null_count() == 0)
+                    .unwrap_or(false)
+            })
+            .collect()
+    };
+    discover_keys_seeded(table.arity(), eligible, max_width, |eligible| {
         let attrs: Vec<AttrId> = eligible.iter().map(|&i| AttrId(i)).collect();
         par_map(&attrs, |&a| (*backend.partition1(db, rel, a)).clone())
     })
 }
 
-/// The shared levelwise search; `seed` builds the unary partitions for
-/// the eligible columns, in order.
-fn discover_keys_seeded(
-    table: &Table,
-    max_width: Option<usize>,
-    seed: impl FnOnce(&[u16]) -> Vec<StrippedPartition>,
-) -> KeyResult {
-    let n = table.arity();
-    assert!(n <= 32, "key discovery supports at most 32 attributes");
-    let mut stats = KeyStats::default();
-
-    // Columns containing NULL cannot participate in a key.
-    let eligible: Vec<u16> = (0..n as u16)
+/// Columns containing NULL cannot participate in a key — raw-column
+/// scan, valid only for materialized tables.
+fn eligible_columns_raw(table: &Table) -> Vec<u16> {
+    (0..table.arity() as u16)
         .filter(|&i| {
             !table
                 .column(AttrId(i))
                 .iter()
                 .any(dbre_relational::Value::is_null)
         })
-        .collect();
+        .collect()
+}
+
+/// The shared levelwise search; `seed` builds the unary partitions for
+/// the eligible columns, in order.
+fn discover_keys_seeded(
+    arity: usize,
+    eligible: Vec<u16>,
+    max_width: Option<usize>,
+    seed: impl FnOnce(&[u16]) -> Vec<StrippedPartition>,
+) -> KeyResult {
+    let n = arity;
+    assert!(n <= 32, "key discovery supports at most 32 attributes");
+    let mut stats = KeyStats::default();
 
     let mut keys: Vec<AttrSet> = Vec::new();
     // Level 1 seeds: partitions for eligible single columns.
@@ -265,6 +285,49 @@ mod tests {
         assert!(r.keys.is_empty(), "the only key {{a,b}} is width 2");
         let r = discover_keys(&t, Some(2));
         assert!(r.keys.contains(&AttrSet::from_indices([0u16, 1])));
+    }
+
+    #[test]
+    fn streamed_extension_excludes_null_columns_from_keys() {
+        use dbre_relational::encode::ColumnDict;
+        use dbre_relational::pages::{PageFile, PagedBackend, PagedColumn};
+        use dbre_relational::spill::SpilledTable;
+        use std::sync::Arc;
+
+        // Build the rows in a scratch db only to encode them, then
+        // serve them to a second db purely as a streamed extension.
+        let mut scratch = Database::new();
+        let r0 = scratch
+            .add_relation(Relation::of("R", &[("a", Domain::Int), ("b", Domain::Int)]))
+            .unwrap();
+        let rows: &[(Option<i64>, i64)] = &[(Some(1), 10), (None, 20), (Some(2), 30)];
+        for (a, b) in rows {
+            let av = a.map(Value::Int).unwrap_or(Value::Null);
+            scratch.insert(r0, vec![av, Value::Int(*b)]).unwrap();
+        }
+        let cols: Vec<Arc<PagedColumn>> = (0..2)
+            .map(|i| {
+                let dict = ColumnDict::build(scratch.table(r0).column(AttrId(i)));
+                let file = PageFile::spill(dict.codes()).unwrap();
+                Arc::new(PagedColumn::new(Arc::new(dict.slim()), file))
+            })
+            .collect();
+
+        let mut db = Database::new();
+        let r = db
+            .add_relation(Relation::of("R", &[("a", Domain::Int), ("b", Domain::Int)]))
+            .unwrap();
+        db.set_streamed_extension(r, rows.len());
+        let backend = PagedBackend::new();
+        backend.adopt_spilled(&db, r, &SpilledTable::new(cols, rows.len(), false));
+
+        // `a` contains NULL: only `b` may seed a key, and it is one.
+        let result = discover_keys_with_stats(&db, r, None, &backend);
+        assert_eq!(result.keys, vec![AttrSet::from_indices([1u16])]);
+
+        // Same rows materialized agree.
+        let reference = discover_keys(scratch.table(r0), None);
+        assert_eq!(result.keys, reference.keys);
     }
 
     #[test]

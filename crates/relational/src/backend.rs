@@ -42,6 +42,7 @@ use crate::encode::{
 };
 use crate::partitions::StrippedPartition;
 use crate::schema::RelId;
+use crate::spill::SpillCacheStats;
 use crate::table::ProjKey;
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
@@ -260,6 +261,15 @@ pub trait CountBackend: Send + Sync {
     /// snapshots them into its run statistics.
     fn page_stats(&self) -> PageCacheStats {
         PageCacheStats::default()
+    }
+
+    /// A snapshot of the backend's spill-cache counters
+    /// ([`crate::spill::SpillCacheStats`]). All-zero for backends
+    /// without a persistent spill cache; the paged backend counts one
+    /// hit per streamed-ingest table whose encode pass the cache
+    /// skipped, one miss per table that had to encode.
+    fn spill_stats(&self) -> SpillCacheStats {
+        SpillCacheStats::default()
     }
 }
 

@@ -315,6 +315,46 @@ mod tests {
     }
 
     #[test]
+    fn scripted_access_pattern_pins_exact_counters() {
+        // Every step of a fixed access script checks the *exact*
+        // (hits, misses, evictions) triple, so any accounting drift —
+        // double-counted misses, hits on reload, invalidation purges
+        // leaking into `evictions` — fails here with the step name.
+        let pool = BufferPool::with_capacity_pages(2);
+        let expect = |step: &str, h: u64, m: u64, e: u64| {
+            let s = pool.stats();
+            assert_eq!(
+                (s.hits, s.misses, s.evictions),
+                (h, m, e),
+                "after step `{step}`"
+            );
+        };
+
+        pool.get_or_load(key(1, 0), || load(10)).unwrap();
+        expect("cold load A", 0, 1, 0);
+        pool.get_or_load(key(1, 1), || load(11)).unwrap();
+        expect("cold load B", 0, 2, 0);
+        pool.get_or_load(key(1, 0), || load(10)).unwrap();
+        expect("re-read A", 1, 2, 0);
+        // Pool is full (capacity 2); loading C evicts the LRU page B.
+        pool.get_or_load(key(1, 2), || load(12)).unwrap();
+        expect("load C evicts B", 1, 3, 1);
+        pool.get_or_load(key(1, 1), || load(11)).unwrap();
+        expect("reload B evicts A", 1, 4, 2);
+        // A failing loader counts neither a miss nor an eviction.
+        let r: Result<Arc<Vec<u32>>, &str> = pool.get_or_load(key(1, 3), || Err("io"));
+        assert!(r.is_err());
+        expect("failed load D", 1, 4, 2);
+        // Invalidation purges are not evictions.
+        pool.evict_file(1);
+        assert_eq!(pool.resident_pages(), 0);
+        expect("evict_file(1)", 1, 4, 2);
+        // Purged pages reload as plain misses.
+        pool.get_or_load(key(1, 2), || load(12)).unwrap();
+        expect("reload C after purge", 1, 5, 2);
+    }
+
+    #[test]
     fn load_error_propagates_and_caches_nothing() {
         let pool = BufferPool::with_capacity_pages(2);
         let err: Result<Arc<Vec<u32>>, &str> = pool.get_or_load(key(1, 0), || Err("boom"));

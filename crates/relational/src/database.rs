@@ -1,6 +1,6 @@
 //! The relational database `(R, E, Δ)` plus the dictionary constraints.
 
-use crate::attr::AttrSet;
+use crate::attr::{AttrId, AttrSet};
 use crate::deps::{Constraints, Dependencies, Fd, Ind};
 use crate::error::RelationalError;
 use crate::schema::{RelId, Relation, Schema};
@@ -96,6 +96,25 @@ impl Database {
         Ok(())
     }
 
+    /// Marks `rel` as a *streamed extension*: `rows` rows exist, but
+    /// the in-memory columns stay empty — the data lives in the paged
+    /// store (see `crate::spill`). Bumps the generation like any
+    /// other extension change. Panics if the table already has rows
+    /// (streaming ingest only targets freshly declared relations).
+    pub fn set_streamed_extension(&mut self, rel: RelId, rows: usize) {
+        self.tables[rel.index()].set_streamed_rows(rows);
+        self.gens[rel.index()] += 1;
+    }
+
+    /// Installs the full contents of one empty column of a streamed
+    /// extension (decoded from the paged store). Deliberately does
+    /// **not** bump the generation: the hydrated values are by
+    /// construction the ones the paged columns encode, so cached
+    /// derived structures stay valid.
+    pub fn hydrate_column(&mut self, rel: RelId, attr: AttrId, values: Vec<Value>) {
+        self.tables[rel.index()].hydrate_column(attr, values);
+    }
+
     /// Inserts a tuple with domain validation.
     pub fn insert(&mut self, rel: RelId, row: Vec<Value>) -> Result<(), RelationalError> {
         let relation = self.schema.relation(rel);
@@ -133,6 +152,12 @@ impl Database {
     pub fn validate_dictionary(&self) -> Result<(), RelationalError> {
         for key in &self.constraints.keys {
             let table = self.table(key.rel);
+            // Streamed extensions have no raw columns to scan; their
+            // twin check is `crate::spill::validate_spilled`, run by
+            // whoever performed the streaming ingest.
+            if !table.is_materialized() {
+                continue;
+            }
             let relation = self.schema.relation(key.rel);
             let attrs: Vec<_> = key.attrs.iter().collect();
             let cols: Vec<&[Value]> = attrs.iter().map(|a| table.column(*a)).collect();
@@ -158,6 +183,9 @@ impl Database {
         }
         for &(rel, attr) in &self.constraints.not_null {
             let table = self.table(rel);
+            if !table.is_materialized() {
+                continue;
+            }
             if table.column(attr).iter().any(Value::is_null) {
                 return Err(RelationalError::NotNullViolation {
                     relation: self.schema.relation(rel).name.clone(),

@@ -67,7 +67,12 @@ pub const NULL_CODE: u32 = 0;
 
 /// One column's dictionary: per-row dense codes plus both decode
 /// (code → value) and encode (value → code) directions.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality compares every field — two dictionaries are equal iff
+/// they were built from the same cell sequence (codes are assigned in
+/// first-occurrence order, so the decode table is canonical), which
+/// is what the streaming-vs-materialized differential tests pin.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ColumnDict {
     /// Per-row codes; `codes[i] == NULL_CODE` iff row `i` is NULL.
     codes: Vec<u32>,
@@ -78,6 +83,98 @@ pub struct ColumnDict {
     index: FxHashMap<Value, u32>,
     /// Number of NULL rows.
     nulls: usize,
+    /// Per-code occurrence counts: `counts[c]` is how many rows carry
+    /// code `c` (`counts[0]` = NULL rows). Maintained by the interning
+    /// loop, so the counting-sort kernels skip their sizes pass.
+    counts: Vec<u64>,
+}
+
+/// Incremental column interner: the streaming half of
+/// [`ColumnDict::build`].
+///
+/// Chunked ingest ([`crate::csv`] → [`crate::pages`]) cannot hand a
+/// whole column slice to `build`; it interns one cell at a time as
+/// records arrive and appends the resulting codes straight to a spill
+/// file. The builder carries exactly the state `build`'s loop carries —
+/// decode/encode tables, NULL and per-code counts — so
+/// [`DictBuilder::finish_slim`] yields a dictionary byte-identical to
+/// `build(column).slim()` for the same cell sequence.
+#[derive(Debug, Default)]
+pub struct DictBuilder {
+    values: Vec<Value>,
+    index: FxHashMap<Value, u32>,
+    nulls: usize,
+    counts: Vec<u64>,
+    rows: usize,
+}
+
+impl DictBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        DictBuilder {
+            counts: vec![0],
+            ..DictBuilder::default()
+        }
+    }
+
+    /// An empty builder presized for roughly `rows` incoming cells.
+    pub fn with_row_capacity(rows: usize) -> Self {
+        DictBuilder {
+            // Worst case (all-distinct key columns) is common enough in
+            // the paper's workloads to pre-size for; low-cardinality
+            // columns briefly over-reserve and release on drop.
+            index: FxHashMap::with_capacity_and_hasher(rows / 2, Default::default()),
+            counts: vec![0],
+            ..DictBuilder::default()
+        }
+    }
+
+    /// Interns one cell, returning its code ([`NULL_CODE`] for NULL).
+    /// Clones `v` only on first occurrence.
+    #[inline]
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        self.rows += 1;
+        if v.is_null() {
+            self.nulls += 1;
+            self.counts[NULL_CODE as usize] += 1;
+            return NULL_CODE;
+        }
+        let next = self.values.len() as u32 + 1;
+        let code = match self.index.entry(v.clone()) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                self.values.push(v.clone());
+                self.counts.push(0);
+                *e.insert(next)
+            }
+        };
+        self.counts[code as usize] += 1;
+        code
+    }
+
+    /// Number of cells interned so far.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of distinct non-NULL values interned so far.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Finishes into a codes-free (slim) dictionary — the resident
+    /// half of a spilled column (see [`ColumnDict::slim`]).
+    pub fn finish_slim(self) -> ColumnDict {
+        ColumnDict {
+            codes: Vec::new(),
+            values: self.values,
+            index: self.index,
+            nulls: self.nulls,
+            counts: self.counts,
+        }
+    }
 }
 
 impl ColumnDict {
@@ -85,30 +182,13 @@ impl ColumnDict {
     /// *distinct* value (into the decode and encode tables), never per
     /// row.
     pub fn build(column: &[Value]) -> Self {
-        let mut dict = ColumnDict {
-            codes: Vec::with_capacity(column.len()),
-            // Worst case (all-distinct key columns) is common enough in
-            // the paper's workloads to pre-size for; low-cardinality
-            // columns briefly over-reserve and release on drop.
-            index: FxHashMap::with_capacity_and_hasher(column.len() / 2, Default::default()),
-            ..ColumnDict::default()
-        };
+        let mut b = DictBuilder::with_row_capacity(column.len());
+        let mut codes = Vec::with_capacity(column.len());
         for v in column {
-            if v.is_null() {
-                dict.nulls += 1;
-                dict.codes.push(NULL_CODE);
-                continue;
-            }
-            let next = dict.values.len() as u32 + 1;
-            let code = match dict.index.entry(v.clone()) {
-                Entry::Occupied(e) => *e.get(),
-                Entry::Vacant(e) => {
-                    dict.values.push(v.clone());
-                    *e.insert(next)
-                }
-            };
-            dict.codes.push(code);
+            codes.push(b.intern(v));
         }
+        let mut dict = b.finish_slim();
+        dict.codes = codes;
         dict
     }
 
@@ -166,6 +246,35 @@ impl ColumnDict {
         &self.values
     }
 
+    /// Per-code occurrence counts: `counts()[c]` is how many rows of
+    /// the source column carry code `c`, with `counts()[0]` the NULL
+    /// count. Length is `cardinality() + 1` for any dictionary built
+    /// through [`ColumnDict::build`] / [`DictBuilder`]; kernels treat
+    /// any other length as "counts unavailable" and fall back to a
+    /// counting pass.
+    #[inline]
+    pub fn code_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Reassembles a slim dictionary from its serialized parts — the
+    /// spill-cache load path ([`crate::pages`]). The encode index is
+    /// rebuilt from the decode table; `counts` must follow the
+    /// [`ColumnDict::code_counts`] convention.
+    pub fn from_parts(values: Vec<Value>, nulls: usize, counts: Vec<u64>) -> ColumnDict {
+        let mut index = FxHashMap::with_capacity_and_hasher(values.len(), Default::default());
+        for (i, v) in values.iter().enumerate() {
+            index.insert(v.clone(), i as u32 + 1);
+        }
+        ColumnDict {
+            codes: Vec::new(),
+            values,
+            index,
+            nulls,
+            counts,
+        }
+    }
+
     /// A codes-free copy: the decode/encode tables and the NULL count
     /// survive, the per-row code vector is dropped. This is the
     /// resident half of the paged store ([`crate::pages`]) — every
@@ -181,6 +290,7 @@ impl ColumnDict {
             values: self.values.clone(),
             index: self.index.clone(),
             nulls: self.nulls,
+            counts: self.counts.clone(),
         }
     }
 
@@ -194,6 +304,7 @@ impl ColumnDict {
             values: self.values.clone(),
             index: self.index.clone(),
             nulls: self.nulls,
+            counts: self.counts.clone(),
         }
     }
 }
@@ -362,17 +473,31 @@ pub fn decode_set_cols(cols: &[&ColumnDict], set: &EncodedSet) -> HashSet<ProjKe
     }
 }
 
+/// Occurrence counts for `col`'s code domain — borrowed from the
+/// dictionary's fused counts when the invariant holds, recounted from
+/// the code vector otherwise (hand-assembled dictionaries).
+fn counts_of(col: &ColumnDict) -> std::borrow::Cow<'_, [u64]> {
+    let domain = col.cardinality() + 1;
+    if col.code_counts().len() == domain {
+        return std::borrow::Cow::Borrowed(col.code_counts());
+    }
+    let mut counts: Vec<u64> = vec![0; domain];
+    for &c in col.codes() {
+        counts[c as usize] += 1;
+    }
+    std::borrow::Cow::Owned(counts)
+}
+
 /// The unary stripped partition `π_attr` (mining convention:
 /// NULL = NULL) via array buckets over the code domain — no hashing.
 /// Equals [`StrippedPartition::for_attribute`].
 pub fn partition1_col(col: &ColumnDict) -> StrippedPartition {
-    // Counting pass first, so stripped singleton classes — the vast
-    // majority on key-like columns — never allocate anything.
+    // The sizes come straight from the dictionary (fused into the
+    // interning loop), so stripped singleton classes — the vast
+    // majority on key-like columns — never allocate anything and the
+    // kernel is a single fill pass.
     let domain = col.cardinality() + 1;
-    let mut counts: Vec<u32> = vec![0; domain];
-    for &c in col.codes() {
-        counts[c as usize] += 1;
-    }
+    let counts = counts_of(col);
     // slots[c] is the class of code c, or MAX for stripped codes
     // (count < 2; code 0 = the NULL class, kept like any other).
     let mut slots: Vec<u32> = vec![u32::MAX; domain];
@@ -449,20 +574,14 @@ pub fn lhs_groups_cols(cols: &[&ColumnDict], rows: usize) -> Vec<Vec<usize>> {
             }
         }
         [col] => {
-            // Counting pass first (as in [`partition1_col`]): singleton
-            // codes — the common case on key-like columns — never
-            // allocate a group.
-            let domain = col.cardinality() + 1;
-            let mut counts: Vec<u32> = vec![0; domain];
-            for &c in col.codes() {
-                if c != NULL_CODE {
-                    counts[c as usize] += 1;
-                }
-            }
-            let mut slots: Vec<u32> = vec![u32::MAX; domain];
+            // Sizes from the dictionary's fused counts (as in
+            // [`partition1_col`]): singleton codes — the common case on
+            // key-like columns — never allocate a group.
+            let counts = counts_of(col);
+            let mut slots: Vec<u32> = vec![u32::MAX; counts.len()];
             let mut groups: Vec<Vec<usize>> = Vec::new();
             for (c, &n) in counts.iter().enumerate() {
-                if n >= 2 {
+                if c != NULL_CODE as usize && n >= 2 {
                     slots[c] = groups.len() as u32;
                     groups.push(Vec::with_capacity(n as usize));
                 }
@@ -998,6 +1117,57 @@ mod tests {
         assert!(d.partition(&[a(0), a(1)]).is_key());
         assert!(d.fd_holds(&[a(0)], &[a(1)]));
         assert!(d.lhs_groups(&[a(0)]).is_empty());
+    }
+
+    #[test]
+    fn builder_matches_batch_build_and_counts_are_fused() {
+        let t = sample();
+        for i in 0..t.arity() {
+            let column = t.column(a(i as u16));
+            let built = ColumnDict::build(column);
+            // Fused counts: one slot per code, NULLs in slot 0.
+            assert_eq!(built.code_counts().len(), built.cardinality() + 1);
+            assert_eq!(built.code_counts()[0], built.null_count() as u64);
+            let total: u64 = built.code_counts().iter().sum();
+            assert_eq!(total, built.rows() as u64);
+            // Streaming interner reproduces the batch dictionary.
+            let mut b = DictBuilder::new();
+            let codes: Vec<u32> = column.iter().map(|v| b.intern(v)).collect();
+            assert_eq!(codes, built.codes());
+            let slim = b.finish_slim();
+            assert_eq!(slim.distinct_values(), built.distinct_values());
+            assert_eq!(slim.null_count(), built.null_count());
+            assert_eq!(slim.code_counts(), built.code_counts());
+            // from_parts round-trips the serialized shape.
+            let parts = ColumnDict::from_parts(
+                slim.distinct_values().to_vec(),
+                slim.null_count(),
+                slim.code_counts().to_vec(),
+            );
+            assert_eq!(parts.code_of(&Value::Int(1)), built.code_of(&Value::Int(1)));
+            assert_eq!(parts.cardinality(), built.cardinality());
+        }
+    }
+
+    #[test]
+    fn kernels_fall_back_when_counts_missing() {
+        // A hand-assembled dictionary without the counts invariant
+        // (e.g. Default + rehydrate) must still partition correctly.
+        let t = sample();
+        let built = ColumnDict::build(t.column(a(0)));
+        let stripped = ColumnDict::default().rehydrate(built.codes().to_vec());
+        // Cardinality is 0 on the stripped dict, so counts length
+        // mismatches and the kernels recount; partition1 only depends
+        // on codes, and all real codes are out of the (empty) domain —
+        // exercise just the recount path on the true dict shape.
+        assert_eq!(stripped.code_counts().len(), 0);
+        let mut manual = built.clone();
+        manual.counts = Vec::new();
+        assert_eq!(partition1_col(&manual), partition1_col(&built));
+        assert_eq!(
+            lhs_groups_cols(&[&manual], t.len()),
+            lhs_groups_cols(&[&built], t.len())
+        );
     }
 
     #[test]

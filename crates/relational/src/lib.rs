@@ -43,6 +43,7 @@ pub mod pages;
 pub mod par;
 pub mod partitions;
 pub mod schema;
+pub mod spill;
 pub mod stats;
 pub mod synthesis;
 pub mod table;
@@ -55,13 +56,14 @@ pub use counting::{join_stats, EquiJoin, JoinStats};
 pub use csv::CsvError;
 pub use database::Database;
 pub use deps::{Constraints, Dependencies, Fd, Ind, IndSide, Key};
-pub use encode::{ColumnDict, DictTable, EncodedSet};
+pub use encode::{ColumnDict, DictBuilder, DictTable, EncodedSet};
 pub use error::{DbreError, RelationalError};
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use pages::{PageError, PagedBackend};
+pub use pages::{PageError, PageFileWriter, PagedBackend, PagedColumn};
 pub use par::par_map;
 pub use partitions::StrippedPartition;
 pub use schema::{QualAttrs, RelId, Relation, Schema};
+pub use spill::{SpillCacheStats, SpilledTable};
 pub use stats::{StatsCounters, StatsEngine};
 pub use table::Table;
 pub use value::{Date, Domain, OrdF64, Value};

@@ -34,10 +34,12 @@ use crate::backend::{BackendExecStats, CountBackend};
 use crate::bufpool::{BufferPool, PageCacheStats, PageKey};
 use crate::counting::{join_stats, EquiJoin, JoinStats};
 use crate::database::Database;
+use crate::deps::Fd;
 use crate::encode::{decode_set_cols, intersect_count, ColumnDict, EncodedSet, NULL_CODE};
 use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::partitions::StrippedPartition;
 use crate::schema::RelId;
+use crate::spill::{SpillCacheStats, SpilledTable};
 use crate::table::ProjKey;
 use std::collections::{HashMap, HashSet};
 use std::fs::File;
@@ -137,6 +139,20 @@ fn fnv1a64(mut hash: u64, codes: &[u32]) -> u64 {
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
+/// FNV-1a over raw bytes — the source-content half of the spill-cache
+/// key ([`crate::spill`]) and the dictionary-file trailer hash.
+pub(crate) fn fnv1a64_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Seed for [`fnv1a64_bytes`] streams (the FNV offset basis).
+pub(crate) const FNV_BYTES_SEED: u64 = FNV_OFFSET;
+
 /// Process-unique spill-file ids; a rebuilt column gets a fresh id,
 /// so the buffer pool can never serve pages of a dead generation.
 static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
@@ -160,40 +176,9 @@ impl PageFile {
     /// Writes `codes` to a fresh spill file in the system temp
     /// directory and reopens it for reading.
     pub fn spill(codes: &[u32]) -> Result<PageFile, PageError> {
-        let id = NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed);
-        let path =
-            std::env::temp_dir().join(format!("dbre-pages-{}-{}.col", std::process::id(), id));
-        let pages = codes.len().div_ceil(PAGE_CODES) as u32;
-        let checksum = fnv1a64(FNV_OFFSET, codes);
-        {
-            let mut w = BufWriter::new(File::create(&path).map_err(io_err)?);
-            let mut header = [0u8; HEADER_BYTES];
-            header[0..8].copy_from_slice(MAGIC);
-            header[8..12].copy_from_slice(&(PAGE_BYTES as u32).to_le_bytes());
-            header[12..16].copy_from_slice(&pages.to_le_bytes());
-            header[16..24].copy_from_slice(&(codes.len() as u64).to_le_bytes());
-            header[24..32].copy_from_slice(&checksum.to_le_bytes());
-            w.write_all(&header).map_err(io_err)?;
-            let mut buf = vec![0u8; PAGE_BYTES];
-            for chunk in codes.chunks(PAGE_CODES) {
-                buf.iter_mut().for_each(|b| *b = 0);
-                for (dst, c) in buf.chunks_exact_mut(4).zip(chunk) {
-                    dst.copy_from_slice(&c.to_le_bytes());
-                }
-                w.write_all(&buf).map_err(io_err)?;
-            }
-            w.flush().map_err(io_err)?;
-        }
-        let handle = File::open(&path).map_err(io_err)?;
-        Ok(PageFile {
-            path,
-            id,
-            pages,
-            rows: codes.len() as u64,
-            checksum,
-            handle: Mutex::new(handle),
-            owned: true,
-        })
+        let mut w = PageFileWriter::create_temp()?;
+        w.append(codes)?;
+        w.finish()
     }
 
     /// Opens an existing spill file, validating magic, header layout
@@ -332,6 +317,150 @@ impl Drop for PageFile {
     }
 }
 
+/// Incremental spill-file writer: codes arrive value by value (or in
+/// slices), pages flush as they fill, and the header — whose page
+/// count, row count and checksum are unknown until the stream ends —
+/// is patched in by [`PageFileWriter::finish`]. The byte layout is
+/// exactly [`PageFile::spill`]'s, so a streamed ingest and a
+/// materialize-then-spill produce identical files.
+///
+/// This is the streaming-ingest seam (`import_csv_spilled` in
+/// [`crate::csv`]): a CSV parse can encode straight to disk without
+/// ever holding a `Table` or a full code vector in memory.
+pub struct PageFileWriter {
+    path: PathBuf,
+    id: u64,
+    w: BufWriter<File>,
+    /// Codes of the page being filled (< [`PAGE_CODES`] entries).
+    buf: Vec<u32>,
+    /// Reusable zero-padded serialization buffer for one page.
+    page_bytes: Vec<u8>,
+    pages: u32,
+    rows: u64,
+    hash: u64,
+    owned: bool,
+}
+
+impl PageFileWriter {
+    /// A writer over a fresh temp-dir spill file; the finished
+    /// [`PageFile`] is owned (deleted on drop), like
+    /// [`PageFile::spill`]'s.
+    pub fn create_temp() -> Result<PageFileWriter, PageError> {
+        let id = NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("dbre-pages-{}-{}.col", std::process::id(), id));
+        PageFileWriter::create(path, id, true)
+    }
+
+    /// A writer over an explicit path — the spill-cache store path
+    /// ([`crate::spill`]). The finished [`PageFile`] is *not* owned:
+    /// it persists for future runs. An existing file is truncated,
+    /// which is exactly the overwrite-a-stale-entry behaviour the
+    /// cache wants.
+    pub fn create_at(path: &Path) -> Result<PageFileWriter, PageError> {
+        let id = NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed);
+        PageFileWriter::create(path.to_path_buf(), id, false)
+    }
+
+    fn create(path: PathBuf, id: u64, owned: bool) -> Result<PageFileWriter, PageError> {
+        let mut w = BufWriter::new(File::create(&path).map_err(io_err)?);
+        // Header placeholder; the real one lands in `finish`.
+        w.write_all(&[0u8; HEADER_BYTES]).map_err(io_err)?;
+        Ok(PageFileWriter {
+            path,
+            id,
+            w,
+            buf: Vec::with_capacity(PAGE_CODES),
+            page_bytes: vec![0u8; PAGE_BYTES],
+            pages: 0,
+            rows: 0,
+            hash: FNV_OFFSET,
+            owned,
+        })
+    }
+
+    /// Appends one code, flushing a page when the buffer fills.
+    #[inline]
+    pub fn push(&mut self, code: u32) -> Result<(), PageError> {
+        self.buf.push(code);
+        if self.buf.len() == PAGE_CODES {
+            self.flush_page()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a slice of codes.
+    pub fn append(&mut self, codes: &[u32]) -> Result<(), PageError> {
+        for &c in codes {
+            self.push(c)?;
+        }
+        Ok(())
+    }
+
+    /// Rows appended so far (including the unflushed partial page).
+    pub fn rows(&self) -> u64 {
+        self.rows + self.buf.len() as u64
+    }
+
+    /// The file being written (for error-path cleanup by callers —
+    /// the writer itself never deletes anything).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn flush_page(&mut self) -> Result<(), PageError> {
+        self.hash = fnv1a64(self.hash, &self.buf);
+        self.rows += self.buf.len() as u64;
+        self.page_bytes.iter_mut().for_each(|b| *b = 0);
+        for (dst, c) in self.page_bytes.chunks_exact_mut(4).zip(&self.buf) {
+            dst.copy_from_slice(&c.to_le_bytes());
+        }
+        self.w.write_all(&self.page_bytes).map_err(io_err)?;
+        self.pages += 1;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the tail page, patches the real header over the
+    /// placeholder and reopens the file as a readable [`PageFile`].
+    pub fn finish(mut self) -> Result<PageFile, PageError> {
+        if !self.buf.is_empty() {
+            self.flush_page()?;
+        }
+        self.w.flush().map_err(io_err)?;
+        let PageFileWriter {
+            path,
+            id,
+            w,
+            pages,
+            rows,
+            hash,
+            owned,
+            ..
+        } = self;
+        let mut f = w.into_inner().map_err(|e| PageError::Io(e.to_string()))?;
+        let mut header = [0u8; HEADER_BYTES];
+        header[0..8].copy_from_slice(MAGIC);
+        header[8..12].copy_from_slice(&(PAGE_BYTES as u32).to_le_bytes());
+        header[12..16].copy_from_slice(&pages.to_le_bytes());
+        header[16..24].copy_from_slice(&rows.to_le_bytes());
+        header[24..32].copy_from_slice(&hash.to_le_bytes());
+        f.seek(SeekFrom::Start(0)).map_err(io_err)?;
+        f.write_all(&header).map_err(io_err)?;
+        drop(f);
+        let handle = File::open(&path).map_err(io_err)?;
+        Ok(PageFile {
+            path,
+            id,
+            pages,
+            rows,
+            checksum: hash,
+            handle: Mutex::new(handle),
+            owned,
+        })
+    }
+}
+
 /// One column of the paged store: the resident slim dictionary plus
 /// the spilled code pages.
 #[derive(Debug)]
@@ -353,6 +482,20 @@ impl PagedColumn {
             rows: full.rows(),
             file,
         })
+    }
+
+    /// Wraps an already-written spill file and its slim dictionary —
+    /// the spill-cache load and streaming-ingest paths
+    /// ([`crate::spill`], `import_csv_spilled`); [`from_dict`]
+    /// remains the encode-from-memory path.
+    ///
+    /// [`from_dict`]: PagedColumn::from_dict
+    pub fn new(dict: Arc<ColumnDict>, file: PageFile) -> PagedColumn {
+        PagedColumn {
+            rows: file.rows() as usize,
+            dict,
+            file,
+        }
     }
 
     /// The resident slim dictionary.
@@ -393,24 +536,128 @@ impl PagedColumn {
     }
 }
 
-/// Streams the columns' pages in lockstep: `f(base_row, slices)` is
-/// called once per page with each column's codes for that page. All
-/// columns must encode the same row count (same table). Holding the
-/// `Arc`s across the callback keeps the data alive even if the pool
-/// evicts the entry mid-iteration, so a capacity-1 pool is slow but
-/// never wrong.
-fn stream_pages<F>(
+/// Worker threads for chunked page scans. Off-feature this is 1 (the
+/// chunked kernels collapse to their serial shape); with the
+/// `parallel` feature it follows the machine, overridable through
+/// `DBRE_PAGED_THREADS` (clamped to 1..=64) so scaling can be
+/// measured — and the parallel code paths exercised — regardless of
+/// the host's core count.
+fn paged_threads() -> usize {
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+    #[cfg(feature = "parallel")]
+    {
+        if let Ok(v) = std::env::var("DBRE_PAGED_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, 64);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Splits `pages` into at most `threads` contiguous ranges. Chunk
+/// boundaries depend only on (pages, threads), so a merge in chunk
+/// order is deterministic.
+fn page_chunks(pages: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    if pages == 0 {
+        return Vec::new();
+    }
+    let n = threads.clamp(1, pages);
+    let per = pages.div_ceil(n);
+    (0..pages)
+        .step_by(per)
+        .map(|s| s..(s + per).min(pages))
+        .collect()
+}
+
+/// Runs `f` over every chunk, one scoped thread per chunk when the
+/// `parallel` feature is on and there is more than one chunk, inline
+/// otherwise. Results come back **in chunk order** regardless of
+/// completion order — the determinism the merges rely on.
+fn run_chunks<R, F>(chunks: &[std::ops::Range<usize>], f: F) -> Vec<Result<R, PageError>>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Result<R, PageError> + Sync,
+{
+    #[cfg(feature = "parallel")]
+    if chunks.len() > 1 {
+        let mut out: Vec<Option<Result<R, PageError>>> = Vec::new();
+        out.resize_with(chunks.len(), || None);
+        std::thread::scope(|scope| {
+            for (slot, chunk) in out.iter_mut().zip(chunks) {
+                let fr = &f;
+                scope.spawn(move || {
+                    *slot = Some(fr(chunk.clone()));
+                });
+            }
+        });
+        return out
+            .into_iter()
+            .map(|r| {
+                // Invariant: the scope joins every worker, and each
+                // worker's only job is to fill its slot.
+                #[allow(clippy::expect_used)]
+                r.expect("chunk worker filled its slot before scope exit")
+            })
+            .collect();
+    }
+    chunks.iter().map(|c| f(c.clone())).collect()
+}
+
+/// How many page groups the prefetching reader may run ahead of the
+/// consumer.
+#[cfg(feature = "parallel")]
+const PREFETCH_DEPTH: usize = 2;
+
+/// Streams `range`'s pages over `cols` in lockstep, calling
+/// `f(base_row, slices)` once per page in order. Holding the `Arc`s
+/// across the callback keeps the data alive even if the pool evicts
+/// the entry mid-iteration, so a capacity-1 pool is slow but never
+/// wrong.
+///
+/// Under the `parallel` feature a reader thread fetches pages through
+/// the pool ahead of the consumer (bounded by [`PREFETCH_DEPTH`]),
+/// overlapping page I/O with kernel compute. Pages are still
+/// requested and delivered strictly in order, so results and counter
+/// totals are identical to the plain loop.
+fn stream_page_range<F>(
     cols: &[&PagedColumn],
-    rows: usize,
     pool: &BufferPool,
+    range: std::ops::Range<usize>,
     mut f: F,
 ) -> Result<(), PageError>
 where
     F: FnMut(usize, &[&[u32]]),
 {
-    debug_assert!(cols.iter().all(|c| c.rows == rows));
-    let pages = rows.div_ceil(PAGE_CODES);
-    for p in 0..pages {
+    #[cfg(feature = "parallel")]
+    if range.len() > 1 {
+        return std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::sync_channel(PREFETCH_DEPTH);
+            let reader = range.clone();
+            scope.spawn(move || {
+                for p in reader {
+                    let group: Result<Vec<Arc<Vec<u32>>>, PageError> =
+                        cols.iter().map(|c| c.page(pool, p as u32)).collect();
+                    let stop = group.is_err();
+                    if tx.send(group).is_err() || stop {
+                        return;
+                    }
+                }
+            });
+            for (p, group) in range.clone().zip(rx.iter()) {
+                let owned = group?;
+                let slices: Vec<&[u32]> = owned.iter().map(|a| a.as_slice()).collect();
+                f(p * PAGE_CODES, &slices);
+            }
+            Ok(())
+        });
+    }
+    for p in range {
         let owned: Vec<Arc<Vec<u32>>> = cols
             .iter()
             .map(|c| c.page(pool, p as u32))
@@ -427,12 +674,17 @@ fn pack2(hi: u32, lo: u32) -> u64 {
 }
 
 /// Paged twin of [`crate::encode::distinct_codes_cols`]: the distinct
-/// non-NULL projected code tuples, streamed page by page.
+/// non-NULL projected code tuples, streamed page by page — in
+/// parallel per-chunk partials unioned afterwards when the `parallel`
+/// feature (and more than one thread) is in play. Set contents are
+/// identical either way; only insertion order differs, which no
+/// consumer observes.
 pub fn distinct_codes_paged(
     cols: &[&PagedColumn],
     rows: usize,
     pool: &BufferPool,
 ) -> Result<EncodedSet, PageError> {
+    let chunks = page_chunks(rows.div_ceil(PAGE_CODES), paged_threads());
     match cols {
         [] => {
             let mut s: FxHashSet<Box<[u32]>> = FxHashSet::default();
@@ -447,34 +699,48 @@ pub fn distinct_codes_paged(
         [ca, cb] => {
             let cap = (ca.dict.cardinality() as u64 * cb.dict.cardinality() as u64).min(rows as u64)
                 as usize;
+            let parts = run_chunks(&chunks, |r| {
+                let mut set: FxHashSet<u64> = FxHashSet::default();
+                stream_page_range(cols, pool, r, |_, slices| {
+                    for (&x, &y) in slices[0].iter().zip(slices[1]) {
+                        if x != NULL_CODE && y != NULL_CODE {
+                            set.insert(pack2(x, y));
+                        }
+                    }
+                })?;
+                Ok(set)
+            });
             let mut set: FxHashSet<u64> =
                 FxHashSet::with_capacity_and_hasher(cap, Default::default());
-            stream_pages(cols, rows, pool, |_, slices| {
-                for (&x, &y) in slices[0].iter().zip(slices[1]) {
-                    if x != NULL_CODE && y != NULL_CODE {
-                        set.insert(pack2(x, y));
-                    }
-                }
-            })?;
+            for part in parts {
+                set.extend(part?);
+            }
             Ok(EncodedSet::Packed(set))
         }
         _ => {
-            let mut set: FxHashSet<Box<[u32]>> = FxHashSet::default();
-            let mut scratch: Vec<u32> = vec![0; cols.len()];
-            stream_pages(cols, rows, pool, |_, slices| {
-                'rows: for i in 0..slices[0].len() {
-                    for (s, c) in scratch.iter_mut().zip(slices) {
-                        let code = c[i];
-                        if code == NULL_CODE {
-                            continue 'rows;
+            let parts = run_chunks(&chunks, |r| {
+                let mut set: FxHashSet<Box<[u32]>> = FxHashSet::default();
+                let mut scratch: Vec<u32> = vec![0; cols.len()];
+                stream_page_range(cols, pool, r, |_, slices| {
+                    'rows: for i in 0..slices[0].len() {
+                        for (s, c) in scratch.iter_mut().zip(slices) {
+                            let code = c[i];
+                            if code == NULL_CODE {
+                                continue 'rows;
+                            }
+                            *s = code;
                         }
-                        *s = code;
+                        if !set.contains(scratch.as_slice()) {
+                            set.insert(scratch.clone().into_boxed_slice());
+                        }
                     }
-                    if !set.contains(scratch.as_slice()) {
-                        set.insert(scratch.clone().into_boxed_slice());
-                    }
-                }
-            })?;
+                })?;
+                Ok(set)
+            });
+            let mut set: FxHashSet<Box<[u32]>> = FxHashSet::default();
+            for part in parts {
+                set.extend(part?);
+            }
             Ok(EncodedSet::Wide(set))
         }
     }
@@ -494,22 +760,28 @@ pub fn count_distinct_paged(
             const BITSET_MAX: u64 = 1 << 22;
             if domain > 0 && domain <= BITSET_MAX {
                 let width = cb.dict.cardinality() as u64;
-                let mut bits = vec![0u64; (domain as usize).div_ceil(64)];
-                let mut count = 0usize;
-                stream_pages(cols, rows, pool, |_, slices| {
-                    for (&x, &y) in slices[0].iter().zip(slices[1]) {
-                        if x == NULL_CODE || y == NULL_CODE {
-                            continue;
+                let words = (domain as usize).div_ceil(64);
+                let chunks = page_chunks(rows.div_ceil(PAGE_CODES), paged_threads());
+                let parts = run_chunks(&chunks, |r| {
+                    let mut bits = vec![0u64; words];
+                    stream_page_range(cols, pool, r, |_, slices| {
+                        for (&x, &y) in slices[0].iter().zip(slices[1]) {
+                            if x == NULL_CODE || y == NULL_CODE {
+                                continue;
+                            }
+                            let idx = (u64::from(x) - 1) * width + (u64::from(y) - 1);
+                            bits[(idx / 64) as usize] |= 1u64 << (idx % 64);
                         }
-                        let idx = (u64::from(x) - 1) * width + (u64::from(y) - 1);
-                        let (w, m) = ((idx / 64) as usize, 1u64 << (idx % 64));
-                        if bits[w] & m == 0 {
-                            bits[w] |= m;
-                            count += 1;
-                        }
+                    })?;
+                    Ok(bits)
+                });
+                let mut acc = vec![0u64; words];
+                for part in parts {
+                    for (a, b) in acc.iter_mut().zip(part?) {
+                        *a |= b;
                     }
-                })?;
-                Ok(count)
+                }
+                Ok(acc.iter().map(|w| w.count_ones() as usize).sum())
             } else {
                 Ok(distinct_codes_paged(cols, rows, pool)?.len())
             }
@@ -518,13 +790,102 @@ pub fn count_distinct_paged(
     }
 }
 
+/// Per-code occurrence counts of one column. The resident dictionary
+/// carries them for free since the counts fusion
+/// ([`ColumnDict::code_counts`]); any dictionary without them (a
+/// foreign length is treated as "unavailable" by convention) costs
+/// one chunked counting pass over the pages. Index 0 is the NULL
+/// count.
+fn code_counts_paged(col: &PagedColumn, pool: &BufferPool) -> Result<Vec<u32>, PageError> {
+    let domain = col.dict.cardinality() + 1;
+    let dc = col.dict.code_counts();
+    if dc.len() == domain {
+        return Ok(dc.iter().map(|&n| n as u32).collect());
+    }
+    let cols = [col];
+    let chunks = page_chunks(col.rows.div_ceil(PAGE_CODES), paged_threads());
+    let parts = run_chunks(&chunks, |r| {
+        let mut counts: Vec<u32> = vec![0; domain];
+        stream_page_range(&cols, pool, r, |_, slices| {
+            for &c in slices[0] {
+                counts[c as usize] += 1;
+            }
+        })?;
+        Ok(counts)
+    });
+    let mut acc = vec![0u32; domain];
+    for part in parts {
+        for (a, b) in acc.iter_mut().zip(part?) {
+            *a += b;
+        }
+    }
+    Ok(acc)
+}
+
+/// Builds the counting-sort slot table: `slots[c]` is the dense group
+/// index of code `c`, `u32::MAX` for codes that form no group
+/// (occurrence < 2, or NULL when `skip_null`). Returns the slot table
+/// and each group's size.
+fn group_slots(counts: &[u32], skip_null: bool) -> (Vec<u32>, Vec<usize>) {
+    let mut slots: Vec<u32> = vec![u32::MAX; counts.len()];
+    let mut sizes: Vec<usize> = Vec::new();
+    let start = usize::from(skip_null);
+    for (c, &n) in counts.iter().enumerate().skip(start) {
+        if n >= 2 {
+            slots[c] = sizes.len() as u32;
+            sizes.push(n as usize);
+        }
+    }
+    (slots, sizes)
+}
+
+/// The chunked counting-sort fill pass shared by [`lhs_groups_paged`]
+/// and [`partition1_paged`]: every row whose code has a slot lands in
+/// its group, chunk partials concatenated in chunk order so row ids
+/// stay ascending — byte-identical to the serial fill.
+fn fill_groups_paged(
+    col: &PagedColumn,
+    rows: usize,
+    pool: &BufferPool,
+    slots: &[u32],
+    sizes: &[usize],
+) -> Result<Vec<Vec<usize>>, PageError> {
+    let cols = [col];
+    let chunks = page_chunks(rows.div_ceil(PAGE_CODES), paged_threads());
+    let parts = run_chunks(&chunks, |r| {
+        let mut part: Vec<Vec<usize>> = vec![Vec::new(); sizes.len()];
+        stream_page_range(&cols, pool, r, |base, slices| {
+            for (i, &c) in slices[0].iter().enumerate() {
+                let s = slots[c as usize];
+                if s != u32::MAX {
+                    part[s as usize].push(base + i);
+                }
+            }
+        })?;
+        Ok(part)
+    });
+    let mut groups: Vec<Vec<usize>> = sizes.iter().map(|&n| Vec::with_capacity(n)).collect();
+    for part in parts {
+        for (g, p) in groups.iter_mut().zip(part?) {
+            g.extend(p);
+        }
+    }
+    Ok(groups)
+}
+
 /// Paged twin of [`crate::encode::lhs_groups_cols`]: SQL-semantics
 /// row groups (size ≥ 2), page base offsets restoring global row ids.
+/// Unary group sizes come straight from the dictionary's fused
+/// occurrence counts (no counting pass); the fill pass — and the
+/// hash-grouped multi-column arms — run as per-chunk partials merged
+/// in chunk order, so the result is byte-identical to the serial
+/// scan.
 pub fn lhs_groups_paged(
     cols: &[&PagedColumn],
     rows: usize,
     pool: &BufferPool,
 ) -> Result<Vec<Vec<usize>>, PageError> {
+    let chunks = page_chunks(rows.div_ceil(PAGE_CODES), paged_threads());
     match cols {
         [] => Ok(if rows >= 2 {
             vec![(0..rows).collect()]
@@ -532,69 +893,64 @@ pub fn lhs_groups_paged(
             Vec::new()
         }),
         [col] => {
-            // Two streaming passes, same counting-sort shape as the
-            // in-memory kernel: sizes first so singletons never
-            // allocate, then fill.
-            let domain = col.dict.cardinality() + 1;
-            let mut counts: Vec<u32> = vec![0; domain];
-            stream_pages(cols, rows, pool, |_, slices| {
-                for &c in slices[0] {
-                    if c != NULL_CODE {
-                        counts[c as usize] += 1;
-                    }
-                }
-            })?;
-            let mut slots: Vec<u32> = vec![u32::MAX; domain];
-            let mut groups: Vec<Vec<usize>> = Vec::new();
-            for (c, &n) in counts.iter().enumerate() {
-                if n >= 2 {
-                    slots[c] = groups.len() as u32;
-                    groups.push(Vec::with_capacity(n as usize));
-                }
-            }
-            stream_pages(cols, rows, pool, |base, slices| {
-                for (i, &c) in slices[0].iter().enumerate() {
-                    let s = slots[c as usize];
-                    if c != NULL_CODE && s != u32::MAX {
-                        groups[s as usize].push(base + i);
-                    }
-                }
-            })?;
+            let counts = code_counts_paged(col, pool)?;
+            // slots[NULL_CODE] stays MAX (SQL semantics: NULL rows
+            // never group), so the fill pass needs no NULL check.
+            let (slots, sizes) = group_slots(&counts, true);
+            let mut groups = fill_groups_paged(col, rows, pool, &slots, &sizes)?;
             groups.sort();
             Ok(groups)
         }
         [_, _] => {
-            let mut map: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
-            stream_pages(cols, rows, pool, |base, slices| {
-                for (i, (&x, &y)) in slices[0].iter().zip(slices[1]).enumerate() {
-                    if x != NULL_CODE && y != NULL_CODE {
-                        map.entry(pack2(x, y)).or_default().push(base + i);
+            let parts = run_chunks(&chunks, |r| {
+                let mut map: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+                stream_page_range(cols, pool, r, |base, slices| {
+                    for (i, (&x, &y)) in slices[0].iter().zip(slices[1]).enumerate() {
+                        if x != NULL_CODE && y != NULL_CODE {
+                            map.entry(pack2(x, y)).or_default().push(base + i);
+                        }
                     }
+                })?;
+                Ok(map)
+            });
+            let mut map: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+            for part in parts {
+                for (k, v) in part? {
+                    map.entry(k).or_default().extend(v);
                 }
-            })?;
+            }
             let mut groups: Vec<Vec<usize>> = map.into_values().filter(|g| g.len() >= 2).collect();
             groups.sort();
             Ok(groups)
         }
         _ => {
-            let mut map: FxHashMap<Box<[u32]>, Vec<usize>> = FxHashMap::default();
-            let mut scratch: Vec<u32> = vec![0; cols.len()];
-            stream_pages(cols, rows, pool, |base, slices| {
-                'rows: for i in 0..slices[0].len() {
-                    for (s, c) in scratch.iter_mut().zip(slices) {
-                        let code = c[i];
-                        if code == NULL_CODE {
-                            continue 'rows;
+            let parts = run_chunks(&chunks, |r| {
+                let mut map: FxHashMap<Box<[u32]>, Vec<usize>> = FxHashMap::default();
+                let mut scratch: Vec<u32> = vec![0; cols.len()];
+                stream_page_range(cols, pool, r, |base, slices| {
+                    'rows: for i in 0..slices[0].len() {
+                        for (s, c) in scratch.iter_mut().zip(slices) {
+                            let code = c[i];
+                            if code == NULL_CODE {
+                                continue 'rows;
+                            }
+                            *s = code;
                         }
-                        *s = code;
+                        if let Some(g) = map.get_mut(scratch.as_slice()) {
+                            g.push(base + i);
+                        } else {
+                            map.insert(scratch.clone().into_boxed_slice(), vec![base + i]);
+                        }
                     }
-                    if let Some(g) = map.get_mut(scratch.as_slice()) {
-                        g.push(base + i);
-                    } else {
-                        map.insert(scratch.clone().into_boxed_slice(), vec![base + i]);
-                    }
+                })?;
+                Ok(map)
+            });
+            let mut map: FxHashMap<Box<[u32]>, Vec<usize>> = FxHashMap::default();
+            for part in parts {
+                for (k, v) in part? {
+                    map.entry(k).or_default().extend(v);
                 }
-            })?;
+            }
             let mut groups: Vec<Vec<usize>> = map.into_values().filter(|g| g.len() >= 2).collect();
             groups.sort();
             Ok(groups)
@@ -603,41 +959,172 @@ pub fn lhs_groups_paged(
 }
 
 /// Paged twin of [`crate::encode::partition1_col`]: the unary
-/// stripped partition (mining convention, NULL = NULL) in two
-/// counting-sort streaming passes.
+/// stripped partition (mining convention, NULL = NULL). Class sizes
+/// come from the dictionary's fused occurrence counts — NULL included
+/// as its own class — so only the chunked fill pass touches pages.
 pub fn partition1_paged(
     col: &PagedColumn,
     pool: &BufferPool,
 ) -> Result<StrippedPartition, PageError> {
-    let domain = col.dict.cardinality() + 1;
-    let mut counts: Vec<u32> = vec![0; domain];
-    let cols = [col];
-    stream_pages(&cols, col.rows, pool, |_, slices| {
-        for &c in slices[0] {
-            counts[c as usize] += 1;
-        }
-    })?;
-    let mut slots: Vec<u32> = vec![u32::MAX; domain];
-    let mut classes: Vec<Vec<usize>> = Vec::new();
-    for (c, &n) in counts.iter().enumerate() {
-        if n >= 2 {
-            slots[c] = classes.len() as u32;
-            classes.push(Vec::with_capacity(n as usize));
-        }
-    }
-    stream_pages(&cols, col.rows, pool, |base, slices| {
-        for (i, &c) in slices[0].iter().enumerate() {
-            let s = slots[c as usize];
-            if s != u32::MAX {
-                classes[s as usize].push(base + i);
-            }
-        }
-    })?;
+    let counts = code_counts_paged(col, pool)?;
+    let (slots, sizes) = group_slots(&counts, false);
+    let mut classes = fill_groups_paged(col, col.rows, pool, &slots, &sizes)?;
     classes.sort();
     Ok(StrippedPartition {
         classes,
         rows: col.rows,
     })
+}
+
+/// Paged FD check, SQL semantics (matches the `CountBackend` default:
+/// NULL-LHS rows are skipped, the RHS is compared structurally —
+/// same-dictionary code equality *is* structural `Value` equality,
+/// `NULL = NULL` and `NaN = NaN` included).
+///
+/// One chunked pass over LHS and RHS pages together, keeping a single
+/// RHS **witness tuple** per LHS group instead of materializing row
+/// groups — allocation is bounded by the number of duplicated LHS
+/// values, never the extension, which is what lets an out-of-core FD
+/// probe run in pool-sized memory. Codes are dense `u32`s (a real
+/// code can never be `u32::MAX`), so `u32::MAX` marks "group not seen
+/// yet".
+pub fn fd_holds_paged(
+    lhs: &[&PagedColumn],
+    rhs: &[&PagedColumn],
+    rows: usize,
+    pool: &BufferPool,
+) -> Result<bool, PageError> {
+    if rhs.is_empty() || rows < 2 {
+        return Ok(true);
+    }
+    let arity = rhs.len();
+    let chunks = page_chunks(rows.div_ceil(PAGE_CODES), paged_threads());
+    match lhs {
+        [] => {
+            // One group of every row: holds iff each RHS column is
+            // constant under structural equality — all NULL, or one
+            // value and no NULLs. Pure dictionary metadata, no scan.
+            Ok(rhs.iter().all(|c| {
+                let nulls = c.dict.null_count();
+                nulls == rows || (c.dict.cardinality() == 1 && nulls == 0)
+            }))
+        }
+        [l] => {
+            let counts = code_counts_paged(l, pool)?;
+            let (slots, sizes) = group_slots(&counts, true);
+            if sizes.is_empty() {
+                // Every non-NULL LHS value is unique: nothing to agree on.
+                return Ok(true);
+            }
+            let mut scan: Vec<&PagedColumn> = Vec::with_capacity(1 + arity);
+            scan.push(l);
+            scan.extend(rhs.iter().copied());
+            let parts = run_chunks(&chunks, |r| {
+                let mut witness: Vec<u32> = vec![u32::MAX; sizes.len() * arity];
+                let mut ok = true;
+                stream_page_range(&scan, pool, r, |_, slices| {
+                    if !ok {
+                        return;
+                    }
+                    for (i, &c) in slices[0].iter().enumerate() {
+                        let s = slots[c as usize];
+                        if s == u32::MAX {
+                            continue;
+                        }
+                        let base = s as usize * arity;
+                        if witness[base] == u32::MAX {
+                            for j in 0..arity {
+                                witness[base + j] = slices[1 + j][i];
+                            }
+                        } else {
+                            for j in 0..arity {
+                                if witness[base + j] != slices[1 + j][i] {
+                                    ok = false;
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                })?;
+                Ok(ok.then_some(witness))
+            });
+            let mut acc: Option<Vec<u32>> = None;
+            for part in parts {
+                let Some(w) = part? else { return Ok(false) };
+                match &mut acc {
+                    None => acc = Some(w),
+                    Some(a) => {
+                        for g in 0..sizes.len() {
+                            let base = g * arity;
+                            if w[base] == u32::MAX {
+                                continue;
+                            }
+                            if a[base] == u32::MAX {
+                                a[base..base + arity].copy_from_slice(&w[base..base + arity]);
+                            } else if a[base..base + arity] != w[base..base + arity] {
+                                return Ok(false);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(true)
+        }
+        _ => {
+            let k = lhs.len();
+            let mut scan: Vec<&PagedColumn> = Vec::with_capacity(k + arity);
+            scan.extend(lhs.iter().copied());
+            scan.extend(rhs.iter().copied());
+            let parts = run_chunks(&chunks, |r| {
+                let mut map: FxHashMap<Box<[u32]>, Box<[u32]>> = FxHashMap::default();
+                let mut key: Vec<u32> = vec![0; k];
+                let mut ok = true;
+                stream_page_range(&scan, pool, r, |_, slices| {
+                    if !ok {
+                        return;
+                    }
+                    'rows: for i in 0..slices[0].len() {
+                        for (s, c) in key.iter_mut().zip(&slices[..k]) {
+                            let code = c[i];
+                            if code == NULL_CODE {
+                                continue 'rows;
+                            }
+                            *s = code;
+                        }
+                        if let Some(w) = map.get(key.as_slice()) {
+                            for (j, &wj) in w.iter().enumerate() {
+                                if wj != slices[k + j][i] {
+                                    ok = false;
+                                    return;
+                                }
+                            }
+                        } else {
+                            let w: Box<[u32]> = (0..arity).map(|j| slices[k + j][i]).collect();
+                            map.insert(key.clone().into_boxed_slice(), w);
+                        }
+                    }
+                })?;
+                Ok(ok.then_some(map))
+            });
+            let mut acc: FxHashMap<Box<[u32]>, Box<[u32]>> = FxHashMap::default();
+            for part in parts {
+                let Some(m) = part? else { return Ok(false) };
+                for (key, w) in m {
+                    match acc.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            if *e.get() != w {
+                                return Ok(false);
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(w);
+                        }
+                    }
+                }
+            }
+            Ok(true)
+        }
+    }
 }
 
 /// The out-of-core counting backend: encoded kernels streaming over
@@ -659,6 +1146,12 @@ pub struct PagedBackend {
     /// generation like any other derived structure.
     hydrated: RwLock<HashMap<(RelId, AttrId), Tagged<ColumnDict>>>,
     fallbacks: AtomicU64,
+    /// Streamed-ingest tables adopted from the persistent spill cache
+    /// (encode skipped entirely).
+    spill_hits: AtomicU64,
+    /// Streamed-ingest tables that had to encode (cold cache, or no
+    /// `--spill-dir` configured).
+    spill_misses: AtomicU64,
 }
 
 impl Default for PagedBackend {
@@ -685,6 +1178,8 @@ impl PagedBackend {
             columns: RwLock::new(HashMap::new()),
             hydrated: RwLock::new(HashMap::new()),
             fallbacks: AtomicU64::new(0),
+            spill_hits: AtomicU64::new(0),
+            spill_misses: AtomicU64::new(0),
         }
     }
 
@@ -708,6 +1203,17 @@ impl PagedBackend {
             if entry.gen == gen {
                 return Ok(Arc::clone(&entry.value));
             }
+        }
+        // A streamed extension's rows exist only in the paged store —
+        // there is no in-memory column to (re-)encode from. A miss
+        // here means the adopted columns were invalidated (the table
+        // mutated); rebuilding from the empty in-memory column would
+        // silently encode zero rows.
+        if !db.table(rel).is_materialized() {
+            return Err(PageError::Io(format!(
+                "column {} of relation {} is a streamed extension with no spilled pages",
+                attr.0, rel.0
+            )));
         }
         let full = ColumnDict::build(db.table(rel).column(attr));
         let value = Arc::new(PagedColumn::from_dict(&full)?);
@@ -745,6 +1251,49 @@ impl PagedBackend {
     fn note_fallback(&self) {
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Degrades a failed probe to the reference path — unless one of
+    /// the involved tables is a streamed extension, where the
+    /// reference path would compute over *empty* in-memory columns. A
+    /// loud panic (caught and surfaced by the session's per-stage
+    /// isolation) beats a silently wrong answer.
+    fn note_fallback_or_die(&self, db: &Database, rels: &[RelId], err: &PageError) {
+        for &rel in rels {
+            assert!(
+                db.table(rel).is_materialized(),
+                "paged backend failed on a streamed extension with no in-memory fallback: {err}"
+            );
+        }
+        self.note_fallback();
+    }
+
+    /// Adopts a streamed-ingest table's columns: the spill files were
+    /// written (or loaded from the persistent cache) by
+    /// `import_csv_spilled`, so no encode pass runs here. Columns are
+    /// installed under the table's *current* generation; the spill
+    /// hit/miss counters record whether the cache skipped encode.
+    pub fn adopt_spilled(&self, db: &Database, rel: RelId, table: &SpilledTable) {
+        let gen = db.generation(rel);
+        let mut columns = write_recover(&self.columns);
+        for (i, col) in table.columns().iter().enumerate() {
+            let key = (rel, AttrId(i as u16));
+            if let Some(stale) = columns.insert(
+                key,
+                Tagged {
+                    gen,
+                    value: Arc::clone(col),
+                },
+            ) {
+                self.pool.evict_file(stale.value.file.id);
+            }
+        }
+        drop(columns);
+        if table.from_cache() {
+            self.spill_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.spill_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 impl CountBackend for PagedBackend {
@@ -760,8 +1309,8 @@ impl CountBackend for PagedBackend {
         });
         match probe {
             Ok(n) => n,
-            Err(_) => {
-                self.note_fallback();
+            Err(e) => {
+                self.note_fallback_or_die(db, &[rel], &e);
                 db.table(rel).count_distinct(attrs)
             }
         }
@@ -791,8 +1340,8 @@ impl CountBackend for PagedBackend {
         })();
         match probe {
             Ok(s) => s,
-            Err(_) => {
-                self.note_fallback();
+            Err(e) => {
+                self.note_fallback_or_die(db, &[join.left.rel, join.right.rel], &e);
                 join_stats(db, join)
             }
         }
@@ -806,8 +1355,8 @@ impl CountBackend for PagedBackend {
         });
         match probe {
             Ok(groups) => Arc::new(groups),
-            Err(_) => {
-                self.note_fallback();
+            Err(e) => {
+                self.note_fallback_or_die(db, &[rel], &e);
                 Arc::new(lhs_groups_reference(db, rel, attrs))
             }
         }
@@ -825,8 +1374,8 @@ impl CountBackend for PagedBackend {
         });
         match probe {
             Ok(set) => Arc::new(set),
-            Err(_) => {
-                self.note_fallback();
+            Err(e) => {
+                self.note_fallback_or_die(db, &[rel], &e);
                 Arc::new(db.table(rel).distinct_projection(attrs))
             }
         }
@@ -838,9 +1387,29 @@ impl CountBackend for PagedBackend {
             .and_then(|col| partition1_paged(&col, &self.pool));
         match probe {
             Ok(p) => Arc::new(p),
-            Err(_) => {
-                self.note_fallback();
+            Err(e) => {
+                self.note_fallback_or_die(db, &[rel], &e);
                 Arc::new(StrippedPartition::for_attribute(db.table(rel), attr))
+            }
+        }
+    }
+
+    fn fd_holds(&self, db: &Database, fd: &Fd) -> bool {
+        let rows = db.table(fd.rel).len();
+        let lhs: Vec<AttrId> = fd.lhs.iter().collect();
+        let rhs: Vec<AttrId> = fd.rhs.iter().collect();
+        let probe = (|| -> Result<bool, PageError> {
+            let lcols = self.attr_columns(db, fd.rel, &lhs)?;
+            let rcols = self.attr_columns(db, fd.rel, &rhs)?;
+            let lrefs: Vec<&PagedColumn> = lcols.iter().map(Arc::as_ref).collect();
+            let rrefs: Vec<&PagedColumn> = rcols.iter().map(Arc::as_ref).collect();
+            fd_holds_paged(&lrefs, &rrefs, rows, &self.pool)
+        })();
+        match probe {
+            Ok(b) => b,
+            Err(e) => {
+                self.note_fallback_or_die(db, &[fd.rel], &e);
+                db.fd_holds(fd)
             }
         }
     }
@@ -862,11 +1431,17 @@ impl CountBackend for PagedBackend {
                 return Some(Arc::clone(&entry.value));
             }
         }
-        let col = self.paged_column(db, rel, attr).ok()?;
+        let col = match self.paged_column(db, rel, attr) {
+            Ok(c) => c,
+            Err(e) => {
+                self.note_fallback_or_die(db, &[rel], &e);
+                return None;
+            }
+        };
         let codes = match col.read_all_codes(&self.pool) {
             Ok(c) => c,
-            Err(_) => {
-                self.note_fallback();
+            Err(e) => {
+                self.note_fallback_or_die(db, &[rel], &e);
                 return None;
             }
         };
@@ -896,6 +1471,13 @@ impl CountBackend for PagedBackend {
 
     fn page_stats(&self) -> PageCacheStats {
         self.pool.stats()
+    }
+
+    fn spill_stats(&self) -> SpillCacheStats {
+        SpillCacheStats {
+            hits: self.spill_hits.load(Ordering::Relaxed),
+            misses: self.spill_misses.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -1083,5 +1665,263 @@ mod tests {
         );
         assert!(paged.page_stats().evictions > 0, "1-page pool must churn");
         assert_eq!(paged.exec_stats().fallback_failures, 0);
+    }
+
+    #[test]
+    fn writer_streams_byte_identical_to_spill() {
+        // The streaming writer must produce the exact on-disk format of
+        // the materialize-then-spill path, byte for byte — the spill
+        // cache and the differential ingest test both lean on this.
+        let codes: Vec<u32> = (0..PAGE_CODES as u32 * 3 + 41)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect();
+        let whole = PageFile::spill(&codes).unwrap();
+        let mut w = PageFileWriter::create_temp().unwrap();
+        // Feed through a mix of push() and append() with awkward splits.
+        for &c in &codes[..7] {
+            w.push(c).unwrap();
+        }
+        w.append(&codes[7..PAGE_CODES + 3]).unwrap();
+        for &c in &codes[PAGE_CODES + 3..] {
+            w.push(c).unwrap();
+        }
+        assert_eq!(w.rows(), codes.len() as u64);
+        let streamed = w.finish().unwrap();
+        assert_eq!(
+            std::fs::read(whole.path()).unwrap(),
+            std::fs::read(streamed.path()).unwrap()
+        );
+        streamed.verify_checksum().unwrap();
+        assert_eq!(streamed.rows(), codes.len() as u64);
+    }
+
+    #[test]
+    fn empty_writer_matches_empty_spill() {
+        let whole = PageFile::spill(&[]).unwrap();
+        let streamed = PageFileWriter::create_temp().unwrap().finish().unwrap();
+        assert_eq!(
+            std::fs::read(whole.path()).unwrap(),
+            std::fs::read(streamed.path()).unwrap()
+        );
+        assert_eq!(streamed.pages(), 0);
+        assert_eq!(streamed.rows(), 0);
+    }
+
+    #[test]
+    fn fd_holds_matches_reference() {
+        // Multi-page table where some FDs hold and some fail, with
+        // NULL-heavy LHS columns (NULL-LHS rows are exempt per the
+        // paper's SQL probe semantics).
+        let mut db = Database::new();
+        let rel = db
+            .add_relation(Relation::of(
+                "T",
+                &[
+                    ("a", Domain::Int),
+                    ("b", Domain::Int),
+                    ("c", Domain::Int),
+                    ("k", Domain::Int),
+                ],
+            ))
+            .unwrap();
+        let rows = PAGE_CODES + 517;
+        for i in 0..rows as i64 {
+            let a = if i % 13 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 200)
+            };
+            // b is a function of a's code (holds), c is noisy (fails).
+            let b = Value::Int((i % 200) * 3);
+            let c = Value::Int(i % 7);
+            db.insert(rel, vec![a, b, c, Value::Int(i)]).unwrap();
+        }
+        let paged = PagedBackend::with_capacity_bytes(PAGE_BYTES);
+        let fd = |lhs: &[u16], rhs: &[u16]| Fd {
+            rel,
+            lhs: crate::attr::AttrSet::from_indices(lhs.iter().copied()),
+            rhs: crate::attr::AttrSet::from_indices(rhs.iter().copied()),
+        };
+        for (lhs, rhs) in [
+            (&[0u16][..], &[1u16][..]), // a → b: holds (NULL-a rows exempt)
+            (&[0], &[2]),               // a → c: fails
+            (&[1], &[0]),               // b → a: fails (NULL vs non-NULL under same b)
+            (&[0, 2], &[1]),            // ac → b: holds
+            (&[0, 1], &[2]),            // ab → c: fails
+            (&[3], &[0, 1, 2]),         // key → everything: holds
+            (&[], &[1]),                // {} → b: fails (b not constant)
+            (&[0], &[1, 2]),            // multi-RHS: fails because of c
+        ] {
+            let fd = fd(lhs, rhs);
+            assert_eq!(
+                CountBackend::fd_holds(&paged, &db, &fd),
+                db.fd_holds(&fd),
+                "lhs={lhs:?} rhs={rhs:?}"
+            );
+        }
+        // Constant RHS: {} → const holds without a scan.
+        let mut db2 = Database::new();
+        let r2 = db2
+            .add_relation(Relation::of("C", &[("u", Domain::Int), ("v", Domain::Int)]))
+            .unwrap();
+        for i in 0..10 {
+            db2.insert(r2, vec![Value::Int(i), Value::Int(7)]).unwrap();
+        }
+        let fd2 = Fd {
+            rel: r2,
+            lhs: crate::attr::AttrSet::empty(),
+            rhs: crate::attr::AttrSet::from_indices([1u16]),
+        };
+        assert!(CountBackend::fd_holds(&paged, &db2, &fd2));
+        assert!(db2.fd_holds(&fd2));
+        assert_eq!(paged.exec_stats().fallback_failures, 0);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn chunked_kernels_match_reference_across_thread_counts() {
+        // DBRE_PAGED_THREADS is read per kernel call; every thread
+        // count must give byte-identical answers. Concurrent paged
+        // tests seeing the transient value is fine — that is exactly
+        // the invariant under test.
+        let mut db = Database::new();
+        let rel = db
+            .add_relation(Relation::of("P", &[("x", Domain::Int), ("y", Domain::Int)]))
+            .unwrap();
+        let rows = PAGE_CODES * 5 + 321;
+        for i in 0..rows {
+            let x = if i % 53 == 0 {
+                Value::Null
+            } else {
+                Value::Int((i % 2111) as i64)
+            };
+            db.insert(rel, vec![x, Value::Int((i % 17) as i64)])
+                .unwrap();
+        }
+        let reference = ReferenceBackend;
+        for threads in ["1", "2", "5"] {
+            std::env::set_var("DBRE_PAGED_THREADS", threads);
+            let paged = PagedBackend::new();
+            for attrs in [vec![AttrId(0)], vec![AttrId(0), AttrId(1)]] {
+                assert_eq!(
+                    paged.count_distinct(&db, rel, &attrs),
+                    reference.count_distinct(&db, rel, &attrs),
+                    "threads={threads} attrs={attrs:?}"
+                );
+            }
+            assert_eq!(
+                *paged.lhs_groups(&db, rel, &[AttrId(0)]),
+                *reference.lhs_groups(&db, rel, &[AttrId(0)]),
+                "threads={threads}"
+            );
+            assert_eq!(
+                *paged.lhs_groups(&db, rel, &[AttrId(0), AttrId(1)]),
+                *reference.lhs_groups(&db, rel, &[AttrId(0), AttrId(1)]),
+                "threads={threads}"
+            );
+            assert_eq!(
+                *paged.partition1(&db, rel, AttrId(0)),
+                *reference.partition1(&db, rel, AttrId(0)),
+                "threads={threads}"
+            );
+            let fd = Fd {
+                rel,
+                lhs: crate::attr::AttrSet::from_indices([0u16]),
+                rhs: crate::attr::AttrSet::from_indices([1u16]),
+            };
+            assert_eq!(
+                CountBackend::fd_holds(&paged, &db, &fd),
+                db.fd_holds(&fd),
+                "threads={threads}"
+            );
+            assert_eq!(paged.exec_stats().fallback_failures, 0);
+        }
+        std::env::remove_var("DBRE_PAGED_THREADS");
+    }
+
+    #[test]
+    fn adopt_spilled_serves_streamed_extension() {
+        // A materialized twin provides the expected answers; the
+        // streamed database never holds the values in memory.
+        let mut twin = Database::new();
+        let spec = [("x", Domain::Int), ("y", Domain::Text)];
+        let trel = twin.add_relation(Relation::of("S", &spec)).unwrap();
+        let rows = PAGE_CODES + 77;
+        for i in 0..rows {
+            let x = if i % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Int((i % 301) as i64)
+            };
+            twin.insert(trel, vec![x, Value::str(format!("s{}", i % 40))])
+                .unwrap();
+        }
+
+        // Spill the twin's columns by hand, as streaming ingest would.
+        let mut cols = Vec::new();
+        for a in [AttrId(0), AttrId(1)] {
+            let dict = ColumnDict::build(twin.table(trel).column(a));
+            let file = PageFile::spill(dict.codes()).unwrap();
+            cols.push(Arc::new(PagedColumn::new(Arc::new(dict.slim()), file)));
+        }
+        let spilled = crate::spill::SpilledTable::new(cols, rows, true);
+
+        let mut db = Database::new();
+        let rel = db.add_relation(Relation::of("S", &spec)).unwrap();
+        db.set_streamed_extension(rel, rows);
+        assert!(!db.table(rel).is_materialized());
+
+        let paged = PagedBackend::new();
+        paged.adopt_spilled(&db, rel, &spilled);
+        assert_eq!(
+            paged.spill_stats(),
+            crate::spill::SpillCacheStats { hits: 1, misses: 0 }
+        );
+
+        let reference = ReferenceBackend;
+        for attrs in [vec![AttrId(0)], vec![AttrId(1)], vec![AttrId(0), AttrId(1)]] {
+            assert_eq!(
+                paged.count_distinct(&db, rel, &attrs),
+                reference.count_distinct(&twin, trel, &attrs),
+                "{attrs:?}"
+            );
+        }
+        assert_eq!(
+            *paged.lhs_groups(&db, rel, &[AttrId(0)]),
+            *reference.lhs_groups(&twin, trel, &[AttrId(0)])
+        );
+        let fd = Fd {
+            rel,
+            lhs: crate::attr::AttrSet::from_indices([0u16]),
+            rhs: crate::attr::AttrSet::from_indices([1u16]),
+        };
+        let tfd = Fd {
+            rel: trel,
+            ..fd.clone()
+        };
+        assert_eq!(
+            CountBackend::fd_holds(&paged, &db, &fd),
+            twin.fd_holds(&tfd)
+        );
+        // The slim dictionaries still answer column_dict (rehydrated).
+        let dict = CountBackend::column_dict(&paged, &db, rel, AttrId(0)).unwrap();
+        let direct = ColumnDict::build(twin.table(trel).column(AttrId(0)));
+        assert_eq!(dict.codes(), direct.codes());
+        assert_eq!(paged.exec_stats().fallback_failures, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "streamed extension")]
+    fn streamed_extension_without_adoption_dies_instead_of_lying() {
+        // Without adopt_spilled there are no pages AND no in-memory
+        // values: the reference fallback would silently answer from an
+        // empty column. The backend must refuse.
+        let mut db = Database::new();
+        let rel = db
+            .add_relation(Relation::of("V", &[("x", Domain::Int)]))
+            .unwrap();
+        db.set_streamed_extension(rel, 5);
+        let paged = PagedBackend::new();
+        let _ = paged.count_distinct(&db, rel, &[AttrId(0)]);
     }
 }

@@ -312,6 +312,13 @@ impl StatsEngine {
     /// cached — repeated `A → b` probes with a shared LHS (the shape
     /// RHS-Discovery generates) only rescan the grouped rows.
     pub fn fd_holds(&self, db: &Database, fd: &Fd) -> bool {
+        // A streamed extension has no raw RHS columns to compare —
+        // delegate the whole probe to the backend (the paged backend's
+        // one-pass witness check), which answers from the spilled
+        // pages.
+        if !db.table(fd.rel).is_materialized() {
+            return self.backend.fd_holds(db, fd);
+        }
         let lhs: Vec<AttrId> = fd.lhs.iter().collect();
         let rhs: Vec<AttrId> = fd.rhs.iter().collect();
         let groups = self.lhs_groups(db, fd.rel, &lhs);
@@ -395,6 +402,13 @@ impl StatsEngine {
     pub fn page_stats(&self) -> crate::bufpool::PageCacheStats {
         self.backend.page_stats()
     }
+
+    /// The inner backend's spill-cache counters
+    /// ([`crate::spill::SpillCacheStats`]) — all-zero unless the
+    /// paged backend adopted streamed-ingest tables.
+    pub fn spill_stats(&self) -> crate::spill::SpillCacheStats {
+        self.backend.spill_stats()
+    }
 }
 
 /// The memoizing engine is itself a backend: consumers written against
@@ -447,6 +461,10 @@ impl CountBackend for StatsEngine {
 
     fn page_stats(&self) -> crate::bufpool::PageCacheStats {
         StatsEngine::page_stats(self)
+    }
+
+    fn spill_stats(&self) -> crate::spill::SpillCacheStats {
+        StatsEngine::spill_stats(self)
     }
 }
 

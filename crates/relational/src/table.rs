@@ -35,6 +35,38 @@ impl Table {
         Table::new(relation.arity())
     }
 
+    /// Does every column hold one value per row? `false` only for a
+    /// *streamed extension* — a table whose rows live in the paged
+    /// store (`crate::spill`) while the in-memory columns stay empty.
+    /// Raw-column consumers must check this before trusting
+    /// [`Table::column`].
+    pub fn is_materialized(&self) -> bool {
+        self.columns.iter().all(|c| c.len() == self.rows)
+    }
+
+    /// Declares `rows` rows without materializing them — the streamed
+    /// extension marker. Only valid on an empty table.
+    pub(crate) fn set_streamed_rows(&mut self, rows: usize) {
+        assert!(
+            self.rows == 0 && self.columns.iter().all(Vec::is_empty),
+            "streamed extension over a populated table"
+        );
+        self.rows = rows;
+    }
+
+    /// Installs `values` as the full contents of one empty column of
+    /// a streamed extension — the restructuring hydration path.
+    pub(crate) fn hydrate_column(&mut self, attr: AttrId, values: Vec<Value>) {
+        assert_eq!(
+            values.len(),
+            self.rows,
+            "hydrated column must match the declared row count"
+        );
+        let col = &mut self.columns[attr.index()];
+        assert!(col.is_empty(), "hydrating a column that already has data");
+        *col = values;
+    }
+
     /// Number of tuples.
     #[inline]
     pub fn len(&self) -> usize {
