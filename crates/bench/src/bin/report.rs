@@ -977,6 +977,39 @@ fn xb(check: bool) {
     }
     let counters = engine.counters();
 
+    // Concurrent service: N sessions over one snapshot and one shared
+    // engine (8 entities, 1000 rows) vs a serial reference run.
+    // Determinism is part of the measurement — every session's
+    // decision log must be byte-identical to the serial run's.
+    let service_rows: Vec<(usize, f64, f64, f64, bool)> = {
+        use dbre_core::service::{run_service, shared_engine};
+        let opts = PipelineOptions::default();
+        let mut oracle = AutoOracle::default();
+        let serial_log = dbre_core::run_with_q(sp.db.clone(), &qp, &mut oracle, &opts).log;
+        let snapshot = dbre_relational::DbSnapshot::new(sp.db.clone());
+        [1usize, 8]
+            .iter()
+            .map(|&n| {
+                let engine = shared_engine(&opts);
+                let report =
+                    run_service(&snapshot, &engine, &qp, &opts, n, |_| AutoOracle::default());
+                let (p50, p99) = report.presumption_percentiles().unwrap_or_default();
+                let agree = report.logs_identical()
+                    && report
+                        .outcomes
+                        .first()
+                        .is_none_or(|o| o.result.log == serial_log);
+                (
+                    n,
+                    report.sessions_per_sec(),
+                    p50.as_secs_f64() * 1e9,
+                    p99.as_secs_f64() * 1e9,
+                    agree,
+                )
+            })
+            .collect()
+    };
+
     // Render (hand-rolled JSON: the workspace carries no serde).
     let mut json = String::from("{\n  \"experiment\": \"xb\",\n  \"unit\": \"ns\",\n");
     json.push_str("  \"benches\": [\n");
@@ -1043,6 +1076,15 @@ fn xb(check: bool) {
              \"serial_ms\": {serial_ms:.2}, \"parallel_ms\": {parallel_ms:.2} }},\n"
         ));
     }
+    json.push_str("  \"service\": [\n");
+    for (i, (n, sps, p50, p99, agree)) in service_rows.iter().enumerate() {
+        let sep = if i + 1 == service_rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"sessions\": {n}, \"sessions_per_sec\": {sps:.1}, \
+             \"p50_ns\": {p50:.0}, \"p99_ns\": {p99:.0}, \"agree\": {agree} }}{sep}\n"
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"cache_counters\": {{ \"hits\": {}, \"misses\": {}, \"rows_scanned\": {} }}\n}}\n",
         counters.cache_hits, counters.cache_misses, counters.rows_scanned
@@ -1096,6 +1138,20 @@ fn xb(check: bool) {
         println!(
             "  {threads} threads     {parallel_ms:>9.2} ms   ({:.2}x)",
             serial_ms / parallel_ms.max(1e-9)
+        );
+    }
+    println!("\n  concurrent service (8 entities, 1000 rows, one shared engine):");
+    for (n, sps, p50, p99, agree) in &service_rows {
+        println!(
+            "  {n} session{} {sps:>10.1} sessions/s   p50 {:>8.1} us, p99 {:>8.1} us   logs {}",
+            if *n == 1 { " " } else { "s" },
+            p50 / 1e3,
+            p99 / 1e3,
+            if *agree {
+                "agree with serial"
+            } else {
+                "DIVERGED"
+            }
         );
     }
 
@@ -1164,6 +1220,71 @@ fn xb(check: bool) {
         };
         gate("sql", dbre_core::BackendChoice::Sql, 2.0);
         gate("paged", dbre_core::BackendChoice::Paged, 1.1);
+
+        // Service gate. Determinism is absolute — logs diverging from
+        // the serial run fail immediately, no retries (scheduling must
+        // never change answers, so this cannot flake). The timing half
+        // follows the best-of-3 pattern above: 8 concurrent sessions
+        // over the shared engine must hold at least 0.8x solo
+        // throughput (cache sharing covers that even on a single
+        // core, where no parallel speedup exists at all), and p99
+        // presumption latency may not blow past 100x solo — a
+        // generous ceiling that still catches an accidental global
+        // serialization point.
+        {
+            use dbre_core::service::{run_service, shared_engine};
+            let opts = PipelineOptions::default();
+            let mut oracle = AutoOracle::default();
+            let serial_log = dbre_core::run_with_q(sp.db.clone(), &qp, &mut oracle, &opts).log;
+            let snapshot = dbre_relational::DbSnapshot::new(sp.db.clone());
+            let measure = |n: usize| {
+                let engine = shared_engine(&opts);
+                let report =
+                    run_service(&snapshot, &engine, &qp, &opts, n, |_| AutoOracle::default());
+                let agree = report.logs_identical()
+                    && report
+                        .outcomes
+                        .first()
+                        .is_none_or(|o| o.result.log == serial_log);
+                if !agree {
+                    eprintln!(
+                        "FAIL: concurrent session logs diverged from the serial run \
+                         ({n} sessions)"
+                    );
+                    std::process::exit(1);
+                }
+                let p99 = report
+                    .presumption_percentiles()
+                    .map(|(_, p99)| p99.as_secs_f64() * 1e9)
+                    .unwrap_or(0.0);
+                (report.sessions_per_sec(), p99)
+            };
+            let mut ok = false;
+            for attempt in 1..=3 {
+                let (sps1, p99_1) = measure(1);
+                let (sps8, p99_8) = measure(8);
+                let p99_budget = p99_1.max(10_000.0) * 100.0;
+                println!(
+                    "\n  check attempt {attempt}: service 1 -> 8 sessions, throughput \
+                     {sps1:.1} -> {sps8:.1} sessions/s, p99 {:.1} -> {:.1} us \
+                     (budget {:.1} us)",
+                    p99_1 / 1e3,
+                    p99_8 / 1e3,
+                    p99_budget / 1e3
+                );
+                if sps8 >= 0.8 * sps1 && p99_8 <= p99_budget {
+                    ok = true;
+                    break;
+                }
+            }
+            if !ok {
+                eprintln!(
+                    "FAIL: 8-session service lost throughput vs solo or blew the p99 \
+                     presumption-latency budget in all attempts"
+                );
+                std::process::exit(1);
+            }
+        }
 
         // The persistent spill cache must make a warm rerun skip the
         // encode entirely: the cold ingest commits an entry (a miss),

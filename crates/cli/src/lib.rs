@@ -8,7 +8,7 @@
 //!              [--csv Table=rows.csv]... [--programs file|dir]...
 //!              [--oracle auto|deny] [--backend reference|encoded|sql|paged]
 //!              [--page-cache MIB] [--spill-dir DIR] [--infer-keys]
-//!              [--dot out.dot] [--quiet]
+//!              [--sessions N] [--dot out.dot] [--quiet]
 //! dbre extract --schema schema.sql [--programs file|dir]...
 //! dbre example
 //! ```
@@ -65,6 +65,10 @@ pub struct ReverseArgs {
     pub spill_dir: Option<PathBuf>,
     /// Infer missing keys from the extension.
     pub infer_keys: bool,
+    /// Service bench mode: run this many concurrent sessions over one
+    /// shared snapshot and engine, print throughput and presumption
+    /// latency, and check all logs against a serial run.
+    pub sessions: Option<usize>,
     /// Write the EER diagram as DOT here.
     pub dot: Option<PathBuf>,
     /// Suppress the decision log.
@@ -89,7 +93,7 @@ USAGE:
                [--csv Table=rows.csv]... [--programs FILE|DIR]...
                [--oracle auto|deny] [--backend reference|encoded|sql|paged]
                [--page-cache MIB] [--spill-dir DIR] [--infer-keys]
-               [--dot OUT.dot] [--quiet]
+               [--sessions N] [--dot OUT.dot] [--quiet]
   dbre extract --schema DDL.sql [--programs FILE|DIR]...
   dbre example
   dbre help
@@ -157,6 +161,13 @@ pub fn parse_args(args: &[String]) -> Command {
                             reverse.spill_dir = Some(PathBuf::from(value("--spill-dir")?));
                         }
                         "--infer-keys" => reverse.infer_keys = true,
+                        "--sessions" => {
+                            let v = value("--sessions")?;
+                            let n: usize = v.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+                                format!("--sessions expects a positive count, got `{v}`")
+                            })?;
+                            reverse.sessions = Some(n);
+                        }
                         "--dot" => reverse.dot = Some(PathBuf::from(value("--dot")?)),
                         "--quiet" => reverse.quiet = true,
                         other => return Err(format!("unknown flag `{other}`")),
@@ -342,6 +353,9 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             }
             options.spilled = spilled;
             options.page_cache = args.page_cache.map(|mib| mib * 1024 * 1024);
+            if let Some(n) = args.sessions {
+                return run_service_bench(db, &programs, &options, args, n);
+            }
             let mut auto;
             let mut deny;
             let oracle: &mut dyn Oracle = if args.oracle == "deny" {
@@ -359,6 +373,102 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             Ok(render_result(&result, args.quiet))
         }
     }
+}
+
+/// `--sessions N`: one serial reference run, then `n` concurrent
+/// sessions over a shared snapshot and engine, rendered as the normal
+/// findings (identical across sessions by construction — and checked)
+/// plus a throughput/latency section.
+fn run_service_bench(
+    db: dbre_relational::Database,
+    programs: &[ProgramSource],
+    options: &PipelineOptions,
+    args: &ReverseArgs,
+    n: usize,
+) -> Result<String, String> {
+    use dbre_core::service::{run_service, shared_engine};
+
+    if !options.spilled.is_empty() {
+        return Err(
+            "--sessions (service mode) needs materialized extensions; drop --spill-dir".into(),
+        );
+    }
+    let extraction = dbre_extract::extract_programs(&db.schema, programs, &options.extract);
+    let q = extraction.q();
+
+    // Serial reference: the determinism gate below compares every
+    // concurrent session's log against this run.
+    let serial = {
+        let mut auto;
+        let mut deny;
+        let oracle: &mut dyn Oracle = if args.oracle == "deny" {
+            deny = DenyOracle;
+            &mut deny
+        } else {
+            auto = AutoOracle::default();
+            &mut auto
+        };
+        dbre_core::pipeline::run_with_q(db.clone(), &q, oracle, options)
+    };
+    if let Some(dot_path) = &args.dot {
+        std::fs::write(dot_path, serial.eer.render_dot())
+            .map_err(|e| format!("cannot write {}: {e}", dot_path.display()))?;
+    }
+
+    let snapshot = dbre_relational::DbSnapshot::new(db);
+    let engine = shared_engine(options);
+    let report = if args.oracle == "deny" {
+        run_service(&snapshot, &engine, &q, options, n, |_| DenyOracle)
+    } else {
+        run_service(&snapshot, &engine, &q, options, n, |_| {
+            AutoOracle::default()
+        })
+    };
+
+    let mut out = render_result(&serial, args.quiet);
+    let _ = writeln!(out, "\n# Service bench\n");
+    let _ = writeln!(out, "sessions                 {n}");
+    let _ = writeln!(
+        out,
+        "wall time            {:>9.3} ms",
+        report.wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "throughput           {:>9.1} sessions/sec",
+        report.sessions_per_sec()
+    );
+    match report.presumption_percentiles() {
+        Some((p50, p99)) => {
+            let _ = writeln!(
+                out,
+                "presumption latency  p50 {:.1} us, p99 {:.1} us",
+                p50.as_secs_f64() * 1e6,
+                p99.as_secs_f64() * 1e6
+            );
+        }
+        None => {
+            let _ = writeln!(out, "presumption latency  (oracle never consulted)");
+        }
+    }
+    let agree = report.logs_identical()
+        && report
+            .outcomes
+            .first()
+            .is_none_or(|o| o.result.log == serial.log);
+    let _ = writeln!(
+        out,
+        "log agreement        {}",
+        if agree {
+            "all session logs byte-identical to the serial run"
+        } else {
+            "DIVERGED — concurrent sessions disagree with the serial run"
+        }
+    );
+    if !agree {
+        return Err(out);
+    }
+    Ok(out)
 }
 
 fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> String {
@@ -637,6 +747,86 @@ mod tests {
         assert!(out.contains("Orders: cust -> cname"));
         let dot_text = std::fs::read_to_string(&dot).unwrap();
         assert!(dot_text.starts_with("digraph eer {"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sessions_flag_parses_and_rejects_junk() {
+        let cmd = parse_args(&s(&["reverse", "--schema", "a.sql", "--sessions", "4"]));
+        match cmd {
+            Command::Reverse(args) => assert_eq!(args.sessions, Some(4)),
+            other => panic!("{other:?}"),
+        }
+        for bad in ["0", "-1", "many"] {
+            let cmd = parse_args(&s(&["reverse", "--schema", "a.sql", "--sessions", bad]));
+            assert!(
+                matches!(&cmd, Command::Help(Some(msg)) if msg.contains("--sessions")),
+                "{cmd:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_flag_runs_service_bench() {
+        let dir = std::env::temp_dir().join(format!("dbre_cli_svc_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("programs")).unwrap();
+        std::fs::write(
+            dir.join("schema.sql"),
+            "CREATE TABLE Customer (cid INT UNIQUE, cname VARCHAR(30));
+             CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30));
+             INSERT INTO Customer VALUES (1, 'ann'), (2, 'bob'), (3, 'cid');
+             INSERT INTO Orders VALUES (10, 1, 'ann'), (11, 1, 'ann'), (12, 2, 'bob');",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("programs").join("report.sql"),
+            "SELECT cname FROM Orders o, Customer c WHERE o.cust = c.cid;",
+        )
+        .unwrap();
+        let cmd = parse_args(&s(&[
+            "reverse",
+            "--schema",
+            dir.join("schema.sql").to_str().unwrap(),
+            "--programs",
+            dir.join("programs").to_str().unwrap(),
+            "--sessions",
+            "2",
+        ]));
+        let out = run(&cmd).unwrap();
+        // Findings render once (the serial reference)…
+        assert!(out.contains("Orders[cust] << Customer[cid]"), "{out}");
+        assert!(out.contains("Orders: cust -> cname"), "{out}");
+        // …and the bench section gates on determinism.
+        assert!(out.contains("# Service bench"), "{out}");
+        assert!(out.contains("sessions                 2"), "{out}");
+        assert!(out.contains("sessions/sec"), "{out}");
+        assert!(out.contains("byte-identical to the serial run"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sessions_flag_refuses_spilled_extensions() {
+        let dir = std::env::temp_dir().join(format!("dbre_cli_svc_spill_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("schema.sql"),
+            "CREATE TABLE T (a INT UNIQUE, b INT);",
+        )
+        .unwrap();
+        std::fs::write(dir.join("t.csv"), "a,b\n1,2\n3,4\n").unwrap();
+        let cmd = parse_args(&s(&[
+            "reverse",
+            "--schema",
+            dir.join("schema.sql").to_str().unwrap(),
+            "--csv",
+            &format!("T={}", dir.join("t.csv").display()),
+            "--spill-dir",
+            dir.join("spill").to_str().unwrap(),
+            "--sessions",
+            "2",
+        ]));
+        let err = run(&cmd).unwrap_err();
+        assert!(err.contains("materialized"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

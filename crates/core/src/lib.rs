@@ -36,6 +36,7 @@ pub mod pipeline;
 pub mod render;
 pub mod restruct;
 pub mod rhs_discovery;
+pub mod service;
 pub mod session;
 pub mod sql_counts;
 pub mod translate;
@@ -50,5 +51,6 @@ pub use oracle::{
 pub use pipeline::{run_with_programs, run_with_q, PipelineOptions, PipelineResult, StageError};
 pub use restruct::{restruct, Restructured};
 pub use rhs_discovery::{rhs_discovery, RhsDiscovery, RhsOptions};
+pub use service::{run_service, shared_engine, ServiceReport, SessionOutcome, TimingOracle};
 pub use session::{stages, BackendChoice, DbreSession, Stage};
 pub use translate::translate;

@@ -104,7 +104,12 @@ pub struct NamingContext<'a> {
 
 /// The expert user of the paper, §4: "the user involvement [is made]
 /// as clear as possible".
-pub trait Oracle {
+///
+/// `Send` is a supertrait so a whole session (which borrows its oracle
+/// mutably) can move to a worker thread of the concurrent service.
+/// Oracles are plain decision policies — thresholds, scripts, RNG
+/// state — so the bound costs implementations nothing.
+pub trait Oracle: Send {
     /// IND-Discovery steps (iv)–(vii).
     fn resolve_nei(&mut self, ctx: &NeiContext<'_>) -> NeiDecision;
 

@@ -24,14 +24,17 @@ use crate::pipeline::{PipelineOptions, PipelineResult, PipelineStats, StageError
 use crate::restruct::{restruct, Restructured};
 use crate::rhs_discovery::{rhs_discovery_with_stats, RhsDiscovery};
 use crate::translate::translate;
-use dbre_relational::backend::{EncodedBackend, ReferenceBackend};
+use dbre_relational::backend::{BackendExecStats, EncodedBackend, ReferenceBackend};
+use dbre_relational::bufpool::PageCacheStats;
 use dbre_relational::counting::EquiJoin;
 use dbre_relational::database::Database;
 use dbre_relational::pages::PagedBackend;
-use dbre_relational::stats::StatsEngine;
+use dbre_relational::spill::SpillCacheStats;
+use dbre_relational::stats::{StatsCounters, StatsEngine};
 use dbre_relational::DbreError;
 use dbre_sql::SqlBackend;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which counting backend serves the `‖·‖` probes of a run.
@@ -128,7 +131,22 @@ pub struct DbreSession<'o> {
     /// place (after snapshotting [`DbreSession::db_before`]).
     pub db: Database,
     /// The memoizing counting engine every `‖·‖` probe goes through.
-    pub engine: StatsEngine,
+    /// Behind `Arc` so many concurrent sessions can share one engine
+    /// (generation tags are globally unique, so entries never alias);
+    /// a solo run simply holds the only reference.
+    pub engine: Arc<StatsEngine>,
+    /// Engine-counter baselines snapshotted at construction;
+    /// [`DbreSession::into_result`] reports the *difference*, so
+    /// sessions sharing one engine never re-report work that happened
+    /// before they started. (Under concurrent interleaving a session's
+    /// window still includes its neighbors' probes — per-session
+    /// numbers are exact when sessions run the engine exclusively, an
+    /// upper bound otherwise; cross-session aggregation should read
+    /// the shared engine's counters once instead of summing sessions.)
+    counters_base: StatsCounters,
+    exec_base: BackendExecStats,
+    page_base: PageCacheStats,
+    spill_base: SpillCacheStats,
     /// The expert user (§5: "the comprehension process is monitored by
     /// the user").
     pub oracle: &'o mut dyn Oracle,
@@ -187,12 +205,38 @@ impl<'o> DbreSession<'o> {
             }
             StatsEngine::with_backend(Box::new(backend))
         };
+        let mut session = DbreSession::with_engine(db, oracle, options, Arc::new(engine));
+        // Spill-cache counters predate the engine (streamed ingest
+        // runs while inputs load, before any session exists), and a
+        // solo session owns its engine outright — report them
+        // cumulatively instead of diffing the ingest away.
+        session.spill_base = SpillCacheStats::default();
+        session.warnings = warnings;
+        session
+    }
+
+    /// Builds a session over an *existing* (possibly shared) engine —
+    /// the concurrent-service path, where many sessions answer their
+    /// `‖·‖` probes from one memoizing engine. The engine must serve
+    /// the chosen backend semantics for `db` (streamed extensions
+    /// still require a paged backend underneath; [`DbreSession::new`]
+    /// handles that wiring for the solo case).
+    pub fn with_engine(
+        db: Database,
+        oracle: &'o mut dyn Oracle,
+        options: PipelineOptions,
+        engine: Arc<StatsEngine>,
+    ) -> Self {
         let stats = PipelineStats {
             backend: engine.backend_name(),
             ..Default::default()
         };
         DbreSession {
             db,
+            counters_base: engine.counters(),
+            exec_base: engine.exec_stats(),
+            page_base: engine.page_stats(),
+            spill_base: engine.spill_stats(),
             engine,
             oracle,
             options,
@@ -204,7 +248,7 @@ impl<'o> DbreSession<'o> {
             eer: EerSchema::default(),
             db_before: Database::new(),
             log: Vec::new(),
-            warnings,
+            warnings: Vec::new(),
             stage_errors: Vec::new(),
             stats,
         }
@@ -265,13 +309,43 @@ impl<'o> DbreSession<'o> {
         self.stage_errors.push(StageError { stage: name, error });
     }
 
-    /// Disassembles the session into the external result, snapshotting
-    /// the engine counters.
+    /// Disassembles the session into the external result. The reported
+    /// counters are the *growth since construction* (saturating, so a
+    /// mid-run [`StatsEngine::reset_counters`] elsewhere degrades to
+    /// zero rather than wrapping), which keeps them meaningful when
+    /// the engine is shared — see the field docs on `counters_base`.
     pub fn into_result(mut self) -> PipelineResult {
-        self.stats.counters = self.engine.counters();
-        self.stats.backend_exec = self.engine.exec_stats();
-        self.stats.page_cache = self.engine.page_stats();
-        self.stats.spill_cache = self.engine.spill_stats();
+        let c = self.engine.counters();
+        self.stats.counters = StatsCounters {
+            cache_hits: c.cache_hits.saturating_sub(self.counters_base.cache_hits),
+            cache_misses: c
+                .cache_misses
+                .saturating_sub(self.counters_base.cache_misses),
+            rows_scanned: c
+                .rows_scanned
+                .saturating_sub(self.counters_base.rows_scanned),
+        };
+        let e = self.engine.exec_stats();
+        self.stats.backend_exec = BackendExecStats {
+            fallback_failures: e
+                .fallback_failures
+                .saturating_sub(self.exec_base.fallback_failures),
+            batch_ops: e.batch_ops.saturating_sub(self.exec_base.batch_ops),
+            tuple_fallback_ops: e
+                .tuple_fallback_ops
+                .saturating_sub(self.exec_base.tuple_fallback_ops),
+        };
+        let p = self.engine.page_stats();
+        self.stats.page_cache = PageCacheStats {
+            hits: p.hits.saturating_sub(self.page_base.hits),
+            misses: p.misses.saturating_sub(self.page_base.misses),
+            evictions: p.evictions.saturating_sub(self.page_base.evictions),
+        };
+        let s = self.engine.spill_stats();
+        self.stats.spill_cache = SpillCacheStats {
+            hits: s.hits.saturating_sub(self.spill_base.hits),
+            misses: s.misses.saturating_sub(self.spill_base.misses),
+        };
         PipelineResult {
             q: self.q,
             ind: self.ind,
@@ -340,7 +414,7 @@ impl Stage for KeyInferenceStage {
     }
 
     fn run(&self, s: &mut DbreSession<'_>) -> Result<(), DbreError> {
-        let inferred = dbre_mine::infer_missing_keys_with_stats(&mut s.db, Some(3), &s.engine);
+        let inferred = dbre_mine::infer_missing_keys_with_stats(&mut s.db, Some(3), &*s.engine);
         for (rel, key) in inferred {
             let relation = s.db.schema.relation(rel);
             let record = DecisionRecord::new(
@@ -363,7 +437,7 @@ impl Stage for IndDiscoveryStage {
     }
 
     fn run(&self, s: &mut DbreSession<'_>) -> Result<(), DbreError> {
-        let out = ind_discovery_with_stats(&mut s.db, &s.q, &mut *s.oracle, &s.engine)?;
+        let out = ind_discovery_with_stats(&mut s.db, &s.q, &mut *s.oracle, &*s.engine)?;
         s.record_all(&out.log);
         s.ind = out;
         Ok(())
@@ -394,7 +468,7 @@ impl Stage for RhsDiscoveryStage {
 
     fn run(&self, s: &mut DbreSession<'_>) -> Result<(), DbreError> {
         let out =
-            rhs_discovery_with_stats(&s.db, &s.lhs, &mut *s.oracle, &s.options.rhs, &s.engine);
+            rhs_discovery_with_stats(&s.db, &s.lhs, &mut *s.oracle, &s.options.rhs, &*s.engine);
         s.record_all(&out.log);
         s.rhs = out;
         Ok(())
@@ -480,6 +554,16 @@ impl Stage for TranslateStage {
         Ok(())
     }
 }
+
+// Compile-time proof that a whole session can move to a service
+// worker thread: everything it owns (database, shared engine, oracle
+// borrow, stage outputs) is `Send`. `Sync` is deliberately not
+// asserted — a session is single-owner mutable state; only the engine
+// underneath it is shared.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<DbreSession<'static>>();
+};
 
 /// Renders a caught panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

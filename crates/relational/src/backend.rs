@@ -35,6 +35,7 @@ use crate::attr::AttrId;
 use crate::bufpool::PageCacheStats;
 use crate::counting::{join_stats, EquiJoin, JoinStats};
 use crate::database::Database;
+use crate::delta::Delta;
 use crate::deps::{Fd, Ind};
 use crate::encode::{
     decode_set_cols, distinct_codes_cols, intersect_count, lhs_groups_cols, partition1_col,
@@ -271,6 +272,19 @@ pub trait CountBackend: Send + Sync {
     fn spill_stats(&self) -> SpillCacheStats {
         SpillCacheStats::default()
     }
+
+    /// Carries the backend's internal caches across one committed
+    /// [`Delta`] — `before`/`after` are the database versions on
+    /// either side of the generation boundary, and the delta has
+    /// already been applied to `after`. Implementations must leave
+    /// every probe answer unchanged: anything they cannot maintain
+    /// incrementally they simply evict (the generation tags make
+    /// stale entries unreachable anyway; maintenance is a warm-cache
+    /// optimization, never a correctness requirement). The default
+    /// does nothing.
+    fn apply_delta(&self, before: &Database, after: &Database, delta: &Delta) {
+        let _ = (before, after, delta);
+    }
 }
 
 /// Shared `Value`-level implementation of the LHS-group contract (see
@@ -498,6 +512,96 @@ impl CountBackend for EncodedBackend {
 
     fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnDict>> {
         Some(EncodedBackend::column_dict(self, db, rel, attr))
+    }
+
+    /// Delta maintenance of the dictionary caches. Appends extend the
+    /// cached interning (codes stay first-occurrence canonical) and
+    /// insert the appended code tuples into cached distinct sets;
+    /// deletes decrement per-code counts, evicting a dictionary only
+    /// when a value's last occurrence vanished (a rebuild would assign
+    /// different codes). Distinct sets carry no multiplicities, so
+    /// deletes evict them wholesale.
+    fn apply_delta(&self, before: &Database, after: &Database, delta: &Delta) {
+        let rel = delta.rel();
+        let old_gen = before.generation(rel);
+        let new_gen = after.generation(rel);
+        {
+            let mut columns = write_recover(&self.columns);
+            let keys: Vec<(RelId, AttrId)> =
+                columns.keys().filter(|(r, _)| *r == rel).copied().collect();
+            for key in keys {
+                let maintained = columns
+                    .get(&key)
+                    .filter(|entry| entry.gen == old_gen)
+                    .and_then(|entry| {
+                        let mut dict = (*entry.value).clone();
+                        match delta {
+                            Delta::Append { rows, .. } => {
+                                let cells: Vec<Value> =
+                                    rows.iter().map(|r| r[key.1.index()].clone()).collect();
+                                dict.append_values(&cells);
+                                Some(dict)
+                            }
+                            Delta::Delete { rows, .. } => dict.remove_rows(rows).then_some(dict),
+                        }
+                    });
+                match maintained {
+                    Some(dict) => {
+                        columns.insert(
+                            key,
+                            Tagged {
+                                gen: new_gen,
+                                value: Arc::new(dict),
+                            },
+                        );
+                    }
+                    None => {
+                        columns.remove(&key);
+                    }
+                }
+            }
+        }
+        match delta {
+            Delta::Delete { .. } => {
+                let mut encoded = write_recover(&self.encoded);
+                encoded.retain(|(r, _), _| *r != rel);
+            }
+            Delta::Append { .. } => {
+                let old_rows = before.table(rel).len();
+                let new_rows = after.table(rel).len();
+                let stale: Vec<(RelId, Vec<AttrId>)> = {
+                    let encoded = read_recover(&self.encoded);
+                    encoded.keys().filter(|(r, _)| *r == rel).cloned().collect()
+                };
+                for key in stale {
+                    // Pull the maintained (or freshly built) dicts
+                    // outside the encoded-set lock; `column_dict` only
+                    // touches the columns shard.
+                    let dicts = self.attr_dicts(after, rel, &key.1);
+                    let cols: Vec<&ColumnDict> = dicts.iter().map(Arc::as_ref).collect();
+                    let mut encoded = write_recover(&self.encoded);
+                    let maintained = encoded.get(&key).filter(|e| e.gen == old_gen).map(|entry| {
+                        let mut set = (*entry.value).clone();
+                        set.append_rows(&cols, old_rows, new_rows);
+                        set
+                    });
+                    match maintained {
+                        Some(set) => {
+                            encoded.insert(
+                                key,
+                                Tagged {
+                                    gen: new_gen,
+                                    value: Arc::new(set),
+                                },
+                            );
+                        }
+                        None => {
+                            encoded.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 

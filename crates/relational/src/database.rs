@@ -7,19 +7,38 @@ use crate::schema::{RelId, Relation, Schema};
 use crate::table::Table;
 use crate::value::Value;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-global generation allocator. Every table-version tag is
+/// drawn from here, so a generation identifies one table version
+/// *across every `Database` clone in the process* — two sessions that
+/// diverge from the same snapshot can never alias each other's cache
+/// entries, which is what lets them share one
+/// [`crate::stats::StatsEngine`].
+static NEXT_GEN: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_gen() -> u64 {
+    NEXT_GEN.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A relational database: schema `R`, extension `E` (one [`Table`] per
 /// relation), dictionary constraints (`K`, `N`) and elicited
 /// dependencies `Δ`.
+///
+/// Tables sit behind [`Arc`], so cloning a database (the snapshot
+/// path, [`crate::snapshot`]) is O(relations) and mutation is
+/// copy-on-write per table.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     /// The schema `R`.
     pub schema: Schema,
-    tables: Vec<Table>,
-    /// Per-table generation counters, bumped on every (potential)
-    /// extension mutation. [`crate::stats::StatsEngine`] keys its
-    /// caches on these so a cached count is never served after the
-    /// underlying table changed.
+    tables: Vec<Arc<Table>>,
+    /// Per-table generation tags, reassigned (from the process-global
+    /// allocator) on every (potential) extension mutation.
+    /// [`crate::stats::StatsEngine`] keys its caches on these so a
+    /// cached count is never served after the underlying table
+    /// changed.
     gens: Vec<u64>,
     /// Dictionary constraints `K` and `N`.
     pub constraints: Constraints,
@@ -37,8 +56,8 @@ impl Database {
     pub fn add_relation(&mut self, rel: Relation) -> Result<RelId, RelationalError> {
         let arity = rel.arity();
         let id = self.schema.add_relation(rel)?;
-        self.tables.push(Table::new(arity));
-        self.gens.push(0);
+        self.tables.push(Arc::new(Table::new(arity)));
+        self.gens.push(fresh_gen());
         Ok(id)
     }
 
@@ -56,8 +75,8 @@ impl Database {
             });
         }
         let id = self.schema.add_relation(rel)?;
-        self.tables.push(table);
-        self.gens.push(0);
+        self.tables.push(Arc::new(table));
+        self.gens.push(fresh_gen());
         Ok(id)
     }
 
@@ -66,16 +85,26 @@ impl Database {
         &self.tables[rel.index()]
     }
 
+    /// The extension of `rel` as a shared handle — a snapshot reader
+    /// can hold this across later mutations of the database (the
+    /// mutated clone points at a fresh `Arc`, this one stays alive).
+    pub fn table_arc(&self, rel: RelId) -> Arc<Table> {
+        Arc::clone(&self.tables[rel.index()])
+    }
+
     /// Mutable extension access. Conservatively counts as a mutation
     /// for cache-invalidation purposes (see [`Self::generation`]).
     pub fn table_mut(&mut self, rel: RelId) -> &mut Table {
-        self.gens[rel.index()] += 1;
-        &mut self.tables[rel.index()]
+        self.gens[rel.index()] = fresh_gen();
+        Arc::make_mut(&mut self.tables[rel.index()])
     }
 
-    /// The generation counter of `rel`'s extension: 0 at creation,
-    /// bumped by [`Self::insert`], [`Self::replace_table`], and
-    /// [`Self::table_mut`]. Cached statistics tagged with an older
+    /// The generation tag of `rel`'s extension: assigned at creation
+    /// and reassigned by [`Self::insert`], [`Self::replace_table`],
+    /// [`Self::append_rows`], [`Self::delete_rows`], and
+    /// [`Self::table_mut`]. Tags come from a process-global allocator,
+    /// so equal tags mean *the same table version* even across
+    /// database clones; cached statistics tagged with a different
     /// generation are stale.
     pub fn generation(&self, rel: RelId) -> u64 {
         self.gens[rel.index()]
@@ -91,8 +120,8 @@ impl Database {
                 got: table.arity(),
             });
         }
-        self.tables[rel.index()] = table;
-        self.gens[rel.index()] += 1;
+        self.tables[rel.index()] = Arc::new(table);
+        self.gens[rel.index()] = fresh_gen();
         Ok(())
     }
 
@@ -102,8 +131,8 @@ impl Database {
     /// other extension change. Panics if the table already has rows
     /// (streaming ingest only targets freshly declared relations).
     pub fn set_streamed_extension(&mut self, rel: RelId, rows: usize) {
-        self.tables[rel.index()].set_streamed_rows(rows);
-        self.gens[rel.index()] += 1;
+        Arc::make_mut(&mut self.tables[rel.index()]).set_streamed_rows(rows);
+        self.gens[rel.index()] = fresh_gen();
     }
 
     /// Installs the full contents of one empty column of a streamed
@@ -112,11 +141,17 @@ impl Database {
     /// construction the ones the paged columns encode, so cached
     /// derived structures stay valid.
     pub fn hydrate_column(&mut self, rel: RelId, attr: AttrId, values: Vec<Value>) {
-        self.tables[rel.index()].hydrate_column(attr, values);
+        Arc::make_mut(&mut self.tables[rel.index()]).hydrate_column(attr, values);
     }
 
     /// Inserts a tuple with domain validation.
     pub fn insert(&mut self, rel: RelId, row: Vec<Value>) -> Result<(), RelationalError> {
+        self.validate_row(rel, &row)?;
+        self.gens[rel.index()] = fresh_gen();
+        Arc::make_mut(&mut self.tables[rel.index()]).push_row(row)
+    }
+
+    fn validate_row(&self, rel: RelId, row: &[Value]) -> Result<(), RelationalError> {
         let relation = self.schema.relation(rel);
         if row.len() != relation.arity() {
             return Err(RelationalError::ArityMismatch {
@@ -135,8 +170,65 @@ impl Database {
                 });
             }
         }
-        self.gens[rel.index()] += 1;
-        self.tables[rel.index()].push_row(row)
+        Ok(())
+    }
+
+    /// Appends a batch of tuples under **one** generation step: every
+    /// row is domain-validated up front (all-or-nothing), then the
+    /// table moves from its current version directly to one tagged
+    /// with a single fresh generation. The delta-maintenance layer
+    /// ([`crate::delta`]) relies on exactly one version boundary per
+    /// batch. Streamed extensions cannot be appended to.
+    pub fn append_rows(
+        &mut self,
+        rel: RelId,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<(), RelationalError> {
+        if !self.table(rel).is_materialized() {
+            return Err(RelationalError::StreamedExtension {
+                relation: self.schema.relation(rel).name.clone(),
+            });
+        }
+        for row in &rows {
+            self.validate_row(rel, row)?;
+        }
+        self.gens[rel.index()] = fresh_gen();
+        let table = Arc::make_mut(&mut self.tables[rel.index()]);
+        for row in rows {
+            // Arity was validated above; push_row can no longer fail.
+            table.push_row(row)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes the rows at `rows` (indices must be strictly ascending
+    /// and in bounds) under one generation step; surviving rows keep
+    /// their relative order. Streamed extensions cannot be deleted
+    /// from.
+    pub fn delete_rows(&mut self, rel: RelId, rows: &[usize]) -> Result<(), RelationalError> {
+        let table = self.table(rel);
+        if !table.is_materialized() {
+            return Err(RelationalError::StreamedExtension {
+                relation: self.schema.relation(rel).name.clone(),
+            });
+        }
+        let len = table.len();
+        for (i, &r) in rows.iter().enumerate() {
+            let ascending = i == 0 || rows[i - 1] < r;
+            if r >= len || !ascending {
+                return Err(RelationalError::BadDeleteSet {
+                    relation: self.schema.relation(rel).name.clone(),
+                    index: r,
+                    rows: len,
+                });
+            }
+        }
+        if rows.is_empty() {
+            return Ok(());
+        }
+        self.gens[rel.index()] = fresh_gen();
+        Arc::make_mut(&mut self.tables[rel.index()]).remove_rows(rows);
+        Ok(())
     }
 
     /// Looks up a relation id by name, erroring when missing.

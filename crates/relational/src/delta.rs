@@ -1,0 +1,460 @@
+//! Delta maintenance: incremental updates of cached counting
+//! structures under row appends and deletes.
+//!
+//! The paper's method assumes a *static* extension, but ROADMAP open
+//! item 3 (a live DBRE service) means the extension changes while
+//! sessions hold warm caches. Before this module, any mutation bumped
+//! the table generation and every cached structure for that relation
+//! was recomputed from scratch on next use. Here a mutation is
+//! expressed as a [`Delta`], and the cached structures that admit
+//! cheap incremental updates — distinct projections, stripped
+//! partitions ([`crate::partitions`]) and LHS groups — are carried
+//! from the old table version to the new one directly:
+//!
+//! * **Append** — new rows join existing equivalence classes via a
+//!   representative-key map (`O(classes + appended)`), with a single
+//!   scan over old rows only when an appended key might promote an
+//!   old stripped singleton into a visible class;
+//! * **Delete** — pure index surgery: deleted rows leave their
+//!   classes, surviving indices shift down by the number of deleted
+//!   rows before them, classes that fall under two members are
+//!   stripped. No values are read at all.
+//!
+//! Every function here is pinned against the recompute-from-scratch
+//! reference (the constructors in [`crate::partitions`] /
+//! [`crate::table`] / [`crate::backend`]) by the differential tests —
+//! maintained output must be **equal**, including class and group
+//! order, because byte-identical decision logs across sessions depend
+//! on it.
+//!
+//! NULL conventions follow the structures being maintained: partition
+//! maintenance treats NULL as a value equal to itself (the mining
+//! convention of [`crate::partitions`]); LHS-group and projection
+//! maintenance skip rows with a NULL in the projected attributes (SQL
+//! semantics).
+
+use crate::database::Database;
+use crate::error::RelationalError;
+use crate::partitions::StrippedPartition;
+use crate::schema::RelId;
+use crate::table::ProjKey;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// One batch mutation of a single relation's extension, crossing
+/// exactly one generation boundary (see
+/// [`Database::append_rows`] / [`Database::delete_rows`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delta {
+    /// Append `rows` tuples at the end of the extension.
+    Append {
+        /// The mutated relation.
+        rel: RelId,
+        /// The appended tuples, in order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Delete the rows at the given indices (strictly ascending).
+    Delete {
+        /// The mutated relation.
+        rel: RelId,
+        /// Row indices to delete, strictly ascending.
+        rows: Vec<usize>,
+    },
+}
+
+impl Delta {
+    /// The relation this delta mutates.
+    pub fn rel(&self) -> RelId {
+        match self {
+            Delta::Append { rel, .. } | Delta::Delete { rel, .. } => *rel,
+        }
+    }
+}
+
+impl Database {
+    /// Applies a delta to this database: one validated batch
+    /// mutation, one fresh generation tag. Appends clone the delta's
+    /// rows (the delta is also handed to cache maintenance, which
+    /// reads it by reference).
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<(), RelationalError> {
+        match delta {
+            Delta::Append { rel, rows } => self.append_rows(*rel, rows.clone()),
+            Delta::Delete { rel, rows } => self.delete_rows(*rel, rows),
+        }
+    }
+}
+
+/// Projects row `i` of `cols` (mining convention: NULL is an ordinary
+/// key value).
+fn project(cols: &[&[Value]], i: usize) -> ProjKey {
+    cols.iter().map(|c| c[i].clone()).collect()
+}
+
+/// Projects row `i` of `cols` under SQL semantics: `None` when any
+/// projected cell is NULL.
+fn project_non_null(cols: &[&[Value]], i: usize) -> Option<ProjKey> {
+    let mut key = Vec::with_capacity(cols.len());
+    for c in cols {
+        let v = &c[i];
+        if v.is_null() {
+            return None;
+        }
+        key.push(v.clone());
+    }
+    Some(key)
+}
+
+/// New index of surviving row `r` after deleting `deleted` (strictly
+/// ascending), or `None` when `r` itself was deleted.
+fn remap(r: usize, deleted: &[usize]) -> Option<usize> {
+    match deleted.binary_search(&r) {
+        Ok(_) => None,
+        // `Err(pos)` is the number of deleted indices below `r`.
+        Err(pos) => Some(r - pos),
+    }
+}
+
+/// Generic class-append under an arbitrary row→key projection:
+/// appended rows with a key matching an existing class's
+/// representative join that class; the rest either promote an old
+/// stripped singleton (found in one batched scan over old rows) or
+/// form new classes among themselves. Shared by partition (mining
+/// convention) and LHS-group (SQL convention) maintenance — the
+/// convention lives entirely in `key_of`.
+fn classes_append(
+    old_classes: &[Vec<usize>],
+    old_rows: usize,
+    new_rows: usize,
+    key_of: impl Fn(usize) -> Option<ProjKey>,
+) -> Vec<Vec<usize>> {
+    let mut classes: Vec<Vec<usize>> = old_classes.to_vec();
+    let mut by_key: HashMap<ProjKey, usize> = HashMap::with_capacity(classes.len());
+    for (ci, class) in classes.iter().enumerate() {
+        // Classes are non-empty by the stripping invariant; their
+        // representative row always projects to a key (group rows are
+        // NULL-free under SQL semantics, and the mining projection is
+        // total).
+        if let Some(key) = class.first().copied().and_then(&key_of) {
+            by_key.insert(key, ci);
+        }
+    }
+    let mut pending: HashMap<ProjKey, Vec<usize>> = HashMap::new();
+    for i in old_rows..new_rows {
+        let Some(key) = key_of(i) else { continue };
+        match by_key.get(&key) {
+            Some(&ci) => classes[ci].push(i),
+            None => pending.entry(key).or_default().push(i),
+        }
+    }
+    if !pending.is_empty() {
+        // A pending key may match an old row that was stripped as a
+        // singleton; one scan over old rows finds every promotion.
+        // (At most one old row per pending key — two old rows with
+        // the same key would already be a class.)
+        let mut in_class = vec![false; old_rows];
+        for class in old_classes {
+            for &r in class {
+                in_class[r] = true;
+            }
+        }
+        for (i, &claimed) in in_class.iter().enumerate() {
+            if claimed {
+                continue;
+            }
+            let Some(key) = key_of(i) else { continue };
+            if let Some(mut rows) = pending.remove(&key) {
+                // `i` precedes every appended index.
+                rows.insert(0, i);
+                classes.push(rows);
+            }
+        }
+        for (_, rows) in pending {
+            if rows.len() >= 2 {
+                classes.push(rows);
+            }
+        }
+    }
+    classes.sort();
+    classes
+}
+
+/// Generic class-delete: index surgery only (deletes can never merge
+/// classes or promote singletons). Classes falling under two members
+/// are stripped; class order is re-established by sorting, matching
+/// the recompute reference.
+fn classes_delete(old_classes: &[Vec<usize>], deleted: &[usize]) -> Vec<Vec<usize>> {
+    let mut classes: Vec<Vec<usize>> = Vec::with_capacity(old_classes.len());
+    for class in old_classes {
+        let next: Vec<usize> = class.iter().filter_map(|&r| remap(r, deleted)).collect();
+        if next.len() >= 2 {
+            classes.push(next);
+        }
+    }
+    classes.sort();
+    classes
+}
+
+/// Maintains a stripped partition across an append. `cols` are the
+/// **after** columns of the partition's attributes (empty for the
+/// empty attribute set), `old_rows`/`new_rows` the row counts on
+/// either side of the generation boundary. Mining NULL convention.
+pub fn partition_append(
+    p: &StrippedPartition,
+    cols: &[&[Value]],
+    old_rows: usize,
+    new_rows: usize,
+) -> StrippedPartition {
+    debug_assert_eq!(p.rows, old_rows);
+    let classes = classes_append(&p.classes, old_rows, new_rows, |i| Some(project(cols, i)));
+    StrippedPartition {
+        classes,
+        rows: new_rows,
+    }
+}
+
+/// Maintains a stripped partition across a delete (`deleted` strictly
+/// ascending). Reads no values — deletes are pure index surgery.
+pub fn partition_delete(p: &StrippedPartition, deleted: &[usize]) -> StrippedPartition {
+    StrippedPartition {
+        classes: classes_delete(&p.classes, deleted),
+        rows: p.rows - deleted.len(),
+    }
+}
+
+/// Maintains LHS groups (SQL semantics: NULL-bearing rows excluded)
+/// across an append. `cols` are the **after** columns of the LHS
+/// attributes.
+pub fn lhs_groups_append(
+    groups: &[Vec<usize>],
+    cols: &[&[Value]],
+    old_rows: usize,
+    new_rows: usize,
+) -> Vec<Vec<usize>> {
+    classes_append(groups, old_rows, new_rows, |i| project_non_null(cols, i))
+}
+
+/// Maintains LHS groups across a delete (`deleted` strictly
+/// ascending).
+pub fn lhs_groups_delete(groups: &[Vec<usize>], deleted: &[usize]) -> Vec<Vec<usize>> {
+    classes_delete(groups, deleted)
+}
+
+/// Maintains a distinct non-NULL projection set across an append:
+/// the appended rows' fully non-NULL projections join the set.
+/// (Deletes cannot be maintained on a set — the set has no
+/// multiplicities — so delete maintenance evicts instead.)
+pub fn projection_append(
+    set: &HashSet<ProjKey>,
+    cols: &[&[Value]],
+    old_rows: usize,
+    new_rows: usize,
+) -> HashSet<ProjKey> {
+    let mut out = set.clone();
+    for i in old_rows..new_rows {
+        if let Some(key) = project_non_null(cols, i) {
+            out.insert(key);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrId;
+    use crate::backend::lhs_groups_reference;
+    use crate::schema::Relation;
+    use crate::table::Table;
+    use crate::value::Domain;
+
+    fn a(i: u16) -> AttrId {
+        AttrId(i)
+    }
+
+    fn table(rows: &[Vec<Value>]) -> Table {
+        Table::from_rows(rows.first().map_or(2, Vec::len), rows.to_vec()).unwrap()
+    }
+
+    fn cols<'t>(t: &'t Table, attrs: &[AttrId]) -> Vec<&'t [Value]> {
+        attrs.iter().map(|a| t.column(*a)).collect()
+    }
+
+    fn check_partition(before: &[Vec<Value>], appended: &[Vec<Value>], attrs: &[AttrId]) {
+        let old = table(before);
+        let mut all = before.to_vec();
+        all.extend(appended.iter().cloned());
+        let new = table(&all);
+        let maintained = partition_append(
+            &StrippedPartition::for_attrs(&old, attrs),
+            &cols(&new, attrs),
+            old.len(),
+            new.len(),
+        );
+        assert_eq!(maintained, StrippedPartition::for_attrs(&new, attrs));
+    }
+
+    #[test]
+    fn append_joins_existing_classes_and_promotes_singletons() {
+        let before = vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(1), Value::str("b")],
+            vec![Value::Int(2), Value::str("c")], // stripped singleton
+        ];
+        let appended = vec![
+            vec![Value::Int(1), Value::str("d")], // joins {0,1}
+            vec![Value::Int(2), Value::str("e")], // promotes row 2
+            vec![Value::Int(3), Value::str("f")], // new singleton (stays stripped)
+            vec![Value::Int(4), Value::str("g")], // new class among appended...
+            vec![Value::Int(4), Value::str("h")], // ...rows only
+        ];
+        check_partition(&before, &appended, &[a(0)]);
+        check_partition(&before, &appended, &[a(0), a(1)]);
+        check_partition(&before, &appended, &[]);
+    }
+
+    #[test]
+    fn append_nulls_follow_the_mining_convention() {
+        let before = vec![
+            vec![Value::Null, Value::Int(1)],
+            vec![Value::Int(7), Value::Int(2)],
+        ];
+        let appended = vec![
+            vec![Value::Null, Value::Int(3)], // NULL = NULL: promotes row 0
+            vec![Value::Int(7), Value::Int(4)],
+        ];
+        check_partition(&before, &appended, &[a(0)]);
+    }
+
+    #[test]
+    fn append_into_empty_table() {
+        let appended = vec![
+            vec![Value::Int(5), Value::Int(0)],
+            vec![Value::Int(5), Value::Int(1)],
+        ];
+        check_partition(&[], &appended, &[a(0)]);
+    }
+
+    #[test]
+    fn delete_is_index_surgery() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(0)],
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(2), Value::Int(3)],
+            vec![Value::Int(2), Value::Int(4)],
+        ];
+        let t = table(&rows);
+        let p = StrippedPartition::for_attrs(&t, &[a(0)]);
+        for deleted in [vec![0], vec![1, 3], vec![3, 4], vec![0, 1, 2]] {
+            let mut survivors = rows.clone();
+            for &d in deleted.iter().rev() {
+                survivors.remove(d);
+            }
+            let expect = StrippedPartition::for_attrs(&table(&survivors), &[a(0)]);
+            assert_eq!(
+                partition_delete(&p, &deleted),
+                expect,
+                "deleted {deleted:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lhs_groups_skip_null_rows_on_both_sides_of_the_boundary() {
+        let mut db = Database::new();
+        let rel = db
+            .add_relation(Relation::of("T", &[("x", Domain::Int), ("y", Domain::Int)]))
+            .unwrap();
+        let before = vec![
+            vec![Value::Int(1), Value::Int(0)],
+            vec![Value::Null, Value::Int(1)], // excluded under SQL semantics
+            vec![Value::Int(2), Value::Int(2)], // non-grouped singleton
+        ];
+        for row in &before {
+            db.insert(rel, row.clone()).unwrap();
+        }
+        let groups = lhs_groups_reference(&db, rel, &[a(0)]);
+        let appended = vec![
+            vec![Value::Null, Value::Int(3)],   // must NOT group with row 1
+            vec![Value::Int(2), Value::Int(4)], // promotes row 2
+            vec![Value::Int(1), Value::Int(5)],
+        ];
+        db.append_rows(rel, appended).unwrap();
+        let maintained = lhs_groups_append(&groups, &cols(db.table(rel), &[a(0)]), 3, 6);
+        assert_eq!(maintained, lhs_groups_reference(&db, rel, &[a(0)]));
+
+        let deleted = vec![0, 4];
+        let expect_groups = {
+            let mut d2 = db.clone();
+            d2.delete_rows(rel, &deleted).unwrap();
+            lhs_groups_reference(&d2, rel, &[a(0)])
+        };
+        assert_eq!(lhs_groups_delete(&maintained, &deleted), expect_groups);
+    }
+
+    #[test]
+    fn projection_append_matches_distinct_projection() {
+        let before = vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Null, Value::str("b")],
+        ];
+        let appended = [
+            vec![Value::Int(1), Value::str("a")], // duplicate
+            vec![Value::Null, Value::str("c")],   // skipped (NULL in x)
+            vec![Value::Int(9), Value::str("d")],
+        ];
+        let old = table(&before);
+        let mut all = before.clone();
+        all.extend(appended.iter().cloned());
+        let new = table(&all);
+        for attrs in [vec![a(0)], vec![a(0), a(1)]] {
+            let maintained = projection_append(
+                &old.distinct_projection(&attrs),
+                &cols(&new, &attrs),
+                old.len(),
+                new.len(),
+            );
+            assert_eq!(maintained, new.distinct_projection(&attrs));
+        }
+    }
+
+    #[test]
+    fn apply_delta_validates_and_tags_once() {
+        let mut db = Database::new();
+        let rel = db
+            .add_relation(Relation::of("T", &[("x", Domain::Int)]))
+            .unwrap();
+        db.insert(rel, vec![Value::Int(1)]).unwrap();
+        let g0 = db.generation(rel);
+        db.apply_delta(&Delta::Append {
+            rel,
+            rows: vec![vec![Value::Int(2)], vec![Value::Int(3)]],
+        })
+        .unwrap();
+        assert_eq!(db.table(rel).len(), 3);
+        assert_ne!(db.generation(rel), g0);
+
+        // Bad batch: nothing applied, generation untouched.
+        let g1 = db.generation(rel);
+        let err = db.apply_delta(&Delta::Append {
+            rel,
+            rows: vec![vec![Value::Int(4)], vec![Value::str("bad")]],
+        });
+        assert!(matches!(err, Err(RelationalError::DomainViolation { .. })));
+        assert_eq!(db.table(rel).len(), 3);
+        assert_eq!(db.generation(rel), g1);
+
+        let err = db.apply_delta(&Delta::Delete {
+            rel,
+            rows: vec![2, 1],
+        });
+        assert!(matches!(err, Err(RelationalError::BadDeleteSet { .. })));
+        db.apply_delta(&Delta::Delete {
+            rel,
+            rows: vec![0, 2],
+        })
+        .unwrap();
+        assert_eq!(db.table(rel).len(), 1);
+        assert_eq!(db.table(rel).cell(0, a(0)), &Value::Int(2));
+    }
+}

@@ -307,6 +307,70 @@ impl ColumnDict {
             counts: self.counts.clone(),
         }
     }
+
+    /// Extends the dictionary with appended cells, interning exactly
+    /// as [`ColumnDict::build`] would — codes stay first-occurrence
+    /// canonical, so the result **equals** a rebuild over the
+    /// concatenated column. This is the append half of delta
+    /// maintenance ([`crate::delta`]); it requires a full (non-slim)
+    /// dictionary and clones a value only on first occurrence.
+    pub fn append_values(&mut self, appended: &[Value]) {
+        debug_assert_eq!(
+            self.codes.len() as u64,
+            self.counts.iter().sum::<u64>(),
+            "append_values needs a full (non-slim) dictionary"
+        );
+        self.codes.reserve(appended.len());
+        for v in appended {
+            if v.is_null() {
+                self.nulls += 1;
+                self.counts[NULL_CODE as usize] += 1;
+                self.codes.push(NULL_CODE);
+                continue;
+            }
+            let code = match self.index.get(v) {
+                Some(&c) => c,
+                None => {
+                    let next = self.values.len() as u32 + 1;
+                    self.values.push(v.clone());
+                    self.index.insert(v.clone(), next);
+                    self.counts.push(0);
+                    next
+                }
+            };
+            self.counts[code as usize] += 1;
+            self.codes.push(code);
+        }
+    }
+
+    /// Removes the rows at `sorted` (strictly ascending), decrementing
+    /// per-code counts. Returns `true` when the result still equals a
+    /// rebuild over the surviving column — `false` when some value's
+    /// count reached zero, leaving a *ghost* code that a rebuild would
+    /// never assign (first-occurrence order diverges and
+    /// `cardinality()` over-counts); the caller must then evict and
+    /// rebuild instead of keeping this dictionary.
+    pub fn remove_rows(&mut self, sorted: &[usize]) -> bool {
+        for &i in sorted {
+            let code = self.codes[i] as usize;
+            self.counts[code] -= 1;
+            if code == NULL_CODE as usize {
+                self.nulls -= 1;
+            }
+        }
+        let mut next_del = 0usize;
+        let mut write = 0usize;
+        for read in 0..self.codes.len() {
+            if next_del < sorted.len() && sorted[next_del] == read {
+                next_del += 1;
+                continue;
+            }
+            self.codes[write] = self.codes[read];
+            write += 1;
+        }
+        self.codes.truncate(write);
+        self.counts.iter().skip(1).all(|&c| c > 0)
+    }
 }
 
 /// The set of distinct, fully non-NULL projected code tuples of one
@@ -344,6 +408,48 @@ impl EncodedSet {
     /// Is the set empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Maintains this set across a row append: inserts the projected
+    /// code tuples of rows `old_rows..new_rows` of `cols` (the
+    /// **already-maintained** dictionaries covering the full
+    /// post-append column). Equals `distinct_codes_cols` over the
+    /// whole column — the delta layer's append path for cached
+    /// distinct sets. Deletes are not maintainable here (no
+    /// multiplicities); callers evict instead.
+    pub fn append_rows(&mut self, cols: &[&ColumnDict], old_rows: usize, new_rows: usize) {
+        match self {
+            EncodedSet::Unary { card } => {
+                // Canonical interning means codes 1..=cardinality all
+                // occur; the maintained dictionary already knows the
+                // new cardinality.
+                *card = cols[0].cardinality() as u32;
+            }
+            EncodedSet::Packed(set) => {
+                let (ca, cb) = (cols[0].codes(), cols[1].codes());
+                for i in old_rows..new_rows {
+                    let (x, y) = (ca[i], cb[i]);
+                    if x != NULL_CODE && y != NULL_CODE {
+                        set.insert(pack2(x, y));
+                    }
+                }
+            }
+            EncodedSet::Wide(set) => {
+                'rows: for i in old_rows..new_rows {
+                    let mut key = Vec::with_capacity(cols.len());
+                    for c in cols {
+                        let code = c.codes()[i];
+                        if code == NULL_CODE {
+                            continue 'rows;
+                        }
+                        key.push(code);
+                    }
+                    if !set.contains(key.as_slice()) {
+                        set.insert(key.into_boxed_slice());
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -32,6 +32,7 @@ pub mod chase;
 pub mod counting;
 pub mod csv;
 pub mod database;
+pub mod delta;
 pub mod deps;
 pub mod encode;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod pages;
 pub mod par;
 pub mod partitions;
 pub mod schema;
+pub mod snapshot;
 pub mod spill;
 pub mod stats;
 pub mod synthesis;
@@ -55,6 +57,7 @@ pub use bufpool::{BufferPool, PageCacheStats};
 pub use counting::{join_stats, EquiJoin, JoinStats};
 pub use csv::CsvError;
 pub use database::Database;
+pub use delta::Delta;
 pub use deps::{Constraints, Dependencies, Fd, Ind, IndSide, Key};
 pub use encode::{ColumnDict, DictBuilder, DictTable, EncodedSet};
 pub use error::{DbreError, RelationalError};
@@ -63,6 +66,7 @@ pub use pages::{PageError, PageFileWriter, PagedBackend, PagedColumn};
 pub use par::par_map;
 pub use partitions::StrippedPartition;
 pub use schema::{QualAttrs, RelId, Relation, Schema};
+pub use snapshot::{DbSnapshot, SharedDb};
 pub use spill::{SpillCacheStats, SpilledTable};
 pub use stats::{StatsCounters, StatsEngine};
 pub use table::Table;

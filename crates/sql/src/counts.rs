@@ -135,6 +135,15 @@ pub struct SqlBackend {
     tuple_ops: AtomicU64,
 }
 
+// Compile-time proof the SQL backend can be shared by concurrent
+// sessions like the in-crate backends (which `dbre-relational`
+// asserts the same way): nothing but atomics and the already-`Sync`
+// reference/encoded backends inside.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SqlBackend>();
+};
+
 impl std::fmt::Debug for SqlBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SqlBackend")
