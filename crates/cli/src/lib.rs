@@ -8,7 +8,7 @@
 //!              [--csv Table=rows.csv]... [--programs file|dir]...
 //!              [--oracle auto|deny] [--backend reference|encoded|sql|paged]
 //!              [--page-cache MIB] [--spill-dir DIR] [--infer-keys]
-//!              [--sessions N] [--dot out.dot] [--quiet]
+//!              [--sketch on|off] [--sessions N] [--dot out.dot] [--quiet]
 //! dbre extract --schema schema.sql [--programs file|dir]...
 //! dbre example
 //! ```
@@ -18,7 +18,7 @@
 
 use dbre_core::pipeline::{run_with_programs, PipelineOptions};
 use dbre_core::render::{render_fds, render_inds, render_log, render_schema};
-use dbre_core::{AutoOracle, DenyOracle, Oracle};
+use dbre_core::{AutoOracle, DenyOracle, Oracle, SketchMode};
 use dbre_extract::{ProgramSource, SourceKind};
 use dbre_relational::csv::import_csv;
 use dbre_sql::Catalog;
@@ -65,6 +65,11 @@ pub struct ReverseArgs {
     pub spill_dir: Option<PathBuf>,
     /// Infer missing keys from the extension.
     pub infer_keys: bool,
+    /// Sketch prefilter override: `--sketch on|off`. `None` defers to
+    /// the `DBRE_SKETCH` environment variable (default on). Either
+    /// mode produces byte-identical findings; `off` is the exact-only
+    /// baseline for benchmarking.
+    pub sketch: Option<SketchMode>,
     /// Service bench mode: run this many concurrent sessions over one
     /// shared snapshot and engine, print throughput and presumption
     /// latency, and check all logs against a serial run.
@@ -93,7 +98,7 @@ USAGE:
                [--csv Table=rows.csv]... [--programs FILE|DIR]...
                [--oracle auto|deny] [--backend reference|encoded|sql|paged]
                [--page-cache MIB] [--spill-dir DIR] [--infer-keys]
-               [--sessions N] [--dot OUT.dot] [--quiet]
+               [--sketch on|off] [--sessions N] [--dot OUT.dot] [--quiet]
   dbre extract --schema DDL.sql [--programs FILE|DIR]...
   dbre example
   dbre help
@@ -161,6 +166,13 @@ pub fn parse_args(args: &[String]) -> Command {
                             reverse.spill_dir = Some(PathBuf::from(value("--spill-dir")?));
                         }
                         "--infer-keys" => reverse.infer_keys = true,
+                        "--sketch" => {
+                            let v = value("--sketch")?;
+                            reverse.sketch =
+                                Some(SketchMode::parse(&v).ok_or_else(|| {
+                                    format!("--sketch must be on or off, got `{v}`")
+                                })?);
+                        }
                         "--sessions" => {
                             let v = value("--sessions")?;
                             let n: usize = v.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
@@ -353,6 +365,9 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             }
             options.spilled = spilled;
             options.page_cache = args.page_cache.map(|mib| mib * 1024 * 1024);
+            if let Some(mode) = args.sketch {
+                options.sketch = mode;
+            }
             if let Some(n) = args.sessions {
                 return run_service_bench(db, &programs, &options, args, n);
             }
@@ -552,6 +567,22 @@ fn render_result(result: &dbre_core::pipeline::PipelineResult, quiet: bool) -> S
         // entry without re-encoding its source.
         let _ = writeln!(out, "spill cache: {} hits, {} misses", sc.hits, sc.misses);
     }
+    let sk = &result.stats.sketch;
+    if sk.active() {
+        let _ = writeln!(
+            out,
+            "sketch prefilter: {} candidates, {} pruned, {} exactly verified",
+            sk.candidates, sk.pruned, sk.verified
+        );
+        if sk.est_error_cols > 0 {
+            let _ = writeln!(
+                out,
+                "sketch distinct counts: mean HLL error {:.2}% over {} columns",
+                sk.mean_distinct_error() * 100.0,
+                sk.est_error_cols
+            );
+        }
+    }
     for (stage, t) in &result.stats.stage_timings {
         let _ = writeln!(out, "{stage:<14} {:>9.3} ms", t.as_secs_f64() * 1e3);
     }
@@ -589,6 +620,8 @@ mod tests {
             "--spill-dir",
             "cache/",
             "--infer-keys",
+            "--sketch",
+            "off",
             "--dot",
             "out.dot",
             "--quiet",
@@ -596,6 +629,7 @@ mod tests {
         let Command::Reverse(a) = cmd else {
             panic!("{cmd:?}")
         };
+        assert_eq!(a.sketch, Some(SketchMode::Off));
         assert_eq!(a.schema, PathBuf::from("ddl.sql"));
         assert_eq!(a.data, Some(PathBuf::from("rows.sql")));
         assert_eq!(a.csv, vec![("Person".into(), PathBuf::from("p.csv"))]);
@@ -638,6 +672,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_args(&s(&["reverse", "--schema", "x", "--spill-dir"])),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["reverse", "--schema", "x", "--sketch", "maybe"])),
             Command::Help(Some(_))
         ));
         assert!(matches!(
@@ -747,6 +785,55 @@ mod tests {
         assert!(out.contains("Orders: cust -> cname"));
         let dot_text = std::fs::read_to_string(&dot).unwrap();
         assert!(dot_text.starts_with("digraph eer {"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sketch_flag_is_observable_and_inert() {
+        let dir = std::env::temp_dir().join(format!("dbre_cli_sketch_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("programs")).unwrap();
+        std::fs::write(
+            dir.join("schema.sql"),
+            "CREATE TABLE Customer (cid INT UNIQUE, cname VARCHAR(30));
+             CREATE TABLE Orders (oid INT UNIQUE, cust INT, cname VARCHAR(30));
+             INSERT INTO Customer VALUES (1, 'ann'), (2, 'bob');
+             INSERT INTO Orders VALUES (10, 1, 'ann'), (11, 2, 'bob');",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("programs").join("report.sql"),
+            "SELECT cname FROM Orders o, Customer c WHERE o.cust = c.cid;",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        for mode in ["on", "off"] {
+            let cmd = parse_args(&s(&[
+                "reverse",
+                "--schema",
+                dir.join("schema.sql").to_str().unwrap(),
+                "--programs",
+                dir.join("programs").to_str().unwrap(),
+                "--backend",
+                "encoded",
+                "--sketch",
+                mode,
+                "--quiet",
+            ]));
+            let out = run(&cmd).unwrap();
+            assert_eq!(
+                out.contains("sketch prefilter: "),
+                mode == "on",
+                "mode {mode}: {out}"
+            );
+            findings.push(
+                out.split("# Pipeline statistics")
+                    .next()
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+        // Pruned and exact-only runs report identical findings.
+        assert_eq!(findings[0], findings[1]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

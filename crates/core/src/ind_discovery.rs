@@ -26,10 +26,12 @@ use dbre_relational::database::Database;
 use dbre_relational::deps::{Ind, IndSide};
 use dbre_relational::par::par_map;
 use dbre_relational::schema::{RelId, Relation};
+use dbre_relational::sketch::{ColumnSketch, SketchMode, SketchPruneStats};
 use dbre_relational::stats::StatsEngine;
 use dbre_relational::table::Table;
 use dbre_relational::value::Value;
 use dbre_relational::{Attribute, DbreError};
+use std::sync::Arc;
 
 /// Result of IND-Discovery.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +47,9 @@ pub struct IndDiscovery {
     /// Joins where the intersection was empty (case (i)) — flagged as
     /// potential data-integrity problems.
     pub empty_intersections: Vec<EquiJoin>,
+    /// Sketch-prefilter observability (all zero when sketches were off
+    /// or the backend offers none).
+    pub sketch: SketchPruneStats,
 }
 
 impl IndDiscovery {
@@ -68,14 +73,47 @@ pub fn ind_discovery(
     ind_discovery_with_stats(db, q, oracle, &StatsEngine::new())
 }
 
+/// Runs IND-Discovery with counting memoized in `engine`, honoring the
+/// ambient [`SketchMode`] (`DBRE_SKETCH`).
+pub fn ind_discovery_with_stats(
+    db: &mut Database,
+    q: &[EquiJoin],
+    oracle: &mut dyn Oracle,
+    engine: &dyn CountBackend,
+) -> Result<IndDiscovery, DbreError> {
+    ind_discovery_sketched(db, q, oracle, engine, SketchMode::from_env())
+}
+
 /// Runs IND-Discovery with counting memoized in `engine`.
 ///
-/// All join cardinalities of `Q` are collected up front in one
+/// When `mode` is on and the backend serves [`ColumnSketch`]es, the
+/// per-join cardinalities go through a *sketch prefilter* first: a
+/// single-attribute join whose two sketches prove a disjoint value set
+/// gets its [`JoinStats`] synthesized — `n_left`/`n_right` are the
+/// sketches' exact distinct counts (the same NULL-free projections the
+/// kernel counts) and a proven-empty intersection is `n_join = 0` —
+/// so the exact join kernel never runs for it. The proof is exact
+/// (sorted-hash membership behind a Bloom fast path), so the output is
+/// byte-identical to the exact-only run; sketches never *decide* a
+/// case they cannot prove.
+///
+/// The remaining cardinalities are collected up front in one
 /// [`par_map`] pass (concurrent with `--features parallel`), which is
 /// sound because the only mutation the loop performs —
 /// conceptualization — *adds* relations and never touches existing
-/// tables. The oracle dialogue itself stays strictly sequential and in
-/// `Q` order, so the decision log and results are deterministic.
+/// tables.
+///
+/// The oracle dialogue stays strictly sequential and per-question
+/// deterministic, but when `mode` is on the NEI questions are *asked*
+/// in descending estimated-overlap order (HLL inclusion–exclusion,
+/// ties broken by `Q` position) so a live expert sees the most
+/// promising presumptions first. Decisions are *applied* — and the
+/// log written — in `Q` order regardless, so for an oracle that
+/// answers each question on its own merits (all the bundled policies)
+/// results and log are identical whichever order the questions
+/// arrive in. A sequence-dependent oracle (e.g. the chaos fuzzer's
+/// RNG stream) may answer differently across modes; that is a
+/// property of the oracle, not of the counting.
 ///
 /// Every join is validated against the schema *before* any counting
 /// touches a table; a malformed join (out-of-range ids, mismatched
@@ -83,19 +121,104 @@ pub fn ind_discovery(
 /// [`DbreError::Relational`] instead of an index panic. The pipeline
 /// pre-filters `Q` with per-join warnings, so a direct caller is the
 /// only one who ever sees this error.
-pub fn ind_discovery_with_stats(
+pub fn ind_discovery_sketched(
     db: &mut Database,
     q: &[EquiJoin],
     oracle: &mut dyn Oracle,
     engine: &dyn CountBackend,
+    mode: SketchMode,
 ) -> Result<IndDiscovery, DbreError> {
     for join in q {
         join.validate(db)?;
     }
     let mut out = IndDiscovery::default();
-    par_map(q, |join| engine.join_stats(db, join));
-    for join in q {
-        let stats = engine.join_stats(db, join);
+
+    // Sketch prefilter. Only unary joins have per-column sketches; a
+    // missing sketch (backend without the seam, ghosted dict) simply
+    // falls through to the exact kernel.
+    let pairs: Vec<Option<(Arc<ColumnSketch>, Arc<ColumnSketch>)>> = q
+        .iter()
+        .map(|join| {
+            if !mode.is_on() || join.left.attrs.len() != 1 || join.right.attrs.len() != 1 {
+                return None;
+            }
+            let l = engine.column_sketch(db, join.left.rel, join.left.attrs[0])?;
+            let r = engine.column_sketch(db, join.right.rel, join.right.attrs[0])?;
+            Some((l, r))
+        })
+        .collect();
+    let prejudged: Vec<Option<JoinStats>> = pairs
+        .iter()
+        .map(|pair| {
+            let (l, r) = pair.as_ref()?;
+            out.sketch.candidates += 1;
+            out.sketch.observe_column(l);
+            out.sketch.observe_column(r);
+            if l.proves_disjoint(r) {
+                out.sketch.pruned += 1;
+                Some(JoinStats {
+                    n_left: l.distinct_exact(),
+                    n_right: r.distinct_exact(),
+                    n_join: 0,
+                })
+            } else {
+                out.sketch.verified += 1;
+                None
+            }
+        })
+        .collect();
+
+    // Exact cardinalities for everything the prefilter couldn't prove.
+    let need_exact: Vec<&EquiJoin> = q
+        .iter()
+        .zip(&prejudged)
+        .filter_map(|(join, pre)| pre.is_none().then_some(join))
+        .collect();
+    par_map(&need_exact, |join| engine.join_stats(db, join));
+    let all_stats: Vec<JoinStats> = q
+        .iter()
+        .zip(prejudged)
+        .map(|(join, pre)| pre.unwrap_or_else(|| engine.join_stats(db, join)))
+        .collect();
+
+    // Rank the NEI questions (sketch mode only): most-promising first,
+    // by HLL overlap estimate where sketches exist, exact overlap
+    // ratio otherwise, `Q` position as the deterministic tie-break.
+    let is_nei =
+        |s: &JoinStats| !s.empty_intersection() && s.n_join != s.n_left && s.n_join != s.n_right;
+    let mut nei_order: Vec<usize> = (0..q.len()).filter(|&i| is_nei(&all_stats[i])).collect();
+    if mode.is_on() {
+        let mut ranked: Vec<(f64, usize)> = nei_order
+            .iter()
+            .map(|&i| {
+                let score = match &pairs[i] {
+                    Some((l, r)) => l.estimated_overlap(r),
+                    None => all_stats[i].overlap_ratio(),
+                };
+                (score, i)
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        nei_order = ranked.into_iter().map(|(_, i)| i).collect();
+    }
+
+    // Consult the expert in ranked order; apply (and log) in Q order.
+    let mut decisions: Vec<Option<NeiDecision>> = vec![None; q.len()];
+    for &i in &nei_order {
+        let stats = all_stats[i];
+        decisions[i] = Some(oracle.resolve_nei(&NeiContext {
+            db,
+            join: &q[i],
+            stats,
+        }));
+    }
+
+    for (i, join) in q.iter().enumerate() {
+        let stats = all_stats[i];
         out.join_stats.push((join.clone(), stats));
         let rendered = join.render(&db.schema);
 
@@ -131,8 +254,13 @@ pub fn ind_discovery_with_stats(
             continue;
         }
 
-        // NEI — expert user decides.
-        let decision = oracle.resolve_nei(&NeiContext { db, join, stats });
+        // NEI — the expert user already decided, apply in Q order (a
+        // missing slot cannot happen — the ranked pass consulted every
+        // NEI index — but fall back to asking now rather than panic).
+        let decision = match decisions[i].take() {
+            Some(d) => d,
+            None => oracle.resolve_nei(&NeiContext { db, join, stats }),
+        };
         out.log.push(DecisionRecord::new(
             "IND-Discovery/NEI",
             rendered.clone(),

@@ -24,6 +24,7 @@ use crate::session::{stages, BackendChoice, DbreSession};
 use dbre_extract::{extract_programs, ExtractConfig, ProgramSource};
 use dbre_relational::counting::EquiJoin;
 use dbre_relational::database::Database;
+use dbre_relational::sketch::{SketchMode, SketchPruneStats};
 use dbre_relational::stats::StatsCounters;
 use dbre_relational::BackendExecStats;
 use dbre_relational::DbreError;
@@ -60,6 +61,12 @@ pub struct PipelineOptions {
     /// `spilled` forces the paged backend regardless of `backend` —
     /// no other backend can answer for pages-only extensions.
     pub spilled: Vec<(RelId, Arc<SpilledTable>)>,
+    /// Sketch-accelerated discovery (`--sketch` on the CLI,
+    /// `DBRE_SKETCH` in the environment): HLL/Bloom column sketches
+    /// prune provably-decided candidates before the exact kernels run.
+    /// Results are byte-identical either way — sketches only suppress
+    /// work whose outcome they can prove.
+    pub sketch: SketchMode,
 }
 
 impl Default for PipelineOptions {
@@ -74,6 +81,7 @@ impl Default for PipelineOptions {
             backend: BackendChoice::from_env(),
             page_cache: None,
             spilled: Vec::new(),
+            sketch: SketchMode::from_env(),
         }
     }
 }
@@ -104,6 +112,11 @@ pub struct PipelineStats {
     /// adopted from a warm `--spill-dir` entry (encode skipped) vs
     /// tables encoded from source. All-zero when nothing streamed.
     pub spill_cache: SpillCacheStats,
+    /// Sketch-prefilter counters summed over the discovery stages:
+    /// candidates examined, proofs that pruned the exact kernel,
+    /// survivors exactly verified, and the mean HLL-vs-exact distinct
+    /// error over consulted columns. All-zero with sketches off.
+    pub sketch: SketchPruneStats,
 }
 
 impl PipelineStats {

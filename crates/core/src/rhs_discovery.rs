@@ -25,6 +25,7 @@ use dbre_relational::database::Database;
 use dbre_relational::deps::Fd;
 use dbre_relational::par::par_map;
 use dbre_relational::schema::QualAttrs;
+use dbre_relational::sketch::{SketchMode, SketchPruneStats};
 use dbre_relational::stats::StatsEngine;
 
 /// Options controlling RHS-Discovery (the ablation knobs).
@@ -55,9 +56,14 @@ pub struct RhsDiscovery {
     /// Candidates the expert user gave up (step (v)).
     pub given_up: Vec<QualAttrs>,
     /// Number of `A → b` extension tests performed (ablation metric).
+    /// Counts sketch-settled tests too — the metric is "questions
+    /// asked of the extension", not "kernel invocations".
     pub fd_checks: usize,
     /// Audit trail.
     pub log: Vec<DecisionRecord>,
+    /// Sketch-prefilter observability (all zero when sketches were off
+    /// or the backend offers none).
+    pub sketch: SketchPruneStats,
 }
 
 /// Runs RHS-Discovery over `LHS ∪ H`.
@@ -99,6 +105,18 @@ fn fd_error_for(db: &Database, fd: &Fd, engine: &dyn CountBackend) -> f64 {
 }
 
 /// Runs RHS-Discovery with `A → b` extension tests memoized in
+/// `engine`, honoring the ambient [`SketchMode`] (`DBRE_SKETCH`).
+pub fn rhs_discovery_with_stats(
+    db: &Database,
+    input: &LhsDiscovery,
+    oracle: &mut dyn Oracle,
+    options: &RhsOptions,
+    engine: &dyn CountBackend,
+) -> RhsDiscovery {
+    rhs_discovery_sketched(db, input, oracle, options, engine, SketchMode::from_env())
+}
+
+/// Runs RHS-Discovery with `A → b` extension tests memoized in
 /// `engine`.
 ///
 /// All candidates `b` of one step share the LHS `A`, so the engine
@@ -106,12 +124,21 @@ fn fd_error_for(db: &Database, fd: &Fd, engine: &dyn CountBackend) -> f64 {
 /// grouped rows. The per-candidate tests run through [`par_map`]
 /// (concurrent with `--features parallel`); oracle interaction for
 /// failing/elicited FDs stays sequential and in candidate order.
-pub fn rhs_discovery_with_stats(
+///
+/// When `mode` is on and a single-attribute LHS has a
+/// [`ColumnSketch`][dbre_relational::sketch::ColumnSketch] proving it a
+/// key of its extension (NULL-free, every row distinct — exact counts,
+/// not estimates), the per-candidate probes are skipped wholesale:
+/// every group is a single row, so every `A → b` trivially holds. The
+/// outcome (`B`, the log, `fd_checks`) is byte-identical to running
+/// the probes.
+pub fn rhs_discovery_sketched(
     db: &Database,
     input: &LhsDiscovery,
     oracle: &mut dyn Oracle,
     options: &RhsOptions,
     engine: &dyn CountBackend,
+    mode: SketchMode,
 ) -> RhsDiscovery {
     let mut out = RhsDiscovery {
         hidden: input.hidden.clone(),
@@ -151,7 +178,28 @@ pub fn rhs_discovery_with_stats(
             .iter()
             .map(|ca| Fd::new(rel, a.clone(), AttrSet::single(*ca)))
             .collect();
-        let holds_vec: Vec<bool> = par_map(&cand_fds, |fd| engine.fd_holds(db, fd));
+        // Sketch prefilter: a single-attribute LHS whose sketch proves
+        // it a key settles every probe of this step at once.
+        let key_sketch = match (mode.is_on() && a.len() == 1, a.iter().next()) {
+            (true, Some(attr)) => engine.column_sketch(db, rel, attr),
+            _ => None,
+        };
+        let holds_vec: Vec<bool> = match &key_sketch {
+            Some(s) if s.is_exact_key() => {
+                out.sketch.pruned += cand_fds.len() as u64;
+                vec![true; cand_fds.len()]
+            }
+            _ => {
+                if key_sketch.is_some() {
+                    out.sketch.verified += cand_fds.len() as u64;
+                }
+                par_map(&cand_fds, |fd| engine.fd_holds(db, fd))
+            }
+        };
+        if let Some(s) = &key_sketch {
+            out.sketch.candidates += cand_fds.len() as u64;
+            out.sketch.observe_column(s);
+        }
         let mut b = AttrSet::empty();
         for ((cand_attr, fd), holds) in cand_attrs.iter().zip(&cand_fds).zip(holds_vec) {
             let cand_attr = *cand_attr;

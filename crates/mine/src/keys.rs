@@ -20,14 +20,36 @@ use dbre_relational::database::Database;
 use dbre_relational::encode::DictTable;
 use dbre_relational::par::par_map;
 use dbre_relational::schema::RelId;
+use dbre_relational::sketch::{ColumnSketch, SketchMode, SketchPruneStats};
 use dbre_relational::stats::StatsEngine;
 use dbre_relational::table::Table;
+use std::sync::Arc;
 
 /// Work counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KeyStats {
-    /// Uniqueness tests performed.
+    /// Uniqueness tests performed. A sketch-settled verdict still
+    /// counts — the metric is "column sets examined", not "partitions
+    /// materialized".
     pub tests: usize,
+    /// Sketch-prefilter observability (all zero when sketches were off
+    /// or the backend offers none).
+    pub sketch: SketchPruneStats,
+}
+
+/// A level-1 seed for the levelwise search: either a partition to
+/// expand, or a sketch-settled verdict that needs none.
+enum UnarySeed {
+    /// Proven a key by exact sketch counts (NULL-free, every row
+    /// distinct) — nothing expands from a key, so no partition is
+    /// ever built for it.
+    Key,
+    /// The unary partition, with the exact distinct count when a
+    /// sketch supplied one (feeds the last-level cardinality bound).
+    Partition {
+        partition: StrippedPartition,
+        cardinality: Option<usize>,
+    },
 }
 
 /// Result of key discovery on one relation.
@@ -47,21 +69,60 @@ pub fn discover_keys(table: &Table, max_width: Option<usize>) -> KeyResult {
     // parallel unary-partition workers, which then only bucket codes.
     let dict = DictTable::build(table);
     let eligible = eligible_columns_raw(table);
-    discover_keys_seeded(table.arity(), eligible, max_width, |eligible| {
-        let attrs: Vec<AttrId> = eligible.iter().map(|&i| AttrId(i)).collect();
-        par_map(&attrs, |&a| dict.partition1(a))
-    })
+    let attrs: Vec<AttrId> = eligible.iter().map(|&i| AttrId(i)).collect();
+    let seeds = eligible
+        .iter()
+        .copied()
+        .zip(
+            par_map(&attrs, |&a| dict.partition1(a))
+                .into_iter()
+                .map(|p| UnarySeed::Partition {
+                    partition: p,
+                    cardinality: None,
+                }),
+        )
+        .collect();
+    discover_keys_seeded(
+        table.arity(),
+        table.len(),
+        seeds,
+        max_width,
+        SketchPruneStats::default(),
+    )
+}
+
+/// [`discover_keys`] with the unary seed partitions served through
+/// the counting seam, honoring the ambient [`SketchMode`]
+/// (`DBRE_SKETCH`).
+pub fn discover_keys_with_stats(
+    db: &Database,
+    rel: RelId,
+    max_width: Option<usize>,
+    backend: &dyn CountBackend,
+) -> KeyResult {
+    discover_keys_sketched(db, rel, max_width, backend, SketchMode::from_env())
 }
 
 /// [`discover_keys`] with the unary seed partitions served through
 /// the counting seam (pass a
 /// [`StatsEngine`] and they are additionally cached), built
 /// concurrently under `--features parallel`.
-pub fn discover_keys_with_stats(
+///
+/// When `mode` is on and the backend serves sketches, two exact
+/// shortcuts fire (the discovered keys are identical either way):
+///
+/// * a level-1 column whose sketch proves it a key (NULL-free, every
+///   row distinct — exact counts) is accepted without ever building
+///   its partition;
+/// * at the last expanded level, a candidate whose product of exact
+///   unary cardinalities is below the row count cannot be unique
+///   (pigeonhole), so its partition product is skipped.
+pub fn discover_keys_sketched(
     db: &Database,
     rel: RelId,
     max_width: Option<usize>,
     backend: &dyn CountBackend,
+    mode: SketchMode,
 ) -> KeyResult {
     let table = db.table(rel);
     // A streamed extension has empty raw columns — scanning them would
@@ -77,12 +138,52 @@ pub fn discover_keys_with_stats(
                     .map(|d| d.null_count() == 0)
                     .unwrap_or(false)
             })
-            .collect()
+            .collect::<Vec<u16>>()
     };
-    discover_keys_seeded(table.arity(), eligible, max_width, |eligible| {
-        let attrs: Vec<AttrId> = eligible.iter().map(|&i| AttrId(i)).collect();
-        par_map(&attrs, |&a| (*backend.partition1(db, rel, a)).clone())
-    })
+    let sketches: Vec<Option<Arc<ColumnSketch>>> = eligible
+        .iter()
+        .map(|&i| {
+            if mode.is_on() {
+                backend.column_sketch(db, rel, AttrId(i))
+            } else {
+                None
+            }
+        })
+        .collect();
+    // Partitions only for the columns sketches couldn't settle.
+    let need: Vec<AttrId> = eligible
+        .iter()
+        .zip(&sketches)
+        .filter(|(_, s)| !s.as_deref().is_some_and(ColumnSketch::is_exact_key))
+        .map(|(&i, _)| AttrId(i))
+        .collect();
+    let mut parts = par_map(&need, |&a| (*backend.partition1(db, rel, a)).clone()).into_iter();
+    let mut sk = SketchPruneStats::default();
+    let seeds: Vec<(u16, UnarySeed)> = eligible
+        .iter()
+        .zip(&sketches)
+        .map(|(&i, sketch)| {
+            let seed = match sketch {
+                Some(s) if s.is_exact_key() => {
+                    sk.pruned += 1;
+                    UnarySeed::Key
+                }
+                _ => UnarySeed::Partition {
+                    partition: parts.next().expect("one partition per unsettled column"),
+                    cardinality: sketch.as_ref().map(|s| s.distinct_exact()),
+                },
+            };
+            if let Some(s) = sketch {
+                sk.candidates += 1;
+                if !matches!(seed, UnarySeed::Key) {
+                    sk.verified += 1;
+                }
+                sk.observe_column(s);
+            }
+            (i, seed)
+        })
+        .collect();
+    discover_keys_seeded(table.arity(), table.len(), seeds, max_width, sk)
 }
 
 /// Columns containing NULL cannot participate in a key — raw-column
@@ -98,33 +199,54 @@ fn eligible_columns_raw(table: &Table) -> Vec<u16> {
         .collect()
 }
 
-/// The shared levelwise search; `seed` builds the unary partitions for
-/// the eligible columns, in order.
+/// The shared levelwise search over prebuilt level-1 `seeds`
+/// (column index, seed), in column order.
 fn discover_keys_seeded(
     arity: usize,
-    eligible: Vec<u16>,
+    rows: usize,
+    seeds: Vec<(u16, UnarySeed)>,
     max_width: Option<usize>,
-    seed: impl FnOnce(&[u16]) -> Vec<StrippedPartition>,
+    sketch: SketchPruneStats,
 ) -> KeyResult {
     let n = arity;
     assert!(n <= 32, "key discovery supports at most 32 attributes");
-    let mut stats = KeyStats::default();
+    let eligible = seeds.len();
+    let mut stats = KeyStats {
+        sketch,
+        ..KeyStats::default()
+    };
 
     let mut keys: Vec<AttrSet> = Vec::new();
-    // Level 1 seeds: partitions for eligible single columns.
+    // Exact unary distinct counts where known, for the last-level
+    // cardinality bound.
+    let mut cards: Vec<Option<usize>> = vec![None; 32];
+    // Level 1 seeds: partitions (or settled verdicts) per column.
     let mut level: Vec<(u32, StrippedPartition)> = Vec::new();
-    for (&i, p) in eligible.iter().zip(seed(&eligible)) {
+    for (i, seed) in seeds {
         stats.tests += 1;
-        if p.is_key() {
-            keys.push(AttrSet::from_indices([i]));
-        } else {
-            level.push((1 << i, p));
+        match seed {
+            UnarySeed::Key => keys.push(AttrSet::from_indices([i])),
+            UnarySeed::Partition {
+                partition: p,
+                cardinality,
+            } => {
+                cards[i as usize] = cardinality;
+                if p.is_key() {
+                    keys.push(AttrSet::from_indices([i]));
+                } else {
+                    level.push((1 << i, p));
+                }
+            }
         }
     }
 
-    let max_width = max_width.unwrap_or(eligible.len().max(1));
+    let max_width = max_width.unwrap_or(eligible.max(1));
     let mut width = 1;
     while width < max_width && !level.is_empty() {
+        // Partitions produced in the last expanded round never expand
+        // further, so a candidate the cardinality bound refutes there
+        // needs no partition product at all.
+        let last_level = width + 1 == max_width;
         let mut next: Vec<(u32, StrippedPartition)> = Vec::new();
         for i in 0..level.len() {
             for j in i + 1..level.len() {
@@ -140,6 +262,20 @@ fn discover_keys_seeded(
                 // Prune supersets of found keys.
                 if keys.iter().any(|k| mask_of(k) & merged == mask_of(k)) {
                     continue;
+                }
+                if last_level {
+                    if let Some(bound) = product_card_bound(&cards, merged) {
+                        stats.sketch.candidates += 1;
+                        if bound < rows {
+                            // Pigeonhole: at most `bound` distinct
+                            // projections over fewer than `rows` rows
+                            // — the exact test would report non-key.
+                            stats.tests += 1;
+                            stats.sketch.pruned += 1;
+                            continue;
+                        }
+                        stats.sketch.verified += 1;
+                    }
                 }
                 let p = px.product(py);
                 stats.tests += 1;
@@ -161,6 +297,19 @@ fn discover_keys_seeded(
     KeyResult { keys, stats }
 }
 
+/// Upper bound on the distinct projections of the column set `mask`:
+/// the product of exact unary distinct counts. `None` when any count
+/// is unknown (unsketched column).
+fn product_card_bound(cards: &[Option<usize>], mask: u32) -> Option<usize> {
+    let mut bound = 1usize;
+    for i in 0..32u16 {
+        if mask & (1 << i) != 0 {
+            bound = bound.saturating_mul(cards[i as usize]?);
+        }
+    }
+    Some(bound)
+}
+
 fn mask_of(set: &AttrSet) -> u32 {
     set.iter().fold(0u32, |m, a| m | (1 << a.0))
 }
@@ -179,26 +328,40 @@ pub fn infer_missing_keys(db: &mut Database, max_width: Option<usize>) -> Vec<(R
 /// [`infer_missing_keys`] with unary partitions served through the
 /// counting seam — memoized when `backend` is a [`StatsEngine`] (key
 /// registration touches only the dictionary, never the tables, so
-/// previously cached entries stay valid).
+/// previously cached entries stay valid). Honors the ambient
+/// [`SketchMode`] (`DBRE_SKETCH`).
 pub fn infer_missing_keys_with_stats(
     db: &mut Database,
     max_width: Option<usize>,
     backend: &dyn CountBackend,
 ) -> Vec<(RelId, AttrSet)> {
+    infer_missing_keys_sketched(db, max_width, backend, SketchMode::from_env()).0
+}
+
+/// [`infer_missing_keys_with_stats`] with an explicit [`SketchMode`],
+/// also returning the accumulated sketch-prefilter counters.
+pub fn infer_missing_keys_sketched(
+    db: &mut Database,
+    max_width: Option<usize>,
+    backend: &dyn CountBackend,
+    mode: SketchMode,
+) -> (Vec<(RelId, AttrSet)>, SketchPruneStats) {
     let mut inferred = Vec::new();
+    let mut sketch = SketchPruneStats::default();
     let rels: Vec<RelId> = db.schema.iter().map(|(r, _)| r).collect();
     for rel in rels {
         if db.constraints.primary_key(rel).is_some() {
             continue;
         }
-        let result = discover_keys_with_stats(db, rel, max_width, backend);
+        let result = discover_keys_sketched(db, rel, max_width, backend, mode);
+        sketch.merge(&result.stats.sketch);
         if let Some(best) = result.keys.iter().min_by_key(|k| (k.len(), mask_of(k))) {
             db.constraints.add_key(rel, best.clone());
             inferred.push((rel, best.clone()));
         }
     }
     db.constraints.normalize();
-    inferred
+    (inferred, sketch)
 }
 
 #[cfg(test)]

@@ -31,8 +31,8 @@ pub use approx::{
 };
 pub use fd_check::{check_cached, check_encoded, check_hash, check_partition, violations};
 pub use keys::{
-    discover_keys, discover_keys_with_stats, infer_missing_keys, infer_missing_keys_with_stats,
-    KeyResult, KeyStats,
+    discover_keys, discover_keys_sketched, discover_keys_with_stats, infer_missing_keys,
+    infer_missing_keys_sketched, infer_missing_keys_with_stats, KeyResult, KeyStats,
 };
 pub use mind::{maximal, mind, mind_with_stats, MindResult, MindStats};
 pub use partitions::StrippedPartition;

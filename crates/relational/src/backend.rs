@@ -43,6 +43,7 @@ use crate::encode::{
 };
 use crate::partitions::StrippedPartition;
 use crate::schema::RelId;
+use crate::sketch::ColumnSketch;
 use crate::spill::SpillCacheStats;
 use crate::table::ProjKey;
 use crate::value::Value;
@@ -245,6 +246,21 @@ pub trait CountBackend: Send + Sync {
     /// re-interning columns. Backends without an encoding return
     /// `None` and consumers build their own dictionary.
     fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnDict>> {
+        let _ = (db, rel, attr);
+        None
+    }
+
+    /// The backend's sketch of one column
+    /// ([`crate::sketch::ColumnSketch`]: exact distinct hashes, HLL,
+    /// blocked Bloom), when it can produce one cheaply and *soundly* —
+    /// the prefilter seam the discovery stages consult before paying
+    /// for exact kernels. `None` (the default) disables pruning for
+    /// the column, which is always correct: sketches only ever
+    /// suppress work whose result they prove, so their absence merely
+    /// costs speed. Implementations must derive the sketch from the
+    /// same generation-consistent state that serves their counting
+    /// probes.
+    fn column_sketch(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnSketch>> {
         let _ = (db, rel, attr);
         None
     }
@@ -512,6 +528,13 @@ impl CountBackend for EncodedBackend {
 
     fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnDict>> {
         Some(EncodedBackend::column_dict(self, db, rel, attr))
+    }
+
+    fn column_sketch(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnSketch>> {
+        // Lazily attached to the generation-cached dictionary, so the
+        // sketch always summarizes exactly the state the counting
+        // kernels read (and is built at most once per generation).
+        EncodedBackend::column_dict(self, db, rel, attr).sketch()
     }
 
     /// Delta maintenance of the dictionary caches. Appends extend the

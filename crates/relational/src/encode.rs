@@ -55,11 +55,12 @@ use crate::attr::AttrId;
 use crate::counting::JoinStats;
 use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::partitions::StrippedPartition;
+use crate::sketch::ColumnSketch;
 use crate::table::{ProjKey, Table};
 use crate::value::Value;
 use std::collections::hash_map::Entry;
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The NULL sentinel code: row positions holding SQL `NULL` encode to
 /// 0 in every [`ColumnDict`]; real values start at 1.
@@ -68,11 +69,13 @@ pub const NULL_CODE: u32 = 0;
 /// One column's dictionary: per-row dense codes plus both decode
 /// (code → value) and encode (value → code) directions.
 ///
-/// Equality compares every field — two dictionaries are equal iff
-/// they were built from the same cell sequence (codes are assigned in
-/// first-occurrence order, so the decode table is canonical), which
-/// is what the streaming-vs-materialized differential tests pin.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Equality compares every *data* field — two dictionaries are equal
+/// iff they were built from the same cell sequence (codes are assigned
+/// in first-occurrence order, so the decode table is canonical), which
+/// is what the streaming-vs-materialized differential tests pin. The
+/// lazily attached sketch is a pure derivation of those fields and is
+/// excluded from equality.
+#[derive(Debug, Clone, Default)]
 pub struct ColumnDict {
     /// Per-row codes; `codes[i] == NULL_CODE` iff row `i` is NULL.
     codes: Vec<u32>,
@@ -87,6 +90,20 @@ pub struct ColumnDict {
     /// code `c` (`counts[0]` = NULL rows). Maintained by the interning
     /// loop, so the counting-sort kernels skip their sizes pass.
     counts: Vec<u64>,
+    /// Lazily built column sketch ([`ColumnDict::sketch`]); `None`
+    /// once initialized means the dictionary is not sketchable (counts
+    /// invariant broken or ghost codes present).
+    sketch: OnceLock<Option<Arc<ColumnSketch>>>,
+}
+
+impl PartialEq for ColumnDict {
+    fn eq(&self, other: &Self) -> bool {
+        self.codes == other.codes
+            && self.values == other.values
+            && self.index == other.index
+            && self.nulls == other.nulls
+            && self.counts == other.counts
+    }
 }
 
 /// Incremental column interner: the streaming half of
@@ -173,6 +190,7 @@ impl DictBuilder {
             index: self.index,
             nulls: self.nulls,
             counts: self.counts,
+            sketch: OnceLock::new(),
         }
     }
 }
@@ -272,7 +290,60 @@ impl ColumnDict {
             index,
             nulls,
             counts,
+            sketch: OnceLock::new(),
         }
+    }
+
+    /// [`ColumnDict::from_parts`] with a sketch preseeded from
+    /// persisted hashes — the spill-cache load path, which would
+    /// otherwise rehash every distinct value to rebuild what the
+    /// ingest pass already computed. The hashes must be the
+    /// [`ColumnSketch::hashes`] of this exact value sequence; callers
+    /// (the spill decoder) verify provenance via the entry checksum.
+    pub fn from_parts_with_sketch(
+        values: Vec<Value>,
+        nulls: usize,
+        counts: Vec<u64>,
+        hashes: Vec<u64>,
+    ) -> ColumnDict {
+        let rows = counts.iter().sum::<u64>() as usize;
+        let dict = ColumnDict::from_parts(values, nulls, counts);
+        let _ = dict.sketch.set(Some(Arc::new(ColumnSketch::from_hashes(
+            rows, nulls, hashes,
+        ))));
+        dict
+    }
+
+    /// The column's sketch, built on first request (O(cardinality))
+    /// and cached. `None` when the dictionary cannot vouch for
+    /// exactness: the fused-counts invariant is broken (hand-assembled
+    /// dictionary) or a removal left ghost codes — in both cases
+    /// `cardinality()` may over-count the live column and any pruning
+    /// proof would be unsound, so no sketch is offered at all.
+    pub fn sketch(&self) -> Option<Arc<ColumnSketch>> {
+        self.sketch
+            .get_or_init(|| {
+                if self.counts.len() != self.values.len() + 1 {
+                    return None;
+                }
+                if self.counts.iter().skip(1).any(|&c| c == 0) {
+                    return None;
+                }
+                let rows = self.counts.iter().sum::<u64>() as usize;
+                Some(Arc::new(ColumnSketch::build(
+                    &self.values,
+                    self.nulls,
+                    rows,
+                )))
+            })
+            .clone()
+    }
+
+    /// The sketch if one was already built or preseeded — never
+    /// triggers a build (spill serialization uses this to persist
+    /// exactly what ingest computed).
+    pub fn sketch_if_built(&self) -> Option<Arc<ColumnSketch>> {
+        self.sketch.get().cloned().flatten()
     }
 
     /// A codes-free copy: the decode/encode tables and the NULL count
@@ -291,6 +362,8 @@ impl ColumnDict {
             index: self.index.clone(),
             nulls: self.nulls,
             counts: self.counts.clone(),
+            // A sketch summarizes the value set, which slimming keeps.
+            sketch: self.sketch.clone(),
         }
     }
 
@@ -305,6 +378,7 @@ impl ColumnDict {
             index: self.index.clone(),
             nulls: self.nulls,
             counts: self.counts.clone(),
+            sketch: self.sketch.clone(),
         }
     }
 
@@ -320,6 +394,8 @@ impl ColumnDict {
             self.counts.iter().sum::<u64>(),
             "append_values needs a full (non-slim) dictionary"
         );
+        // The value set is about to change: drop the derived sketch.
+        self.sketch.take();
         self.codes.reserve(appended.len());
         for v in appended {
             if v.is_null() {
@@ -351,6 +427,7 @@ impl ColumnDict {
     /// `cardinality()` over-counts); the caller must then evict and
     /// rebuild instead of keeping this dictionary.
     pub fn remove_rows(&mut self, sorted: &[usize]) -> bool {
+        self.sketch.take();
         for &i in sorted {
             let code = self.codes[i] as usize;
             self.counts[code] -= 1;
@@ -1273,6 +1350,53 @@ mod tests {
         assert_eq!(
             lhs_groups_cols(&[&manual], t.len()),
             lhs_groups_cols(&[&built], t.len())
+        );
+    }
+
+    #[test]
+    fn dict_sketch_lazy_exact_and_invalidated() {
+        let t = sample();
+        let built = ColumnDict::build(t.column(a(0)));
+        // Lazy: nothing built until asked.
+        assert!(built.sketch_if_built().is_none());
+        let sketch = built.sketch().expect("counts invariant holds");
+        assert_eq!(sketch.distinct_exact(), built.cardinality());
+        assert_eq!(sketch.null_count(), built.null_count());
+        assert_eq!(sketch.rows(), built.rows());
+        // Cached: second call returns the same Arc.
+        assert!(Arc::ptr_eq(&sketch, &built.sketch().unwrap()));
+        // Slim and rehydrated copies carry the sketch.
+        assert!(built.slim().sketch_if_built().is_some());
+        // Broken counts invariant → no sketch (pruning stays sound).
+        // Start from a never-sketched dict: clones of a sketched one
+        // deliberately carry the cached sketch (slim/rehydrate rely on
+        // that), so the lazy path would never re-examine counts.
+        let mut manual = ColumnDict::build(t.column(a(0)));
+        manual.counts = Vec::new();
+        assert!(manual.sketch().is_none());
+        // Ghost codes (a removal that emptied a value) → no sketch.
+        let mut ghosted = ColumnDict::build(&[Value::Int(1), Value::Int(2)]);
+        assert!(!ghosted.remove_rows(&[1]), "removal leaves a ghost");
+        assert!(ghosted.sketch().is_none());
+        // Mutation invalidates a previously built sketch.
+        let mut appended = ColumnDict::build(t.column(a(0)));
+        appended.sketch();
+        appended.append_values(&[Value::Int(99)]);
+        assert!(appended.sketch_if_built().is_none());
+        let resketch = appended.sketch().unwrap();
+        assert_eq!(resketch.distinct_exact(), appended.cardinality());
+        // from_parts_with_sketch preseeds a sketch equal to a rebuild.
+        let slim = built.slim();
+        let seeded = ColumnDict::from_parts_with_sketch(
+            slim.distinct_values().to_vec(),
+            slim.null_count(),
+            slim.code_counts().to_vec(),
+            sketch.hashes().to_vec(),
+        );
+        assert_eq!(
+            seeded.sketch_if_built().as_deref(),
+            Some(sketch.as_ref()),
+            "preseeded sketch equals a fresh build"
         );
     }
 

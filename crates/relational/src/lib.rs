@@ -44,6 +44,7 @@ pub mod pages;
 pub mod par;
 pub mod partitions;
 pub mod schema;
+pub mod sketch;
 pub mod snapshot;
 pub mod spill;
 pub mod stats;
@@ -66,6 +67,7 @@ pub use pages::{PageError, PageFileWriter, PagedBackend, PagedColumn};
 pub use par::par_map;
 pub use partitions::StrippedPartition;
 pub use schema::{QualAttrs, RelId, Relation, Schema};
+pub use sketch::{ColumnSketch, SketchMode, SketchPruneStats};
 pub use snapshot::{DbSnapshot, SharedDb};
 pub use spill::{SpillCacheStats, SpilledTable};
 pub use stats::{StatsCounters, StatsEngine};

@@ -39,6 +39,7 @@ use crate::encode::{decode_set_cols, intersect_count, ColumnDict, EncodedSet, NU
 use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::partitions::StrippedPartition;
 use crate::schema::RelId;
+use crate::sketch::ColumnSketch;
 use crate::spill::{SpillCacheStats, SpilledTable};
 use crate::table::ProjKey;
 use std::collections::{HashMap, HashSet};
@@ -1460,6 +1461,19 @@ impl CountBackend for PagedBackend {
             },
         );
         Some(value)
+    }
+
+    fn column_sketch(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnSketch>> {
+        // The resident slim dictionary carries the whole value set and
+        // the fused counts — everything a sketch summarizes — so this
+        // never streams a single code page (unlike `column_dict`,
+        // which rehydrates the full column). Streamed-ingest columns
+        // loaded from a warm spill entry arrive with the sketch
+        // preseeded from persisted hashes. A spill failure simply
+        // yields no sketch: pruning is disabled, answers unchanged.
+        self.paged_column(db, rel, attr)
+            .ok()
+            .and_then(|col| col.dict.sketch())
     }
 
     fn exec_stats(&self) -> BackendExecStats {

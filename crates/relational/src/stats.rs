@@ -57,6 +57,7 @@ use crate::deps::{Fd, Ind};
 use crate::encode::ColumnDict;
 use crate::partitions::StrippedPartition;
 use crate::schema::RelId;
+use crate::sketch::ColumnSketch;
 use crate::table::ProjKey;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -608,6 +609,13 @@ impl CountBackend for StatsEngine {
 
     fn column_dict(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnDict>> {
         self.backend.column_dict(db, rel, attr)
+    }
+
+    fn column_sketch(&self, db: &Database, rel: RelId, attr: AttrId) -> Option<Arc<ColumnSketch>> {
+        // Sketches are already memoized where they live (on the
+        // backend's generation-cached dictionaries); forwarding keeps
+        // the engine transparent and the hit/miss counters honest.
+        self.backend.column_sketch(db, rel, attr)
     }
 
     fn exec_stats(&self) -> BackendExecStats {
